@@ -1,0 +1,106 @@
+//! Ablation benchmarks over the design choices DESIGN.md calls out:
+//! chain length, cold-start policy, bracketing, cache capacity and
+//! network contention.  Each bench times the campaign under one
+//! setting; the *result tables* for these ablations come from
+//! `paper_tables -- ablations`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use kc_core::{CouplingAnalysis, Predictor};
+use kc_experiments::Runner;
+use kc_npb::executor::ColdStart;
+use kc_npb::{Benchmark, Class};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn predict_err(runner: &Runner, len: usize) -> f64 {
+    let mut exec = runner.executor(Benchmark::Bt, Class::S, 4);
+    let analysis = CouplingAnalysis::collect(&mut exec, len, 2).unwrap();
+    let actual = analysis.actual().mean();
+    (analysis.predict(Predictor::coupling(len)).unwrap() - actual).abs() / actual
+}
+
+fn bench_chain_length(c: &mut Criterion) {
+    let runner = Runner::noise_free();
+    let mut g = c.benchmark_group("ablation_chain_length");
+    g.sample_size(10);
+    g.warm_up_time(Duration::from_secs(1));
+    g.measurement_time(Duration::from_secs(3));
+    for len in 1..=5usize {
+        g.bench_with_input(BenchmarkId::from_parameter(len), &len, |b, &len| {
+            b.iter(|| black_box(predict_err(&runner, len)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_cold_start_policy(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_cold_start");
+    g.sample_size(10);
+    g.warm_up_time(Duration::from_secs(1));
+    g.measurement_time(Duration::from_secs(3));
+    for (name, policy) in [
+        ("none", ColdStart::None),
+        ("isolated_only", ColdStart::IsolatedOnly),
+        ("all", ColdStart::All),
+    ] {
+        let mut runner = Runner::noise_free();
+        runner.exec.cold_start = policy;
+        g.bench_function(name, |b| b.iter(|| black_box(predict_err(&runner, 2))));
+    }
+    g.finish();
+}
+
+fn bench_contention(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_contention");
+    g.sample_size(10);
+    g.warm_up_time(Duration::from_secs(1));
+    g.measurement_time(Duration::from_secs(3));
+    for contention in [0.0, 0.02, 0.1] {
+        let mut runner = Runner::noise_free();
+        runner.machine.net.contention = contention;
+        g.bench_with_input(
+            BenchmarkId::from_parameter(contention),
+            &contention,
+            |b, _| {
+                b.iter(|| {
+                    let mut exec = runner.executor(Benchmark::Lu, Class::S, 4);
+                    let a = CouplingAnalysis::collect(&mut exec, 3, 2).unwrap();
+                    black_box(a.couplings().unwrap())
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_cache_capacity(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_l2_capacity");
+    g.sample_size(10);
+    g.warm_up_time(Duration::from_secs(1));
+    g.measurement_time(Duration::from_secs(3));
+    for mib in [1usize, 4, 16] {
+        let mut runner = Runner::noise_free();
+        runner.machine.caches[1].capacity = mib << 20;
+        g.bench_with_input(BenchmarkId::from_parameter(mib), &mib, |b, _| {
+            b.iter(|| {
+                black_box(kc_experiments::transitions::mean_coupling(
+                    &runner,
+                    Benchmark::Bt,
+                    Class::S,
+                    4,
+                    2,
+                ))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_chain_length,
+    bench_cold_start_policy,
+    bench_contention,
+    bench_cache_capacity
+);
+criterion_main!(benches);

@@ -1,0 +1,92 @@
+//! One benchmark per paper table: each benches the full measurement
+//! campaign (isolated kernels + chain windows + ground truth +
+//! prediction) that regenerates the table, at the table's smallest
+//! processor count.  The complete multi-processor tables themselves
+//! are produced by the `paper_tables` binary in `kc-experiments`;
+//! these benches time the same code paths so regressions in the
+//! campaign cost show up in CI.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use kc_core::{CouplingAnalysis, Predictor};
+use kc_experiments::Runner;
+use kc_npb::{Benchmark, Class};
+use std::hint::black_box;
+use std::time::Duration;
+
+/// Run the full campaign for one (benchmark, class, procs, chain
+/// length) cell and return both predictions — everything a table
+/// column needs.
+fn campaign(runner: &Runner, b: Benchmark, class: Class, procs: usize, len: usize) -> (f64, f64) {
+    let mut exec = runner.executor(b, class, procs);
+    let analysis = CouplingAnalysis::collect(&mut exec, len, 2).unwrap();
+    (
+        analysis.predict(Predictor::Summation).unwrap(),
+        analysis.predict(Predictor::coupling(len)).unwrap(),
+    )
+}
+
+fn bench_tables(c: &mut Criterion) {
+    let runner = Runner::noise_free();
+    let mut g = c.benchmark_group("paper_tables");
+    g.sample_size(10);
+    g.warm_up_time(Duration::from_secs(1));
+    g.measurement_time(Duration::from_secs(4));
+
+    // Table 2: BT class S, pairwise chains
+    g.bench_function("table2_bt_s_p4", |bench| {
+        bench.iter(|| black_box(campaign(&runner, Benchmark::Bt, Class::S, 4, 2)))
+    });
+    // Table 3: BT class W, 3-kernel chains
+    g.bench_function("table3_bt_w_p4", |bench| {
+        bench.iter(|| black_box(campaign(&runner, Benchmark::Bt, Class::W, 4, 3)))
+    });
+    // Table 4: BT class A, 4-kernel chains
+    g.bench_function("table4_bt_a_p9", |bench| {
+        bench.iter(|| black_box(campaign(&runner, Benchmark::Bt, Class::A, 9, 4)))
+    });
+    // Table 6a/6b/6c: SP classes W/A/B, 4- and 5-kernel chains
+    g.bench_function("table6a_sp_w_p4_len4", |bench| {
+        bench.iter(|| black_box(campaign(&runner, Benchmark::Sp, Class::W, 4, 4)))
+    });
+    g.bench_function("table6a_sp_w_p4_len5", |bench| {
+        bench.iter(|| black_box(campaign(&runner, Benchmark::Sp, Class::W, 4, 5)))
+    });
+    g.bench_function("table6b_sp_a_p9_len5", |bench| {
+        bench.iter(|| black_box(campaign(&runner, Benchmark::Sp, Class::A, 9, 5)))
+    });
+    g.bench_function("table6c_sp_b_p16_len5", |bench| {
+        bench.iter(|| black_box(campaign(&runner, Benchmark::Sp, Class::B, 16, 5)))
+    });
+    // Table 8a/8b/8c: LU classes W/A/B, 3-kernel chains
+    g.bench_function("table8a_lu_w_p4", |bench| {
+        bench.iter(|| black_box(campaign(&runner, Benchmark::Lu, Class::W, 4, 3)))
+    });
+    g.bench_function("table8b_lu_a_p8", |bench| {
+        bench.iter(|| black_box(campaign(&runner, Benchmark::Lu, Class::A, 8, 3)))
+    });
+    g.bench_function("table8c_lu_b_p16", |bench| {
+        bench.iter(|| black_box(campaign(&runner, Benchmark::Lu, Class::B, 16, 3)))
+    });
+    g.finish();
+
+    // the scaling/transition study (paper §4.1.4)
+    let mut g = c.benchmark_group("transitions");
+    g.sample_size(10);
+    g.warm_up_time(Duration::from_secs(1));
+    g.measurement_time(Duration::from_secs(3));
+    g.bench_function("bt_mean_pair_coupling_w_p9", |bench| {
+        bench.iter(|| {
+            black_box(kc_experiments::transitions::mean_coupling(
+                &runner,
+                Benchmark::Bt,
+                Class::W,
+                9,
+                2,
+            ))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_tables);
+criterion_main!(benches);

@@ -1,0 +1,152 @@
+//! Micro-benchmarks of the substrate crates: cache-simulator
+//! throughput, 5×5 block and pentadiagonal line solves, cluster
+//! messaging and halo exchange, full numeric benchmark iterations.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use kc_cachesim::{CacheConfig, CacheHierarchy, RegionMap};
+use kc_machine::{Cluster, MachineConfig};
+use kc_npb::blocks::{self, Block, Vec5};
+use kc_npb::penta::{self, PentaCoeffs};
+use kc_npb::{Benchmark, Class, ExecConfig, Mode, NpbApp, NpbExecutor};
+use std::hint::black_box;
+
+fn bench_cachesim(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cachesim");
+    let mut map = RegionMap::new();
+    let region = map.register("data", 8 << 20);
+    let mut h = CacheHierarchy::new(vec![
+        CacheConfig {
+            capacity: 128 * 1024,
+            line: 128,
+            ways: 4,
+        },
+        CacheConfig {
+            capacity: 4 * 1024 * 1024,
+            line: 128,
+            ways: 8,
+        },
+    ]);
+    let span = map.span(region, 0, 1 << 20);
+    g.throughput(Throughput::Bytes(1 << 20));
+    g.bench_function("stream_1mib_two_levels", |b| {
+        b.iter(|| black_box(h.touch(span)))
+    });
+    g.bench_function("strided_4k_elems", |b| {
+        b.iter(|| black_box(h.touch_strided(0, 2048, 8, 4096)))
+    });
+    g.finish();
+}
+
+fn sample_block() -> Block {
+    let mut a = blocks::identity();
+    for (i, row) in a.iter_mut().enumerate() {
+        for (j, v) in row.iter_mut().enumerate() {
+            *v += 0.1 / (1.0 + (i as f64 - j as f64).abs());
+        }
+        row[i] += 2.0;
+    }
+    a
+}
+
+fn bench_solvers(c: &mut Criterion) {
+    let mut g = c.benchmark_group("solvers");
+
+    let a = sample_block();
+    g.bench_function("block5_factor_solve", |b| {
+        b.iter(|| {
+            let mut lu = black_box(a);
+            blocks::lu_factor(&mut lu);
+            let mut rhs = [1.0, 2.0, 3.0, 4.0, 5.0];
+            blocks::lu_solve_vec(&lu, &mut rhs);
+            black_box(rhs)
+        })
+    });
+
+    g.bench_function("block5_matmul_sub", |b| {
+        let x = sample_block();
+        b.iter(|| {
+            let mut cm = black_box(x);
+            blocks::mat_mul_sub(&mut cm, &a, &x);
+            black_box(cm)
+        })
+    });
+
+    let n = 102;
+    let coeffs: Vec<PentaCoeffs> = (0..n)
+        .map(|i| PentaCoeffs {
+            a: if i >= 2 { 0.015 } else { 0.0 },
+            b: if i >= 1 { -0.36 } else { 0.0 },
+            c: 2.0,
+            d: if i + 1 < n { -0.36 } else { 0.0 },
+            e: if i + 2 < n { 0.015 } else { 0.0 },
+        })
+        .collect();
+    g.throughput(Throughput::Elements(n as u64));
+    g.bench_function("penta_line_102", |b| {
+        b.iter(|| {
+            let mut rhs: Vec<Vec5> = vec![[1.0; 5]; n];
+            let mut dt = vec![0.0; n];
+            let mut et = vec![0.0; n];
+            penta::solve_line(&coeffs, &mut rhs, &mut dt, &mut et);
+            black_box(rhs[0])
+        })
+    });
+    g.finish();
+}
+
+fn bench_cluster(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cluster");
+    g.sample_size(20);
+    let machine = MachineConfig::test_tiny();
+
+    g.bench_function("spawn_4_ranks_ring", |b| {
+        let cluster = Cluster::new(machine.clone());
+        b.iter(|| {
+            cluster.run(4, |ctx| {
+                let right = (ctx.rank() + 1) % ctx.size();
+                let left = (ctx.rank() + 3) % ctx.size();
+                ctx.send(right, 0, vec![1.0]);
+                let m = ctx.recv(left, 0);
+                black_box(m.data.len())
+            })
+        })
+    });
+
+    g.bench_function("numeric_bt_s_iteration_4_ranks", |b| {
+        let cfg = ExecConfig {
+            mode: Mode::Numeric,
+            ..ExecConfig::default()
+        };
+        let exec = NpbExecutor::new(
+            NpbApp::new(Benchmark::Bt, Class::S, 4),
+            machine.clone(),
+            cfg,
+        );
+        let ids: Vec<_> = NpbApp::new(Benchmark::Bt, Class::S, 4)
+            .benchmark
+            .spec()
+            .kernel_set()
+            .ids()
+            .collect();
+        b.iter(|| black_box(exec.run_chain_raw(&ids)))
+    });
+
+    g.bench_function("profile_lu_w_iteration_8_ranks", |b| {
+        let exec = NpbExecutor::new(
+            NpbApp::new(Benchmark::Lu, Class::W, 8),
+            machine.clone(),
+            ExecConfig::default(),
+        );
+        let ids: Vec<_> = NpbApp::new(Benchmark::Lu, Class::W, 8)
+            .benchmark
+            .spec()
+            .kernel_set()
+            .ids()
+            .collect();
+        b.iter(|| black_box(exec.run_chain_raw(&ids)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_cachesim, bench_solvers, bench_cluster);
+criterion_main!(benches);

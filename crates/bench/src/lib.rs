@@ -1,0 +1,8 @@
+//! # kc-bench
+//!
+//! Criterion benchmark harness for the kernel-couplings workspace.
+//! The benchmarks live under `benches/`: one target per paper table
+//! (`table2` … `table8`), the coupling-transition study, ablation
+//! sweeps, and micro-benchmarks of the substrates (cache simulator,
+//! 5x5 block solver, cluster messaging).  Run them with
+//! `cargo bench -p kc-bench`.

@@ -1,0 +1,114 @@
+//! Per-level access accounting.
+
+use serde::{Deserialize, Serialize};
+use std::ops::{Add, AddAssign};
+
+/// Maximum number of cache levels a hierarchy may have.
+pub const MAX_LEVELS: usize = 4;
+
+/// Counts of cache-line requests served at each level of a hierarchy.
+///
+/// `hits[0]` is the number of lines served by L1, `hits[1]` by L2, …;
+/// `memory` is the number that missed every level.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AccessCounts {
+    /// Lines served at each cache level (index 0 = L1).
+    pub hits: [u64; MAX_LEVELS],
+    /// Lines served by main memory.
+    pub memory: u64,
+}
+
+impl AccessCounts {
+    /// All-zero counts.
+    pub fn zero() -> Self {
+        Self::default()
+    }
+
+    /// Total lines requested.
+    pub fn total(&self) -> u64 {
+        self.hits.iter().sum::<u64>() + self.memory
+    }
+
+    /// Lines served at cache level `level` (0-based).
+    pub fn hits_at(&self, level: usize) -> u64 {
+        self.hits[level]
+    }
+
+    /// Lines that had to go to main memory.
+    pub fn misses_to_memory(&self) -> u64 {
+        self.memory
+    }
+
+    /// Record one line served at cache level `level`.
+    pub fn record_hit(&mut self, level: usize) {
+        self.hits[level] += 1;
+    }
+
+    /// Record one line served by memory.
+    pub fn record_memory(&mut self) {
+        self.memory += 1;
+    }
+
+    /// Fraction of requests that were L1 hits (0 if no requests).
+    pub fn l1_hit_rate(&self) -> f64 {
+        let t = self.total();
+        if t == 0 {
+            0.0
+        } else {
+            self.hits[0] as f64 / t as f64
+        }
+    }
+}
+
+impl Add for AccessCounts {
+    type Output = Self;
+    fn add(mut self, rhs: Self) -> Self {
+        self += rhs;
+        self
+    }
+}
+
+impl AddAssign for AccessCounts {
+    fn add_assign(&mut self, rhs: Self) {
+        for (a, b) in self.hits.iter_mut().zip(rhs.hits) {
+            *a += b;
+        }
+        self.memory += rhs.memory;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_and_rates() {
+        let mut c = AccessCounts::zero();
+        for _ in 0..3 {
+            c.record_hit(0);
+        }
+        c.record_hit(1);
+        c.record_memory();
+        assert_eq!(c.total(), 5);
+        assert_eq!(c.hits_at(0), 3);
+        assert_eq!(c.hits_at(1), 1);
+        assert_eq!(c.misses_to_memory(), 1);
+        assert!((c.l1_hit_rate() - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_hit_rate_is_zero() {
+        assert_eq!(AccessCounts::zero().l1_hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn addition() {
+        let mut a = AccessCounts::zero();
+        a.record_hit(0);
+        let mut b = AccessCounts::zero();
+        b.record_memory();
+        let c = a + b;
+        assert_eq!(c.total(), 2);
+        assert_eq!(c.misses_to_memory(), 1);
+    }
+}

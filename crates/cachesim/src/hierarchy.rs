@@ -1,0 +1,284 @@
+//! Multi-level cache hierarchies.
+
+use crate::counts::{AccessCounts, MAX_LEVELS};
+use crate::region::Span;
+use crate::setassoc::SetAssocCache;
+use serde::{Deserialize, Serialize};
+
+/// Geometry of one cache level.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheConfig {
+    /// Capacity in bytes.
+    pub capacity: usize,
+    /// Line size in bytes (power of two).
+    pub line: usize,
+    /// Associativity.
+    pub ways: usize,
+}
+
+impl CacheConfig {
+    /// Build the cache level this config describes.
+    pub fn build(&self) -> SetAssocCache {
+        SetAssocCache::new(self.capacity, self.line, self.ways)
+    }
+}
+
+/// A stack of cache levels in front of main memory.
+///
+/// Requests walk the levels in order; a miss at level *i* is forwarded
+/// to level *i + 1* (and installed at every level on the way back —
+/// an inclusive hierarchy, like the paper-era P2SC/SP nodes).
+#[derive(Clone, Debug)]
+pub struct CacheHierarchy {
+    levels: Vec<SetAssocCache>,
+    /// Line size used to chop spans into line requests (the L1 line).
+    line: u64,
+    totals: AccessCounts,
+}
+
+impl CacheHierarchy {
+    /// Build a hierarchy from level configs, ordered L1 first.
+    ///
+    /// # Panics
+    /// If there are no levels, more than [`MAX_LEVELS`], capacities are
+    /// not strictly increasing, or line sizes differ between levels
+    /// (mixed line sizes complicate inclusion and the P2SC-era machines
+    /// we model don't need them).
+    pub fn new(configs: Vec<CacheConfig>) -> Self {
+        assert!(!configs.is_empty(), "hierarchy needs at least one level");
+        assert!(
+            configs.len() <= MAX_LEVELS,
+            "at most {MAX_LEVELS} levels supported"
+        );
+        for w in configs.windows(2) {
+            assert!(
+                w[0].capacity < w[1].capacity,
+                "cache capacities must strictly increase"
+            );
+            assert_eq!(w[0].line, w[1].line, "all levels must share one line size");
+        }
+        let line = configs[0].line as u64;
+        Self {
+            levels: configs.iter().map(CacheConfig::build).collect(),
+            line,
+            totals: AccessCounts::zero(),
+        }
+    }
+
+    /// Number of levels.
+    pub fn depth(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// Line size in bytes.
+    pub fn line_size(&self) -> usize {
+        self.line as usize
+    }
+
+    /// Capacity of level `i` in bytes.
+    pub fn capacity(&self, level: usize) -> usize {
+        self.levels[level].capacity()
+    }
+
+    /// Running totals over every touch since construction/reset.
+    pub fn totals(&self) -> AccessCounts {
+        self.totals
+    }
+
+    /// Access one line by byte address, returning the level that served
+    /// it (`depth()` means main memory).
+    pub fn access_line(&mut self, addr: u64) -> usize {
+        let mut served = self.levels.len();
+        for (i, level) in self.levels.iter_mut().enumerate() {
+            if level.access(addr) {
+                served = i;
+                break;
+            }
+        }
+        if served < self.levels.len() {
+            self.totals.record_hit(served);
+        } else {
+            self.totals.record_memory();
+        }
+        served
+    }
+
+    /// Touch every line of `span`, returning where the lines were
+    /// served.
+    pub fn touch(&mut self, span: Span) -> AccessCounts {
+        let mut counts = AccessCounts::zero();
+        if span.bytes == 0 {
+            return counts;
+        }
+        let first = span.addr / self.line;
+        let last = (span.addr + span.bytes - 1) / self.line;
+        for l in first..=last {
+            let served = self.access_line(l * self.line);
+            if served < self.levels.len() {
+                counts.record_hit(served);
+            } else {
+                counts.record_memory();
+            }
+        }
+        counts
+    }
+
+    /// Touch a strided sequence: `count` elements of `elem` bytes
+    /// separated by `stride` bytes starting at `span.addr`.  Used for
+    /// pencil accesses along non-contiguous dimensions.
+    pub fn touch_strided(
+        &mut self,
+        start: u64,
+        stride: u64,
+        elem: u64,
+        count: u64,
+    ) -> AccessCounts {
+        let mut counts = AccessCounts::zero();
+        for n in 0..count {
+            counts += self.touch(Span {
+                addr: start + n * stride,
+                bytes: elem,
+            });
+        }
+        counts
+    }
+
+    /// Invalidate every level (cold caches) without clearing totals.
+    pub fn flush(&mut self) {
+        for l in &mut self.levels {
+            l.flush();
+        }
+    }
+
+    /// Invalidate every level and clear totals.
+    pub fn reset(&mut self) {
+        for l in &mut self.levels {
+            l.reset();
+        }
+        self.totals = AccessCounts::zero();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::region::RegionMap;
+
+    fn two_level() -> CacheHierarchy {
+        CacheHierarchy::new(vec![
+            CacheConfig {
+                capacity: 8 * 128,
+                line: 128,
+                ways: 8,
+            },
+            CacheConfig {
+                capacity: 64 * 128,
+                line: 128,
+                ways: 8,
+            },
+        ])
+    }
+
+    #[test]
+    fn l1_then_l2_service() {
+        let mut h = two_level();
+        let mut m = RegionMap::new();
+        // 16 lines: fits L2 (64 lines) but not L1 (8 lines)
+        let a = m.register("a", 16 * 128);
+        let c0 = h.touch(m.whole(a));
+        assert_eq!(c0.misses_to_memory(), 16);
+        let c1 = h.touch(m.whole(a));
+        assert_eq!(c1.misses_to_memory(), 0);
+        // streaming 16 lines through an 8-line L1 leaves no reusable L1
+        // residue, so the second pass is served by L2
+        assert_eq!(c1.hits_at(1), 16);
+    }
+
+    #[test]
+    fn small_working_set_stays_in_l1() {
+        let mut h = two_level();
+        let mut m = RegionMap::new();
+        let a = m.register("a", 4 * 128);
+        h.touch(m.whole(a));
+        let c = h.touch(m.whole(a));
+        assert_eq!(c.hits_at(0), 4);
+        assert_eq!(c.total(), 4);
+    }
+
+    #[test]
+    fn spill_to_memory_beyond_l2() {
+        let mut h = two_level();
+        let mut m = RegionMap::new();
+        let a = m.register("a", 128 * 128); // 128 lines > 64-line L2
+        h.touch(m.whole(a));
+        let c = h.touch(m.whole(a));
+        assert!(
+            c.misses_to_memory() > 0,
+            "working set exceeds L2, must stream from memory"
+        );
+    }
+
+    #[test]
+    fn strided_touch_counts_distinct_lines() {
+        let mut h = two_level();
+        // 4 elements of 8 bytes, 256 bytes apart: 4 distinct lines
+        let c = h.touch_strided(0, 256, 8, 4);
+        assert_eq!(c.total(), 4);
+        assert_eq!(c.misses_to_memory(), 4);
+    }
+
+    #[test]
+    fn empty_span_is_free() {
+        let mut h = two_level();
+        let c = h.touch(Span { addr: 0, bytes: 0 });
+        assert_eq!(c.total(), 0);
+    }
+
+    #[test]
+    fn span_straddling_line_boundary_touches_both() {
+        let mut h = two_level();
+        let c = h.touch(Span {
+            addr: 120,
+            bytes: 16,
+        });
+        assert_eq!(c.total(), 2);
+    }
+
+    #[test]
+    fn flush_forces_cold_misses() {
+        let mut h = two_level();
+        let mut m = RegionMap::new();
+        let a = m.register("a", 4 * 128);
+        h.touch(m.whole(a));
+        h.flush();
+        let c = h.touch(m.whole(a));
+        assert_eq!(c.misses_to_memory(), 4);
+    }
+
+    #[test]
+    fn totals_accumulate() {
+        let mut h = two_level();
+        let mut m = RegionMap::new();
+        let a = m.register("a", 2 * 128);
+        h.touch(m.whole(a));
+        h.touch(m.whole(a));
+        assert_eq!(h.totals().total(), 4);
+    }
+
+    #[test]
+    #[should_panic]
+    fn non_increasing_capacities_panic() {
+        CacheHierarchy::new(vec![
+            CacheConfig {
+                capacity: 1024,
+                line: 128,
+                ways: 8,
+            },
+            CacheConfig {
+                capacity: 1024,
+                line: 128,
+                ways: 8,
+            },
+        ]);
+    }
+}

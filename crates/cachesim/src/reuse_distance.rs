@@ -1,0 +1,206 @@
+//! Reuse-distance (LRU stack distance) analysis.
+//!
+//! The reuse distance of an access is the number of *distinct* cache
+//! lines touched since the previous access to the same line (∞ for
+//! first touches).  Its histogram characterizes a workload's locality
+//! independently of any particular cache: a fully-associative LRU
+//! cache of `C` lines hits exactly the accesses with distance `< C`.
+//! That makes the histogram the natural tool for *predicting* the
+//! coupling regime transitions the paper ties to the memory subsystem:
+//! where the distance mass sits relative to L1/L2 capacities tells you
+//! which regime a kernel (or kernel chain) occupies before running any
+//! timing experiment.
+//!
+//! The implementation is the classic balanced-tree stack algorithm
+//! (O(log n) per access) over a splay-free BTree of timestamps.
+
+use std::collections::{BTreeMap, HashMap};
+
+/// Accumulates an access stream and produces the reuse-distance
+/// histogram.
+#[derive(Clone, Debug, Default)]
+pub struct ReuseDistance {
+    /// line -> logical time of its last access
+    last_access: HashMap<u64, u64>,
+    /// set of "last access" timestamps currently live, ordered
+    live: BTreeMap<u64, ()>,
+    clock: u64,
+    /// histogram: distance -> count (cold misses recorded separately)
+    histogram: HashMap<u64, u64>,
+    cold: u64,
+}
+
+impl ReuseDistance {
+    /// An empty analyzer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record an access to `line` (an opaque line identifier) and
+    /// return its reuse distance, or `None` for a cold (first) access.
+    pub fn access(&mut self, line: u64) -> Option<u64> {
+        self.clock += 1;
+        let now = self.clock;
+        let dist = match self.last_access.insert(line, now) {
+            None => {
+                self.cold += 1;
+                None
+            }
+            Some(prev) => {
+                // distance = number of live timestamps greater than prev
+                let d = self.live.range((prev + 1)..).count() as u64;
+                self.live.remove(&prev);
+                *self.histogram.entry(d).or_insert(0) += 1;
+                Some(d)
+            }
+        };
+        self.live.insert(now, ());
+        dist
+    }
+
+    /// Record a sequential range of lines.
+    pub fn access_range(&mut self, first_line: u64, lines: u64) {
+        for l in first_line..first_line + lines {
+            self.access(l);
+        }
+    }
+
+    /// Number of cold (first-touch) accesses.
+    pub fn cold_misses(&self) -> u64 {
+        self.cold
+    }
+
+    /// Total accesses recorded.
+    pub fn total_accesses(&self) -> u64 {
+        self.clock
+    }
+
+    /// The raw histogram (distance → count), cold misses excluded.
+    pub fn histogram(&self) -> &HashMap<u64, u64> {
+        &self.histogram
+    }
+
+    /// Number of accesses with finite reuse distance `< capacity`
+    /// lines — i.e. hits in a fully-associative LRU cache of that many
+    /// lines.
+    pub fn hits_under(&self, capacity_lines: u64) -> u64 {
+        self.histogram
+            .iter()
+            .filter(|(d, _)| **d < capacity_lines)
+            .map(|(_, c)| *c)
+            .sum()
+    }
+
+    /// Predicted miss ratio of a fully-associative LRU cache with
+    /// `capacity_lines` lines on this trace.
+    pub fn miss_ratio(&self, capacity_lines: u64) -> f64 {
+        if self.clock == 0 {
+            return 0.0;
+        }
+        1.0 - self.hits_under(capacity_lines) as f64 / self.clock as f64
+    }
+
+    /// The smallest capacity (in lines) achieving at least
+    /// `target_hit_ratio` of the warm accesses — "how much cache does
+    /// this working set want".
+    pub fn capacity_for_hit_ratio(&self, target_hit_ratio: f64) -> Option<u64> {
+        assert!((0.0..=1.0).contains(&target_hit_ratio));
+        let warm: u64 = self.histogram.values().sum();
+        if warm == 0 {
+            return None;
+        }
+        let mut dists: Vec<(u64, u64)> = self.histogram.iter().map(|(d, c)| (*d, *c)).collect();
+        dists.sort_unstable();
+        let mut acc = 0u64;
+        for (d, c) in dists {
+            acc += c;
+            if acc as f64 / warm as f64 >= target_hit_ratio {
+                return Some(d + 1);
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::setassoc::SetAssocCache;
+
+    #[test]
+    fn cold_and_repeat_accesses() {
+        let mut rd = ReuseDistance::new();
+        assert_eq!(rd.access(1), None);
+        assert_eq!(rd.access(1), Some(0));
+        assert_eq!(rd.access(2), None);
+        assert_eq!(rd.access(1), Some(1));
+        assert_eq!(rd.cold_misses(), 2);
+        assert_eq!(rd.total_accesses(), 4);
+    }
+
+    #[test]
+    fn cyclic_scan_has_distance_n_minus_one() {
+        // scanning N lines repeatedly: every warm access has distance N-1
+        let n = 16u64;
+        let mut rd = ReuseDistance::new();
+        for _ in 0..3 {
+            rd.access_range(0, n);
+        }
+        assert_eq!(rd.cold_misses(), n);
+        assert_eq!(*rd.histogram().get(&(n - 1)).unwrap(), 2 * n);
+        // an LRU cache of exactly N lines captures the scan; N-1 does not
+        assert_eq!(rd.hits_under(n), 2 * n);
+        assert_eq!(rd.hits_under(n - 1), 0);
+    }
+
+    #[test]
+    fn matches_fully_associative_simulation() {
+        // the fundamental theorem: hits_under(C) == hits of a
+        // fully-associative LRU cache with C lines, on any trace
+        let trace: Vec<u64> = (0..500u64)
+            .map(|i| {
+                // a mix of streaming and hot lines
+                if i % 3 == 0 {
+                    i % 7
+                } else {
+                    (i * 13) % 97
+                }
+            })
+            .collect();
+        for cap_lines in [4u64, 16, 64] {
+            let mut rd = ReuseDistance::new();
+            let mut cache = SetAssocCache::fully_associative((cap_lines * 64) as usize, 64);
+            let mut sim_hits = 0u64;
+            for &l in &trace {
+                rd.access(l);
+                if cache.access(l * 64) {
+                    sim_hits += 1;
+                }
+            }
+            assert_eq!(
+                rd.hits_under(cap_lines),
+                sim_hits,
+                "capacity {cap_lines} lines: stack distance vs simulation"
+            );
+        }
+    }
+
+    #[test]
+    fn miss_ratio_and_capacity_queries() {
+        let mut rd = ReuseDistance::new();
+        for _ in 0..10 {
+            rd.access_range(0, 8);
+        }
+        // 8 cold + 72 warm at distance 7
+        assert!((rd.miss_ratio(8) - 8.0 / 80.0).abs() < 1e-12);
+        assert_eq!(rd.capacity_for_hit_ratio(1.0), Some(8));
+        assert_eq!(rd.capacity_for_hit_ratio(0.5), Some(8));
+    }
+
+    #[test]
+    fn empty_trace_edge_cases() {
+        let rd = ReuseDistance::new();
+        assert_eq!(rd.miss_ratio(64), 0.0);
+        assert_eq!(rd.capacity_for_hit_ratio(0.9), None);
+    }
+}

@@ -1,0 +1,235 @@
+//! A single set-associative cache level with true-LRU replacement.
+
+/// One set-associative cache with LRU replacement.
+///
+/// Addresses are plain byte addresses in a flat 64-bit space; the
+/// [`crate::region::RegionMap`] hands out non-overlapping region base
+/// addresses so different arrays never alias.
+#[derive(Clone, Debug)]
+pub struct SetAssocCache {
+    line: u64,
+    line_shift: u32,
+    sets: usize,
+    ways: usize,
+    /// `sets * ways` tag slots; within a set, index 0 is most recently
+    /// used.  `u64::MAX` marks an empty slot.
+    slots: Vec<u64>,
+    accesses: u64,
+    misses: u64,
+}
+
+const EMPTY: u64 = u64::MAX;
+
+impl SetAssocCache {
+    /// Create a cache of `capacity` bytes with the given line size and
+    /// associativity.
+    ///
+    /// # Panics
+    /// If `line` is not a power of two, or if `capacity` is not an
+    /// exact multiple of `line * ways`.
+    pub fn new(capacity: usize, line: usize, ways: usize) -> Self {
+        assert!(
+            line.is_power_of_two(),
+            "cache line size must be a power of two"
+        );
+        assert!(ways > 0, "associativity must be positive");
+        let lines = capacity / line;
+        assert!(
+            lines > 0 && lines.is_multiple_of(ways) && lines * line == capacity,
+            "capacity {capacity} not a multiple of line {line} x ways {ways}"
+        );
+        let sets = lines / ways;
+        Self {
+            line: line as u64,
+            line_shift: line.trailing_zeros(),
+            sets,
+            ways,
+            slots: vec![EMPTY; lines],
+            accesses: 0,
+            misses: 0,
+        }
+    }
+
+    /// A fully-associative cache of `capacity` bytes.
+    pub fn fully_associative(capacity: usize, line: usize) -> Self {
+        let ways = capacity / line;
+        Self::new(capacity, line, ways)
+    }
+
+    /// Line size in bytes.
+    #[inline]
+    pub fn line_size(&self) -> usize {
+        self.line as usize
+    }
+
+    /// Total capacity in bytes.
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.sets * self.ways * self.line as usize
+    }
+
+    /// Associativity.
+    #[inline]
+    pub fn ways(&self) -> usize {
+        self.ways
+    }
+
+    /// Number of sets.
+    #[inline]
+    pub fn sets(&self) -> usize {
+        self.sets
+    }
+
+    /// Total accesses so far.
+    #[inline]
+    pub fn accesses(&self) -> u64 {
+        self.accesses
+    }
+
+    /// Total misses so far.
+    #[inline]
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Access the line containing byte address `addr`; returns `true`
+    /// on a hit.  On a miss the line is installed, evicting the set's
+    /// LRU line.
+    pub fn access(&mut self, addr: u64) -> bool {
+        self.accesses += 1;
+        let tag = addr >> self.line_shift;
+        let set = (tag % self.sets as u64) as usize;
+        let base = set * self.ways;
+        let set_slots = &mut self.slots[base..base + self.ways];
+        match set_slots.iter().position(|&t| t == tag) {
+            Some(0) => true,
+            Some(pos) => {
+                // promote to MRU
+                set_slots[..=pos].rotate_right(1);
+                true
+            }
+            None => {
+                self.misses += 1;
+                set_slots.rotate_right(1);
+                set_slots[0] = tag;
+                false
+            }
+        }
+    }
+
+    /// Whether the line containing `addr` is currently resident
+    /// (does not update LRU state or counters).
+    pub fn probe(&self, addr: u64) -> bool {
+        let tag = addr >> self.line_shift;
+        let set = (tag % self.sets as u64) as usize;
+        let base = set * self.ways;
+        self.slots[base..base + self.ways].contains(&tag)
+    }
+
+    /// Invalidate all contents and reset statistics.
+    pub fn reset(&mut self) {
+        self.slots.fill(EMPTY);
+        self.accesses = 0;
+        self.misses = 0;
+    }
+
+    /// Invalidate contents but keep statistics (a "cache flush").
+    pub fn flush(&mut self) {
+        self.slots.fill(EMPTY);
+    }
+
+    /// Number of distinct lines currently resident.
+    pub fn resident_lines(&self) -> usize {
+        self.slots.iter().filter(|&&t| t != EMPTY).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cold_miss_then_hit() {
+        let mut c = SetAssocCache::new(1024, 64, 4);
+        assert!(!c.access(0));
+        assert!(c.access(0));
+        assert!(c.access(63)); // same line
+        assert!(!c.access(64)); // next line
+        assert_eq!(c.accesses(), 4);
+        assert_eq!(c.misses(), 2);
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        // 1 set, 2 ways, 64-byte lines
+        let mut c = SetAssocCache::new(128, 64, 2);
+        c.access(0); // A
+        c.access(64); // B  (LRU: A)
+        c.access(0); // A hit (LRU: B)
+        c.access(128); // C evicts B
+        assert!(c.probe(0));
+        assert!(!c.probe(64));
+        assert!(c.probe(128));
+    }
+
+    #[test]
+    fn set_mapping_avoids_cross_set_eviction() {
+        // 2 sets, 1 way: lines 0 and 1 map to different sets
+        let mut c = SetAssocCache::new(128, 64, 1);
+        c.access(0);
+        c.access(64);
+        assert!(c.probe(0));
+        assert!(c.probe(64));
+        // line 2 maps to set 0, evicting line 0
+        c.access(128);
+        assert!(!c.probe(0));
+        assert!(c.probe(64));
+    }
+
+    #[test]
+    fn fully_associative_capacity_behaviour() {
+        let mut c = SetAssocCache::fully_associative(4 * 64, 64);
+        for i in 0..4u64 {
+            c.access(i * 64);
+        }
+        // all resident
+        for i in 0..4u64 {
+            assert!(c.probe(i * 64));
+        }
+        // fifth line evicts the LRU (line 0)
+        c.access(4 * 64);
+        assert!(!c.probe(0));
+        assert_eq!(c.resident_lines(), 4);
+    }
+
+    #[test]
+    fn flush_keeps_stats_reset_clears_them() {
+        let mut c = SetAssocCache::new(1024, 64, 4);
+        c.access(0);
+        c.flush();
+        assert_eq!(c.misses(), 1);
+        assert!(!c.probe(0));
+        c.reset();
+        assert_eq!(c.accesses(), 0);
+    }
+
+    #[test]
+    fn working_set_within_capacity_never_misses_after_warmup() {
+        let mut c = SetAssocCache::fully_associative(64 * 64, 64);
+        for pass in 0..3 {
+            let miss_before = c.misses();
+            for i in 0..64u64 {
+                c.access(i * 64);
+            }
+            if pass > 0 {
+                assert_eq!(c.misses(), miss_before, "pass {pass} should be all hits");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn bad_geometry_panics() {
+        SetAssocCache::new(1000, 64, 4);
+    }
+}

@@ -1,0 +1,435 @@
+//! Coupling collection and the resulting analysis object.
+
+use crate::coefficients::Coefficients;
+use crate::error::CouplingError;
+use crate::executor::ChainExecutor;
+use crate::kernel::{KernelId, KernelSet};
+use crate::measurement::Measurement;
+use crate::predict::Predictor;
+use crate::windows::{cyclic_windows, ChainWindow};
+
+/// The complete set of measurements and derived coupling values for
+/// one application on one platform configuration, at one chain length.
+#[derive(Clone, Debug)]
+pub struct CouplingAnalysis {
+    kernel_set: KernelSet,
+    chain_len: usize,
+    loop_iterations: u32,
+    /// `P_k` per kernel, per iteration.
+    isolated: Vec<Measurement>,
+    windows: Vec<ChainWindow>,
+    /// `P_W` per window, per iteration.
+    window_perf: Vec<Measurement>,
+    /// Serial (init + final) overhead, total seconds.
+    overhead: Measurement,
+    /// Ground-truth application time, total seconds.
+    actual: Measurement,
+}
+
+impl CouplingAnalysis {
+    /// Run the full measurement campaign on `exec` for windows of
+    /// length `chain_len`: every kernel in isolation, every cyclic
+    /// window, the serial overhead, and the full application.
+    ///
+    /// `reps` is the number of timing repetitions per measurement.
+    pub fn collect(
+        exec: &mut dyn ChainExecutor,
+        chain_len: usize,
+        reps: u32,
+    ) -> Result<Self, CouplingError> {
+        let kernel_set = exec.kernel_set().clone();
+        let n = kernel_set.len();
+        if chain_len < 1 || chain_len > n {
+            return Err(CouplingError::BadChainLength {
+                requested: chain_len,
+                kernels: n,
+            });
+        }
+        let isolated: Vec<Measurement> = kernel_set
+            .ids()
+            .map(|k| exec.measure_chain(&[k], reps))
+            .collect();
+        let windows = cyclic_windows(&kernel_set, chain_len);
+        let window_perf: Vec<Measurement> = windows
+            .iter()
+            .map(|w| exec.measure_chain(w.kernels(), reps))
+            .collect();
+        let overhead = exec.measure_serial_overhead();
+        let actual = exec.measure_application();
+        let loop_iterations = exec.loop_iterations();
+        Ok(Self {
+            kernel_set,
+            chain_len,
+            loop_iterations,
+            isolated,
+            windows,
+            window_perf,
+            overhead,
+            actual,
+        })
+    }
+
+    /// Assemble an analysis from externally obtained measurements
+    /// (e.g. deserialized from a prior campaign).  Windows are the
+    /// cyclic windows of `chain_len`; `window_perf` must be in the
+    /// same order.
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_measurements(
+        kernel_set: KernelSet,
+        chain_len: usize,
+        loop_iterations: u32,
+        isolated: Vec<Measurement>,
+        window_perf: Vec<Measurement>,
+        overhead: Measurement,
+        actual: Measurement,
+    ) -> Result<Self, CouplingError> {
+        let n = kernel_set.len();
+        if chain_len < 1 || chain_len > n {
+            return Err(CouplingError::BadChainLength {
+                requested: chain_len,
+                kernels: n,
+            });
+        }
+        assert_eq!(
+            isolated.len(),
+            n,
+            "need one isolated measurement per kernel"
+        );
+        let windows = cyclic_windows(&kernel_set, chain_len);
+        assert_eq!(
+            window_perf.len(),
+            windows.len(),
+            "need one measurement per window"
+        );
+        Ok(Self {
+            kernel_set,
+            chain_len,
+            loop_iterations,
+            isolated,
+            windows,
+            window_perf,
+            overhead,
+            actual,
+        })
+    }
+
+    /// The kernel set.
+    pub fn kernel_set(&self) -> &KernelSet {
+        &self.kernel_set
+    }
+
+    /// Window chain length `L`.
+    pub fn chain_len(&self) -> usize {
+        self.chain_len
+    }
+
+    /// Loop iterations of the full application.
+    pub fn loop_iterations(&self) -> u32 {
+        self.loop_iterations
+    }
+
+    /// Isolated per-iteration measurement `P_k`.
+    pub fn isolated(&self, k: KernelId) -> &Measurement {
+        &self.isolated[k.index()]
+    }
+
+    /// The cyclic windows measured.
+    pub fn windows(&self) -> &[ChainWindow] {
+        &self.windows
+    }
+
+    /// Per-iteration measurement `P_W` of window `w` (index into
+    /// [`CouplingAnalysis::windows`]).
+    pub fn window_perf(&self, w: usize) -> &Measurement {
+        &self.window_perf[w]
+    }
+
+    /// Serial overhead (init + final), total seconds.
+    pub fn overhead(&self) -> &Measurement {
+        &self.overhead
+    }
+
+    /// Measured full-application time, total seconds.
+    pub fn actual(&self) -> &Measurement {
+        &self.actual
+    }
+
+    /// Coupling value `C_W = P_W / Σ_{k∈W} P_k` of window `w`
+    /// (paper Eq. 1/2).
+    pub fn coupling(&self, w: usize) -> Result<f64, CouplingError> {
+        let window = &self.windows[w];
+        let denom: f64 = window
+            .kernels()
+            .iter()
+            .map(|&k| self.isolated[k.index()].mean())
+            .sum();
+        if denom <= 0.0 {
+            return Err(CouplingError::ZeroDenominator {
+                chain: window.label(&self.kernel_set),
+            });
+        }
+        Ok(self.window_perf[w].mean() / denom)
+    }
+
+    /// All coupling values in window order.
+    pub fn couplings(&self) -> Result<Vec<f64>, CouplingError> {
+        (0..self.windows.len()).map(|w| self.coupling(w)).collect()
+    }
+
+    /// Normal-approximation 95 % confidence interval of window `w`'s
+    /// coupling value, propagating measurement spread through the
+    /// ratio `C = P_W / Σ P_k` with the delta method:
+    /// `(σ_C / C)² ≈ (σ_W / P_W)² + (Σ σ_k²) / (Σ P_k)²`.
+    pub fn coupling_interval(&self, w: usize) -> Result<(f64, f64), CouplingError> {
+        let c = self.coupling(w)?;
+        let window = &self.windows[w];
+        let p_w = self.window_perf[w].mean();
+        let denom: f64 = window
+            .kernels()
+            .iter()
+            .map(|&k| self.isolated[k.index()].mean())
+            .sum();
+        let var_num = self.window_perf[w].std_err().powi(2);
+        let var_den: f64 = window
+            .kernels()
+            .iter()
+            .map(|&k| self.isolated[k.index()].std_err().powi(2))
+            .sum();
+        let rel = (var_num / (p_w * p_w).max(f64::MIN_POSITIVE) + var_den / (denom * denom)).sqrt();
+        let half = 1.96 * c * rel;
+        Ok((c - half, c + half))
+    }
+
+    /// The composition coefficients `α_k` (paper Section 3).
+    pub fn coefficients(&self) -> Result<Coefficients, CouplingError> {
+        let couplings = self.couplings()?;
+        let mut alpha = Vec::with_capacity(self.kernel_set.len());
+        for k in self.kernel_set.ids() {
+            let mut num = 0.0;
+            let mut den = 0.0;
+            for (w, window) in self.windows.iter().enumerate() {
+                if window.contains(k) {
+                    let p_w = self.window_perf[w].mean();
+                    num += couplings[w] * p_w;
+                    den += p_w;
+                }
+            }
+            if den <= 0.0 {
+                return Err(CouplingError::UndefinedCoefficient {
+                    kernel: self.kernel_set.name(k).to_string(),
+                });
+            }
+            alpha.push(num / den);
+        }
+        Ok(Coefficients::new(self.kernel_set.clone(), alpha))
+    }
+
+    /// Predict the total application time with `predictor`, using the
+    /// measured isolated times as the per-kernel models `E_k`.
+    pub fn predict(&self, predictor: Predictor) -> Result<f64, CouplingError> {
+        let models: Vec<f64> = self.isolated.iter().map(Measurement::mean).collect();
+        self.predict_with_models(predictor, &models)
+    }
+
+    /// Predict the total application time with `predictor`, supplying
+    /// explicit per-kernel per-iteration models `E_k` (paper Eq. 3 —
+    /// the models may be analytic rather than measured).
+    pub fn predict_with_models(
+        &self,
+        predictor: Predictor,
+        models: &[f64],
+    ) -> Result<f64, CouplingError> {
+        if models.len() != self.kernel_set.len() {
+            return Err(CouplingError::ModelCountMismatch {
+                supplied: models.len(),
+                expected: self.kernel_set.len(),
+            });
+        }
+        let per_iter = match predictor {
+            Predictor::Summation => models.iter().sum::<f64>(),
+            Predictor::Coupling { chain_len } => {
+                if chain_len != self.chain_len {
+                    return Err(CouplingError::BadChainLength {
+                        requested: chain_len,
+                        kernels: self.chain_len,
+                    });
+                }
+                let coeff = self.coefficients()?;
+                self.kernel_set
+                    .ids()
+                    .map(|k| coeff.alpha(k) * models[k.index()])
+                    .sum::<f64>()
+            }
+        };
+        Ok(self.overhead.mean() + per_iter * self.loop_iterations as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synthetic::SyntheticExecutor;
+
+    fn interacting() -> SyntheticExecutor {
+        SyntheticExecutor::builder()
+            .kernel("a", 1.0)
+            .kernel("b", 2.0)
+            .kernel("c", 1.5)
+            .kernel("d", 0.5)
+            .interaction("a", "b", -0.2)
+            .interaction("b", "c", 0.3)
+            .interaction("c", "d", -0.1)
+            .interaction("d", "a", 0.05)
+            .overheads(3.0, 1.0)
+            .loop_iterations(100)
+            .build()
+    }
+
+    #[test]
+    fn no_interaction_means_unit_coupling() {
+        let mut exec = SyntheticExecutor::builder()
+            .kernel("a", 1.0)
+            .kernel("b", 2.0)
+            .kernel("c", 0.5)
+            .loop_iterations(10)
+            .build();
+        let a = CouplingAnalysis::collect(&mut exec, 2, 5).unwrap();
+        for c in a.couplings().unwrap() {
+            assert!((c - 1.0).abs() < 1e-12, "coupling {c} != 1");
+        }
+        // and then both predictors coincide
+        let s = a.predict(Predictor::Summation).unwrap();
+        let c = a.predict(Predictor::coupling(2)).unwrap();
+        assert!((s - c).abs() < 1e-9);
+        // and both are exact
+        assert!((s - exec.measure_application().mean()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn full_length_chain_predicts_exactly() {
+        let mut exec = interacting();
+        let a = CouplingAnalysis::collect(&mut exec, 4, 5).unwrap();
+        let pred = a.predict(Predictor::coupling(4)).unwrap();
+        let actual = exec.measure_application().mean();
+        assert!(
+            (pred - actual).abs() / actual < 1e-12,
+            "full-chain prediction {pred} != actual {actual}"
+        );
+    }
+
+    #[test]
+    fn coupling_beats_summation_on_interacting_app() {
+        let mut exec = interacting();
+        let a = CouplingAnalysis::collect(&mut exec, 2, 5).unwrap();
+        let actual = exec.measure_application().mean();
+        let coupled = a.predict(Predictor::coupling(2)).unwrap();
+        let summed = a.predict(Predictor::Summation).unwrap();
+        assert!((coupled - actual).abs() < (summed - actual).abs());
+    }
+
+    #[test]
+    fn constructive_interactions_lower_coupling_below_one() {
+        let mut exec = SyntheticExecutor::builder()
+            .kernel("a", 1.0)
+            .kernel("b", 1.0)
+            .interaction("a", "b", -0.3)
+            .loop_iterations(10)
+            .build();
+        let a = CouplingAnalysis::collect(&mut exec, 2, 5).unwrap();
+        let c = a.couplings().unwrap();
+        assert!(c.iter().all(|&c| c < 1.0), "{c:?}");
+    }
+
+    #[test]
+    fn coupling_intervals_bracket_the_value_and_shrink_without_noise() {
+        // noisy executor: interval has width; noise-free: degenerate
+        let mut noisy = SyntheticExecutor::builder()
+            .kernel("a", 1.0)
+            .kernel("b", 2.0)
+            .interaction("a", "b", -0.2)
+            .loop_iterations(10)
+            .noise(0.01, 0.02, 11)
+            .build();
+        let a = CouplingAnalysis::collect(&mut noisy, 2, 20).unwrap();
+        for w in 0..a.windows().len() {
+            let c = a.coupling(w).unwrap();
+            let (lo, hi) = a.coupling_interval(w).unwrap();
+            assert!(lo <= c && c <= hi);
+            assert!(hi - lo > 0.0, "noisy interval must have width");
+        }
+        let mut clean = SyntheticExecutor::builder()
+            .kernel("a", 1.0)
+            .kernel("b", 2.0)
+            .interaction("a", "b", -0.2)
+            .loop_iterations(10)
+            .build();
+        let a = CouplingAnalysis::collect(&mut clean, 2, 5).unwrap();
+        let (lo, hi) = a.coupling_interval(0).unwrap();
+        assert!((hi - lo).abs() < 1e-12, "noise-free interval is a point");
+    }
+
+    #[test]
+    fn bad_chain_length_is_reported() {
+        let mut exec = interacting();
+        let err = CouplingAnalysis::collect(&mut exec, 9, 5).unwrap_err();
+        assert!(matches!(
+            err,
+            CouplingError::BadChainLength {
+                requested: 9,
+                kernels: 4
+            }
+        ));
+        assert!(CouplingAnalysis::collect(&mut exec, 0, 5).is_err());
+    }
+
+    #[test]
+    fn predictor_chain_len_must_match_analysis() {
+        let mut exec = interacting();
+        let a = CouplingAnalysis::collect(&mut exec, 2, 5).unwrap();
+        assert!(a.predict(Predictor::coupling(3)).is_err());
+    }
+
+    #[test]
+    fn model_count_mismatch_is_reported() {
+        let mut exec = interacting();
+        let a = CouplingAnalysis::collect(&mut exec, 2, 5).unwrap();
+        let err = a
+            .predict_with_models(Predictor::Summation, &[1.0])
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            CouplingError::ModelCountMismatch {
+                supplied: 1,
+                expected: 4
+            }
+        ));
+    }
+
+    #[test]
+    fn coefficients_are_convex_combinations_of_couplings() {
+        let mut exec = interacting();
+        let a = CouplingAnalysis::collect(&mut exec, 3, 5).unwrap();
+        let cs = a.couplings().unwrap();
+        let lo = cs.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = cs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let coeff = a.coefficients().unwrap();
+        for k in a.kernel_set().ids() {
+            let al = coeff.alpha(k);
+            assert!(
+                al >= lo - 1e-12 && al <= hi + 1e-12,
+                "alpha {al} outside [{lo}, {hi}]"
+            );
+        }
+    }
+
+    #[test]
+    fn overhead_is_included_in_predictions() {
+        let mut exec = interacting(); // overheads 3 + 1 = 4 s
+        let a = CouplingAnalysis::collect(&mut exec, 4, 5).unwrap();
+        let zero_models = vec![0.0; 4];
+        let pred = a
+            .predict_with_models(Predictor::Summation, &zero_models)
+            .unwrap();
+        assert!((pred - 4.0).abs() < 1e-12);
+    }
+}

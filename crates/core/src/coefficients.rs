@@ -1,0 +1,106 @@
+//! Composition coefficients `α_k`.
+
+use crate::kernel::{KernelId, KernelSet};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The per-kernel composition coefficients of paper Section 3.
+///
+/// `α_k` is the weighted average of the coupling values of every
+/// measured window containing kernel `k`, weighted by each window's
+/// measured time, and multiplies the kernel's model in the predicted
+/// loop time `T = Σ_k α_k E_k`.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Coefficients {
+    kernel_set: KernelSet,
+    alpha: Vec<f64>,
+}
+
+impl Coefficients {
+    /// Assemble from per-kernel values (one per kernel, in loop order).
+    pub fn new(kernel_set: KernelSet, alpha: Vec<f64>) -> Self {
+        assert_eq!(
+            alpha.len(),
+            kernel_set.len(),
+            "one coefficient per kernel required"
+        );
+        Self { kernel_set, alpha }
+    }
+
+    /// The coefficient of kernel `k`.
+    #[inline]
+    pub fn alpha(&self, k: KernelId) -> f64 {
+        self.alpha[k.index()]
+    }
+
+    /// All coefficients in loop order.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.alpha
+    }
+
+    /// The kernel set the coefficients belong to.
+    pub fn kernel_set(&self) -> &KernelSet {
+        &self.kernel_set
+    }
+
+    /// Apply the coefficients to per-kernel models: `Σ_k α_k E_k`.
+    pub fn compose(&self, models: &[f64]) -> f64 {
+        assert_eq!(
+            models.len(),
+            self.alpha.len(),
+            "one model per kernel required"
+        );
+        self.alpha.iter().zip(models).map(|(a, e)| a * e).sum()
+    }
+
+    /// Mean coefficient (diagnostic: how far from 1 the application's
+    /// interactions push the composition on average).
+    pub fn mean(&self) -> f64 {
+        self.alpha.iter().sum::<f64>() / self.alpha.len() as f64
+    }
+}
+
+impl fmt::Display for Coefficients {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (k, a) in self.kernel_set.ids().zip(&self.alpha) {
+            writeln!(f, "  alpha[{}] = {:.4}", self.kernel_set.name(k), a)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn coeffs() -> Coefficients {
+        Coefficients::new(KernelSet::new(vec!["a", "b"]), vec![0.8, 1.2])
+    }
+
+    #[test]
+    fn accessors() {
+        let c = coeffs();
+        assert_eq!(c.alpha(KernelId(0)), 0.8);
+        assert_eq!(c.as_slice(), &[0.8, 1.2]);
+        assert!((c.mean() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn compose_weights_models() {
+        let c = coeffs();
+        assert!((c.compose(&[10.0, 5.0]) - (8.0 + 6.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_contains_names() {
+        let s = coeffs().to_string();
+        assert!(s.contains("alpha[a]"));
+        assert!(s.contains("0.8000"));
+    }
+
+    #[test]
+    #[should_panic]
+    fn wrong_arity_panics() {
+        Coefficients::new(KernelSet::new(vec!["a", "b"]), vec![1.0]);
+    }
+}

@@ -1,0 +1,83 @@
+//! Error type for coupling analysis.
+
+use std::fmt;
+
+/// Errors from coupling collection and prediction.
+#[derive(Clone, Debug, PartialEq)]
+pub enum CouplingError {
+    /// Requested chain length does not fit the kernel set.
+    BadChainLength {
+        /// Requested window length.
+        requested: usize,
+        /// Number of kernels in the loop.
+        kernels: usize,
+    },
+    /// A chain's isolated-time denominator is zero, so its coupling
+    /// value is undefined.
+    ZeroDenominator {
+        /// Description of the offending chain.
+        chain: String,
+    },
+    /// A kernel has no containing window with positive measured time,
+    /// so its coefficient is undefined.
+    UndefinedCoefficient {
+        /// Name of the kernel.
+        kernel: String,
+    },
+    /// The number of supplied per-kernel models does not match the
+    /// kernel set.
+    ModelCountMismatch {
+        /// Models supplied.
+        supplied: usize,
+        /// Kernels expected.
+        expected: usize,
+    },
+}
+
+impl fmt::Display for CouplingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CouplingError::BadChainLength { requested, kernels } => write!(
+                f,
+                "chain length {requested} is invalid for a loop of {kernels} kernels \
+                 (must be 1..={kernels})"
+            ),
+            CouplingError::ZeroDenominator { chain } => {
+                write!(
+                    f,
+                    "chain {chain} has zero total isolated time; coupling undefined"
+                )
+            }
+            CouplingError::UndefinedCoefficient { kernel } => {
+                write!(
+                    f,
+                    "kernel '{kernel}' has no weighted window; coefficient undefined"
+                )
+            }
+            CouplingError::ModelCountMismatch { supplied, expected } => {
+                write!(f, "got {supplied} kernel models, expected {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CouplingError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_informative() {
+        let e = CouplingError::BadChainLength {
+            requested: 9,
+            kernels: 5,
+        };
+        assert!(e.to_string().contains("9"));
+        assert!(e.to_string().contains("5"));
+        let e = CouplingError::ZeroDenominator {
+            chain: "{a,b}".into(),
+        };
+        assert!(e.to_string().contains("{a,b}"));
+    }
+}

@@ -1,0 +1,61 @@
+//! The platform abstraction the coupling framework measures against.
+
+use crate::kernel::{KernelId, KernelSet};
+use crate::measurement::Measurement;
+
+/// A platform that can execute chains of an application's loop kernels
+/// under the paper's measurement protocol.
+///
+/// Implementations:
+///
+/// * `kc-npb` provides executors that run the BT/SP/LU kernels on the
+///   simulated cluster;
+/// * [`crate::synthetic::SyntheticExecutor`] is an analytic stand-in
+///   for tests, property tests and the quickstart example.
+///
+/// All times are **per loop iteration** seconds unless stated
+/// otherwise; [`ChainExecutor::measure_application`] is the exception,
+/// returning the whole-application time (serial overhead plus
+/// `loop_iterations()` loop bodies).
+pub trait ChainExecutor {
+    /// The loop kernels in control-flow order.
+    fn kernel_set(&self) -> &KernelSet;
+
+    /// Number of loop iterations the full application performs (e.g.
+    /// 60 for BT class S, 200 for classes W and A).
+    fn loop_iterations(&self) -> u32;
+
+    /// Measure a loop whose body is exactly `chain`, repeated enough
+    /// to dominate, and return the per-iteration time.  `reps` is the
+    /// number of timing repetitions to take (the paper uses 50 for
+    /// kernels).
+    fn measure_chain(&mut self, chain: &[KernelId], reps: u32) -> Measurement;
+
+    /// Measure the one-off parts of the application outside the main
+    /// loop (INITIALIZATION + FINAL in the NPB decompositions), total
+    /// seconds.
+    fn measure_serial_overhead(&mut self) -> Measurement;
+
+    /// Measure the full application (ground truth), total seconds.
+    fn measure_application(&mut self) -> Measurement;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synthetic::SyntheticExecutor;
+
+    #[test]
+    fn trait_is_object_safe() {
+        let mut exec = SyntheticExecutor::builder()
+            .kernel("a", 1.0)
+            .kernel("b", 1.0)
+            .loop_iterations(10)
+            .build();
+        let dyn_exec: &mut dyn ChainExecutor = &mut exec;
+        assert_eq!(dyn_exec.kernel_set().len(), 2);
+        let ids: Vec<KernelId> = dyn_exec.kernel_set().ids().collect();
+        let m = dyn_exec.measure_chain(&ids, 3);
+        assert!(m.mean() > 0.0);
+    }
+}

@@ -1,0 +1,137 @@
+//! Kernel identities and ordered kernel sets.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a kernel within a [`KernelSet`] (its position in the
+/// application's loop control flow).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct KernelId(pub u32);
+
+impl KernelId {
+    /// The position as a usize index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for KernelId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "k{}", self.0)
+    }
+}
+
+/// The ordered set of kernels forming an application's main loop.
+///
+/// Order matters: chains are windows over this order, and the order is
+/// the application's control flow (paper: "for each unique application
+/// control path that has N kernels, only (N−1) pair-wise interactions
+/// are measured" — plus the wrap-around pair, since the loop repeats).
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct KernelSet {
+    names: Vec<String>,
+}
+
+impl KernelSet {
+    /// Build from kernel names in control-flow order.
+    ///
+    /// # Panics
+    /// If empty or if names are not unique.
+    pub fn new<S: Into<String>>(names: Vec<S>) -> Self {
+        let names: Vec<String> = names.into_iter().map(Into::into).collect();
+        assert!(!names.is_empty(), "a kernel set cannot be empty");
+        for (i, n) in names.iter().enumerate() {
+            assert!(
+                !names[..i].contains(n),
+                "duplicate kernel name '{n}' in kernel set"
+            );
+        }
+        Self { names }
+    }
+
+    /// Number of kernels in the loop.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether the set is empty (never true for a constructed set).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Name of a kernel.
+    pub fn name(&self, id: KernelId) -> &str {
+        &self.names[id.index()]
+    }
+
+    /// Look up a kernel by name.
+    pub fn id_of(&self, name: &str) -> Option<KernelId> {
+        self.names
+            .iter()
+            .position(|n| n == name)
+            .map(|i| KernelId(i as u32))
+    }
+
+    /// All kernel ids in loop order.
+    pub fn ids(&self) -> impl Iterator<Item = KernelId> + '_ {
+        (0..self.names.len() as u32).map(KernelId)
+    }
+
+    /// All kernel names in loop order.
+    pub fn names(&self) -> &[String] {
+        &self.names
+    }
+
+    /// The kernel following `id` in the (cyclic) loop.
+    pub fn next(&self, id: KernelId) -> KernelId {
+        KernelId(((id.index() + 1) % self.len()) as u32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookup_and_order() {
+        let ks = KernelSet::new(vec!["copy_faces", "x_solve", "y_solve"]);
+        assert_eq!(ks.len(), 3);
+        assert_eq!(ks.id_of("x_solve"), Some(KernelId(1)));
+        assert_eq!(ks.name(KernelId(2)), "y_solve");
+        assert_eq!(ks.id_of("nope"), None);
+    }
+
+    #[test]
+    fn cyclic_next() {
+        let ks = KernelSet::new(vec!["a", "b", "c"]);
+        assert_eq!(ks.next(KernelId(0)), KernelId(1));
+        assert_eq!(ks.next(KernelId(2)), KernelId(0));
+    }
+
+    #[test]
+    fn ids_iterate_in_order() {
+        let ks = KernelSet::new(vec!["a", "b"]);
+        let ids: Vec<_> = ks.ids().collect();
+        assert_eq!(ids, vec![KernelId(0), KernelId(1)]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn duplicate_names_panic() {
+        KernelSet::new(vec!["a", "a"]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_set_panics() {
+        KernelSet::new(Vec::<String>::new());
+    }
+
+    #[test]
+    fn display_of_id() {
+        assert_eq!(KernelId(3).to_string(), "k3");
+    }
+}

@@ -1,0 +1,170 @@
+//! Timed measurements with repetition statistics.
+
+use serde::{Deserialize, Serialize};
+
+/// The result of measuring one quantity several times.
+///
+/// The paper obtains "the average execution time for each kernel …
+/// by running the kernel 50 times"; this type carries the samples so
+/// averages, spreads and noise diagnostics stay available downstream.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Measurement {
+    samples: Vec<f64>,
+}
+
+impl Measurement {
+    /// From raw samples.
+    ///
+    /// # Panics
+    /// If `samples` is empty or contains a non-finite or negative
+    /// value.
+    pub fn from_samples(samples: Vec<f64>) -> Self {
+        assert!(
+            !samples.is_empty(),
+            "a measurement needs at least one sample"
+        );
+        for &s in &samples {
+            assert!(s.is_finite() && s >= 0.0, "invalid time sample {s}");
+        }
+        Self { samples }
+    }
+
+    /// A single exact observation.
+    pub fn exact(value: f64) -> Self {
+        Self::from_samples(vec![value])
+    }
+
+    /// The samples.
+    pub fn samples(&self) -> &[f64] {
+        &self.samples
+    }
+
+    /// Number of repetitions.
+    pub fn reps(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Arithmetic mean of the samples.
+    pub fn mean(&self) -> f64 {
+        self.samples.iter().sum::<f64>() / self.samples.len() as f64
+    }
+
+    /// Smallest sample.
+    pub fn min(&self) -> f64 {
+        self.samples.iter().copied().fold(f64::INFINITY, f64::min)
+    }
+
+    /// Largest sample.
+    pub fn max(&self) -> f64 {
+        self.samples.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// Sample standard deviation (0 for a single sample).
+    pub fn std_dev(&self) -> f64 {
+        let n = self.samples.len();
+        if n < 2 {
+            return 0.0;
+        }
+        let m = self.mean();
+        let var = self.samples.iter().map(|s| (s - m) * (s - m)).sum::<f64>() / (n - 1) as f64;
+        var.sqrt()
+    }
+
+    /// Coefficient of variation (std dev / mean); 0 if the mean is 0.
+    pub fn cv(&self) -> f64 {
+        let m = self.mean();
+        if m == 0.0 {
+            0.0
+        } else {
+            self.std_dev() / m
+        }
+    }
+
+    /// Scale every sample by `factor` (e.g. per-iteration to total).
+    pub fn scaled(&self, factor: f64) -> Measurement {
+        Measurement::from_samples(self.samples.iter().map(|s| s * factor).collect())
+    }
+
+    /// Standard error of the mean (0 for a single sample).
+    pub fn std_err(&self) -> f64 {
+        self.std_dev() / (self.samples.len() as f64).sqrt()
+    }
+
+    /// Normal-approximation 95 % confidence interval of the mean,
+    /// `(lo, hi)`.  Degenerate (point) for a single sample.
+    pub fn confidence_interval95(&self) -> (f64, f64) {
+        let half = 1.96 * self.std_err();
+        (self.mean() - half, self.mean() + half)
+    }
+}
+
+/// Relative error of a prediction against ground truth, as the paper
+/// reports it: `|predicted − actual| / actual`.
+pub fn relative_error(predicted: f64, actual: f64) -> f64 {
+    assert!(actual > 0.0, "relative error needs positive actual time");
+    (predicted - actual).abs() / actual
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats() {
+        let m = Measurement::from_samples(vec![1.0, 2.0, 3.0]);
+        assert_eq!(m.mean(), 2.0);
+        assert_eq!(m.min(), 1.0);
+        assert_eq!(m.max(), 3.0);
+        assert!((m.std_dev() - 1.0).abs() < 1e-12);
+        assert!((m.cv() - 0.5).abs() < 1e-12);
+        assert_eq!(m.reps(), 3);
+    }
+
+    #[test]
+    fn exact_has_zero_spread() {
+        let m = Measurement::exact(5.0);
+        assert_eq!(m.mean(), 5.0);
+        assert_eq!(m.std_dev(), 0.0);
+    }
+
+    #[test]
+    fn scaled_measurement() {
+        let m = Measurement::from_samples(vec![1.0, 3.0]).scaled(10.0);
+        assert_eq!(m.mean(), 20.0);
+    }
+
+    #[test]
+    fn std_err_shrinks_with_sample_count() {
+        let few = Measurement::from_samples(vec![1.0, 2.0]);
+        let many = Measurement::from_samples(vec![1.0, 2.0, 1.0, 2.0, 1.0, 2.0, 1.0, 2.0]);
+        assert!(many.std_err() < few.std_err());
+        assert_eq!(Measurement::exact(3.0).std_err(), 0.0);
+    }
+
+    #[test]
+    fn confidence_interval_brackets_the_mean() {
+        let m = Measurement::from_samples(vec![1.0, 2.0, 3.0, 2.0]);
+        let (lo, hi) = m.confidence_interval95();
+        assert!(lo < m.mean() && m.mean() < hi);
+        let (plo, phi) = Measurement::exact(5.0).confidence_interval95();
+        assert_eq!((plo, phi), (5.0, 5.0));
+    }
+
+    #[test]
+    fn relative_error_matches_paper_definition() {
+        assert!((relative_error(120.0, 100.0) - 0.2).abs() < 1e-12);
+        assert!((relative_error(80.0, 100.0) - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_samples_panic() {
+        Measurement::from_samples(vec![]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn negative_sample_panics() {
+        Measurement::from_samples(vec![-1.0]);
+    }
+}

@@ -1,0 +1,188 @@
+//! Predictors and prediction records.
+
+use crate::measurement::relative_error;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Which prediction methodology to apply.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Predictor {
+    /// The traditional baseline: sum the isolated kernel times
+    /// (equivalently, all composition coefficients are 1).
+    Summation,
+    /// The paper's contribution: weight each kernel model by the
+    /// coupling-derived coefficient computed from chains of
+    /// `chain_len` kernels.
+    Coupling {
+        /// Window length the coupling values were measured at.
+        chain_len: usize,
+    },
+}
+
+impl Predictor {
+    /// Convenience constructor for the coupling predictor.
+    pub fn coupling(chain_len: usize) -> Self {
+        Predictor::Coupling { chain_len }
+    }
+
+    /// Short label as it appears in the paper's tables.
+    pub fn label(&self) -> String {
+        match self {
+            Predictor::Summation => "Summation".to_string(),
+            Predictor::Coupling { chain_len } => format!("Coupling: {chain_len} kernels"),
+        }
+    }
+}
+
+impl fmt::Display for Predictor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.label())
+    }
+}
+
+/// One prediction against ground truth.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Prediction {
+    /// Predicted total execution time (seconds).
+    pub predicted: f64,
+    /// Measured total execution time (seconds).
+    pub actual: f64,
+}
+
+impl Prediction {
+    /// Relative error `|predicted − actual| / actual` as the paper
+    /// reports it.
+    pub fn rel_err(&self) -> f64 {
+        relative_error(self.predicted, self.actual)
+    }
+
+    /// Relative error in percent.
+    pub fn rel_err_pct(&self) -> f64 {
+        100.0 * self.rel_err()
+    }
+}
+
+/// A set of predictions for the same predictor across configurations
+/// (e.g. one per processor count), supporting the paper's
+/// "average relative error" summaries.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct PredictionSet {
+    predictions: Vec<Prediction>,
+}
+
+impl PredictionSet {
+    /// An empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a prediction.
+    pub fn push(&mut self, p: Prediction) {
+        self.predictions.push(p);
+    }
+
+    /// All predictions in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = &Prediction> {
+        self.predictions.iter()
+    }
+
+    /// Number of predictions.
+    pub fn len(&self) -> usize {
+        self.predictions.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.predictions.is_empty()
+    }
+
+    /// Average relative error across the set (paper's summary metric).
+    pub fn avg_rel_err(&self) -> f64 {
+        assert!(!self.predictions.is_empty(), "no predictions to average");
+        self.predictions
+            .iter()
+            .map(Prediction::rel_err)
+            .sum::<f64>()
+            / self.predictions.len() as f64
+    }
+
+    /// Worst relative error in the set.
+    pub fn worst_rel_err(&self) -> f64 {
+        self.predictions
+            .iter()
+            .map(Prediction::rel_err)
+            .fold(0.0, f64::max)
+    }
+
+    /// Best relative error in the set.
+    pub fn best_rel_err(&self) -> f64 {
+        self.predictions
+            .iter()
+            .map(Prediction::rel_err)
+            .fold(f64::INFINITY, f64::min)
+    }
+}
+
+impl FromIterator<Prediction> for PredictionSet {
+    fn from_iter<I: IntoIterator<Item = Prediction>>(iter: I) -> Self {
+        Self {
+            predictions: iter.into_iter().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_match_paper_tables() {
+        assert_eq!(Predictor::Summation.label(), "Summation");
+        assert_eq!(Predictor::coupling(3).label(), "Coupling: 3 kernels");
+    }
+
+    #[test]
+    fn rel_err_is_symmetric_around_actual() {
+        let over = Prediction {
+            predicted: 110.0,
+            actual: 100.0,
+        };
+        let under = Prediction {
+            predicted: 90.0,
+            actual: 100.0,
+        };
+        assert!((over.rel_err() - 0.1).abs() < 1e-12);
+        assert!((under.rel_err() - 0.1).abs() < 1e-12);
+        assert!((over.rel_err_pct() - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn set_summaries() {
+        let set: PredictionSet = [
+            Prediction {
+                predicted: 110.0,
+                actual: 100.0,
+            },
+            Prediction {
+                predicted: 100.0,
+                actual: 100.0,
+            },
+            Prediction {
+                predicted: 70.0,
+                actual: 100.0,
+            },
+        ]
+        .into_iter()
+        .collect();
+        assert_eq!(set.len(), 3);
+        assert!((set.avg_rel_err() - (0.1 + 0.0 + 0.3) / 3.0).abs() < 1e-12);
+        assert!((set.worst_rel_err() - 0.3).abs() < 1e-12);
+        assert_eq!(set.best_rel_err(), 0.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_average_panics() {
+        PredictionSet::new().avg_rel_err();
+    }
+}

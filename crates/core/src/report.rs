@@ -1,0 +1,235 @@
+//! Paper-style result tables.
+//!
+//! The evaluation section of the paper is built from two table shapes:
+//! *coupling tables* (chain label × processor count → coupling value,
+//! e.g. Tables 2a/3a/4a) and *prediction tables* (predictor ×
+//! processor count → execution time with relative error, e.g. Tables
+//! 2b/3b/4b/6/8).  These types hold the data and render it in the
+//! same layout.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One row of a coupling table: a chain and its coupling value per
+/// configuration column.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct CouplingRow {
+    /// Chain label, e.g. `{copy_faces, x_solve}`.
+    pub label: String,
+    /// Coupling value per configuration column.
+    pub values: Vec<f64>,
+}
+
+/// A coupling-values table (paper Tables 2a, 3a, 4a).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct CouplingTable {
+    /// Table caption.
+    pub title: String,
+    /// Configuration column labels, e.g. `4 processors`.
+    pub columns: Vec<String>,
+    /// One row per measured chain.
+    pub rows: Vec<CouplingRow>,
+}
+
+impl CouplingTable {
+    /// Validate internal consistency (every row has one value per
+    /// column).
+    pub fn check(&self) {
+        for r in &self.rows {
+            assert_eq!(
+                r.values.len(),
+                self.columns.len(),
+                "row '{}' has wrong arity",
+                r.label
+            );
+        }
+    }
+}
+
+impl fmt::Display for CouplingTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{}", self.title)?;
+        let label_w = self
+            .rows
+            .iter()
+            .map(|r| r.label.len())
+            .chain(std::iter::once("chain".len()))
+            .max()
+            .unwrap_or(8);
+        write!(f, "  {:label_w$}", "chain")?;
+        for c in &self.columns {
+            write!(f, "  {c:>14}")?;
+        }
+        writeln!(f)?;
+        for r in &self.rows {
+            write!(f, "  {:label_w$}", r.label)?;
+            for v in &r.values {
+                write!(f, "  {v:>14.4}")?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+/// One predicted (or measured) time with an optional relative error.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct TableCell {
+    /// Execution time, seconds.
+    pub time: f64,
+    /// Relative error vs. the actual row, percent (absent for the
+    /// actual row itself).
+    pub rel_err_pct: Option<f64>,
+}
+
+/// One row of a prediction table.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct PredictionRow {
+    /// Predictor label (`Actual`, `Summation`, `Coupling: 3 kernels`).
+    pub label: String,
+    /// One cell per configuration column.
+    pub cells: Vec<TableCell>,
+}
+
+impl PredictionRow {
+    /// Average relative error across the row's columns (the paper's
+    /// per-table summary number); `None` for the actual row.
+    pub fn avg_rel_err_pct(&self) -> Option<f64> {
+        let errs: Vec<f64> = self.cells.iter().filter_map(|c| c.rel_err_pct).collect();
+        if errs.is_empty() {
+            None
+        } else {
+            Some(errs.iter().sum::<f64>() / errs.len() as f64)
+        }
+    }
+}
+
+/// An execution-time comparison table (paper Tables 2b, 3b, 4b, 6, 8).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct PredictionTable {
+    /// Table caption.
+    pub title: String,
+    /// Configuration column labels.
+    pub columns: Vec<String>,
+    /// First row: measured times; following rows: predictors.
+    pub rows: Vec<PredictionRow>,
+}
+
+impl PredictionTable {
+    /// Validate internal consistency.
+    pub fn check(&self) {
+        for r in &self.rows {
+            assert_eq!(
+                r.cells.len(),
+                self.columns.len(),
+                "row '{}' has wrong arity",
+                r.label
+            );
+        }
+    }
+
+    /// The row with a given label, if present.
+    pub fn row(&self, label: &str) -> Option<&PredictionRow> {
+        self.rows.iter().find(|r| r.label == label)
+    }
+}
+
+impl fmt::Display for PredictionTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{}", self.title)?;
+        let label_w = self
+            .rows
+            .iter()
+            .map(|r| r.label.len())
+            .chain(std::iter::once("method".len()))
+            .max()
+            .unwrap_or(8);
+        write!(f, "  {:label_w$}", "method")?;
+        for c in &self.columns {
+            write!(f, "  {c:>22}")?;
+        }
+        writeln!(f)?;
+        for r in &self.rows {
+            write!(f, "  {:label_w$}", r.label)?;
+            for cell in &r.cells {
+                match cell.rel_err_pct {
+                    Some(e) => write!(f, "  {:>11.3} ({:>6.2}%)", cell.time, e)?,
+                    None => write!(f, "  {:>11.3}          ", cell.time)?,
+                }
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn coupling_table() -> CouplingTable {
+        CouplingTable {
+            title: "Coupling values".into(),
+            columns: vec!["4 procs".into(), "9 procs".into()],
+            rows: vec![
+                CouplingRow {
+                    label: "{a, b}".into(),
+                    values: vec![0.95, 1.02],
+                },
+                CouplingRow {
+                    label: "{b, c}".into(),
+                    values: vec![0.80, 0.85],
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn coupling_table_renders() {
+        let t = coupling_table();
+        t.check();
+        let s = t.to_string();
+        assert!(s.contains("{a, b}"));
+        assert!(s.contains("0.9500"));
+        assert!(s.contains("9 procs"));
+    }
+
+    #[test]
+    #[should_panic]
+    fn arity_mismatch_fails_check() {
+        let mut t = coupling_table();
+        t.rows[0].values.pop();
+        t.check();
+    }
+
+    #[test]
+    fn prediction_table_renders_and_summarizes() {
+        let t = PredictionTable {
+            title: "Execution times".into(),
+            columns: vec!["4 procs".into()],
+            rows: vec![
+                PredictionRow {
+                    label: "Actual".into(),
+                    cells: vec![TableCell {
+                        time: 100.0,
+                        rel_err_pct: None,
+                    }],
+                },
+                PredictionRow {
+                    label: "Summation".into(),
+                    cells: vec![TableCell {
+                        time: 120.0,
+                        rel_err_pct: Some(20.0),
+                    }],
+                },
+            ],
+        };
+        t.check();
+        let s = t.to_string();
+        assert!(s.contains("Actual"));
+        assert!(s.contains("20.00%"));
+        assert_eq!(t.row("Actual").unwrap().avg_rel_err_pct(), None);
+        assert_eq!(t.row("Summation").unwrap().avg_rel_err_pct(), Some(20.0));
+        assert!(t.row("missing").is_none());
+    }
+}

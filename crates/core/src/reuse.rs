@@ -1,0 +1,262 @@
+//! Coupling reuse across configurations — the paper's future work.
+//!
+//! §6: "Future work is focused on determining which coupling values
+//! must be obtained and which values can be reused, thereby reducing
+//! the number of needed experiments."
+//!
+//! The expensive part of a coupling campaign is measuring every cyclic
+//! window at every configuration (processor count × class × machine).
+//! The coefficients `α_k`, however, are *ratios* — and the paper's own
+//! scaling study shows they move through a small number of regimes.
+//! Within a regime they should transfer: coefficients measured at one
+//! configuration, combined with the cheap isolated kernel times of
+//! another, should still beat summation there.
+//!
+//! [`predict_with_reused_coefficients`] implements that transfer, and
+//! [`ReuseStudy`] quantifies it over a whole configuration grid (the
+//! `kc-experiments` crate builds the paper-style table from it).
+
+use crate::analysis::CouplingAnalysis;
+use crate::error::CouplingError;
+use serde::{Deserialize, Serialize};
+
+/// Predict a *target* configuration's total time using coefficients
+/// from a coupling analysis of a *source* configuration:
+///
+/// ```text
+/// T_target ≈ overhead_target + iters_target · Σ_k α_k(source) · P_k(target)
+/// ```
+///
+/// `target_isolated` are the per-iteration isolated kernel times at
+/// the target (one per kernel, loop order) — the only measurements the
+/// target configuration needs.
+pub fn predict_with_reused_coefficients(
+    source: &CouplingAnalysis,
+    target_isolated: &[f64],
+    target_iterations: u32,
+    target_overhead: f64,
+) -> Result<f64, CouplingError> {
+    if target_isolated.len() != source.kernel_set().len() {
+        return Err(CouplingError::ModelCountMismatch {
+            supplied: target_isolated.len(),
+            expected: source.kernel_set().len(),
+        });
+    }
+    let coeff = source.coefficients()?;
+    let per_iter = coeff.compose(target_isolated);
+    Ok(target_overhead + per_iter * target_iterations as f64)
+}
+
+/// One cell of a reuse study: coefficients from `source`, applied at
+/// `target`.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ReuseCell {
+    /// Label of the configuration the coefficients came from.
+    pub source: String,
+    /// Label of the configuration being predicted.
+    pub target: String,
+    /// The reused-coefficient prediction (total seconds).
+    pub predicted: f64,
+    /// Ground truth at the target.
+    pub actual: f64,
+    /// The summation prediction at the target, for reference.
+    pub summation: f64,
+}
+
+impl ReuseCell {
+    /// Relative error of the reused prediction.
+    pub fn rel_err(&self) -> f64 {
+        (self.predicted - self.actual).abs() / self.actual
+    }
+
+    /// Relative error of summation at the same target.
+    pub fn summation_rel_err(&self) -> f64 {
+        (self.summation - self.actual).abs() / self.actual
+    }
+
+    /// Whether reuse still beats summation at this target.
+    pub fn beats_summation(&self) -> bool {
+        self.rel_err() < self.summation_rel_err()
+    }
+}
+
+/// A full source × target transfer study.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct ReuseStudy {
+    /// All evaluated transfer cells (including the native diagonal).
+    pub cells: Vec<ReuseCell>,
+}
+
+impl ReuseStudy {
+    /// An empty study.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Evaluate one transfer and record it.
+    pub fn record(
+        &mut self,
+        source: &CouplingAnalysis,
+        source_label: &str,
+        target: &CouplingAnalysis,
+        target_label: &str,
+    ) -> Result<&ReuseCell, CouplingError> {
+        let target_isolated: Vec<f64> = target
+            .kernel_set()
+            .ids()
+            .map(|k| target.isolated(k).mean())
+            .collect();
+        let predicted = predict_with_reused_coefficients(
+            source,
+            &target_isolated,
+            target.loop_iterations(),
+            target.overhead().mean(),
+        )?;
+        let summation = target.predict(crate::predict::Predictor::Summation)?;
+        self.cells.push(ReuseCell {
+            source: source_label.to_string(),
+            target: target_label.to_string(),
+            predicted,
+            actual: target.actual().mean(),
+            summation,
+        });
+        Ok(self.cells.last().unwrap())
+    }
+
+    /// The cell for a given source/target pair.
+    pub fn cell(&self, source: &str, target: &str) -> Option<&ReuseCell> {
+        self.cells
+            .iter()
+            .find(|c| c.source == source && c.target == target)
+    }
+
+    /// Mean relative error over the off-diagonal (true transfer)
+    /// cells.
+    pub fn mean_transfer_err(&self) -> f64 {
+        let off: Vec<f64> = self
+            .cells
+            .iter()
+            .filter(|c| c.source != c.target)
+            .map(ReuseCell::rel_err)
+            .collect();
+        assert!(!off.is_empty(), "no transfer cells recorded");
+        off.iter().sum::<f64>() / off.len() as f64
+    }
+
+    /// Fraction of transfer cells where reuse still beats summation.
+    pub fn transfer_win_rate(&self) -> f64 {
+        let off: Vec<&ReuseCell> = self.cells.iter().filter(|c| c.source != c.target).collect();
+        assert!(!off.is_empty(), "no transfer cells recorded");
+        off.iter().filter(|c| c.beats_summation()).count() as f64 / off.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predict::Predictor;
+    use crate::synthetic::SyntheticExecutor;
+
+    /// Two synthetic "configurations" with the same interaction
+    /// *structure* but scaled base times — the regime-transfer setting.
+    fn config(scale: f64, iters: u32) -> SyntheticExecutor {
+        SyntheticExecutor::builder()
+            .kernel("a", 1.0 * scale)
+            .kernel("b", 2.0 * scale)
+            .kernel("c", 1.5 * scale)
+            .interaction("a", "b", -0.2 * scale)
+            .interaction("b", "c", -0.3 * scale)
+            .interaction("c", "a", -0.1 * scale)
+            .overheads(1.0, 0.5)
+            .loop_iterations(iters)
+            .build()
+    }
+
+    #[test]
+    fn reuse_has_zero_transfer_penalty_under_proportional_scaling() {
+        // when the target's base times AND interactions are a scaled
+        // copy of the source's, the coupling ratios are identical, so
+        // the transferred prediction equals the native coupling
+        // predictor at the target — reuse costs nothing
+        let mut src = config(1.0, 100);
+        let mut tgt = config(0.25, 400);
+        let sa = CouplingAnalysis::collect(&mut src, 2, 3).unwrap();
+        let ta = CouplingAnalysis::collect(&mut tgt, 2, 3).unwrap();
+        let native = ta.predict(Predictor::coupling(2)).unwrap();
+        let mut study = ReuseStudy::new();
+        let cell = study.record(&sa, "p4", &ta, "p16").unwrap();
+        assert!(
+            (cell.predicted - native).abs() < 1e-9 * native,
+            "transferred {} vs native {native}",
+            cell.predicted
+        );
+        assert!(cell.beats_summation());
+    }
+
+    #[test]
+    fn reuse_degrades_gracefully_when_regimes_differ() {
+        let mut src = config(1.0, 100);
+        // a target whose interactions are *relatively* weaker
+        let mut tgt = SyntheticExecutor::builder()
+            .kernel("a", 1.0)
+            .kernel("b", 2.0)
+            .kernel("c", 1.5)
+            .interaction("a", "b", -0.05)
+            .overheads(1.0, 0.5)
+            .loop_iterations(100)
+            .build();
+        let sa = CouplingAnalysis::collect(&mut src, 2, 3).unwrap();
+        let ta = CouplingAnalysis::collect(&mut tgt, 2, 3).unwrap();
+        let mut study = ReuseStudy::new();
+        let cell = study.record(&sa, "src", &ta, "tgt").unwrap().clone();
+        // the native predictor at the target
+        let native = ta.predict(Predictor::coupling(2)).unwrap();
+        let native_err = (native - ta.actual().mean()).abs() / ta.actual().mean();
+        assert!(
+            cell.rel_err() >= native_err - 1e-12,
+            "transfer cannot beat native here"
+        );
+        // the transferred coefficients over-correct so badly that even
+        // summation wins — the honest limit of reuse: it works within
+        // a coupling regime, not across regime changes
+        assert!(!cell.beats_summation());
+    }
+
+    #[test]
+    fn study_summaries() {
+        let mut a = config(1.0, 50);
+        let mut b = config(2.0, 50);
+        let aa = CouplingAnalysis::collect(&mut a, 2, 3).unwrap();
+        let bb = CouplingAnalysis::collect(&mut b, 2, 3).unwrap();
+        let mut study = ReuseStudy::new();
+        study.record(&aa, "A", &aa, "A").unwrap();
+        study.record(&aa, "A", &bb, "B").unwrap();
+        study.record(&bb, "B", &aa, "A").unwrap();
+        assert_eq!(study.cells.len(), 3);
+        assert!(study.cell("A", "B").is_some());
+        // proportional configs: each transfer matches the native
+        // predictor at its own target, whose residual is the (small)
+        // L=2 composition error
+        let native_err = |a: &CouplingAnalysis| {
+            let native = a.predict(Predictor::coupling(2)).unwrap();
+            (native - a.actual().mean()).abs() / a.actual().mean()
+        };
+        let expected = (native_err(&aa) + native_err(&bb)) / 2.0;
+        assert!((study.mean_transfer_err() - expected).abs() < 1e-9);
+        assert_eq!(study.transfer_win_rate(), 1.0);
+    }
+
+    #[test]
+    fn arity_mismatch_is_reported() {
+        let mut a = config(1.0, 50);
+        let aa = CouplingAnalysis::collect(&mut a, 2, 3).unwrap();
+        let err = predict_with_reused_coefficients(&aa, &[1.0], 10, 0.0).unwrap_err();
+        assert!(matches!(
+            err,
+            CouplingError::ModelCountMismatch {
+                supplied: 1,
+                expected: 3
+            }
+        ));
+    }
+}

@@ -1,0 +1,273 @@
+//! An analytic, closed-form [`ChainExecutor`] for tests and examples.
+//!
+//! The synthetic application has per-kernel base times and pairwise
+//! adjacency interactions: when kernel `j` immediately follows kernel
+//! `i` in a measurement loop (cyclically — the loop repeats, so the
+//! last kernel is adjacent to the first), the per-iteration time gains
+//! `delta(i, j)` seconds (negative = constructive sharing, positive =
+//! destructive interference).  This is the simplest model with a
+//! non-trivial coupling structure, and several exact properties of the
+//! coupling methodology can be verified against it in closed form.
+
+use crate::executor::ChainExecutor;
+use crate::kernel::{KernelId, KernelSet};
+use crate::measurement::Measurement;
+
+/// Builder for [`SyntheticExecutor`].
+#[derive(Clone, Debug, Default)]
+pub struct SyntheticBuilder {
+    names: Vec<String>,
+    base: Vec<f64>,
+    interactions: Vec<(String, String, f64)>,
+    init_time: f64,
+    final_time: f64,
+    loop_iterations: u32,
+    noise: Option<(f64, f64, u64)>,
+}
+
+impl SyntheticBuilder {
+    /// Add a kernel with the given isolated per-iteration time.
+    pub fn kernel(mut self, name: &str, base_time: f64) -> Self {
+        self.names.push(name.to_string());
+        self.base.push(base_time);
+        self
+    }
+
+    /// Declare that `second` immediately following `first` changes the
+    /// per-iteration time by `delta` seconds.
+    pub fn interaction(mut self, first: &str, second: &str, delta: f64) -> Self {
+        self.interactions
+            .push((first.to_string(), second.to_string(), delta));
+        self
+    }
+
+    /// Set the one-off init and final times.
+    pub fn overheads(mut self, init: f64, final_: f64) -> Self {
+        self.init_time = init;
+        self.final_time = final_;
+        self
+    }
+
+    /// Set the application's loop iteration count.
+    pub fn loop_iterations(mut self, iters: u32) -> Self {
+        self.loop_iterations = iters;
+        self
+    }
+
+    /// Enable deterministic measurement noise (floor seconds,
+    /// proportional fraction, seed).
+    pub fn noise(mut self, floor: f64, frac: f64, seed: u64) -> Self {
+        self.noise = Some((floor, frac, seed));
+        self
+    }
+
+    /// Finish building.
+    ///
+    /// # Panics
+    /// If no kernels were added, iterations is zero, or an interaction
+    /// references an unknown kernel.
+    pub fn build(self) -> SyntheticExecutor {
+        assert!(!self.names.is_empty(), "synthetic app needs kernels");
+        assert!(
+            self.loop_iterations > 0,
+            "synthetic app needs loop iterations"
+        );
+        let set = KernelSet::new(self.names.clone());
+        let n = set.len();
+        let mut delta = vec![vec![0.0; n]; n];
+        for (a, b, d) in &self.interactions {
+            let ia = set
+                .id_of(a)
+                .unwrap_or_else(|| panic!("unknown kernel '{a}'"))
+                .index();
+            let ib = set
+                .id_of(b)
+                .unwrap_or_else(|| panic!("unknown kernel '{b}'"))
+                .index();
+            delta[ia][ib] += d;
+        }
+        SyntheticExecutor {
+            set,
+            base: self.base,
+            delta,
+            init_time: self.init_time,
+            final_time: self.final_time,
+            loop_iterations: self.loop_iterations,
+            noise: self.noise,
+            counter: 0,
+        }
+    }
+}
+
+/// The synthetic analytic executor; see the module docs.
+#[derive(Clone, Debug)]
+pub struct SyntheticExecutor {
+    set: KernelSet,
+    base: Vec<f64>,
+    delta: Vec<Vec<f64>>,
+    init_time: f64,
+    final_time: f64,
+    loop_iterations: u32,
+    noise: Option<(f64, f64, u64)>,
+    counter: u64,
+}
+
+impl SyntheticExecutor {
+    /// Start building a synthetic application.
+    pub fn builder() -> SyntheticBuilder {
+        SyntheticBuilder::default()
+    }
+
+    /// The exact (noise-free) per-iteration time of a loop whose body
+    /// is `chain`: base times plus every cyclic adjacency delta.
+    pub fn exact_chain_time(&self, chain: &[KernelId]) -> f64 {
+        let mut t: f64 = chain.iter().map(|k| self.base[k.index()]).sum();
+        let l = chain.len();
+        for (pos, &k) in chain.iter().enumerate() {
+            let next = chain[(pos + 1) % l];
+            // a singleton chain is adjacent only to itself
+            t += self.delta[k.index()][next.index()];
+        }
+        t
+    }
+
+    /// The exact (noise-free) total application time.
+    pub fn exact_application_time(&self) -> f64 {
+        let all: Vec<KernelId> = self.set.ids().collect();
+        self.init_time + self.final_time + self.exact_chain_time(&all) * self.loop_iterations as f64
+    }
+
+    fn sample(&mut self, true_time: f64) -> f64 {
+        let Some((floor, frac, seed)) = self.noise else {
+            return true_time;
+        };
+        self.counter += 1;
+        let g1 = gauss(seed, self.counter, 0);
+        let g2 = gauss(seed, self.counter, 1);
+        (true_time * (1.0 + frac * g1) + floor * g2.abs()).max(0.0)
+    }
+
+    fn measure(&mut self, true_time: f64, reps: u32) -> Measurement {
+        let samples = (0..reps.max(1)).map(|_| self.sample(true_time)).collect();
+        Measurement::from_samples(samples)
+    }
+}
+
+impl ChainExecutor for SyntheticExecutor {
+    fn kernel_set(&self) -> &KernelSet {
+        &self.set
+    }
+
+    fn loop_iterations(&self) -> u32 {
+        self.loop_iterations
+    }
+
+    fn measure_chain(&mut self, chain: &[KernelId], reps: u32) -> Measurement {
+        let t = self.exact_chain_time(chain);
+        self.measure(t, reps)
+    }
+
+    fn measure_serial_overhead(&mut self) -> Measurement {
+        let t = self.init_time + self.final_time;
+        self.measure(t, 1)
+    }
+
+    fn measure_application(&mut self) -> Measurement {
+        let t = self.exact_application_time();
+        self.measure(t, 1)
+    }
+}
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+fn gauss(seed: u64, counter: u64, lane: u64) -> f64 {
+    let mut acc = 0.0;
+    for i in 0..4u64 {
+        let h = splitmix64(seed ^ counter.wrapping_mul(0x100_0000_01b3) ^ (lane << 32) ^ i);
+        acc += (h >> 11) as f64 / (1u64 << 53) as f64;
+    }
+    (acc - 2.0) / (1.0f64 / 3.0).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chain_time_includes_wraparound_adjacency() {
+        let e = SyntheticExecutor::builder()
+            .kernel("a", 1.0)
+            .kernel("b", 2.0)
+            .interaction("a", "b", 0.5)
+            .interaction("b", "a", 0.25)
+            .loop_iterations(1)
+            .build();
+        let ids: Vec<KernelId> = e.kernel_set().ids().collect();
+        // loop a b a b …: both (a,b) and (b,a) adjacencies occur
+        assert!((e.exact_chain_time(&ids) - 3.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn singleton_chain_uses_self_adjacency() {
+        let e = SyntheticExecutor::builder()
+            .kernel("a", 1.0)
+            .interaction("a", "a", 0.1)
+            .loop_iterations(1)
+            .build();
+        assert!((e.exact_chain_time(&[KernelId(0)]) - 1.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn application_time_composes_overheads_and_iterations() {
+        let e = SyntheticExecutor::builder()
+            .kernel("a", 1.0)
+            .kernel("b", 1.0)
+            .overheads(5.0, 3.0)
+            .loop_iterations(10)
+            .build();
+        assert!((e.exact_application_time() - (8.0 + 20.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn noise_free_measurements_are_exact() {
+        let mut e = SyntheticExecutor::builder()
+            .kernel("a", 2.0)
+            .loop_iterations(4)
+            .build();
+        let m = e.measure_chain(&[KernelId(0)], 5);
+        assert_eq!(m.mean(), 2.0);
+        assert_eq!(m.std_dev(), 0.0);
+    }
+
+    #[test]
+    fn noisy_measurements_vary_but_replay() {
+        let make = || {
+            SyntheticExecutor::builder()
+                .kernel("a", 2.0)
+                .loop_iterations(4)
+                .noise(0.01, 0.01, 99)
+                .build()
+        };
+        let mut e1 = make();
+        let mut e2 = make();
+        let m1 = e1.measure_chain(&[KernelId(0)], 10);
+        let m2 = e2.measure_chain(&[KernelId(0)], 10);
+        assert_eq!(m1, m2, "same seed must replay");
+        assert!(m1.std_dev() > 0.0, "noise must vary samples");
+    }
+
+    #[test]
+    #[should_panic]
+    fn unknown_interaction_kernel_panics() {
+        SyntheticExecutor::builder()
+            .kernel("a", 1.0)
+            .interaction("a", "zz", 0.1)
+            .loop_iterations(1)
+            .build();
+    }
+}

@@ -1,0 +1,128 @@
+//! Cyclic chain windows over a kernel loop.
+
+use crate::kernel::{KernelId, KernelSet};
+use serde::{Deserialize, Serialize};
+
+/// A chain of `L` consecutive kernels in the application's loop,
+/// wrapping cyclically (the loop repeats, so the kernel after the last
+/// is the first — the paper's BT tables include the `{Add, Copy
+/// Faces}` wrap-around pair).
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ChainWindow {
+    kernels: Vec<KernelId>,
+}
+
+impl ChainWindow {
+    /// The window of length `len` starting at loop position `start`.
+    pub fn at(set: &KernelSet, start: usize, len: usize) -> Self {
+        assert!(len >= 1 && len <= set.len(), "window length out of range");
+        assert!(start < set.len(), "window start out of range");
+        let n = set.len();
+        let kernels = (0..len)
+            .map(|o| KernelId(((start + o) % n) as u32))
+            .collect();
+        Self { kernels }
+    }
+
+    /// The kernels of the window in execution order.
+    pub fn kernels(&self) -> &[KernelId] {
+        &self.kernels
+    }
+
+    /// Window length.
+    pub fn len(&self) -> usize {
+        self.kernels.len()
+    }
+
+    /// Whether the window is empty (never true for a constructed one).
+    pub fn is_empty(&self) -> bool {
+        self.kernels.is_empty()
+    }
+
+    /// Whether the window contains kernel `id`.
+    pub fn contains(&self, id: KernelId) -> bool {
+        self.kernels.contains(&id)
+    }
+
+    /// Human-readable label like `{copy_faces, x_solve}`.
+    pub fn label(&self, set: &KernelSet) -> String {
+        let names: Vec<&str> = self.kernels.iter().map(|&k| set.name(k)).collect();
+        format!("{{{}}}", names.join(", "))
+    }
+}
+
+/// All cyclic windows of length `len` over the loop: one starting at
+/// each of the `N` loop positions.
+///
+/// For `len == N` every window is a rotation of the whole loop; the
+/// coupling predictor built from them reproduces the measured loop
+/// time exactly (see `CouplingAnalysis` tests).
+pub fn cyclic_windows(set: &KernelSet, len: usize) -> Vec<ChainWindow> {
+    (0..set.len())
+        .map(|s| ChainWindow::at(set, s, len))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set() -> KernelSet {
+        KernelSet::new(vec!["a", "b", "c", "d"])
+    }
+
+    #[test]
+    fn window_wraps_cyclically() {
+        let s = set();
+        let w = ChainWindow::at(&s, 3, 2);
+        assert_eq!(w.kernels(), &[KernelId(3), KernelId(0)]);
+        assert_eq!(w.label(&s), "{d, a}");
+    }
+
+    #[test]
+    fn all_windows_cover_each_kernel_len_times() {
+        let s = set();
+        for len in 1..=4 {
+            let ws = cyclic_windows(&s, len);
+            assert_eq!(ws.len(), 4);
+            for k in s.ids() {
+                let containing = ws.iter().filter(|w| w.contains(k)).count();
+                assert_eq!(containing, len, "len={len} kernel={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn full_length_windows_are_rotations() {
+        let s = set();
+        let ws = cyclic_windows(&s, 4);
+        for (i, w) in ws.iter().enumerate() {
+            assert_eq!(w.kernels()[0], KernelId(i as u32));
+            assert_eq!(w.len(), 4);
+        }
+    }
+
+    #[test]
+    fn pairwise_windows_match_paper_bt_structure() {
+        // BT loop: copy_faces, x_solve, y_solve, z_solve, add
+        let s = KernelSet::new(vec!["copy_faces", "x_solve", "y_solve", "z_solve", "add"]);
+        let ws = cyclic_windows(&s, 2);
+        let labels: Vec<_> = ws.iter().map(|w| w.label(&s)).collect();
+        assert_eq!(
+            labels,
+            vec![
+                "{copy_faces, x_solve}",
+                "{x_solve, y_solve}",
+                "{y_solve, z_solve}",
+                "{z_solve, add}",
+                "{add, copy_faces}",
+            ]
+        );
+    }
+
+    #[test]
+    #[should_panic]
+    fn oversized_window_panics() {
+        ChainWindow::at(&set(), 0, 5);
+    }
+}

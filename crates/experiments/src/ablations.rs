@@ -1,0 +1,175 @@
+//! Ablation studies over the design choices DESIGN.md calls out: how
+//! the headline conclusions respond to chain length, cache capacity,
+//! network contention and timer noise.
+
+use crate::runner::Runner;
+use kc_core::{CouplingAnalysis, CouplingRow, CouplingTable, Predictor};
+use kc_npb::{Benchmark, Class};
+
+/// Chain-length sweep (the paper's open question: "as to which group
+/// of equations will lead to the best prediction"): relative error of
+/// the coupling predictor for every admissible chain length, plus the
+/// summation baseline as length 0.
+pub fn chain_length_sweep(
+    runner: &Runner,
+    benchmark: Benchmark,
+    class: Class,
+    procs: usize,
+) -> CouplingTable {
+    let n_kernels = benchmark.spec().loop_kernels.len();
+    let mut rows = Vec::new();
+    let mut exec = runner.executor(benchmark, class, procs);
+    // summation baseline (coefficients all 1)
+    let base = CouplingAnalysis::collect(&mut exec, 1, runner.reps).unwrap();
+    let actual = base.actual().mean();
+    let err = |pred: f64| 100.0 * (pred - actual).abs() / actual;
+    rows.push(CouplingRow {
+        label: "summation".to_string(),
+        values: vec![err(base.predict(Predictor::Summation).unwrap())],
+    });
+    for len in 1..=n_kernels {
+        let analysis = CouplingAnalysis::collect(&mut exec, len, runner.reps).unwrap();
+        let pred = analysis.predict(Predictor::coupling(len)).unwrap();
+        rows.push(CouplingRow {
+            label: format!("coupling, {len}-kernel chains"),
+            values: vec![err(pred)],
+        });
+    }
+    CouplingTable {
+        title: format!(
+            "Ablation: prediction error vs chain length — {benchmark} class {class}, {procs} processors"
+        ),
+        columns: vec!["rel. error %".to_string()],
+        rows,
+    }
+}
+
+/// Cache-capacity sweep: the mean coupling value of BT class A as the
+/// second-level cache grows, demonstrating that the coupling regime is
+/// a function of the memory subsystem (paper §4.1.4).
+pub fn cache_capacity_sweep(runner: &Runner, l2_capacities: &[usize]) -> CouplingTable {
+    let mut values = Vec::new();
+    for &cap in l2_capacities {
+        let mut r = runner.clone();
+        r.machine.caches[1].capacity = cap;
+        values.push(crate::transitions::mean_coupling(
+            &r,
+            Benchmark::Bt,
+            Class::A,
+            4,
+            4,
+        ));
+    }
+    CouplingTable {
+        title: "Ablation: mean BT class-A 4-chain coupling vs L2 capacity".to_string(),
+        columns: l2_capacities
+            .iter()
+            .map(|c| format!("{} MiB", c / (1024 * 1024)))
+            .collect(),
+        rows: vec![CouplingRow {
+            label: "mean coupling".to_string(),
+            values,
+        }],
+    }
+}
+
+/// Network-contention sweep: LU's sensitivity to small-message
+/// performance (paper §4.3) — mean 3-chain coupling value and
+/// predictor error as the switch-contention coefficient grows.
+pub fn contention_sweep(runner: &Runner, contentions: &[f64]) -> CouplingTable {
+    let mut mean_c = Vec::new();
+    let mut sum_err = Vec::new();
+    let mut cpl_err = Vec::new();
+    for &c in contentions {
+        let mut r = runner.clone();
+        r.machine.net.contention = c;
+        let mut exec = r.executor(Benchmark::Lu, Class::W, 8);
+        let analysis = CouplingAnalysis::collect(&mut exec, 3, r.reps).unwrap();
+        let cs = analysis.couplings().unwrap();
+        mean_c.push(cs.iter().sum::<f64>() / cs.len() as f64);
+        let actual = analysis.actual().mean();
+        let err = |p: f64| 100.0 * (p - actual).abs() / actual;
+        sum_err.push(err(analysis.predict(Predictor::Summation).unwrap()));
+        cpl_err.push(err(analysis.predict(Predictor::coupling(3)).unwrap()));
+    }
+    CouplingTable {
+        title: "Ablation: LU class W (8 procs) vs network contention".to_string(),
+        columns: contentions.iter().map(|c| format!("c={c}")).collect(),
+        rows: vec![
+            CouplingRow {
+                label: "mean 3-chain coupling".to_string(),
+                values: mean_c,
+            },
+            CouplingRow {
+                label: "summation rel. err %".to_string(),
+                values: sum_err,
+            },
+            CouplingRow {
+                label: "coupling rel. err %".to_string(),
+                values: cpl_err,
+            },
+        ],
+    }
+}
+
+/// Timer-noise sweep: the class-S effect (paper §4.1.1) — prediction
+/// errors of both methods as the measurement-noise floor grows.
+pub fn noise_sweep(runner: &Runner, floor_multipliers: &[f64]) -> CouplingTable {
+    let base_floor = kc_machine::MachineConfig::ibm_sp_p2sc().timer.noise_floor;
+    let mut sum_err = Vec::new();
+    let mut cpl_err = Vec::new();
+    for &mult in floor_multipliers {
+        let mut r = runner.clone();
+        r.machine.timer.noise_floor = base_floor * mult;
+        r.machine.timer.noise_frac = 0.004;
+        let mut exec = r.executor(Benchmark::Bt, Class::S, 4);
+        let analysis = CouplingAnalysis::collect(&mut exec, 2, r.reps).unwrap();
+        let actual = analysis.actual().mean();
+        let err = |p: f64| 100.0 * (p - actual).abs() / actual;
+        sum_err.push(err(analysis.predict(Predictor::Summation).unwrap()));
+        cpl_err.push(err(analysis.predict(Predictor::coupling(2)).unwrap()));
+    }
+    CouplingTable {
+        title: "Ablation: BT class S (4 procs) prediction error vs timer-noise floor".to_string(),
+        columns: floor_multipliers
+            .iter()
+            .map(|m| format!("{m}x floor"))
+            .collect(),
+        rows: vec![
+            CouplingRow {
+                label: "summation rel. err %".to_string(),
+                values: sum_err,
+            },
+            CouplingRow {
+                label: "coupling rel. err %".to_string(),
+                values: cpl_err,
+            },
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chain_length_sweep_runs_for_lu() {
+        let t = chain_length_sweep(&Runner::noise_free(), Benchmark::Lu, Class::S, 4);
+        // summation + 4 chain lengths
+        assert_eq!(t.rows.len(), 5);
+        t.check();
+        // full-length chains reproduce the bracketed loop; the
+        // residual vs the free-running application is the bracket
+        // cost, a few percent at the tiny class S
+        let full = t.rows.last().unwrap().values[0];
+        let summation = t.rows[0].values[0];
+        assert!(
+            full < 5.0,
+            "full-chain prediction error should be small, got {full}%"
+        );
+        assert!(
+            full < summation / 2.0,
+            "full-chain must far outperform summation"
+        );
+    }
+}

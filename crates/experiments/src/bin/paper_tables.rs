@@ -1,0 +1,238 @@
+//! Regenerate the paper's tables from the command line.
+//!
+//! ```text
+//! paper_tables [EXPERIMENT ...] [--noise-free] [--out DIR] [--reps N]
+//!
+//! EXPERIMENT: classes | bt-s | bt-w | bt-a | sp-w | sp-a | sp-b |
+//!             lu-w | lu-a | lu-b | transitions | ablations | all
+//! ```
+//!
+//! With `--out DIR`, each experiment additionally writes `<id>.txt`
+//! and `<id>.json` artifacts into DIR (consumed by EXPERIMENTS.md).
+
+use kc_experiments::render::Artifact;
+use kc_experiments::{
+    ablations, analytic, bt, granularity, lu, machines, reuse, sp, transitions, Runner,
+};
+use kc_npb::{Benchmark, Class};
+use std::path::PathBuf;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: paper_tables [EXPERIMENT ...] [--noise-free] [--out DIR] [--reps N]\n\
+         experiments: classes bt-s bt-w bt-a sp-w sp-a sp-b lu-w lu-a lu-b transitions ablations analytic reuse machines granularity all"
+    );
+    std::process::exit(2);
+}
+
+fn classes_tables() -> String {
+    let mut s = String::new();
+    for (name, b, classes) in [
+        (
+            "Table 1: Data sets used with the NPB BT",
+            Benchmark::Bt,
+            vec![Class::S, Class::W, Class::A],
+        ),
+        (
+            "Table 5: Data sets used with the NPB SP",
+            Benchmark::Sp,
+            vec![Class::W, Class::A, Class::B],
+        ),
+        (
+            "Table 7: Data sets used with the NPB LU",
+            Benchmark::Lu,
+            vec![Class::W, Class::A, Class::B],
+        ),
+    ] {
+        s.push_str(name);
+        s.push('\n');
+        for c in classes {
+            let p = b.problem(c);
+            s.push_str(&format!(
+                "  {c}   {n} x {n} x {n}   ({iters} loop iterations)\n",
+                n = p.size,
+                iters = p.iterations
+            ));
+        }
+        s.push('\n');
+    }
+    s
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut experiments: Vec<String> = Vec::new();
+    let mut out: Option<PathBuf> = None;
+    let mut runner = Runner::default();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--noise-free" => runner.machine = runner.machine.clone().without_noise(),
+            "--out" => {
+                i += 1;
+                out = Some(PathBuf::from(args.get(i).unwrap_or_else(|| usage())));
+            }
+            "--reps" => {
+                i += 1;
+                runner.reps = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--help" | "-h" => usage(),
+            e if e.starts_with('-') => usage(),
+            e => experiments.push(e.to_string()),
+        }
+        i += 1;
+    }
+    if experiments.is_empty() {
+        experiments.push("all".to_string());
+    }
+    if experiments.iter().any(|e| e == "all") {
+        experiments = [
+            "classes",
+            "bt-s",
+            "bt-w",
+            "bt-a",
+            "sp-w",
+            "sp-a",
+            "sp-b",
+            "lu-w",
+            "lu-a",
+            "lu-b",
+            "transitions",
+            "ablations",
+            "analytic",
+            "reuse",
+            "machines",
+            "granularity",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    }
+
+    for exp in &experiments {
+        let started = std::time::Instant::now();
+        let artifact: Option<Artifact> = match exp.as_str() {
+            "classes" => {
+                println!("{}", classes_tables());
+                None
+            }
+            "bt-s" => Some(Artifact::from_pair("table2_bt_s", &bt::table2(&runner))),
+            "bt-w" => Some(Artifact::from_pair("table3_bt_w", &bt::table3(&runner))),
+            "bt-a" => Some(Artifact::from_pair("table4_bt_a", &bt::table4(&runner))),
+            "sp-w" => Some(Artifact::from_pair(
+                "table6a_sp_w",
+                &sp::table6(&runner, Class::W),
+            )),
+            "sp-a" => Some(Artifact::from_pair(
+                "table6b_sp_a",
+                &sp::table6(&runner, Class::A),
+            )),
+            "sp-b" => Some(Artifact::from_pair(
+                "table6c_sp_b",
+                &sp::table6(&runner, Class::B),
+            )),
+            "lu-w" => Some(Artifact::from_pair(
+                "table8a_lu_w",
+                &lu::table8(&runner, Class::W),
+            )),
+            "lu-a" => Some(Artifact::from_pair(
+                "table8b_lu_a",
+                &lu::table8(&runner, Class::A),
+            )),
+            "lu-b" => Some(Artifact::from_pair(
+                "table8c_lu_b",
+                &lu::table8(&runner, Class::B),
+            )),
+            "transitions" => {
+                let classes = [Class::S, Class::W, Class::A];
+                let procs = [4, 9, 16, 25];
+                Some(Artifact::from_couplings(
+                    "transitions",
+                    vec![
+                        transitions::transition_table(&runner, &classes, &procs),
+                        transitions::regime_table(&runner, &classes, &procs),
+                    ],
+                ))
+            }
+            "analytic" => {
+                let mut a = Artifact::from_couplings("analytic", vec![]);
+                a.predictions = vec![
+                    analytic::analytic_table(&runner, Benchmark::Bt, Class::W, &[4, 9, 16, 25], 3),
+                    analytic::analytic_table(&runner, Benchmark::Sp, Class::A, &[4, 9, 16, 25], 5),
+                    analytic::analytic_table(&runner, Benchmark::Lu, Class::A, &[4, 8, 16, 32], 3),
+                ];
+                Some(a)
+            }
+            "granularity" => {
+                let (c, p) = granularity::granularity_tables(&runner, Class::W, &[4, 9, 16]);
+                let mut a = Artifact::from_couplings("granularity", vec![c]);
+                a.predictions = vec![p];
+                Some(a)
+            }
+            "machines" => {
+                let (t1, o1) =
+                    machines::machine_comparison(Benchmark::Bt, Class::W, 9, 3, runner.reps);
+                let (t2, o2) =
+                    machines::machine_comparison(Benchmark::Lu, Class::W, 8, 3, runner.reps);
+                for (label, o) in [("BT W/9", &o1), ("LU W/8", &o2)] {
+                    let (pr, ar) = machines::relative_performance(o);
+                    println!(
+                        "{label}: predicted machine ratio {pr:.3}, actual {ar:.3}                          ({:.1}% off)",
+                        100.0 * (pr - ar).abs() / ar
+                    );
+                }
+                Some(Artifact::from_couplings("machines", vec![t1, t2]))
+            }
+            "reuse" => {
+                let (t1, _) = reuse::proc_transfer_table(
+                    &runner,
+                    Benchmark::Bt,
+                    Class::W,
+                    &[4, 9, 16, 25],
+                    3,
+                );
+                let (t2, _) = reuse::class_transfer_table(
+                    &runner,
+                    Benchmark::Bt,
+                    &[Class::S, Class::W, Class::A],
+                    16,
+                    3,
+                );
+                let (t3, _) = reuse::proc_transfer_table(
+                    &runner,
+                    Benchmark::Lu,
+                    Class::A,
+                    &[4, 8, 16, 32],
+                    3,
+                );
+                Some(Artifact::from_couplings("reuse", vec![t1, t2, t3]))
+            }
+            "ablations" => Some(Artifact::from_couplings(
+                "ablations",
+                vec![
+                    ablations::chain_length_sweep(&runner, Benchmark::Bt, Class::W, 9),
+                    ablations::cache_capacity_sweep(
+                        &runner,
+                        &[1 << 20, 2 << 20, 4 << 20, 8 << 20, 16 << 20],
+                    ),
+                    ablations::contention_sweep(&runner, &[0.0, 0.01, 0.02, 0.05, 0.1]),
+                    ablations::noise_sweep(&runner, &[0.0, 1.0, 4.0, 16.0]),
+                ],
+            )),
+            other => {
+                eprintln!("unknown experiment '{other}'");
+                usage();
+            }
+        };
+        if let Some(a) = artifact {
+            println!("{}", a.render_text());
+            if let Some(dir) = &out {
+                a.write_to(dir).expect("failed to write artifacts");
+            }
+            eprintln!("[{exp}] done in {:.1}s", started.elapsed().as_secs_f64());
+        }
+    }
+}

@@ -1,0 +1,75 @@
+//! BT experiments: paper Tables 2a/2b, 3a/3b, 4a/4b.
+//!
+//! Table 2 (class S) uses pairwise chains and processor counts 4/9/16;
+//! Table 3 (class W) uses 3-kernel chains over 4/9/16/25; Table 4
+//! (class A) uses 4-kernel chains over 4/9/16/25 — exactly the chain
+//! lengths the paper found gave the best predictions per class.
+
+use crate::runner::{build_tables, Runner, TablePair};
+use kc_npb::{Benchmark, Class};
+
+/// Processor counts of the class-S study (paper Table 2).
+pub const S_PROCS: [usize; 3] = [4, 9, 16];
+/// Processor counts of the class-W/A studies (paper Tables 3 and 4).
+pub const WA_PROCS: [usize; 4] = [4, 9, 16, 25];
+
+/// Tables 2a + 2b: BT class S, two-kernel coupling values and the
+/// execution-time comparison.
+pub fn table2(runner: &Runner) -> TablePair {
+    build_tables(
+        runner,
+        Benchmark::Bt,
+        Class::S,
+        &S_PROCS,
+        &[2],
+        "Table 2a",
+        "Table 2b",
+    )
+}
+
+/// Tables 3a + 3b: BT class W, three-kernel chains.
+pub fn table3(runner: &Runner) -> TablePair {
+    build_tables(
+        runner,
+        Benchmark::Bt,
+        Class::W,
+        &WA_PROCS,
+        &[3],
+        "Table 3a",
+        "Table 3b",
+    )
+}
+
+/// Tables 4a + 4b: BT class A, four-kernel chains.
+pub fn table4(runner: &Runner) -> TablePair {
+    build_tables(
+        runner,
+        Benchmark::Bt,
+        Class::A,
+        &WA_PROCS,
+        &[4],
+        "Table 4a",
+        "Table 4b",
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_has_three_processor_columns_and_five_pairs() {
+        let pair = table2(&Runner::noise_free());
+        assert_eq!(pair.couplings[0].columns.len(), 3);
+        assert_eq!(pair.couplings[0].rows.len(), 5);
+        let labels: Vec<&str> = pair.couplings[0]
+            .rows
+            .iter()
+            .map(|r| r.label.as_str())
+            .collect();
+        assert!(
+            labels.contains(&"{add, copy_faces}"),
+            "wrap-around pair present: {labels:?}"
+        );
+    }
+}

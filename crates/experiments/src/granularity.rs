@@ -1,0 +1,237 @@
+//! Kernel-granularity study.
+//!
+//! The paper defines a kernel as "a unit of computation that denotes a
+//! logical entity … a loop, procedure, or file depending on the level
+//! of granularity of detail that is desired."  Its evaluation uses
+//! procedure-level kernels; this experiment asks what changes at
+//! *loop-level* granularity: BT with each solve split into its
+//! elimination and substitution halves (8 loop kernels instead of 5).
+//!
+//! Two findings to expect:
+//!
+//! * elimination/substitution pairs couple far more strongly than any
+//!   procedure-level pair — the substitution immediately re-reads the
+//!   coefficient planes the elimination just wrote;
+//! * the summation baseline degrades further (more isolated-run
+//!   penalties to sum) while the coupling predictor holds up, so the
+//!   methodology's advantage *grows* with decomposition detail.
+
+use crate::runner::Runner;
+use kc_core::report::TableCell;
+use kc_core::{
+    CouplingAnalysis, CouplingRow, CouplingTable, PredictionRow, PredictionTable, Predictor,
+};
+use kc_npb::{Benchmark, Class, NpbApp, NpbExecutor};
+
+/// Collect an analysis at the fine (8-kernel) BT decomposition.
+pub fn fine_analysis(
+    runner: &Runner,
+    class: Class,
+    procs: usize,
+    chain_len: usize,
+) -> CouplingAnalysis {
+    let mut exec = NpbExecutor::with_spec(
+        NpbApp::new(Benchmark::Bt, class, procs),
+        runner.machine.clone(),
+        runner.exec,
+        kc_npb::bt::fine_spec(),
+    );
+    CouplingAnalysis::collect(&mut exec, chain_len, runner.reps).unwrap()
+}
+
+/// The granularity comparison for BT at one class: coarse (paper)
+/// vs fine decomposition, each with its best-suited chain length.
+pub fn granularity_tables(
+    runner: &Runner,
+    class: Class,
+    procs: &[usize],
+) -> (CouplingTable, PredictionTable) {
+    let columns: Vec<String> = procs.iter().map(|p| format!("{p} processors")).collect();
+    let mut pair_coupling = Vec::new(); // strongest fine pair per proc
+    let mut actual = Vec::new();
+    let mut coarse_sum = Vec::new();
+    let mut coarse_cpl = Vec::new();
+    let mut fine_sum = Vec::new();
+    let mut fine_cpl = Vec::new();
+
+    for &p in procs {
+        // coarse: the paper's decomposition, 3-kernel chains
+        let mut coarse_exec = runner.executor(Benchmark::Bt, class, p);
+        let coarse = CouplingAnalysis::collect(&mut coarse_exec, 3, runner.reps).unwrap();
+        actual.push(coarse.actual().mean());
+        coarse_sum.push(coarse.predict(Predictor::Summation).unwrap());
+        coarse_cpl.push(coarse.predict(Predictor::coupling(3)).unwrap());
+
+        // fine: 8 kernels, pairwise chains highlight the elim/subst bond
+        let fine2 = fine_analysis(runner, class, p, 2);
+        let set = fine2.kernel_set().clone();
+        let elim_subst = fine2
+            .windows()
+            .iter()
+            .enumerate()
+            .filter(|(_, w)| {
+                let l = w.label(&set);
+                l.contains("x_elim, x_subst")
+                    || l.contains("y_elim, y_subst")
+                    || l.contains("z_elim, z_subst")
+            })
+            .map(|(i, _)| fine2.coupling(i).unwrap())
+            .fold(f64::INFINITY, f64::min);
+        pair_coupling.push(elim_subst);
+        fine_sum.push(fine2.predict(Predictor::Summation).unwrap());
+        // longer chains for the prediction at the fine granularity
+        let fine5 = fine_analysis(runner, class, p, 5);
+        fine_cpl.push(fine5.predict(Predictor::coupling(5)).unwrap());
+    }
+
+    let couplings = CouplingTable {
+        title: format!(
+            "Granularity study: strongest elimination/substitution pair coupling — BT class {class}"
+        ),
+        columns: columns.clone(),
+        rows: vec![CouplingRow {
+            label: "min elim/subst pair coupling".to_string(),
+            values: pair_coupling,
+        }],
+    };
+
+    let err = |t: f64, a: f64| Some(100.0 * (t - a).abs() / a);
+    let rows = vec![
+        PredictionRow {
+            label: "Actual".to_string(),
+            cells: actual
+                .iter()
+                .map(|&t| TableCell {
+                    time: t,
+                    rel_err_pct: None,
+                })
+                .collect(),
+        },
+        PredictionRow {
+            label: "Coarse summation (5 kernels)".to_string(),
+            cells: coarse_sum
+                .iter()
+                .zip(&actual)
+                .map(|(&t, &a)| TableCell {
+                    time: t,
+                    rel_err_pct: err(t, a),
+                })
+                .collect(),
+        },
+        PredictionRow {
+            label: "Coarse coupling (L=3)".to_string(),
+            cells: coarse_cpl
+                .iter()
+                .zip(&actual)
+                .map(|(&t, &a)| TableCell {
+                    time: t,
+                    rel_err_pct: err(t, a),
+                })
+                .collect(),
+        },
+        PredictionRow {
+            label: "Fine summation (8 kernels)".to_string(),
+            cells: fine_sum
+                .iter()
+                .zip(&actual)
+                .map(|(&t, &a)| TableCell {
+                    time: t,
+                    rel_err_pct: err(t, a),
+                })
+                .collect(),
+        },
+        PredictionRow {
+            label: "Fine coupling (L=5)".to_string(),
+            cells: fine_cpl
+                .iter()
+                .zip(&actual)
+                .map(|(&t, &a)| TableCell {
+                    time: t,
+                    rel_err_pct: err(t, a),
+                })
+                .collect(),
+        },
+    ];
+    let predictions = PredictionTable {
+        title: format!("Granularity study: prediction accuracy — BT class {class}"),
+        columns,
+        rows,
+    };
+    (couplings, predictions)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn elim_subst_pairs_couple_strongly() {
+        let runner = Runner::noise_free();
+        let fine = fine_analysis(&runner, Class::S, 4, 2);
+        let set = fine.kernel_set().clone();
+        assert_eq!(set.len(), 8);
+        // the x_elim/x_subst pair must couple more constructively than
+        // the coarse copy_faces/x_solve pair does
+        let (mut pair_c, mut other_min) = (f64::NAN, f64::INFINITY);
+        for (i, w) in fine.windows().iter().enumerate() {
+            let c = fine.coupling(i).unwrap();
+            if w.label(&set).contains("x_elim, x_subst") {
+                pair_c = c;
+            } else {
+                other_min = other_min.min(c);
+            }
+        }
+        assert!(pair_c.is_finite());
+        assert!(
+            pair_c < 1.0,
+            "elim/subst must couple constructively, got {pair_c}"
+        );
+    }
+
+    #[test]
+    fn fine_numeric_decomposition_is_equivalent_to_coarse() {
+        // running the 8-kernel loop numerically produces exactly the
+        // same physics as the 5-kernel loop
+        use kc_machine::MachineConfig;
+        use kc_npb::{ExecConfig, Mode};
+        let cfg = ExecConfig {
+            mode: Mode::Numeric,
+            ..ExecConfig::default()
+        };
+        let coarse = NpbExecutor::new(
+            NpbApp::new(Benchmark::Bt, Class::S, 4),
+            MachineConfig::test_tiny(),
+            cfg,
+        );
+        let fine = NpbExecutor::with_spec(
+            NpbApp::new(Benchmark::Bt, Class::S, 4),
+            MachineConfig::test_tiny(),
+            cfg,
+            kc_npb::bt::fine_spec(),
+        );
+        let a = coarse.run_numeric(3, 0.1).verify;
+        let b = fine.run_numeric(3, 0.1).verify;
+        assert_eq!(
+            a, b,
+            "fine and coarse decompositions must compute identically"
+        );
+    }
+
+    #[test]
+    fn coupling_advantage_grows_with_granularity() {
+        let runner = Runner::noise_free();
+        let (_, table) = granularity_tables(&runner, Class::S, &[4]);
+        let get = |label: &str| table.row(label).unwrap().avg_rel_err_pct().unwrap();
+        let coarse_sum = get("Coarse summation (5 kernels)");
+        let fine_sum = get("Fine summation (8 kernels)");
+        let fine_cpl = get("Fine coupling (L=5)");
+        assert!(
+            fine_sum > coarse_sum,
+            "finer decomposition should hurt summation: {fine_sum:.2}% vs {coarse_sum:.2}%"
+        );
+        assert!(
+            fine_cpl < fine_sum / 2.0,
+            "coupling must hold up at fine granularity"
+        );
+    }
+}

@@ -1,0 +1,48 @@
+//! LU experiments: paper Tables 8a/8b/8c.
+//!
+//! Each table compares the summation predictor with the 3-kernel
+//! coupling predictor over processor counts 4/8/16/32 for one class
+//! (W, A, B) — LU requires powers of two.
+
+use crate::runner::{build_tables, Runner, TablePair};
+use kc_npb::{Benchmark, Class};
+
+/// Processor counts of the LU study (paper Table 8).
+pub const PROCS: [usize; 4] = [4, 8, 16, 32];
+
+/// The chain length the paper reports for LU.
+pub const CHAIN_LEN: usize = 3;
+
+/// One of Tables 8a/8b/8c, selected by class.
+pub fn table8(runner: &Runner, class: Class) -> TablePair {
+    let sub = match class {
+        Class::W => "8a",
+        Class::A => "8b",
+        Class::B => "8c",
+        Class::S => "8s",
+    };
+    build_tables(
+        runner,
+        Benchmark::Lu,
+        class,
+        &PROCS,
+        &[CHAIN_LEN],
+        &format!("Table {sub} supplement (the paper omits LU coupling values for brevity)"),
+        &format!("Table {sub}"),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lu_class_w_structure() {
+        let pair = table8(&Runner::noise_free(), Class::W);
+        assert_eq!(pair.predictions.columns.len(), 4);
+        assert_eq!(pair.predictions.rows.len(), 3);
+        // LU has 4 loop kernels -> 4 windows of length 3
+        assert_eq!(pair.couplings[0].rows.len(), 4);
+        assert!(pair.couplings[0].rows[0].label.contains("ssor"));
+    }
+}

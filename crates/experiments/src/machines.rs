@@ -1,0 +1,157 @@
+//! Cross-machine study — the paper's opening motivation.
+//!
+//! §1: "models can be used to predict the relative performance of
+//! different systems used to execute an application".  Here we run the
+//! coupling methodology on two different simulated machines (the IBM
+//! SP stand-in and an Ethernet commodity cluster) and check that the
+//! *relative* performance it predicts — which machine is faster, and
+//! by what factor — matches the measured ratio, even though the
+//! absolute coupling values differ per machine (the regimes move with
+//! the memory subsystem).
+
+use crate::runner::Runner;
+use kc_core::{CouplingAnalysis, CouplingRow, CouplingTable, Predictor};
+use kc_machine::MachineConfig;
+use kc_npb::{Benchmark, Class};
+
+/// The outcome of one machine's campaign.
+#[derive(Clone, Debug)]
+pub struct MachineOutcome {
+    /// Machine name.
+    pub machine: String,
+    /// Measured application time.
+    pub actual: f64,
+    /// Coupling-predicted application time.
+    pub predicted: f64,
+    /// Mean coupling value at the studied chain length.
+    pub mean_coupling: f64,
+}
+
+/// Run the campaign on one machine.
+pub fn outcome_on(
+    machine: MachineConfig,
+    benchmark: Benchmark,
+    class: Class,
+    procs: usize,
+    len: usize,
+    reps: u32,
+) -> MachineOutcome {
+    let runner = Runner {
+        machine,
+        ..Runner::noise_free()
+    };
+    let machine_name = runner.machine.name.clone();
+    let mut exec = runner.executor(benchmark, class, procs);
+    let analysis = CouplingAnalysis::collect(&mut exec, len, reps).unwrap();
+    let cs = analysis.couplings().unwrap();
+    MachineOutcome {
+        machine: machine_name,
+        actual: analysis.actual().mean(),
+        predicted: analysis.predict(Predictor::coupling(len)).unwrap(),
+        mean_coupling: cs.iter().sum::<f64>() / cs.len() as f64,
+    }
+}
+
+/// The cross-machine comparison table for one workload.
+pub fn machine_comparison(
+    benchmark: Benchmark,
+    class: Class,
+    procs: usize,
+    len: usize,
+    reps: u32,
+) -> (CouplingTable, Vec<MachineOutcome>) {
+    let outcomes = vec![
+        outcome_on(
+            MachineConfig::ibm_sp_p2sc().without_noise(),
+            benchmark,
+            class,
+            procs,
+            len,
+            reps,
+        ),
+        outcome_on(
+            MachineConfig::ethernet_cluster().without_noise(),
+            benchmark,
+            class,
+            procs,
+            len,
+            reps,
+        ),
+    ];
+    let columns = outcomes.iter().map(|o| o.machine.clone()).collect();
+    let rows = vec![
+        CouplingRow {
+            label: "actual time (s)".to_string(),
+            values: outcomes.iter().map(|o| o.actual).collect(),
+        },
+        CouplingRow {
+            label: "coupling prediction (s)".to_string(),
+            values: outcomes.iter().map(|o| o.predicted).collect(),
+        },
+        CouplingRow {
+            label: format!("mean {len}-chain coupling"),
+            values: outcomes.iter().map(|o| o.mean_coupling).collect(),
+        },
+    ];
+    let table = CouplingTable {
+        title: format!("Cross-machine study: {benchmark} class {class} on {procs} processors"),
+        columns,
+        rows,
+    };
+    (table, outcomes)
+}
+
+/// Relative-performance check: (predicted ratio, actual ratio) of
+/// machine 0 over machine 1.
+pub fn relative_performance(outcomes: &[MachineOutcome]) -> (f64, f64) {
+    assert!(outcomes.len() >= 2);
+    (
+        outcomes[0].predicted / outcomes[1].predicted,
+        outcomes[0].actual / outcomes[1].actual,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relative_performance_is_predicted_accurately() {
+        let (_, outcomes) = machine_comparison(Benchmark::Bt, Class::W, 9, 3, 2);
+        let (pred_ratio, actual_ratio) = relative_performance(&outcomes);
+        let err = (pred_ratio - actual_ratio).abs() / actual_ratio;
+        assert!(
+            err < 0.10,
+            "relative-performance prediction off by {:.1}% (pred {pred_ratio:.3}, actual {actual_ratio:.3})",
+            100.0 * err
+        );
+    }
+
+    #[test]
+    fn coupling_values_are_machine_dependent() {
+        // the same workload couples differently on a machine with a
+        // different memory subsystem — the paper's architectural claim
+        let (_, outcomes) = machine_comparison(Benchmark::Bt, Class::S, 4, 2, 2);
+        let diff = (outcomes[0].mean_coupling - outcomes[1].mean_coupling).abs();
+        assert!(
+            diff > 0.01,
+            "couplings should differ across machines: {} vs {}",
+            outcomes[0].mean_coupling,
+            outcomes[1].mean_coupling
+        );
+    }
+
+    #[test]
+    fn per_machine_predictions_stay_accurate() {
+        let (_, outcomes) = machine_comparison(Benchmark::Bt, Class::S, 4, 2, 2);
+        for o in &outcomes {
+            let err = (o.predicted - o.actual).abs() / o.actual;
+            assert!(
+                err < 0.20,
+                "{}: prediction error {:.1}%",
+                o.machine,
+                100.0 * err
+            );
+        }
+    }
+}

@@ -1,0 +1,299 @@
+//! The experiment runner: machine + measurement protocol + generic
+//! table builders.
+
+use kc_core::report::TableCell;
+use kc_core::{
+    CouplingAnalysis, CouplingRow, CouplingTable, PredictionRow, PredictionTable, Predictor,
+};
+use kc_machine::MachineConfig;
+use kc_npb::{Benchmark, Class, ExecConfig, NpbApp, NpbExecutor};
+use rayon::prelude::*;
+
+/// Owns the simulated machine and the measurement-protocol settings
+/// used for every experiment.
+#[derive(Clone, Debug)]
+pub struct Runner {
+    /// The machine all measurements run on.
+    pub machine: MachineConfig,
+    /// Measurement protocol (warm-up/timed iterations, mode).
+    pub exec: ExecConfig,
+    /// Timing repetitions per measurement (the paper uses 50 per
+    /// kernel; 5 keeps the campaign quick with the same averaging
+    /// effect under our noise model).
+    pub reps: u32,
+}
+
+impl Default for Runner {
+    fn default() -> Self {
+        Self {
+            machine: MachineConfig::ibm_sp_p2sc(),
+            exec: ExecConfig::default(),
+            reps: 5,
+        }
+    }
+}
+
+impl Runner {
+    /// A runner with all timer noise disabled (for shape-focused tests
+    /// and benches).
+    pub fn noise_free() -> Self {
+        let mut r = Self::default();
+        r.machine = r.machine.without_noise();
+        r
+    }
+
+    /// Build the executor for one benchmark instance.
+    pub fn executor(&self, benchmark: Benchmark, class: Class, procs: usize) -> NpbExecutor {
+        NpbExecutor::new(
+            NpbApp::new(benchmark, class, procs),
+            self.machine.clone(),
+            self.exec,
+        )
+    }
+}
+
+/// A paper table pair: the coupling-value tables (one per chain
+/// length) and the execution-time comparison table.
+#[derive(Clone, Debug)]
+pub struct TablePair {
+    /// Coupling tables, one per requested chain length (paper's
+    /// "a"-tables).
+    pub couplings: Vec<CouplingTable>,
+    /// Execution-time comparison (paper's "b"-tables).
+    pub predictions: PredictionTable,
+}
+
+impl TablePair {
+    /// Pretty-print both tables.
+    pub fn render_text(&self) -> String {
+        let mut s = String::new();
+        for c in &self.couplings {
+            s.push_str(&c.to_string());
+            s.push('\n');
+        }
+        s.push_str(&self.predictions.to_string());
+        s
+    }
+}
+
+/// Run the full measurement campaign for one benchmark × class over a
+/// set of processor counts and chain lengths, producing the paper's
+/// table pair.
+pub fn build_tables(
+    runner: &Runner,
+    benchmark: Benchmark,
+    class: Class,
+    procs: &[usize],
+    chain_lens: &[usize],
+    coupling_title: &str,
+    prediction_title: &str,
+) -> TablePair {
+    assert!(!procs.is_empty() && !chain_lens.is_empty());
+    let columns: Vec<String> = procs.iter().map(|p| format!("{p} processors")).collect();
+
+    // campaigns at different processor counts are independent (each
+    // has its own executor, simulated cluster and seeded timer), so
+    // run them in parallel; results are bit-identical to a sequential
+    // sweep (tested in `tests/determinism.rs`)
+    struct ProcResult {
+        actual: f64,
+        summation: f64,
+        labels: Vec<Vec<String>>,
+        couplings: Vec<Vec<f64>>,
+        coupled: Vec<f64>,
+    }
+    let per_proc: Vec<ProcResult> = procs
+        .par_iter()
+        .map(|&p| {
+            let mut exec = runner.executor(benchmark, class, p);
+            let mut res = ProcResult {
+                actual: 0.0,
+                summation: 0.0,
+                labels: Vec::new(),
+                couplings: Vec::new(),
+                coupled: Vec::new(),
+            };
+            for (li, &len) in chain_lens.iter().enumerate() {
+                let analysis = CouplingAnalysis::collect(&mut exec, len, runner.reps)
+                    .expect("chain length must fit the kernel set");
+                res.labels.push(
+                    analysis
+                        .windows()
+                        .iter()
+                        .map(|w| w.label(analysis.kernel_set()))
+                        .collect(),
+                );
+                res.couplings
+                    .push(analysis.couplings().expect("positive kernel times"));
+                if li == 0 {
+                    res.actual = analysis.actual().mean();
+                    res.summation = analysis.predict(Predictor::Summation).expect("summation");
+                }
+                res.coupled.push(
+                    analysis
+                        .predict(Predictor::coupling(len))
+                        .expect("coupling"),
+                );
+            }
+            res
+        })
+        .collect();
+
+    let mut coupling_values: Vec<Vec<Vec<f64>>> = vec![Vec::new(); chain_lens.len()];
+    let window_labels: Vec<Vec<String>> = per_proc[0].labels.clone();
+    let mut actual: Vec<f64> = Vec::new();
+    let mut summation: Vec<f64> = Vec::new();
+    let mut coupled: Vec<Vec<f64>> = vec![Vec::new(); chain_lens.len()];
+    for res in per_proc {
+        actual.push(res.actual);
+        summation.push(res.summation);
+        for (li, c) in res.couplings.into_iter().enumerate() {
+            coupling_values[li].push(c);
+        }
+        for (li, c) in res.coupled.into_iter().enumerate() {
+            coupled[li].push(c);
+        }
+    }
+
+    let couplings = chain_lens
+        .iter()
+        .enumerate()
+        .map(|(li, &len)| {
+            let rows = window_labels[li]
+                .iter()
+                .enumerate()
+                .map(|(w, label)| CouplingRow {
+                    label: label.clone(),
+                    values: coupling_values[li].iter().map(|per_proc| per_proc[w]).collect(),
+                })
+                .collect();
+            CouplingTable {
+                title: format!(
+                    "{coupling_title}: Coupling values for {benchmark} {len}-kernel chains, class {class}"
+                ),
+                columns: columns.clone(),
+                rows,
+            }
+        })
+        .collect();
+
+    let mut rows = vec![PredictionRow {
+        label: "Actual".to_string(),
+        cells: actual
+            .iter()
+            .map(|&t| TableCell {
+                time: t,
+                rel_err_pct: None,
+            })
+            .collect(),
+    }];
+    let err = |pred: f64, act: f64| Some(100.0 * (pred - act).abs() / act);
+    rows.push(PredictionRow {
+        label: "Summation".to_string(),
+        cells: summation
+            .iter()
+            .zip(&actual)
+            .map(|(&t, &a)| TableCell {
+                time: t,
+                rel_err_pct: err(t, a),
+            })
+            .collect(),
+    });
+    for (li, &len) in chain_lens.iter().enumerate() {
+        rows.push(PredictionRow {
+            label: Predictor::coupling(len).label(),
+            cells: coupled[li]
+                .iter()
+                .zip(&actual)
+                .map(|(&t, &a)| TableCell {
+                    time: t,
+                    rel_err_pct: err(t, a),
+                })
+                .collect(),
+        });
+    }
+    let predictions = PredictionTable {
+        title: format!(
+            "{prediction_title}: Comparison of execution times for {benchmark} with class {class}"
+        ),
+        columns,
+        rows,
+    };
+    TablePair {
+        couplings,
+        predictions,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bt_class_s_tables_have_paper_shape() {
+        let runner = Runner::noise_free();
+        let pair = build_tables(
+            &runner,
+            Benchmark::Bt,
+            Class::S,
+            &[4],
+            &[2],
+            "Table 2a",
+            "Table 2b",
+        );
+        assert_eq!(pair.couplings.len(), 1);
+        assert_eq!(
+            pair.couplings[0].rows.len(),
+            5,
+            "five pairwise chains for BT"
+        );
+        assert_eq!(pair.couplings[0].rows[0].label, "{copy_faces, x_solve}");
+        assert_eq!(
+            pair.predictions.rows.len(),
+            3,
+            "actual + summation + coupling"
+        );
+        pair.couplings[0].check();
+        pair.predictions.check();
+    }
+
+    #[test]
+    fn coupling_beats_summation_for_bt_class_s() {
+        let runner = Runner::noise_free();
+        let pair = build_tables(&runner, Benchmark::Bt, Class::S, &[4], &[4], "Ta", "Tb");
+        let sum_err = pair
+            .predictions
+            .row("Summation")
+            .unwrap()
+            .avg_rel_err_pct()
+            .unwrap();
+        let cpl_err = pair
+            .predictions
+            .row("Coupling: 4 kernels")
+            .unwrap()
+            .avg_rel_err_pct()
+            .unwrap();
+        assert!(
+            cpl_err < sum_err,
+            "coupling ({cpl_err:.2}%) should beat summation ({sum_err:.2}%)"
+        );
+    }
+
+    #[test]
+    fn render_text_contains_both_tables() {
+        let runner = Runner::noise_free();
+        let pair = build_tables(
+            &runner,
+            Benchmark::Bt,
+            Class::S,
+            &[4],
+            &[2],
+            "Table 2a",
+            "Table 2b",
+        );
+        let text = pair.render_text();
+        assert!(text.contains("Table 2a"));
+        assert!(text.contains("Table 2b"));
+        assert!(text.contains("Summation"));
+    }
+}

@@ -1,0 +1,49 @@
+//! SP experiments: paper Tables 6a/6b/6c.
+//!
+//! Each table compares the summation predictor with 4-kernel and
+//! 5-kernel coupling predictors over processor counts 4/9/16/25 for
+//! one class (W, A, B).
+
+use crate::runner::{build_tables, Runner, TablePair};
+use kc_npb::{Benchmark, Class};
+
+/// Processor counts of the SP study (paper Table 6).
+pub const PROCS: [usize; 4] = [4, 9, 16, 25];
+
+/// The chain lengths the paper reports for SP.
+pub const CHAIN_LENS: [usize; 2] = [4, 5];
+
+/// One of Tables 6a/6b/6c, selected by class.
+pub fn table6(runner: &Runner, class: Class) -> TablePair {
+    let sub = match class {
+        Class::W => "6a",
+        Class::A => "6b",
+        Class::B => "6c",
+        Class::S => "6s",
+    };
+    build_tables(
+        runner,
+        Benchmark::Sp,
+        class,
+        &PROCS,
+        &CHAIN_LENS,
+        &format!("Table {sub} supplement (the paper omits SP coupling values for brevity)"),
+        &format!("Table {sub}"),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sp_class_w_has_two_coupling_rows() {
+        let pair = table6(&Runner::noise_free(), Class::W);
+        // Actual + Summation + Coupling:4 + Coupling:5
+        assert_eq!(pair.predictions.rows.len(), 4);
+        assert!(pair.predictions.row("Coupling: 5 kernels").is_some());
+        assert_eq!(pair.couplings.len(), 2);
+        // SP has 6 loop kernels -> 6 windows per chain length
+        assert_eq!(pair.couplings[0].rows.len(), 6);
+    }
+}

@@ -1,0 +1,188 @@
+//! Balanced 1-D block decompositions.
+//!
+//! NPB distributes `n` grid points over `p` parts by giving the first
+//! `n mod p` parts one extra point.  [`Decomp1d`] implements exactly
+//! that rule and is the building block for the 2-D pencil
+//! decompositions in [`crate::subdomain`].
+
+use serde::{Deserialize, Serialize};
+
+/// A half-open global index range `[lo, hi)` owned by one part.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct OwnedRange {
+    /// First owned global index.
+    pub lo: usize,
+    /// One past the last owned global index.
+    pub hi: usize,
+}
+
+impl OwnedRange {
+    /// Number of owned indices.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.hi - self.lo
+    }
+
+    /// Whether the range is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.hi == self.lo
+    }
+
+    /// Whether global index `g` falls in this range.
+    #[inline]
+    pub fn contains(&self, g: usize) -> bool {
+        g >= self.lo && g < self.hi
+    }
+
+    /// Convert a global index to a local offset (caller must ensure
+    /// containment; checked in debug builds).
+    #[inline]
+    pub fn to_local(&self, g: usize) -> usize {
+        debug_assert!(self.contains(g));
+        g - self.lo
+    }
+}
+
+/// Balanced block partition of `n` indices over `parts` parts.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Decomp1d {
+    n: usize,
+    parts: usize,
+}
+
+impl Decomp1d {
+    /// Create a decomposition of `n` indices over `parts` parts.
+    ///
+    /// # Panics
+    /// If `parts == 0` or `parts > n` (NPB requires at least one grid
+    /// point per processor in every decomposed dimension).
+    pub fn new(n: usize, parts: usize) -> Self {
+        assert!(parts > 0, "decomposition needs at least one part");
+        assert!(
+            parts <= n,
+            "cannot split {n} indices over {parts} parts: empty parts are not supported"
+        );
+        Self { n, parts }
+    }
+
+    /// Total number of indices being partitioned.
+    #[inline]
+    pub fn total(&self) -> usize {
+        self.n
+    }
+
+    /// Number of parts.
+    #[inline]
+    pub fn parts(&self) -> usize {
+        self.parts
+    }
+
+    /// The range owned by `part`.
+    ///
+    /// The first `n mod parts` parts receive `ceil(n / parts)` indices,
+    /// the rest `floor(n / parts)`.
+    pub fn range(&self, part: usize) -> OwnedRange {
+        assert!(part < self.parts, "part {part} out of {}", self.parts);
+        let base = self.n / self.parts;
+        let extra = self.n % self.parts;
+        let lo = part * base + part.min(extra);
+        let len = base + usize::from(part < extra);
+        OwnedRange { lo, hi: lo + len }
+    }
+
+    /// Which part owns global index `g`.
+    pub fn owner(&self, g: usize) -> usize {
+        assert!(g < self.n, "index {g} out of {}", self.n);
+        let base = self.n / self.parts;
+        let extra = self.n % self.parts;
+        let boundary = extra * (base + 1);
+        if g < boundary {
+            g / (base + 1)
+        } else {
+            extra + (g - boundary) / base
+        }
+    }
+
+    /// The largest part size; the load-imbalance model keys off this.
+    pub fn max_part(&self) -> usize {
+        self.n / self.parts + usize::from(!self.n.is_multiple_of(self.parts))
+    }
+
+    /// The smallest part size.
+    pub fn min_part(&self) -> usize {
+        self.n / self.parts
+    }
+
+    /// Iterator over all ranges in part order.
+    pub fn ranges(&self) -> impl Iterator<Item = OwnedRange> + '_ {
+        (0..self.parts).map(|p| self.range(p))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn even_split() {
+        let d = Decomp1d::new(12, 4);
+        let r: Vec<_> = d.ranges().collect();
+        assert_eq!(r[0], OwnedRange { lo: 0, hi: 3 });
+        assert_eq!(r[3], OwnedRange { lo: 9, hi: 12 });
+        assert!(r.iter().all(|r| r.len() == 3));
+    }
+
+    #[test]
+    fn remainder_goes_to_leading_parts() {
+        let d = Decomp1d::new(10, 3);
+        let r: Vec<_> = d.ranges().collect();
+        assert_eq!(r[0].len(), 4);
+        assert_eq!(r[1].len(), 3);
+        assert_eq!(r[2].len(), 3);
+        assert_eq!(d.max_part(), 4);
+        assert_eq!(d.min_part(), 3);
+    }
+
+    #[test]
+    fn ranges_cover_and_do_not_overlap() {
+        let d = Decomp1d::new(33, 7);
+        let mut next = 0;
+        for r in d.ranges() {
+            assert_eq!(r.lo, next);
+            next = r.hi;
+        }
+        assert_eq!(next, 33);
+    }
+
+    #[test]
+    fn owner_matches_range() {
+        for (n, p) in [(12, 4), (10, 3), (33, 8), (102, 5), (7, 7)] {
+            let d = Decomp1d::new(n, p);
+            for g in 0..n {
+                let o = d.owner(g);
+                assert!(d.range(o).contains(g), "n={n} p={p} g={g} owner={o}");
+            }
+        }
+    }
+
+    #[test]
+    fn to_local_roundtrip() {
+        let d = Decomp1d::new(10, 3);
+        let r = d.range(1);
+        assert_eq!(r.to_local(r.lo), 0);
+        assert_eq!(r.to_local(r.hi - 1), r.len() - 1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn more_parts_than_points_panics() {
+        Decomp1d::new(3, 4);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_parts_panics() {
+        Decomp1d::new(3, 0);
+    }
+}

@@ -1,0 +1,197 @@
+//! Face extraction and injection for halo exchange.
+//!
+//! The COPY_FACES kernels of BT/SP exchange one-cell-deep faces of the
+//! five-component solution field with the four 2-D-grid neighbours.
+//! [`FaceBuffer`] packs a face into a contiguous send buffer and unpacks
+//! a received buffer into a halo plane.
+
+use crate::array::Field3;
+use serde::{Deserialize, Serialize};
+
+/// Which face of a subdomain box (outward normal direction).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Face {
+    /// −x face (i = 0 plane).
+    West,
+    /// +x face (i = nx−1 plane).
+    East,
+    /// −y face (j = 0 plane).
+    South,
+    /// +y face (j = ny−1 plane).
+    North,
+}
+
+impl Face {
+    /// The face a neighbour must unpack when it receives this face.
+    pub fn opposite(self) -> Face {
+        match self {
+            Face::West => Face::East,
+            Face::East => Face::West,
+            Face::South => Face::North,
+            Face::North => Face::South,
+        }
+    }
+
+    /// All four faces in a fixed order.
+    pub const ALL: [Face; 4] = [Face::West, Face::East, Face::South, Face::North];
+}
+
+/// A packed face of an `NC`-component field.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FaceBuffer<const NC: usize> {
+    face: Face,
+    /// extent along the first in-face axis (y for W/E faces, x for S/N)
+    n1: usize,
+    /// extent along the second in-face axis (z)
+    n2: usize,
+    data: Vec<f64>,
+}
+
+impl<const NC: usize> FaceBuffer<NC> {
+    /// Pack the boundary plane of `field` facing `face`.
+    pub fn pack(field: &Field3<NC>, face: Face) -> Self {
+        let (nx, ny, nz) = field.dims();
+        let (n1, n2) = match face {
+            Face::West | Face::East => (ny, nz),
+            Face::South | Face::North => (nx, nz),
+        };
+        let mut data = Vec::with_capacity(n1 * n2 * NC);
+        for k in 0..n2 {
+            for t in 0..n1 {
+                let (i, j) = match face {
+                    Face::West => (0, t),
+                    Face::East => (nx - 1, t),
+                    Face::South => (t, 0),
+                    Face::North => (t, ny - 1),
+                };
+                data.extend_from_slice(field.at(i, j, k));
+            }
+        }
+        Self { face, n1, n2, data }
+    }
+
+    /// Construct a buffer from raw data received over the wire.
+    ///
+    /// # Panics
+    /// If `data.len() != n1 * n2 * NC`.
+    pub fn from_raw(face: Face, n1: usize, n2: usize, data: Vec<f64>) -> Self {
+        assert_eq!(data.len(), n1 * n2 * NC, "face buffer size mismatch");
+        Self { face, n1, n2, data }
+    }
+
+    /// The face this buffer was packed from.
+    pub fn face(&self) -> Face {
+        self.face
+    }
+
+    /// The raw packed data (cell components contiguous).
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Consume into the raw packed data.
+    pub fn into_vec(self) -> Vec<f64> {
+        self.data
+    }
+
+    /// Number of f64 values in the buffer.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Unpack this buffer into `halo`, a field with the same extents as
+    /// the sender's subdomain-adjacent plane.  The buffer must have been
+    /// packed from the `face.opposite()` plane of the neighbouring
+    /// subdomain; it is written into the `face` boundary plane of
+    /// `halo`'s coordinate frame via the provided writer closure, which
+    /// receives `(t, k, components)` — the two in-face coordinates and
+    /// the `NC` cell values.
+    pub fn unpack_with(&self, mut write: impl FnMut(usize, usize, &[f64; NC])) {
+        for k in 0..self.n2 {
+            for t in 0..self.n1 {
+                let b = (k * self.n1 + t) * NC;
+                let cell: &[f64; NC] = self.data[b..b + NC].try_into().unwrap();
+                write(t, k, cell);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_field() -> Field3<2> {
+        let mut f = Field3::<2>::zeros(3, 4, 2);
+        let (nx, ny, nz) = f.dims();
+        for k in 0..nz {
+            for j in 0..ny {
+                for i in 0..nx {
+                    f.set(i, j, k, 0, (100 * i + 10 * j + k) as f64);
+                    f.set(i, j, k, 1, -((100 * i + 10 * j + k) as f64));
+                }
+            }
+        }
+        f
+    }
+
+    #[test]
+    fn opposite_faces() {
+        assert_eq!(Face::West.opposite(), Face::East);
+        assert_eq!(Face::North.opposite(), Face::South);
+        for f in Face::ALL {
+            assert_eq!(f.opposite().opposite(), f);
+        }
+    }
+
+    #[test]
+    fn pack_east_face() {
+        let f = sample_field();
+        let buf = FaceBuffer::pack(&f, Face::East);
+        assert_eq!(buf.len(), 4 * 2 * 2);
+        // first cell should be (i=2, j=0, k=0)
+        assert_eq!(buf.as_slice()[0], 200.0);
+        assert_eq!(buf.as_slice()[1], -200.0);
+    }
+
+    #[test]
+    fn pack_north_face() {
+        let f = sample_field();
+        let buf = FaceBuffer::pack(&f, Face::North);
+        assert_eq!(buf.len(), 3 * 2 * 2);
+        // first cell should be (i=0, j=3, k=0)
+        assert_eq!(buf.as_slice()[0], 30.0);
+    }
+
+    #[test]
+    fn unpack_visits_every_cell_once() {
+        let f = sample_field();
+        let buf = FaceBuffer::pack(&f, Face::West);
+        let mut count = 0;
+        buf.unpack_with(|t, k, cell| {
+            assert_eq!(cell[0], (10 * t + k) as f64);
+            count += 1;
+        });
+        assert_eq!(count, 4 * 2);
+    }
+
+    #[test]
+    fn from_raw_roundtrip() {
+        let f = sample_field();
+        let packed = FaceBuffer::pack(&f, Face::South);
+        let raw = packed.clone().into_vec();
+        let rebuilt = FaceBuffer::<2>::from_raw(Face::South, 3, 2, raw);
+        assert_eq!(rebuilt, packed);
+    }
+
+    #[test]
+    #[should_panic]
+    fn from_raw_wrong_size_panics() {
+        FaceBuffer::<2>::from_raw(Face::South, 3, 2, vec![0.0; 5]);
+    }
+}

@@ -1,0 +1,149 @@
+//! Per-rank subdomains: the box of cells a rank owns under a 2-D pencil
+//! decomposition (x and y split over the process grid, z kept local).
+
+use crate::decomp::{Decomp1d, OwnedRange};
+use crate::topology::{ProcCoords, ProcGrid};
+use serde::{Deserialize, Serialize};
+
+/// The box of global cells one rank owns, plus global context.
+///
+/// BT/SP/LU in this workspace all use the pencil scheme: the x and y
+/// dimensions are split across the process grid, the z dimension stays
+/// local.  Line solves along x and y are therefore pipelined across
+/// rank columns/rows, and z solves are rank-local — matching the
+/// communication character the paper discusses.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Subdomain {
+    /// This rank's id.
+    pub rank: usize,
+    /// Position on the process grid.
+    pub coords: ProcCoords,
+    /// Owned global x range.
+    pub xr: OwnedRange,
+    /// Owned global y range.
+    pub yr: OwnedRange,
+    /// Owned global z range (always the full dimension here).
+    pub zr: OwnedRange,
+    /// Global grid extents.
+    pub global: (usize, usize, usize),
+}
+
+impl Subdomain {
+    /// Build the subdomain of `rank` for a `global`-sized grid over
+    /// `grid` processes.
+    pub fn pencil(global: (usize, usize, usize), grid: ProcGrid, rank: usize) -> Self {
+        let coords = grid.coords(rank);
+        let dx = Decomp1d::new(global.0, grid.cols());
+        let dy = Decomp1d::new(global.1, grid.rows());
+        Subdomain {
+            rank,
+            coords,
+            xr: dx.range(coords.px),
+            yr: dy.range(coords.py),
+            zr: OwnedRange {
+                lo: 0,
+                hi: global.2,
+            },
+            global,
+        }
+    }
+
+    /// Local extents `(nx, ny, nz)` of the owned box.
+    #[inline]
+    pub fn local_dims(&self) -> (usize, usize, usize) {
+        (self.xr.len(), self.yr.len(), self.zr.len())
+    }
+
+    /// Number of cells owned by this rank.
+    #[inline]
+    pub fn cells(&self) -> usize {
+        self.xr.len() * self.yr.len() * self.zr.len()
+    }
+
+    /// Whether this rank owns the global west boundary (i = 0).
+    #[inline]
+    pub fn at_west_boundary(&self) -> bool {
+        self.xr.lo == 0
+    }
+
+    /// Whether this rank owns the global east boundary.
+    #[inline]
+    pub fn at_east_boundary(&self) -> bool {
+        self.xr.hi == self.global.0
+    }
+
+    /// Whether this rank owns the global south boundary (j = 0).
+    #[inline]
+    pub fn at_south_boundary(&self) -> bool {
+        self.yr.lo == 0
+    }
+
+    /// Whether this rank owns the global north boundary.
+    #[inline]
+    pub fn at_north_boundary(&self) -> bool {
+        self.yr.hi == self.global.1
+    }
+
+    /// Global coordinates of a local cell.
+    #[inline]
+    pub fn to_global(&self, i: usize, j: usize, k: usize) -> (usize, usize, usize) {
+        (self.xr.lo + i, self.yr.lo + j, self.zr.lo + k)
+    }
+}
+
+/// Build the subdomains of all ranks for a grid and topology; the
+/// returned vector is indexed by rank.
+pub fn all_subdomains(global: (usize, usize, usize), grid: ProcGrid) -> Vec<Subdomain> {
+    (0..grid.size())
+        .map(|r| Subdomain::pencil(global, grid, r))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pencil_covers_grid() {
+        let grid = ProcGrid::new(3, 2);
+        let subs = all_subdomains((10, 7, 5), grid);
+        let total: usize = subs.iter().map(|s| s.cells()).sum();
+        assert_eq!(total, 10 * 7 * 5);
+    }
+
+    #[test]
+    fn z_is_never_decomposed() {
+        let grid = ProcGrid::square(9);
+        for s in all_subdomains((12, 12, 12), grid) {
+            assert_eq!(s.zr.len(), 12);
+        }
+    }
+
+    #[test]
+    fn boundary_flags() {
+        let grid = ProcGrid::new(2, 2);
+        let subs = all_subdomains((8, 8, 4), grid);
+        assert!(subs[0].at_west_boundary() && subs[0].at_south_boundary());
+        assert!(!subs[0].at_east_boundary() && !subs[0].at_north_boundary());
+        assert!(subs[3].at_east_boundary() && subs[3].at_north_boundary());
+    }
+
+    #[test]
+    fn to_global_offsets() {
+        let grid = ProcGrid::new(2, 1);
+        let subs = all_subdomains((10, 4, 4), grid);
+        assert_eq!(subs[1].to_global(0, 0, 0), (5, 0, 0));
+        assert_eq!(subs[1].to_global(4, 3, 3), (9, 3, 3));
+    }
+
+    #[test]
+    fn uneven_split_is_balanced() {
+        let grid = ProcGrid::new(4, 4);
+        let subs = all_subdomains((102, 102, 102), grid);
+        let max = subs.iter().map(|s| s.cells()).max().unwrap();
+        let min = subs.iter().map(|s| s.cells()).min().unwrap();
+        // 102 = 4*25 + 2, so parts are 25 or 26 wide
+        assert_eq!(max, 26 * 26 * 102);
+        assert_eq!(min, 25 * 25 * 102);
+    }
+}

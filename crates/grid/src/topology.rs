@@ -1,0 +1,258 @@
+//! Logical 2-D process grids.
+//!
+//! BT and SP require a square number of processors (`q x q` grid); LU
+//! requires a power of two and builds its grid by halving the domain
+//! alternately in x and y.  Both shapes are captured by [`ProcGrid`].
+
+use serde::{Deserialize, Serialize};
+
+/// Coordinates of a rank on a 2-D process grid.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ProcCoords {
+    /// Column index (x direction of the domain).
+    pub px: usize,
+    /// Row index (y direction of the domain).
+    pub py: usize,
+}
+
+/// A `cols x rows` logical process grid with row-major rank numbering.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ProcGrid {
+    cols: usize,
+    rows: usize,
+}
+
+impl ProcGrid {
+    /// Create a grid with the given column and row counts.
+    pub fn new(cols: usize, rows: usize) -> Self {
+        assert!(cols > 0 && rows > 0, "process grid must be non-empty");
+        Self { cols, rows }
+    }
+
+    /// The square grid for `p` processors (BT/SP rule).
+    ///
+    /// # Panics
+    /// If `p` is not a perfect square.
+    pub fn square(p: usize) -> Self {
+        let q = (p as f64).sqrt().round() as usize;
+        assert!(
+            q * q == p,
+            "BT/SP require a square processor count, got {p}"
+        );
+        Self::new(q, q)
+    }
+
+    /// The LU grid for `p = 2^m` processors: the domain is halved
+    /// repeatedly, alternately in x then y, so the grid is either square
+    /// (`m` even) or has twice as many columns as rows (`m` odd).
+    ///
+    /// # Panics
+    /// If `p` is not a power of two.
+    pub fn power_of_two(p: usize) -> Self {
+        assert!(
+            p.is_power_of_two(),
+            "LU requires a power-of-two processor count, got {p}"
+        );
+        let m = p.trailing_zeros() as usize;
+        let cols = 1usize << m.div_ceil(2);
+        let rows = 1usize << (m / 2);
+        Self::new(cols, rows)
+    }
+
+    /// Number of columns (x-direction parts).
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of rows (y-direction parts).
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Total number of ranks.
+    #[inline]
+    pub fn size(&self) -> usize {
+        self.cols * self.rows
+    }
+
+    /// Coordinates of `rank` (row-major numbering).
+    #[inline]
+    pub fn coords(&self, rank: usize) -> ProcCoords {
+        debug_assert!(rank < self.size());
+        ProcCoords {
+            px: rank % self.cols,
+            py: rank / self.cols,
+        }
+    }
+
+    /// Rank at the given coordinates.
+    #[inline]
+    pub fn rank(&self, c: ProcCoords) -> usize {
+        debug_assert!(c.px < self.cols && c.py < self.rows);
+        c.py * self.cols + c.px
+    }
+
+    /// Rank of the neighbour in the −x direction, if any.
+    pub fn west(&self, rank: usize) -> Option<usize> {
+        let c = self.coords(rank);
+        (c.px > 0).then(|| {
+            self.rank(ProcCoords {
+                px: c.px - 1,
+                py: c.py,
+            })
+        })
+    }
+
+    /// Rank of the neighbour in the +x direction, if any.
+    pub fn east(&self, rank: usize) -> Option<usize> {
+        let c = self.coords(rank);
+        (c.px + 1 < self.cols).then(|| {
+            self.rank(ProcCoords {
+                px: c.px + 1,
+                py: c.py,
+            })
+        })
+    }
+
+    /// Rank of the neighbour in the −y direction, if any.
+    pub fn south(&self, rank: usize) -> Option<usize> {
+        let c = self.coords(rank);
+        (c.py > 0).then(|| {
+            self.rank(ProcCoords {
+                px: c.px,
+                py: c.py - 1,
+            })
+        })
+    }
+
+    /// Rank of the neighbour in the +y direction, if any.
+    pub fn north(&self, rank: usize) -> Option<usize> {
+        let c = self.coords(rank);
+        (c.py + 1 < self.rows).then(|| {
+            self.rank(ProcCoords {
+                px: c.px,
+                py: c.py + 1,
+            })
+        })
+    }
+
+    /// All existing neighbours of `rank` (W, E, S, N order).
+    pub fn neighbors(&self, rank: usize) -> Vec<usize> {
+        [
+            self.west(rank),
+            self.east(rank),
+            self.south(rank),
+            self.north(rank),
+        ]
+        .into_iter()
+        .flatten()
+        .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn square_grids() {
+        for p in [1, 4, 9, 16, 25] {
+            let g = ProcGrid::square(p);
+            assert_eq!(g.size(), p);
+            assert_eq!(g.cols(), g.rows());
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn non_square_panics() {
+        ProcGrid::square(8);
+    }
+
+    #[test]
+    fn power_of_two_grids() {
+        assert_eq!(
+            (
+                ProcGrid::power_of_two(1).cols(),
+                ProcGrid::power_of_two(1).rows()
+            ),
+            (1, 1)
+        );
+        assert_eq!(
+            (
+                ProcGrid::power_of_two(2).cols(),
+                ProcGrid::power_of_two(2).rows()
+            ),
+            (2, 1)
+        );
+        assert_eq!(
+            (
+                ProcGrid::power_of_two(4).cols(),
+                ProcGrid::power_of_two(4).rows()
+            ),
+            (2, 2)
+        );
+        assert_eq!(
+            (
+                ProcGrid::power_of_two(8).cols(),
+                ProcGrid::power_of_two(8).rows()
+            ),
+            (4, 2)
+        );
+        assert_eq!(
+            (
+                ProcGrid::power_of_two(16).cols(),
+                ProcGrid::power_of_two(16).rows()
+            ),
+            (4, 4)
+        );
+        assert_eq!(
+            (
+                ProcGrid::power_of_two(32).cols(),
+                ProcGrid::power_of_two(32).rows()
+            ),
+            (8, 4)
+        );
+    }
+
+    #[test]
+    #[should_panic]
+    fn non_power_of_two_panics() {
+        ProcGrid::power_of_two(12);
+    }
+
+    #[test]
+    fn coords_roundtrip() {
+        let g = ProcGrid::new(4, 3);
+        for r in 0..g.size() {
+            assert_eq!(g.rank(g.coords(r)), r);
+        }
+    }
+
+    #[test]
+    fn neighbors_of_corner_and_interior() {
+        let g = ProcGrid::new(3, 3);
+        // rank 0 = (0,0): east=1, north=3
+        assert_eq!(g.west(0), None);
+        assert_eq!(g.south(0), None);
+        assert_eq!(g.east(0), Some(1));
+        assert_eq!(g.north(0), Some(3));
+        // rank 4 = centre
+        assert_eq!(g.neighbors(4), vec![3, 5, 1, 7]);
+    }
+
+    #[test]
+    fn neighbor_relation_is_symmetric() {
+        let g = ProcGrid::new(4, 2);
+        for r in 0..g.size() {
+            if let Some(e) = g.east(r) {
+                assert_eq!(g.west(e), Some(r));
+            }
+            if let Some(n) = g.north(r) {
+                assert_eq!(g.south(n), Some(r));
+            }
+        }
+    }
+}

@@ -1,0 +1,296 @@
+//! Machine model configuration and presets.
+
+use kc_cachesim::counts::MAX_LEVELS;
+use kc_cachesim::CacheConfig;
+use serde::{Deserialize, Serialize};
+
+/// Processor compute model.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct CpuModel {
+    /// Sustained floating-point rate (flop/s) for cache-resident work.
+    pub flops_per_sec: f64,
+}
+
+impl CpuModel {
+    /// Seconds for `n` floating-point operations.
+    #[inline]
+    pub fn flop_time(&self, n: u64) -> f64 {
+        n as f64 / self.flops_per_sec
+    }
+}
+
+/// Per-line service latencies of the memory hierarchy.
+///
+/// Lines served by L1 are considered covered by the sustained flop
+/// rate (latency 0 by convention in the presets); deeper levels add
+/// stall time per line.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct MemTiming {
+    /// Seconds per line served at cache level i (0-based).
+    pub hit_time: [f64; MAX_LEVELS],
+    /// Seconds per line served by main memory.
+    pub memory_time: f64,
+}
+
+/// LogGP-style network model.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct NetModel {
+    /// Sender CPU overhead per message (seconds).
+    pub send_overhead: f64,
+    /// Receiver CPU overhead per message (seconds).
+    pub recv_overhead: f64,
+    /// Wire latency (seconds).
+    pub latency: f64,
+    /// Wire bandwidth (bytes/second).
+    pub bandwidth: f64,
+    /// NIC injection bandwidth (bytes/second): consecutive sends from
+    /// one rank serialize at this rate, so bursts of messages queue.
+    pub injection_bandwidth: f64,
+    /// Switch contention: effective latency is
+    /// `latency * (1 + contention * (p - 1))` for a `p`-rank job,
+    /// modelling the shared SP switch fabric.
+    pub contention: f64,
+}
+
+impl NetModel {
+    /// Effective wire latency for a job of `p` ranks.
+    #[inline]
+    pub fn effective_latency(&self, p: usize) -> f64 {
+        self.latency * (1.0 + self.contention * (p.saturating_sub(1)) as f64)
+    }
+
+    /// Wire transfer time for a message of `bytes`.
+    #[inline]
+    pub fn transfer_time(&self, bytes: usize) -> f64 {
+        bytes as f64 / self.bandwidth
+    }
+}
+
+/// Measurement-noise model for the simulated timers.
+///
+/// The paper's class-S predictions are poor because "the predicted
+/// execution time is so small, that measuring errors get magnified
+/// quickly"; this model reproduces that: a sampled time is the true
+/// time plus a fixed noise floor plus a proportional term, both drawn
+/// from a seeded deterministic generator.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct TimerModel {
+    /// Standard deviation of the absolute noise floor (seconds) —
+    /// timer granularity, interrupt jitter, daemon activity.
+    pub noise_floor: f64,
+    /// Standard deviation of the proportional noise (fraction of the
+    /// true time).
+    pub noise_frac: f64,
+    /// Seed for the deterministic noise stream.
+    pub seed: u64,
+}
+
+/// Full machine description.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct MachineConfig {
+    /// Human-readable name (appears in reports).
+    pub name: String,
+    /// Compute model.
+    pub cpu: CpuModel,
+    /// Cache levels, L1 first.
+    pub caches: Vec<CacheConfig>,
+    /// Memory timing.
+    pub mem: MemTiming,
+    /// Network model.
+    pub net: NetModel,
+    /// Timer noise model.
+    pub timer: TimerModel,
+    /// Record a per-rank communication event trace during runs
+    /// (sends, receives and their wait times).  Off by default; useful
+    /// for debugging pipeline schedules and for the trace-based
+    /// examples.
+    #[serde(default)]
+    pub trace_comm: bool,
+}
+
+impl MachineConfig {
+    /// The calibrated stand-in for the paper's IBM SP: 120 MHz P2SC
+    /// nodes (sustained ~120 Mflop/s here), 128 KiB L1, a 4 MiB
+    /// second-level cache, and an SP-switch-like network (~30 us
+    /// latency, ~90 MB/s).
+    ///
+    /// Capacities are chosen so the per-processor working sets of the
+    /// paper's benchmark classes land in the same cache regimes the
+    /// paper reports: BT class S fits in L1, class W spills L1 but fits
+    /// L2, class A at small processor counts exceeds L2.
+    pub fn ibm_sp_p2sc() -> Self {
+        MachineConfig {
+            name: "ibm-sp-p2sc".to_string(),
+            cpu: CpuModel {
+                flops_per_sec: 120.0e6,
+            },
+            caches: vec![
+                CacheConfig {
+                    capacity: 128 * 1024,
+                    line: 128,
+                    ways: 4,
+                },
+                CacheConfig {
+                    capacity: 4 * 1024 * 1024,
+                    line: 128,
+                    ways: 8,
+                },
+            ],
+            mem: MemTiming {
+                hit_time: [0.0, 100.0e-9, 0.0, 0.0],
+                memory_time: 600.0e-9,
+            },
+            net: NetModel {
+                send_overhead: 12.0e-6,
+                recv_overhead: 12.0e-6,
+                latency: 30.0e-6,
+                bandwidth: 90.0e6,
+                injection_bandwidth: 120.0e6,
+                contention: 0.02,
+            },
+            timer: TimerModel {
+                noise_floor: 0.3e-3,
+                noise_frac: 0.004,
+                seed: 0x5eed_c0de,
+            },
+            trace_comm: false,
+        }
+    }
+
+    /// A commodity Beowulf-style cluster of the same era: faster
+    /// commodity CPUs, a smaller L2, and Fast-Ethernet-class
+    /// networking (two orders of magnitude worse latency and an order
+    /// less bandwidth than the SP switch).  Used by the cross-machine
+    /// experiments: the coupling methodology predicts *relative*
+    /// performance of different systems (paper §1), and the regimes
+    /// move because the memory subsystem differs.
+    pub fn ethernet_cluster() -> Self {
+        MachineConfig {
+            name: "ethernet-cluster".to_string(),
+            cpu: CpuModel {
+                flops_per_sec: 250.0e6,
+            },
+            caches: vec![
+                CacheConfig {
+                    capacity: 32 * 1024,
+                    line: 128,
+                    ways: 4,
+                },
+                CacheConfig {
+                    capacity: 512 * 1024,
+                    line: 128,
+                    ways: 8,
+                },
+            ],
+            mem: MemTiming {
+                hit_time: [0.0, 80.0e-9, 0.0, 0.0],
+                memory_time: 400.0e-9,
+            },
+            net: NetModel {
+                send_overhead: 50.0e-6,
+                recv_overhead: 50.0e-6,
+                latency: 120.0e-6,
+                bandwidth: 12.0e6,
+                injection_bandwidth: 12.0e6,
+                contention: 0.05,
+            },
+            timer: TimerModel {
+                noise_floor: 0.3e-3,
+                noise_frac: 0.004,
+                seed: 0x5eed_c0de,
+            },
+            trace_comm: false,
+        }
+    }
+
+    /// A tiny, fast machine for unit tests: single small cache level,
+    /// cheap network, no timer noise.
+    pub fn test_tiny() -> Self {
+        MachineConfig {
+            name: "test-tiny".to_string(),
+            cpu: CpuModel {
+                flops_per_sec: 1.0e9,
+            },
+            caches: vec![CacheConfig {
+                capacity: 8 * 1024,
+                line: 64,
+                ways: 4,
+            }],
+            mem: MemTiming {
+                hit_time: [0.0; MAX_LEVELS],
+                memory_time: 100.0e-9,
+            },
+            net: NetModel {
+                send_overhead: 1.0e-6,
+                recv_overhead: 1.0e-6,
+                latency: 5.0e-6,
+                bandwidth: 100.0e6,
+                injection_bandwidth: 200.0e6,
+                contention: 0.0,
+            },
+            timer: TimerModel {
+                noise_floor: 0.0,
+                noise_frac: 0.0,
+                seed: 1,
+            },
+            trace_comm: false,
+        }
+    }
+
+    /// A copy of this machine with all timer noise disabled; useful for
+    /// tests that need exact times.
+    pub fn without_noise(mut self) -> Self {
+        self.timer.noise_floor = 0.0;
+        self.timer.noise_frac = 0.0;
+        self
+    }
+
+    /// A copy with a different noise seed (for repeated-measurement
+    /// experiments).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.timer.seed = seed;
+        self
+    }
+
+    /// A copy with communication-event tracing enabled.
+    pub fn with_comm_trace(mut self) -> Self {
+        self.trace_comm = true;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preset_geometry_is_valid() {
+        // constructing the hierarchy validates capacities/lines
+        let cfg = MachineConfig::ibm_sp_p2sc();
+        let h = kc_cachesim::CacheHierarchy::new(cfg.caches.clone());
+        assert_eq!(h.depth(), 2);
+        assert_eq!(h.capacity(0), 128 * 1024);
+    }
+
+    #[test]
+    fn flop_time_scales() {
+        let cpu = CpuModel {
+            flops_per_sec: 100.0e6,
+        };
+        assert!((cpu.flop_time(100_000_000) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn contention_grows_with_ranks() {
+        let net = MachineConfig::ibm_sp_p2sc().net;
+        assert!(net.effective_latency(25) > net.effective_latency(4));
+        assert_eq!(net.effective_latency(1), net.latency);
+    }
+
+    #[test]
+    fn without_noise_zeroes_timer() {
+        let cfg = MachineConfig::ibm_sp_p2sc().without_noise();
+        assert_eq!(cfg.timer.noise_floor, 0.0);
+        assert_eq!(cfg.timer.noise_frac, 0.0);
+    }
+}

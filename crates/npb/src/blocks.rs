@@ -1,0 +1,318 @@
+//! Dense 5×5 block linear algebra for the BT and LU solvers.
+//!
+//! BT's tridiagonal systems and LU's SSOR sweeps couple the five
+//! solution components through 5×5 blocks; everything here is written
+//! on fixed-size arrays so the compiler fully unrolls the loops.
+//!
+//! Each routine has an associated `*_FLOPS` constant used by the
+//! performance model (`Mode::Profile` charges the same flops the
+//! numeric path performs).
+
+/// A dense 5×5 block (row-major).
+pub type Block = [[f64; 5]; 5];
+/// A 5-vector (one grid cell's components).
+pub type Vec5 = [f64; 5];
+
+/// Number of components.
+pub const NC: usize = 5;
+
+/// Flops for [`mat_mul_sub`]: 5·5·(5 mul + 5 add).
+pub const MATMUL_FLOPS: u64 = 250;
+/// Flops for [`mat_vec_sub`]: 5·(5 mul + 5 add).
+pub const MATVEC_FLOPS: u64 = 50;
+/// Flops for [`lu_factor`] (in-place Gaussian elimination, no pivot).
+pub const LU_FACTOR_FLOPS: u64 = 115;
+/// Flops for [`lu_solve_vec`] (forward + back substitution).
+pub const LU_SOLVE_VEC_FLOPS: u64 = 50;
+/// Flops for [`lu_solve_mat`] (five right-hand-side columns).
+pub const LU_SOLVE_MAT_FLOPS: u64 = 5 * LU_SOLVE_VEC_FLOPS;
+
+/// The zero block.
+pub fn zero_block() -> Block {
+    [[0.0; 5]; 5]
+}
+
+/// The identity block.
+pub fn identity() -> Block {
+    let mut b = zero_block();
+    for (i, row) in b.iter_mut().enumerate() {
+        row[i] = 1.0;
+    }
+    b
+}
+
+/// `b * s` for every entry.
+pub fn scale(b: &Block, s: f64) -> Block {
+    let mut out = *b;
+    for row in &mut out {
+        for v in row {
+            *v *= s;
+        }
+    }
+    out
+}
+
+/// `a + b` entrywise.
+pub fn add(a: &Block, b: &Block) -> Block {
+    let mut out = *a;
+    for (ra, rb) in out.iter_mut().zip(b) {
+        for (va, vb) in ra.iter_mut().zip(rb) {
+            *va += vb;
+        }
+    }
+    out
+}
+
+/// `c -= a · b` (matrix–matrix multiply-subtract).
+pub fn mat_mul_sub(c: &mut Block, a: &Block, b: &Block) {
+    for i in 0..5 {
+        for j in 0..5 {
+            let mut acc = 0.0;
+            for (k, brow) in b.iter().enumerate() {
+                acc += a[i][k] * brow[j];
+            }
+            c[i][j] -= acc;
+        }
+    }
+}
+
+/// `y -= a · x` (matrix–vector multiply-subtract).
+pub fn mat_vec_sub(y: &mut Vec5, a: &Block, x: &Vec5) {
+    for (yi, arow) in y.iter_mut().zip(a) {
+        let mut acc = 0.0;
+        for (aij, xj) in arow.iter().zip(x) {
+            acc += aij * xj;
+        }
+        *yi -= acc;
+    }
+}
+
+/// `y = a · x`.
+pub fn mat_vec(a: &Block, x: &Vec5) -> Vec5 {
+    let mut y = [0.0; 5];
+    for (yi, arow) in y.iter_mut().zip(a) {
+        for (aij, xj) in arow.iter().zip(x) {
+            *yi += aij * xj;
+        }
+    }
+    y
+}
+
+/// In-place LU factorization without pivoting (the blocks arising from
+/// the diagonally dominant BT/LU systems never need pivoting).
+///
+/// # Panics
+/// In debug builds, if a pivot underflows to (near) zero.
+pub fn lu_factor(a: &mut Block) {
+    for k in 0..5 {
+        let piv = a[k][k];
+        debug_assert!(
+            piv.abs() > 1e-30 || !piv.is_finite(),
+            "near-singular 5x5 block"
+        );
+        let inv = 1.0 / piv;
+        for i in k + 1..5 {
+            let m = a[i][k] * inv;
+            a[i][k] = m;
+            for j in k + 1..5 {
+                a[i][j] -= m * a[k][j];
+            }
+        }
+    }
+}
+
+/// Solve `L·U x = b` given the in-place factorization from
+/// [`lu_factor`]; `b` is overwritten with `x`.
+pub fn lu_solve_vec(lu: &Block, b: &mut Vec5) {
+    // forward: L y = b (unit lower triangular)
+    for i in 1..5 {
+        let mut acc = b[i];
+        for j in 0..i {
+            acc -= lu[i][j] * b[j];
+        }
+        b[i] = acc;
+    }
+    // backward: U x = y
+    for i in (0..5).rev() {
+        let mut acc = b[i];
+        for j in i + 1..5 {
+            acc -= lu[i][j] * b[j];
+        }
+        b[i] = acc / lu[i][i];
+    }
+}
+
+/// Solve `L·U X = B` column-by-column; `B` is overwritten with `X`.
+pub fn lu_solve_mat(lu: &Block, b: &mut Block) {
+    for col in 0..5 {
+        let mut v = [b[0][col], b[1][col], b[2][col], b[3][col], b[4][col]];
+        lu_solve_vec(lu, &mut v);
+        for (row, vi) in v.iter().enumerate() {
+            b[row][col] = *vi;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_spd() -> Block {
+        // diagonally dominant, well conditioned
+        let mut a = identity();
+        for i in 0..5 {
+            for j in 0..5 {
+                a[i][j] += 0.1 / (1.0 + (i as f64 - j as f64).abs());
+            }
+            a[i][i] += 2.0;
+        }
+        a
+    }
+
+    #[test]
+    fn identity_solves_trivially() {
+        let mut id = identity();
+        lu_factor(&mut id);
+        let mut b = [1.0, 2.0, 3.0, 4.0, 5.0];
+        lu_solve_vec(&id, &mut b);
+        assert_eq!(b, [1.0, 2.0, 3.0, 4.0, 5.0]);
+    }
+
+    #[test]
+    fn factor_solve_recovers_known_solution() {
+        let a = sample_spd();
+        let x = [1.0, -2.0, 0.5, 3.0, -1.5];
+        let b = mat_vec(&a, &x);
+        let mut lu = a;
+        lu_factor(&mut lu);
+        let mut sol = b;
+        lu_solve_vec(&lu, &mut sol);
+        for (s, e) in sol.iter().zip(&x) {
+            assert!((s - e).abs() < 1e-12, "{sol:?} vs {x:?}");
+        }
+    }
+
+    #[test]
+    fn solve_mat_matches_columnwise_solves() {
+        let a = sample_spd();
+        let mut lu = a;
+        lu_factor(&mut lu);
+        let mut rhs = sample_spd();
+        rhs[0][0] = 7.0;
+        let expected = {
+            let mut e = rhs;
+            for col in 0..5 {
+                let mut v = [e[0][col], e[1][col], e[2][col], e[3][col], e[4][col]];
+                lu_solve_vec(&lu, &mut v);
+                for (row, vi) in v.iter().enumerate() {
+                    e[row][col] = *vi;
+                }
+            }
+            e
+        };
+        let mut got = rhs;
+        lu_solve_mat(&lu, &mut got);
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn mat_mul_sub_matches_manual() {
+        let a = sample_spd();
+        let b = identity();
+        let mut c = zero_block();
+        mat_mul_sub(&mut c, &a, &b);
+        // c = -a
+        for i in 0..5 {
+            for j in 0..5 {
+                assert!((c[i][j] + a[i][j]).abs() < 1e-15);
+            }
+        }
+    }
+
+    #[test]
+    fn mat_vec_sub_matches_mat_vec() {
+        let a = sample_spd();
+        let x = [0.1, 0.2, 0.3, 0.4, 0.5];
+        let ax = mat_vec(&a, &x);
+        let mut y = [1.0; 5];
+        mat_vec_sub(&mut y, &a, &x);
+        for i in 0..5 {
+            assert!((y[i] - (1.0 - ax[i])).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn scale_and_add() {
+        let a = identity();
+        let b = add(&scale(&a, 2.0), &a);
+        assert_eq!(b[3][3], 3.0);
+        assert_eq!(b[0][1], 0.0);
+    }
+
+    #[test]
+    fn block_thomas_on_one_rank_matches_dense() {
+        // 4-cell block tridiagonal system solved by the Thomas scheme
+        // used in bt::solve, cross-checked against naive substitution
+        let n = 4;
+        let m = sample_spd();
+        let a_off = scale(&identity(), -0.4); // sub/super diagonal blocks
+        let mut d: Vec<Block> = (0..n).map(|_| m).collect();
+        let x_true: Vec<Vec5> = (0..n)
+            .map(|i| [i as f64, 1.0, -1.0, 0.5 * i as f64, 2.0])
+            .collect();
+        // b_i = A x_{i-1} + D x_i + C x_{i+1}
+        let mut b: Vec<Vec5> = (0..n)
+            .map(|i| {
+                let mut bi = mat_vec(&d[i], &x_true[i]);
+                if i > 0 {
+                    let t = mat_vec(&a_off, &x_true[i - 1]);
+                    for c in 0..5 {
+                        bi[c] += t[c];
+                    }
+                }
+                if i + 1 < n {
+                    let t = mat_vec(&a_off, &x_true[i + 1]);
+                    for c in 0..5 {
+                        bi[c] += t[c];
+                    }
+                }
+                bi
+            })
+            .collect();
+        // forward
+        let mut ctil: Vec<Block> = vec![zero_block(); n];
+        for i in 0..n {
+            if i > 0 {
+                let prev_c = ctil[i - 1];
+                mat_mul_sub(&mut d[i], &a_off, &prev_c);
+                let prev_r = b[i - 1];
+                mat_vec_sub(&mut b[i], &a_off, &prev_r);
+            }
+            lu_factor(&mut d[i]);
+            let mut c = a_off;
+            if i + 1 == n {
+                c = zero_block();
+            }
+            lu_solve_mat(&d[i], &mut c);
+            ctil[i] = c;
+            lu_solve_vec(&d[i], &mut b[i]);
+        }
+        // backward
+        for i in (0..n - 1).rev() {
+            let next = b[i + 1];
+            let mut bi = b[i];
+            mat_vec_sub(&mut bi, &ctil[i], &next);
+            b[i] = bi;
+        }
+        for i in 0..n {
+            for c in 0..5 {
+                assert!(
+                    (b[i][c] - x_true[i][c]).abs() < 1e-10,
+                    "cell {i} comp {c}: {} vs {}",
+                    b[i][c],
+                    x_true[i][c]
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,299 @@
+//! Scalar pentadiagonal line solver (the SP benchmark's core).
+//!
+//! Each line solve handles a system with bandwidth two per component:
+//!
+//! ```text
+//! a_i x_{i-2} + b_i x_{i-1} + c_i x_i + d_i x_{i+1} + e_i x_{i+2} = r_i
+//! ```
+//!
+//! All five components share the coefficients (SP's TXINVR transform
+//! has already decoupled the components), so the right-hand sides are
+//! [`Vec5`]s.  Elimination is pivot-free — the approximate-factorization
+//! systems are strongly diagonally dominant.
+//!
+//! The solver is written in *segments* so ranks can pipeline a line
+//! that spans several subdomains: [`forward`] consumes a two-row carry
+//! from the previous (west) segment and produces the carry for the
+//! next; [`backward`] does the mirror image from the east.  Running a
+//! single segment with zero carries solves a whole line, and the
+//! segment split is bit-exact (tested) — the distributed solve does
+//! the same arithmetic in the same order as a serial one.
+
+use crate::blocks::Vec5;
+
+/// Flops per cell for coefficient assembly + forward elimination +
+/// back substitution of one grid cell (all five components).
+pub const PENTA_CELL_FLOPS: u64 = 70;
+
+/// A normalized, eliminated row: `x_i + dtil·x_{i+1} + etil·x_{i+2} = rtil`.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct PentaRow {
+    /// Coefficient of `x_{i+1}` after normalization.
+    pub dtil: f64,
+    /// Coefficient of `x_{i+2}` after normalization.
+    pub etil: f64,
+    /// Normalized right-hand side, one value per component.
+    pub rtil: Vec5,
+}
+
+/// Raw pentadiagonal coefficients of one row.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct PentaCoeffs {
+    /// Coefficient of `x_{i-2}`.
+    pub a: f64,
+    /// Coefficient of `x_{i-1}`.
+    pub b: f64,
+    /// Diagonal.
+    pub c: f64,
+    /// Coefficient of `x_{i+1}`.
+    pub d: f64,
+    /// Coefficient of `x_{i+2}`.
+    pub e: f64,
+}
+
+/// Forward-eliminate one segment.
+///
+/// * `coeffs` — raw row coefficients for the segment's cells (global
+///   boundary rows must carry zero `a`/`b` or `d`/`e` as appropriate).
+/// * `rhs` — right-hand sides; overwritten with the normalized `rtil`.
+/// * `dtil`/`etil` — per-cell storage for the normalized upper
+///   coefficients (needed by [`backward`]).
+/// * `carry` — the last two eliminated rows of the previous segment
+///   (`[row i-2, row i-1]`); all-zero at the start of a line.
+///
+/// Returns the carry for the next segment.
+pub fn forward(
+    coeffs: &[PentaCoeffs],
+    rhs: &mut [Vec5],
+    dtil: &mut [f64],
+    etil: &mut [f64],
+    carry: [PentaRow; 2],
+) -> [PentaRow; 2] {
+    let n = coeffs.len();
+    assert_eq!(rhs.len(), n);
+    assert_eq!(dtil.len(), n);
+    assert_eq!(etil.len(), n);
+    assert!(n >= 2, "segments need at least two cells");
+    let [mut m2, mut m1] = carry; // rows i-2 and i-1
+    for i in 0..n {
+        let PentaCoeffs { a, b, c, d, e } = coeffs[i];
+        // eliminate x_{i-2} via row m2
+        let b1 = b - a * m2.dtil;
+        let mut cc = c - a * m2.etil;
+        let mut dd = d;
+        let mut r = rhs[i];
+        for (rc, m2c) in r.iter_mut().zip(&m2.rtil) {
+            *rc -= a * m2c;
+        }
+        // eliminate x_{i-1} via row m1
+        cc -= b1 * m1.dtil;
+        dd -= b1 * m1.etil;
+        for (rc, m1c) in r.iter_mut().zip(&m1.rtil) {
+            *rc -= b1 * m1c;
+        }
+        // normalize
+        let inv = 1.0 / cc;
+        let row = PentaRow {
+            dtil: dd * inv,
+            etil: e * inv,
+            rtil: [r[0] * inv, r[1] * inv, r[2] * inv, r[3] * inv, r[4] * inv],
+        };
+        dtil[i] = row.dtil;
+        etil[i] = row.etil;
+        rhs[i] = row.rtil;
+        m2 = m1;
+        m1 = row;
+    }
+    [m2, m1]
+}
+
+/// Back-substitute one segment.
+///
+/// * `rhs` holds the `rtil` values from [`forward`] and is overwritten
+///   with the solution.
+/// * `carry` — the first two solution cells of the following (east)
+///   segment, `[x_{hi}, x_{hi+1}]`; all-zero at the end of a line
+///   (valid because the global last rows have zero `dtil`/`etil`).
+///
+/// Returns this segment's first two solution cells (the carry for the
+/// previous segment).
+pub fn backward(dtil: &[f64], etil: &[f64], rhs: &mut [Vec5], carry: [Vec5; 2]) -> [Vec5; 2] {
+    let n = dtil.len();
+    assert_eq!(etil.len(), n);
+    assert_eq!(rhs.len(), n);
+    assert!(n >= 2, "segments need at least two cells");
+    let [mut x1, mut x2] = carry; // x_{i+1}, x_{i+2}
+    for i in (0..n).rev() {
+        let mut x = rhs[i];
+        for c in 0..5 {
+            x[c] -= dtil[i] * x1[c] + etil[i] * x2[c];
+        }
+        rhs[i] = x;
+        x2 = x1;
+        x1 = x;
+    }
+    [rhs[0], if n >= 2 { rhs[1] } else { x1 }]
+}
+
+/// Solve a whole line in place on one rank (zero carries both ways).
+pub fn solve_line(coeffs: &[PentaCoeffs], rhs: &mut [Vec5], dtil: &mut [f64], etil: &mut [f64]) {
+    let zero = [PentaRow::default(), PentaRow::default()];
+    forward(coeffs, rhs, dtil, etil, zero);
+    backward(dtil, etil, rhs, [[0.0; 5]; 2]);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A diagonally dominant pentadiagonal test matrix with zeroed
+    /// out-of-range bands.
+    fn sample_coeffs(n: usize) -> Vec<PentaCoeffs> {
+        (0..n)
+            .map(|i| PentaCoeffs {
+                a: if i >= 2 { 0.1 + 0.01 * i as f64 } else { 0.0 },
+                b: if i >= 1 { -0.4 } else { 0.0 },
+                c: 2.0 + 0.05 * i as f64,
+                d: if i + 1 < n { -0.4 } else { 0.0 },
+                e: if i + 2 < n { 0.1 } else { 0.0 },
+            })
+            .collect()
+    }
+
+    fn apply(coeffs: &[PentaCoeffs], x: &[Vec5]) -> Vec<Vec5> {
+        let n = coeffs.len();
+        (0..n)
+            .map(|i| {
+                let mut r = [0.0; 5];
+                for c in 0..5 {
+                    let PentaCoeffs { a, b, c: cc, d, e } = coeffs[i];
+                    let mut acc = cc * x[i][c];
+                    if i >= 2 {
+                        acc += a * x[i - 2][c];
+                    }
+                    if i >= 1 {
+                        acc += b * x[i - 1][c];
+                    }
+                    if i + 1 < n {
+                        acc += d * x[i + 1][c];
+                    }
+                    if i + 2 < n {
+                        acc += e * x[i + 2][c];
+                    }
+                    r[c] = acc;
+                }
+                r
+            })
+            .collect()
+    }
+
+    fn x_true(n: usize) -> Vec<Vec5> {
+        (0..n)
+            .map(|i| {
+                let f = i as f64;
+                [f, 1.0 - f, 0.5 * f, (f * 0.7).sin(), 2.0]
+            })
+            .collect()
+    }
+
+    #[test]
+    fn solve_line_recovers_known_solution() {
+        let n = 12;
+        let coeffs = sample_coeffs(n);
+        let xt = x_true(n);
+        let mut rhs = apply(&coeffs, &xt);
+        let mut dt = vec![0.0; n];
+        let mut et = vec![0.0; n];
+        solve_line(&coeffs, &mut rhs, &mut dt, &mut et);
+        for i in 0..n {
+            for c in 0..5 {
+                assert!(
+                    (rhs[i][c] - xt[i][c]).abs() < 1e-10,
+                    "cell {i} comp {c}: {} vs {}",
+                    rhs[i][c],
+                    xt[i][c]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn segmented_solve_is_bit_identical_to_whole_line() {
+        let n = 16;
+        let split = 7;
+        let coeffs = sample_coeffs(n);
+        let xt = x_true(n);
+        let rhs0 = apply(&coeffs, &xt);
+
+        // whole-line reference
+        let mut whole = rhs0.clone();
+        let mut dt = vec![0.0; n];
+        let mut et = vec![0.0; n];
+        solve_line(&coeffs, &mut whole, &mut dt, &mut et);
+
+        // two segments with carries
+        let mut seg = rhs0;
+        let (cl, cr) = coeffs.split_at(split);
+        let (sl, sr) = seg.split_at_mut(split);
+        let mut dtl = vec![0.0; split];
+        let mut etl = vec![0.0; split];
+        let mut dtr = vec![0.0; n - split];
+        let mut etr = vec![0.0; n - split];
+        let carry = forward(cl, sl, &mut dtl, &mut etl, [PentaRow::default(); 2]);
+        forward(cr, sr, &mut dtr, &mut etr, carry);
+        let back = backward(&dtr, &etr, sr, [[0.0; 5]; 2]);
+        backward(&dtl, &etl, sl, back);
+
+        for i in 0..n {
+            assert_eq!(
+                seg[i], whole[i],
+                "cell {i} differs between segmented and whole solve"
+            );
+        }
+    }
+
+    #[test]
+    fn three_way_split_matches_too() {
+        let n = 18;
+        let coeffs = sample_coeffs(n);
+        let xt = x_true(n);
+        let rhs0 = apply(&coeffs, &xt);
+
+        let mut whole = rhs0.clone();
+        let mut dt = vec![0.0; n];
+        let mut et = vec![0.0; n];
+        solve_line(&coeffs, &mut whole, &mut dt, &mut et);
+
+        let bounds = [0usize, 5, 11, 18];
+        let mut seg = rhs0;
+        let mut dts: Vec<Vec<f64>> = Vec::new();
+        let mut ets: Vec<Vec<f64>> = Vec::new();
+        let mut carry = [PentaRow::default(); 2];
+        for w in bounds.windows(2) {
+            let (lo, hi) = (w[0], w[1]);
+            let mut d = vec![0.0; hi - lo];
+            let mut e = vec![0.0; hi - lo];
+            carry = forward(&coeffs[lo..hi], &mut seg[lo..hi], &mut d, &mut e, carry);
+            dts.push(d);
+            ets.push(e);
+        }
+        let mut back = [[0.0; 5]; 2];
+        for (s, w) in bounds.windows(2).enumerate().rev() {
+            let (lo, hi) = (w[0], w[1]);
+            back = backward(&dts[s], &ets[s], &mut seg[lo..hi], back);
+        }
+        for i in 0..n {
+            assert_eq!(seg[i], whole[i], "cell {i}");
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn one_cell_segment_panics() {
+        let coeffs = sample_coeffs(1);
+        let mut rhs = vec![[0.0; 5]];
+        let mut d = vec![0.0];
+        let mut e = vec![0.0];
+        forward(&coeffs, &mut rhs, &mut d, &mut e, [PentaRow::default(); 2]);
+    }
+}

@@ -1,0 +1,112 @@
+//! NPB-style verification: golden reference norms.
+//!
+//! The original NPB codes end every run by comparing computed residual
+//! norms against published reference values and printing "VERIFICATION
+//! SUCCESSFUL".  Our benchmarks solve a (documented) substitute
+//! problem, so the reference values are this repository's own —
+//! generated once from the serial numeric solver and frozen here.
+//! They pin down the *entire* numeric stack: initialization, forcing,
+//! stencils, halo exchange, all three solver families and the
+//! verification norms themselves.  Any change to the arithmetic
+//! (including well-intentioned "refactors" that reorder floating-point
+//! operations) trips these tests.
+//!
+//! The reference scenario: class S, 5 main-loop iterations, initial
+//! perturbation amplitude 0.1.  Parallel runs must agree with the
+//! serial references to near machine precision — the solvers perform
+//! identical arithmetic in identical order regardless of the
+//! decomposition (only the verification all-reduce reorders sums).
+
+use crate::app::Benchmark;
+use crate::common::VerifyResult;
+
+/// Reference scenario parameters.
+pub const REFERENCE_ITERS: u32 = 5;
+/// Initial perturbation amplitude of the reference scenario.
+pub const REFERENCE_PERTURB: f64 = 0.1;
+
+/// Golden `(residual², deviation²)` for class S after
+/// [`REFERENCE_ITERS`] iterations (serial run).
+pub fn reference_norms(benchmark: Benchmark) -> VerifyResult {
+    match benchmark {
+        Benchmark::Bt => VerifyResult {
+            resid_norm: 9.08633397184563e-2,
+            dev_norm: 1.120264394833303e0,
+        },
+        Benchmark::Sp => VerifyResult {
+            resid_norm: 8.62167902218788e-2,
+            dev_norm: 2.499295152099608e0,
+        },
+        Benchmark::Lu => VerifyResult {
+            resid_norm: 9.01715720785826e-2,
+            dev_norm: 2.010686817201166e0,
+        },
+    }
+}
+
+/// Whether `measured` matches the golden values to the tolerance that
+/// allows only all-reduce summation reordering (`rtol = 1e-12`).
+pub fn verify(benchmark: Benchmark, measured: &VerifyResult) -> bool {
+    let r = reference_norms(benchmark);
+    let close = |a: f64, b: f64| (a - b).abs() <= 1e-12 * b.abs().max(1e-300);
+    close(measured.resid_norm, r.resid_norm) && close(measured.dev_norm, r.dev_norm)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classes::Class;
+    use crate::executor::{ExecConfig, NpbExecutor};
+    use crate::kernel::Mode;
+    use crate::NpbApp;
+    use kc_machine::MachineConfig;
+
+    fn run(b: Benchmark, p: usize) -> VerifyResult {
+        let cfg = ExecConfig {
+            mode: Mode::Numeric,
+            ..ExecConfig::default()
+        };
+        let exec = NpbExecutor::new(NpbApp::new(b, Class::S, p), MachineConfig::test_tiny(), cfg);
+        exec.run_numeric(REFERENCE_ITERS, REFERENCE_PERTURB).verify
+    }
+
+    #[test]
+    fn serial_runs_match_golden_values() {
+        for b in Benchmark::ALL {
+            let v = run(b, 1);
+            assert!(
+                verify(b, &v),
+                "{b} serial verification failed: measured {v:?}, expected {:?}",
+                reference_norms(b)
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_runs_match_golden_values() {
+        for b in Benchmark::ALL {
+            let v = run(b, 4);
+            assert!(
+                verify(b, &v),
+                "{b} 4-rank verification failed: measured {v:?}, expected {:?}",
+                reference_norms(b)
+            );
+        }
+    }
+
+    #[test]
+    fn verification_rejects_wrong_norms() {
+        let mut v = reference_norms(Benchmark::Bt);
+        v.dev_norm *= 1.0 + 1e-6;
+        assert!(!verify(Benchmark::Bt, &v));
+    }
+
+    #[test]
+    fn golden_values_are_distinct_per_benchmark() {
+        let bt = reference_norms(Benchmark::Bt);
+        let sp = reference_norms(Benchmark::Sp);
+        let lu = reference_norms(Benchmark::Lu);
+        assert_ne!(bt, sp);
+        assert_ne!(sp, lu);
+    }
+}

@@ -1,0 +1,241 @@
+//! Property tests of the distributed line solvers: segmented
+//! elimination with carries must be bit-identical to a whole-line
+//! solve for arbitrary segment splits, and the solves must actually
+//! solve their systems.
+
+use kc_npb::blocks::{self, Block, Vec5};
+use kc_npb::penta::{self, PentaCoeffs, PentaRow};
+use proptest::prelude::*;
+
+// ---------- shared helpers ----------
+
+fn dominant_block(seed: f64) -> Block {
+    let mut a = blocks::identity();
+    for (i, row) in a.iter_mut().enumerate() {
+        for (j, v) in row.iter_mut().enumerate() {
+            *v += (0.05 + 0.02 * seed) / (1.0 + (i as f64 - j as f64).abs());
+        }
+        row[i] += 2.0 + 0.3 * seed;
+    }
+    a
+}
+
+/// Block-tridiagonal Thomas over one segment (the algorithm of
+/// `kc_npb::bt::solve`, extracted for direct property testing).
+#[allow(clippy::too_many_arguments)]
+fn bt_forward_segment(
+    diag: &[Block],
+    off: &Block,
+    rhs: &mut [Vec5],
+    ctil: &mut [Block],
+    carry: (Block, Vec5),
+    at_start: bool,
+    at_end: bool,
+) -> (Block, Vec5) {
+    let n = diag.len();
+    let (mut prev_c, mut prev_r) = carry;
+    for i in 0..n {
+        let a_blk = if i == 0 && at_start {
+            blocks::zero_block()
+        } else {
+            *off
+        };
+        let c_blk = if i + 1 == n && at_end {
+            blocks::zero_block()
+        } else {
+            *off
+        };
+        let mut d = diag[i];
+        let mut r = rhs[i];
+        blocks::mat_mul_sub(&mut d, &a_blk, &prev_c);
+        blocks::mat_vec_sub(&mut r, &a_blk, &prev_r);
+        blocks::lu_factor(&mut d);
+        let mut c = c_blk;
+        blocks::lu_solve_mat(&d, &mut c);
+        blocks::lu_solve_vec(&d, &mut r);
+        ctil[i] = c;
+        rhs[i] = r;
+        prev_c = c;
+        prev_r = r;
+    }
+    (prev_c, prev_r)
+}
+
+fn bt_backward_segment(ctil: &[Block], rhs: &mut [Vec5], carry: Vec5) -> Vec5 {
+    let mut x_next = carry;
+    for i in (0..ctil.len()).rev() {
+        let mut x = rhs[i];
+        blocks::mat_vec_sub(&mut x, &ctil[i], &x_next);
+        rhs[i] = x;
+        x_next = x;
+    }
+    x_next
+}
+
+fn bt_apply(diag: &[Block], off: &Block, x: &[Vec5]) -> Vec<Vec5> {
+    let n = diag.len();
+    (0..n)
+        .map(|i| {
+            let mut b = blocks::mat_vec(&diag[i], &x[i]);
+            if i > 0 {
+                let t = blocks::mat_vec(off, &x[i - 1]);
+                for c in 0..5 {
+                    b[c] += t[c];
+                }
+            }
+            if i + 1 < n {
+                let t = blocks::mat_vec(off, &x[i + 1]);
+                for c in 0..5 {
+                    b[c] += t[c];
+                }
+            }
+            b
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Block Thomas recovers a known solution on one segment.
+    #[test]
+    fn bt_thomas_solves_the_system(
+        n in 3usize..14,
+        seed in 0.0f64..1.0,
+        xvals in prop::collection::vec(-3.0f64..3.0, 5),
+    ) {
+        let off = blocks::scale(&blocks::identity(), -0.35);
+        let diag: Vec<Block> = (0..n).map(|i| dominant_block(seed + i as f64 * 0.01)).collect();
+        let x_true: Vec<Vec5> = (0..n)
+            .map(|i| {
+                let f = i as f64;
+                [xvals[0] + f, xvals[1], xvals[2] * f, xvals[3], xvals[4] - f]
+            })
+            .collect();
+        let mut rhs = bt_apply(&diag, &off, &x_true);
+        let mut ctil = vec![blocks::zero_block(); n];
+        bt_forward_segment(
+            &diag, &off, &mut rhs, &mut ctil,
+            (blocks::zero_block(), [0.0; 5]), true, true,
+        );
+        bt_backward_segment(&ctil, &mut rhs, [0.0; 5]);
+        for i in 0..n {
+            for c in 0..5 {
+                prop_assert!(
+                    (rhs[i][c] - x_true[i][c]).abs() < 1e-8,
+                    "cell {i} comp {c}: {} vs {}", rhs[i][c], x_true[i][c]
+                );
+            }
+        }
+    }
+
+    /// Segmenting the block-Thomas solve at an arbitrary split point
+    /// and passing carries is bit-identical to the whole-line solve —
+    /// the property the distributed x/y solves rely on.
+    #[test]
+    fn bt_segmented_solve_is_bit_identical(
+        n in 4usize..16,
+        split_frac in 0.2f64..0.8,
+        seed in 0.0f64..1.0,
+    ) {
+        let split = ((n as f64 * split_frac) as usize).clamp(1, n - 1);
+        let off = blocks::scale(&blocks::identity(), -0.3);
+        let diag: Vec<Block> = (0..n).map(|i| dominant_block(seed + i as f64 * 0.02)).collect();
+        let rhs0: Vec<Vec5> = (0..n)
+            .map(|i| [i as f64, 1.0, -0.5, (i % 3) as f64, 2.0])
+            .collect();
+
+        // whole line
+        let mut whole = rhs0.clone();
+        let mut ctil_w = vec![blocks::zero_block(); n];
+        bt_forward_segment(&diag, &off, &mut whole, &mut ctil_w,
+            (blocks::zero_block(), [0.0; 5]), true, true);
+        bt_backward_segment(&ctil_w, &mut whole, [0.0; 5]);
+
+        // two segments with carries
+        let mut seg = rhs0;
+        let mut ctil_l = vec![blocks::zero_block(); split];
+        let mut ctil_r = vec![blocks::zero_block(); n - split];
+        let (dl, dr) = diag.split_at(split);
+        let (sl, sr) = seg.split_at_mut(split);
+        let carry = bt_forward_segment(dl, &off, sl, &mut ctil_l,
+            (blocks::zero_block(), [0.0; 5]), true, false);
+        bt_forward_segment(dr, &off, sr, &mut ctil_r, carry, false, true);
+        let back = bt_backward_segment(&ctil_r, sr, [0.0; 5]);
+        bt_backward_segment(&ctil_l, sl, back);
+
+        for i in 0..n {
+            prop_assert_eq!(seg[i], whole[i], "cell {} differs", i);
+        }
+    }
+
+    /// Pentadiagonal: arbitrary multi-way splits are bit-identical to
+    /// the whole-line solve.
+    #[test]
+    fn penta_multiway_split_is_bit_identical(
+        n in 6usize..24,
+        s1 in 0.15f64..0.45,
+        s2 in 0.55f64..0.85,
+    ) {
+        let b1 = ((n as f64 * s1) as usize).clamp(2, n - 4);
+        let b2 = ((n as f64 * s2) as usize).clamp(b1 + 2, n - 2);
+        let coeffs: Vec<PentaCoeffs> = (0..n)
+            .map(|i| PentaCoeffs {
+                a: if i >= 2 { 0.02 } else { 0.0 },
+                b: if i >= 1 { -0.4 } else { 0.0 },
+                c: 2.0 + 0.01 * i as f64,
+                d: if i + 1 < n { -0.4 } else { 0.0 },
+                e: if i + 2 < n { 0.02 } else { 0.0 },
+            })
+            .collect();
+        let rhs0: Vec<Vec5> = (0..n)
+            .map(|i| [1.0, i as f64, -(i as f64), 0.5, (i % 4) as f64])
+            .collect();
+
+        let mut whole = rhs0.clone();
+        let mut dt = vec![0.0; n];
+        let mut et = vec![0.0; n];
+        penta::solve_line(&coeffs, &mut whole, &mut dt, &mut et);
+
+        let bounds = [0, b1, b2, n];
+        let mut seg = rhs0;
+        let mut dts: Vec<Vec<f64>> = Vec::new();
+        let mut ets: Vec<Vec<f64>> = Vec::new();
+        let mut carry = [PentaRow::default(); 2];
+        for w in bounds.windows(2) {
+            let (lo, hi) = (w[0], w[1]);
+            let mut d = vec![0.0; hi - lo];
+            let mut e = vec![0.0; hi - lo];
+            carry = penta::forward(&coeffs[lo..hi], &mut seg[lo..hi], &mut d, &mut e, carry);
+            dts.push(d);
+            ets.push(e);
+        }
+        let mut back = [[0.0; 5]; 2];
+        for (s, w) in bounds.windows(2).enumerate().rev() {
+            let (lo, hi) = (w[0], w[1]);
+            back = penta::backward(&dts[s], &ets[s], &mut seg[lo..hi], back);
+        }
+        for i in 0..n {
+            prop_assert_eq!(seg[i], whole[i], "cell {} differs", i);
+        }
+    }
+
+    /// 5x5 LU factor/solve inverts arbitrary diagonally dominant
+    /// blocks.
+    #[test]
+    fn block_lu_roundtrip(
+        seed in 0.0f64..1.0,
+        x in prop::collection::vec(-5.0f64..5.0, 5),
+    ) {
+        let a = dominant_block(seed);
+        let xv: Vec5 = [x[0], x[1], x[2], x[3], x[4]];
+        let b = blocks::mat_vec(&a, &xv);
+        let mut lu = a;
+        blocks::lu_factor(&mut lu);
+        let mut sol = b;
+        blocks::lu_solve_vec(&lu, &mut sol);
+        for c in 0..5 {
+            prop_assert!((sol[c] - xv[c]).abs() < 1e-9, "comp {c}");
+        }
+    }
+}

@@ -1,0 +1,200 @@
+//! The reuse advisor: can a stored campaign predict a new
+//! configuration, or is fresh measurement warranted?
+//!
+//! The decision rule comes straight from the reproduction's reuse
+//! study (and the paper's regime observation): coefficients transfer
+//! while the target sits in the *same performance regime* as the
+//! source — operationally, the same cache level holds the
+//! per-processor working set.  Regime identification is supplied by
+//! the caller as a closure (`kc-experiments` derives it from the
+//! benchmark working sets and the machine's cache capacities), keeping
+//! this crate application-agnostic.
+
+use crate::planner::{plan, MeasurementPlan};
+use crate::record::CampaignKey;
+use crate::store::CampaignStore;
+use kc_core::{predict_with_reused_coefficients, CouplingError};
+
+/// The advisor's verdict for a target configuration.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Advice {
+    /// An exact campaign exists; use its native prediction.
+    Native {
+        /// The stored campaign to use.
+        key: CampaignKey,
+    },
+    /// No exact campaign, but a same-regime campaign's coefficients
+    /// can be transferred; only the target's isolated kernel times are
+    /// needed.
+    Transfer {
+        /// The stored campaign to take coefficients from.
+        source: CampaignKey,
+        /// The shared regime identifier.
+        regime: usize,
+    },
+    /// Nothing reusable: run the measurements in the plan.
+    MeasureFresh {
+        /// What a fresh campaign at the target costs.
+        plan: MeasurementPlan,
+    },
+}
+
+/// Decide how to predict `target`.
+///
+/// `regime_of` maps a configuration to its performance-regime id
+/// (e.g. the cache level holding the working set); `kernels` is the
+/// loop-kernel count used for plan costing.  Transfer sources must
+/// share machine, benchmark and chain length, and sit in the same
+/// regime.
+pub fn advise(
+    store: &CampaignStore,
+    target: &CampaignKey,
+    kernels: usize,
+    regime_of: impl Fn(&CampaignKey) -> usize,
+) -> Advice {
+    if store.get(target).is_some() {
+        return Advice::Native {
+            key: target.clone(),
+        };
+    }
+    let target_regime = regime_of(target);
+    let candidate = store
+        .query(|k| {
+            k.machine == target.machine
+                && k.benchmark == target.benchmark
+                && k.chain_len == target.chain_len
+        })
+        .into_iter()
+        .filter(|r| regime_of(&r.key) == target_regime)
+        // prefer the closest processor count (most similar pipeline
+        // structure)
+        .min_by_key(|r| r.key.procs.abs_diff(target.procs));
+    match candidate {
+        Some(r) => Advice::Transfer {
+            source: r.key.clone(),
+            regime: target_regime,
+        },
+        None => Advice::MeasureFresh {
+            plan: plan(store, target, kernels),
+        },
+    }
+}
+
+/// Execute a [`Advice::Transfer`]: predict the target's total time
+/// from the source's coefficients and the target's isolated kernel
+/// means (per iteration), loop count and serial overhead.
+pub fn transfer_predict(
+    store: &CampaignStore,
+    source: &CampaignKey,
+    target_isolated: &[f64],
+    target_iterations: u32,
+    target_overhead: f64,
+) -> Result<f64, CouplingError> {
+    let record = store.get(source).expect("transfer source must be stored");
+    let analysis = record.to_analysis()?;
+    predict_with_reused_coefficients(
+        &analysis,
+        target_isolated,
+        target_iterations,
+        target_overhead,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::CampaignRecord;
+    use kc_core::{ChainExecutor, CouplingAnalysis, SyntheticExecutor};
+
+    /// Synthetic "configurations": regime = procs bucket (<=8 vs >8).
+    fn regime(k: &CampaignKey) -> usize {
+        usize::from(k.procs > 8)
+    }
+
+    /// A synthetic configuration whose times scale with 1/procs and
+    /// whose interactions scale proportionally (in-regime transfers
+    /// are then lossless).
+    fn build(procs: usize) -> SyntheticExecutor {
+        let s = 4.0 / procs as f64;
+        SyntheticExecutor::builder()
+            .kernel("a", 1.0 * s)
+            .kernel("b", 2.0 * s)
+            .kernel("c", 1.5 * s)
+            .interaction("a", "b", -0.2 * s)
+            .interaction("b", "c", -0.1 * s)
+            .overheads(1.0, 0.5)
+            .loop_iterations(100)
+            .build()
+    }
+
+    fn key(procs: usize) -> CampaignKey {
+        CampaignKey::new("m", "synthetic", "S", procs, 2)
+    }
+
+    fn record(procs: usize) -> CampaignRecord {
+        let mut a = build(procs);
+        let analysis = CouplingAnalysis::collect(&mut a, 2, 2).unwrap();
+        CampaignRecord::from_analysis(key(procs), &analysis)
+    }
+
+    #[test]
+    fn native_when_exact_record_exists() {
+        let mut store = CampaignStore::new();
+        store.insert(record(4));
+        let advice = advise(&store, &key(4), 3, regime);
+        assert_eq!(advice, Advice::Native { key: key(4) });
+    }
+
+    #[test]
+    fn transfer_within_regime_prefers_nearest_procs() {
+        let mut store = CampaignStore::new();
+        store.insert(record(2));
+        store.insert(record(8));
+        store.insert(record(16)); // other regime
+        let advice = advise(&store, &key(6), 3, regime);
+        assert_eq!(
+            advice,
+            Advice::Transfer {
+                source: key(8),
+                regime: 0
+            }
+        );
+    }
+
+    #[test]
+    fn fresh_when_only_other_regimes_exist() {
+        let mut store = CampaignStore::new();
+        store.insert(record(16)); // regime 1
+        let advice = advise(&store, &key(4), 3, regime); // regime 0
+        match advice {
+            Advice::MeasureFresh { plan } => assert_eq!(plan.runs(), 8),
+            other => panic!("expected MeasureFresh, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn transfer_prediction_lands_near_truth() {
+        let mut store = CampaignStore::new();
+        store.insert(record(4));
+        // target at p=8: proportional scaling -> transfer is as good
+        // as native
+        let mut target_app = build(8);
+        let target = CouplingAnalysis::collect(&mut target_app, 2, 2).unwrap();
+        let isolated: Vec<f64> = target
+            .kernel_set()
+            .ids()
+            .map(|k| target.isolated(k).mean())
+            .collect();
+        let pred = transfer_predict(
+            &store,
+            &key(4),
+            &isolated,
+            target.loop_iterations(),
+            target.overhead().mean(),
+        )
+        .unwrap();
+        let actual = target_app.measure_application().mean();
+        let err = (pred - actual).abs() / actual;
+        assert!(err < 0.05, "transfer error {err:.4}");
+    }
+}

@@ -1,0 +1,53 @@
+//! # kc-prophesy
+//!
+//! A Prophesy-style measurement database for coupling campaigns.
+//!
+//! The kernel-coupling paper grew out of the authors' **Prophesy**
+//! project ("Prophesy: Automating the Modeling Process", cited as
+//! \[TG01\]): an infrastructure that records performance measurements in
+//! a database and builds models from them automatically (reference \[TG01\]).  This crate
+//! is that layer for the coupling methodology:
+//!
+//! * [`record`] — serializable campaign records round-tripping to and
+//!   from `kc_core::CouplingAnalysis` with full sample fidelity;
+//! * [`store`] — a JSON-file-backed store with key/filter queries;
+//! * [`planner`] — incremental measurement planning: given what the
+//!   store already holds, which cluster runs does a new campaign
+//!   actually need?  (Isolated kernel times, the serial overhead and
+//!   the ground truth are shared across chain lengths, so extending a
+//!   campaign to a new chain length costs only `N` window runs.)
+//! * [`advisor`] — operationalizes the paper's §6 future work: given a
+//!   target configuration, decide whether a stored campaign's
+//!   coefficients can be *reused* (same regime) or fresh measurements
+//!   are warranted, and produce the transferred prediction.
+//!
+//! ```
+//! use kc_core::{ChainExecutor, CouplingAnalysis, SyntheticExecutor};
+//! use kc_prophesy::{CampaignKey, CampaignRecord, CampaignStore};
+//!
+//! let mut app = SyntheticExecutor::builder()
+//!     .kernel("a", 1.0)
+//!     .kernel("b", 2.0)
+//!     .interaction("a", "b", -0.2)
+//!     .loop_iterations(100)
+//!     .build();
+//! let analysis = CouplingAnalysis::collect(&mut app, 2, 3).unwrap();
+//!
+//! let key = CampaignKey::new("test-machine", "synthetic", "S", 1, 2);
+//! let mut store = CampaignStore::new();
+//! store.insert(CampaignRecord::from_analysis(key.clone(), &analysis));
+//!
+//! // later (or in another process): rebuild the analysis and predict
+//! let restored = store.get(&key).unwrap().to_analysis().unwrap();
+//! assert_eq!(restored.couplings().unwrap(), analysis.couplings().unwrap());
+//! ```
+
+pub mod advisor;
+pub mod planner;
+pub mod record;
+pub mod store;
+
+pub use advisor::{advise, transfer_predict, Advice};
+pub use planner::{campaign_runs, MeasurementPlan};
+pub use record::{CampaignKey, CampaignRecord};
+pub use store::CampaignStore;

@@ -1,0 +1,147 @@
+//! Incremental measurement planning.
+//!
+//! A full campaign at chain length `L` over an `N`-kernel loop costs
+//! `N` isolated runs + `N` window runs + the overhead run + the
+//! ground-truth run.  But the isolated, overhead and ground-truth
+//! measurements do not depend on `L` — extending an existing campaign
+//! to another chain length only needs the `N` new windows.  The
+//! planner makes that arithmetic explicit so a tool (or a person with
+//! limited machine-room hours, as in 2002) can see what a study will
+//! cost before running it.
+
+use crate::record::CampaignKey;
+use crate::store::CampaignStore;
+use serde::{Deserialize, Serialize};
+
+/// What still has to be measured for a campaign.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MeasurementPlan {
+    /// The campaign being planned.
+    pub key: CampaignKey,
+    /// Whether the `N` isolated kernel runs are needed (false when a
+    /// same-configuration record already holds them).
+    pub needs_isolated: bool,
+    /// Whether the serial-overhead run is needed.
+    pub needs_overhead: bool,
+    /// Whether the ground-truth application run is needed.
+    pub needs_actual: bool,
+    /// Whether the `N` chain-window runs at this chain length are
+    /// needed (false when this exact campaign is already stored).
+    pub needs_windows: bool,
+    /// Number of loop kernels.
+    pub kernels: usize,
+}
+
+impl MeasurementPlan {
+    /// Total cluster runs this plan requires.
+    pub fn runs(&self) -> usize {
+        let mut n = 0;
+        if self.needs_isolated {
+            n += self.kernels;
+        }
+        if self.needs_windows {
+            n += self.kernels;
+        }
+        n += usize::from(self.needs_overhead) + usize::from(self.needs_actual);
+        n
+    }
+
+    /// Whether nothing needs to run.
+    pub fn is_complete(&self) -> bool {
+        self.runs() == 0
+    }
+}
+
+/// Cluster runs of a *fresh* campaign over `kernels` loop kernels at
+/// `chain_lens.len()` chain lengths (the quantity the paper's §6 wants
+/// reduced).
+pub fn campaign_runs(kernels: usize, chain_lens: usize) -> usize {
+    kernels            // isolated
+        + kernels * chain_lens // windows per length
+        + 2 // overhead + ground truth
+}
+
+/// Plan the measurements for `key` (with `kernels` loop kernels) given
+/// what `store` already holds.
+pub fn plan(store: &CampaignStore, key: &CampaignKey, kernels: usize) -> MeasurementPlan {
+    let exact = store.get(key).is_some();
+    let same_config = !store.configuration_records(key).is_empty();
+    MeasurementPlan {
+        key: key.clone(),
+        needs_isolated: !same_config,
+        needs_overhead: !same_config,
+        needs_actual: !same_config,
+        needs_windows: !exact,
+        kernels,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::CampaignRecord;
+    use kc_core::{CouplingAnalysis, SyntheticExecutor};
+
+    fn stored(chain_len: usize) -> CampaignRecord {
+        let mut app = SyntheticExecutor::builder()
+            .kernel("a", 1.0)
+            .kernel("b", 2.0)
+            .kernel("c", 1.0)
+            .loop_iterations(10)
+            .build();
+        let analysis = CouplingAnalysis::collect(&mut app, chain_len, 2).unwrap();
+        CampaignRecord::from_analysis(
+            CampaignKey::new("m", "synthetic", "S", 4, chain_len),
+            &analysis,
+        )
+    }
+
+    #[test]
+    fn fresh_campaign_costs_everything() {
+        let store = CampaignStore::new();
+        let key = CampaignKey::new("m", "synthetic", "S", 4, 2);
+        let p = plan(&store, &key, 3);
+        assert!(p.needs_isolated && p.needs_windows && p.needs_overhead && p.needs_actual);
+        assert_eq!(p.runs(), 3 + 3 + 2);
+        assert_eq!(p.runs(), campaign_runs(3, 1));
+    }
+
+    #[test]
+    fn extending_to_a_new_chain_length_costs_only_windows() {
+        let mut store = CampaignStore::new();
+        store.insert(stored(2));
+        let key = CampaignKey::new("m", "synthetic", "S", 4, 3);
+        let p = plan(&store, &key, 3);
+        assert!(!p.needs_isolated && !p.needs_overhead && !p.needs_actual);
+        assert!(p.needs_windows);
+        assert_eq!(p.runs(), 3);
+    }
+
+    #[test]
+    fn exact_record_needs_nothing() {
+        let mut store = CampaignStore::new();
+        store.insert(stored(2));
+        let key = CampaignKey::new("m", "synthetic", "S", 4, 2);
+        let p = plan(&store, &key, 3);
+        assert!(p.is_complete());
+    }
+
+    #[test]
+    fn different_configuration_is_a_fresh_campaign() {
+        let mut store = CampaignStore::new();
+        store.insert(stored(2));
+        let key = CampaignKey::new("m", "synthetic", "S", 9, 2); // other procs
+        let p = plan(&store, &key, 3);
+        assert_eq!(p.runs(), 8);
+    }
+
+    #[test]
+    fn multi_length_study_cost_formula() {
+        // a 5-kernel loop studied at 3 chain lengths: the naive cost
+        // is 5 + 15 + 2 runs; incremental measurement after the first
+        // length saves the shared runs for the other two
+        assert_eq!(campaign_runs(5, 3), 22);
+        let per_extra_length = 5;
+        assert_eq!(campaign_runs(5, 1) + 2 * per_extra_length, 22);
+    }
+}

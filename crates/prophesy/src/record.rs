@@ -1,0 +1,212 @@
+//! Serializable campaign records.
+
+use kc_core::{CouplingAnalysis, CouplingError, KernelSet, Measurement};
+use serde::{Deserialize, Serialize};
+
+/// Identifies one campaign: where it ran and at what chain length.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct CampaignKey {
+    /// Machine name (e.g. `ibm-sp-p2sc`).
+    pub machine: String,
+    /// Benchmark / application name.
+    pub benchmark: String,
+    /// Problem-class label.
+    pub class: String,
+    /// Processor count.
+    pub procs: usize,
+    /// Chain (window) length of the coupling measurements.
+    pub chain_len: usize,
+}
+
+impl CampaignKey {
+    /// Convenience constructor.
+    pub fn new(
+        machine: &str,
+        benchmark: &str,
+        class: &str,
+        procs: usize,
+        chain_len: usize,
+    ) -> Self {
+        Self {
+            machine: machine.to_string(),
+            benchmark: benchmark.to_string(),
+            class: class.to_string(),
+            procs,
+            chain_len,
+        }
+    }
+
+    /// The same configuration at a different chain length (shares the
+    /// isolated/overhead/actual measurements).
+    pub fn with_chain_len(&self, chain_len: usize) -> Self {
+        Self {
+            chain_len,
+            ..self.clone()
+        }
+    }
+
+    /// Whether two keys describe the same configuration apart from the
+    /// chain length.
+    pub fn same_configuration(&self, other: &CampaignKey) -> bool {
+        self.machine == other.machine
+            && self.benchmark == other.benchmark
+            && self.class == other.class
+            && self.procs == other.procs
+    }
+}
+
+impl std::fmt::Display for CampaignKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}/{} class {} p{} L{}",
+            self.machine, self.benchmark, self.class, self.procs, self.chain_len
+        )
+    }
+}
+
+/// A full campaign: every measurement of a `CouplingAnalysis`, with
+/// all timing samples preserved.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct CampaignRecord {
+    /// The campaign identity.
+    pub key: CampaignKey,
+    /// Loop kernel names in control-flow order.
+    pub kernels: Vec<String>,
+    /// The application's loop iteration count.
+    pub loop_iterations: u32,
+    /// Per-kernel isolated samples (seconds per iteration).
+    pub isolated: Vec<Vec<f64>>,
+    /// Per-window samples, cyclic window order (seconds per iteration).
+    pub windows: Vec<Vec<f64>>,
+    /// Serial overhead samples (total seconds).
+    pub overhead: Vec<f64>,
+    /// Ground-truth application samples (total seconds).
+    pub actual: Vec<f64>,
+}
+
+impl CampaignRecord {
+    /// Capture an analysis into a record.
+    pub fn from_analysis(key: CampaignKey, analysis: &CouplingAnalysis) -> Self {
+        assert_eq!(
+            key.chain_len,
+            analysis.chain_len(),
+            "key chain length must match the analysis"
+        );
+        Self {
+            key,
+            kernels: analysis.kernel_set().names().to_vec(),
+            loop_iterations: analysis.loop_iterations(),
+            isolated: analysis
+                .kernel_set()
+                .ids()
+                .map(|k| analysis.isolated(k).samples().to_vec())
+                .collect(),
+            windows: (0..analysis.windows().len())
+                .map(|w| analysis.window_perf(w).samples().to_vec())
+                .collect(),
+            overhead: analysis.overhead().samples().to_vec(),
+            actual: analysis.actual().samples().to_vec(),
+        }
+    }
+
+    /// Rebuild the analysis (exactly, including samples).
+    pub fn to_analysis(&self) -> Result<CouplingAnalysis, CouplingError> {
+        let set = KernelSet::new(self.kernels.clone());
+        CouplingAnalysis::from_measurements(
+            set,
+            self.key.chain_len,
+            self.loop_iterations,
+            self.isolated
+                .iter()
+                .map(|s| Measurement::from_samples(s.clone()))
+                .collect(),
+            self.windows
+                .iter()
+                .map(|s| Measurement::from_samples(s.clone()))
+                .collect(),
+            Measurement::from_samples(self.overhead.clone()),
+            Measurement::from_samples(self.actual.clone()),
+        )
+    }
+
+    /// Mean isolated time per kernel (the cheap measurements a reuse
+    /// target needs).
+    pub fn isolated_means(&self) -> Vec<f64> {
+        self.isolated
+            .iter()
+            .map(|s| s.iter().sum::<f64>() / s.len() as f64)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kc_core::{Predictor, SyntheticExecutor};
+
+    fn sample_analysis(chain_len: usize) -> CouplingAnalysis {
+        let mut app = SyntheticExecutor::builder()
+            .kernel("a", 1.0)
+            .kernel("b", 2.0)
+            .kernel("c", 0.5)
+            .interaction("a", "b", -0.2)
+            .interaction("c", "a", 0.1)
+            .overheads(1.0, 0.5)
+            .loop_iterations(50)
+            .noise(0.001, 0.01, 3)
+            .build();
+        CouplingAnalysis::collect(&mut app, chain_len, 4).unwrap()
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let analysis = sample_analysis(2);
+        let key = CampaignKey::new("m", "b", "S", 4, 2);
+        let rec = CampaignRecord::from_analysis(key, &analysis);
+        let back = rec.to_analysis().unwrap();
+        assert_eq!(back.couplings().unwrap(), analysis.couplings().unwrap());
+        assert_eq!(
+            back.predict(Predictor::coupling(2)).unwrap(),
+            analysis.predict(Predictor::coupling(2)).unwrap()
+        );
+        assert_eq!(back.actual().samples(), analysis.actual().samples());
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let analysis = sample_analysis(3);
+        let rec = CampaignRecord::from_analysis(CampaignKey::new("m", "b", "W", 9, 3), &analysis);
+        let json = serde_json::to_string(&rec).unwrap();
+        let back: CampaignRecord = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, rec);
+    }
+
+    #[test]
+    fn key_helpers() {
+        let k = CampaignKey::new("m", "bt", "W", 9, 3);
+        let k5 = k.with_chain_len(5);
+        assert!(k.same_configuration(&k5));
+        assert_ne!(k, k5);
+        assert!(k.to_string().contains("p9"));
+        let other = CampaignKey::new("m", "bt", "A", 9, 3);
+        assert!(!k.same_configuration(&other));
+    }
+
+    #[test]
+    #[should_panic]
+    fn mismatched_chain_len_panics() {
+        let analysis = sample_analysis(2);
+        CampaignRecord::from_analysis(CampaignKey::new("m", "b", "S", 4, 3), &analysis);
+    }
+
+    #[test]
+    fn isolated_means_match_measurements() {
+        let analysis = sample_analysis(2);
+        let rec = CampaignRecord::from_analysis(CampaignKey::new("m", "b", "S", 4, 2), &analysis);
+        let means = rec.isolated_means();
+        for (k, m) in analysis.kernel_set().ids().zip(&means) {
+            assert!((analysis.isolated(k).mean() - m).abs() < 1e-15);
+        }
+    }
+}

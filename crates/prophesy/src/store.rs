@@ -1,0 +1,155 @@
+//! The campaign store: an in-memory collection of records with
+//! JSON-file persistence.
+
+use crate::record::{CampaignKey, CampaignRecord};
+use serde::{Deserialize, Serialize};
+use std::path::Path;
+
+/// A collection of campaign records, keyed by [`CampaignKey`].
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct CampaignStore {
+    records: Vec<CampaignRecord>,
+}
+
+impl CampaignStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of stored campaigns.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Insert a record, replacing any existing record with the same
+    /// key; returns `true` if a record was replaced.
+    pub fn insert(&mut self, record: CampaignRecord) -> bool {
+        if let Some(pos) = self.records.iter().position(|r| r.key == record.key) {
+            self.records[pos] = record;
+            true
+        } else {
+            self.records.push(record);
+            false
+        }
+    }
+
+    /// Look up a record by exact key.
+    pub fn get(&self, key: &CampaignKey) -> Option<&CampaignRecord> {
+        self.records.iter().find(|r| &r.key == key)
+    }
+
+    /// Remove a record by key; returns it if present.
+    pub fn remove(&mut self, key: &CampaignKey) -> Option<CampaignRecord> {
+        let pos = self.records.iter().position(|r| &r.key == key)?;
+        Some(self.records.remove(pos))
+    }
+
+    /// All records matching a predicate.
+    pub fn query(&self, pred: impl Fn(&CampaignKey) -> bool) -> Vec<&CampaignRecord> {
+        self.records.iter().filter(|r| pred(&r.key)).collect()
+    }
+
+    /// All records of the same configuration (any chain length).
+    pub fn configuration_records(&self, key: &CampaignKey) -> Vec<&CampaignRecord> {
+        self.query(|k| k.same_configuration(key))
+    }
+
+    /// All stored keys.
+    pub fn keys(&self) -> impl Iterator<Item = &CampaignKey> {
+        self.records.iter().map(|r| &r.key)
+    }
+
+    /// Save as pretty JSON.
+    pub fn save(&self, path: &Path) -> std::io::Result<()> {
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        std::fs::write(
+            path,
+            serde_json::to_string_pretty(self).expect("serializable store"),
+        )
+    }
+
+    /// Load from a JSON file written by [`CampaignStore::save`].
+    pub fn load(path: &Path) -> std::io::Result<Self> {
+        let data = std::fs::read_to_string(path)?;
+        serde_json::from_str(&data)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kc_core::{CouplingAnalysis, SyntheticExecutor};
+
+    fn record(machine: &str, procs: usize, chain_len: usize) -> CampaignRecord {
+        let mut app = SyntheticExecutor::builder()
+            .kernel("a", 1.0)
+            .kernel("b", 2.0)
+            .interaction("a", "b", -0.1)
+            .loop_iterations(10)
+            .build();
+        let analysis = CouplingAnalysis::collect(&mut app, chain_len, 2).unwrap();
+        CampaignRecord::from_analysis(
+            CampaignKey::new(machine, "synthetic", "S", procs, chain_len),
+            &analysis,
+        )
+    }
+
+    #[test]
+    fn insert_get_replace_remove() {
+        let mut store = CampaignStore::new();
+        let r = record("m1", 4, 2);
+        let key = r.key.clone();
+        assert!(!store.insert(r.clone()));
+        assert_eq!(store.len(), 1);
+        assert!(store.get(&key).is_some());
+        // replacing the same key keeps the store size
+        assert!(store.insert(r));
+        assert_eq!(store.len(), 1);
+        assert!(store.remove(&key).is_some());
+        assert!(store.is_empty());
+        assert!(store.remove(&key).is_none());
+    }
+
+    #[test]
+    fn queries_filter_by_key_fields() {
+        let mut store = CampaignStore::new();
+        store.insert(record("m1", 4, 2));
+        store.insert(record("m1", 9, 2));
+        store.insert(record("m2", 4, 2));
+        assert_eq!(store.query(|k| k.machine == "m1").len(), 2);
+        assert_eq!(store.query(|k| k.procs == 4).len(), 2);
+        let probe = CampaignKey::new("m1", "synthetic", "S", 4, 1);
+        assert_eq!(store.configuration_records(&probe).len(), 1);
+        assert_eq!(store.keys().count(), 3);
+    }
+
+    #[test]
+    fn save_load_roundtrip() {
+        let mut store = CampaignStore::new();
+        store.insert(record("m1", 4, 2));
+        store.insert(record("m1", 4, 1));
+        let path = std::env::temp_dir().join("kc_prophesy_test/store.json");
+        let _ = std::fs::remove_file(&path);
+        store.save(&path).unwrap();
+        let loaded = CampaignStore::load(&path).unwrap();
+        assert_eq!(loaded, store);
+        let _ = std::fs::remove_dir_all(path.parent().unwrap());
+    }
+
+    #[test]
+    fn load_rejects_garbage() {
+        let path = std::env::temp_dir().join("kc_prophesy_garbage.json");
+        std::fs::write(&path, "not json at all").unwrap();
+        assert!(CampaignStore::load(&path).is_err());
+        let _ = std::fs::remove_file(&path);
+    }
+}

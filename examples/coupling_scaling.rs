@@ -1,0 +1,38 @@
+//! The paper's scaling finding: coupling values move through a finite
+//! number of regimes as problem size and processor count scale, keyed
+//! to which cache level holds the per-processor working set.
+//!
+//! ```text
+//! cargo run --release --example coupling_scaling
+//! ```
+
+use kernel_couplings::experiments::{transitions, Runner};
+use kernel_couplings::npb::{Benchmark, Class};
+
+fn main() {
+    let runner = Runner::noise_free();
+    let classes = [Class::S, Class::W, Class::A];
+    let procs = [4, 9, 16, 25];
+
+    println!(
+        "{}",
+        transitions::transition_table(&runner, &classes, &procs)
+    );
+    println!("{}", transitions::regime_table(&runner, &classes, &procs));
+
+    println!("per-processor working sets (BT):");
+    for class in classes {
+        print!("  class {class}:");
+        for p in procs {
+            let ws = transitions::working_set_bytes(Benchmark::Bt, class, p);
+            print!("  {:>8.1} KiB", ws as f64 / 1024.0);
+        }
+        println!();
+    }
+    println!(
+        "\nWhere the working set crosses a cache capacity (128 KiB L1, 4 MiB L2),\n\
+         the mean coupling value shifts regime — class A starts memory-bound at\n\
+         4 processors (coupling ~1) and becomes cache-resident and strongly\n\
+         constructive by 25."
+    );
+}

@@ -1,0 +1,48 @@
+//! Run the LU benchmark numerically (real SSOR sweeps with diagonal
+//! wavefront pipelining across the simulated ranks) and watch it
+//! converge back to the manufactured steady state after a
+//! perturbation.
+//!
+//! ```text
+//! cargo run --release --example lu_wavefront
+//! ```
+
+use kernel_couplings::machine::MachineConfig;
+use kernel_couplings::npb::{Benchmark, Class, ExecConfig, Mode, NpbApp, NpbExecutor};
+
+fn main() {
+    let app = NpbApp::new(Benchmark::Lu, Class::S, 4);
+    println!("{} — numeric SSOR run, perturbed start\n", app.label());
+
+    let cfg = ExecConfig {
+        mode: Mode::Numeric,
+        ..ExecConfig::default()
+    };
+    let exec = NpbExecutor::new(app, MachineConfig::ibm_sp_p2sc().without_noise(), cfg);
+
+    println!(
+        "{:>6}  {:>14}  {:>14}",
+        "iters", "residual^2", "deviation^2"
+    );
+    let mut prev_dev = f64::INFINITY;
+    for iters in [1, 2, 4, 8, 16, 32] {
+        let s = exec.run_numeric(iters, 0.05);
+        println!(
+            "{iters:>6}  {:>14.3e}  {:>14.3e}",
+            s.verify.resid_norm, s.verify.dev_norm
+        );
+        assert!(
+            s.verify.dev_norm < prev_dev,
+            "SSOR must contract the perturbation monotonically here"
+        );
+        prev_dev = s.verify.dev_norm;
+    }
+
+    let fixed = exec.run_numeric(8, 0.0);
+    println!(
+        "\nunperturbed run stays on the steady state to machine precision:\n\
+         residual^2 = {:.3e}, deviation^2 = {:.3e}",
+        fixed.verify.resid_norm, fixed.verify.dev_norm
+    );
+    println!("virtual time for 8 iterations: {:.3} s", fixed.total_time);
+}

@@ -1,0 +1,53 @@
+//! Drive the simulated cluster directly: a ring pipeline with
+//! compute, cache traffic and messages, showing how virtual time
+//! composes — the substrate everything else is built on.
+//!
+//! ```text
+//! cargo run --release --example machine_playground
+//! ```
+
+use kernel_couplings::machine::{Cluster, MachineConfig};
+
+fn main() {
+    let machine = MachineConfig::ibm_sp_p2sc();
+    println!("machine: {}\n", machine.name);
+
+    for p in [2, 4, 8, 16] {
+        let out = Cluster::new(machine.clone()).run(p, |ctx| {
+            // each rank owns a 1 MiB buffer and streams it, then the
+            // ranks pass a token around the ring twice
+            let buf = ctx.register_region("buf", 1 << 20);
+            for _ in 0..2 {
+                ctx.touch(buf, 0, 1 << 20);
+                ctx.flops(2_000_000);
+            }
+            let right = (ctx.rank() + 1) % ctx.size();
+            let left = (ctx.rank() + ctx.size() - 1) % ctx.size();
+            for round in 0..2u32 {
+                ctx.send(right, round, vec![ctx.rank() as f64]);
+                let _ = ctx.recv(left, round);
+            }
+            ctx.barrier();
+            ctx.now()
+        });
+        let report = &out.reports[0];
+        println!(
+            "p = {p:>2}: elapsed {:>9.4} s | msgs {:>3} | bytes {:>5} | \
+             rank0 L1 hits {:>6}, L2 hits {:>4}, mem {:>5}, flops {}",
+            out.elapsed(),
+            out.total_messages(),
+            out.total_bytes(),
+            report.cache.hits_at(0),
+            report.cache.hits_at(1),
+            report.cache.misses_to_memory(),
+            report.flops,
+        );
+    }
+
+    println!(
+        "\nElapsed time grows with the ring size only through latency and\n\
+         switch contention — compute and cache traffic are per-rank.\n\
+         The second streaming pass hits in L2 (1 MiB < 4 MiB), which you\n\
+         can read off the per-level counters."
+    );
+}

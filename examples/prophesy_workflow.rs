@@ -1,0 +1,103 @@
+//! The Prophesy-style workflow: measure once, store, plan, reuse.
+//!
+//! The paper grew out of the authors' Prophesy measurement database;
+//! this example shows the full loop on the simulated SP: run coupling
+//! campaigns for BT class W at a few processor counts, persist them,
+//! then ask the advisor how to predict configurations that were never
+//! fully measured.
+//!
+//! ```text
+//! cargo run --release --example prophesy_workflow
+//! ```
+
+use kernel_couplings::coupling::{ChainExecutor, CouplingAnalysis};
+use kernel_couplings::experiments::transitions::{cache_regime, working_set_bytes};
+use kernel_couplings::machine::MachineConfig;
+use kernel_couplings::npb::{Benchmark, Class, ExecConfig, NpbApp, NpbExecutor};
+use kernel_couplings::prophesy::{
+    advise, transfer_predict, Advice, CampaignKey, CampaignRecord, CampaignStore,
+};
+
+fn key(class: Class, procs: usize) -> CampaignKey {
+    CampaignKey::new("ibm-sp-p2sc", "bt", &class.to_string(), procs, 3)
+}
+
+fn campaign(class: Class, procs: usize) -> (CampaignRecord, CouplingAnalysis) {
+    let mut exec = NpbExecutor::new(
+        NpbApp::new(Benchmark::Bt, class, procs),
+        MachineConfig::ibm_sp_p2sc().without_noise(),
+        ExecConfig::default(),
+    );
+    let analysis = CouplingAnalysis::collect(&mut exec, 3, 3).unwrap();
+    (
+        CampaignRecord::from_analysis(key(class, procs), &analysis),
+        analysis,
+    )
+}
+
+/// Regime = cache level holding the per-processor working set.
+fn regime(k: &CampaignKey) -> usize {
+    let class = match k.class.as_str() {
+        "S" => Class::S,
+        "W" => Class::W,
+        "A" => Class::A,
+        _ => Class::B,
+    };
+    let machine = MachineConfig::ibm_sp_p2sc();
+    cache_regime(&machine, working_set_bytes(Benchmark::Bt, class, k.procs))
+}
+
+fn main() {
+    let store_path = std::env::temp_dir().join("kc_prophesy_demo.json");
+    let mut store = CampaignStore::new();
+
+    println!("measuring and storing BT class W campaigns at p = 4 and 9 ...");
+    for p in [4, 9] {
+        let (rec, _) = campaign(Class::W, p);
+        store.insert(rec);
+    }
+    store.save(&store_path).unwrap();
+    println!(
+        "store: {} campaigns -> {}\n",
+        store.len(),
+        store_path.display()
+    );
+
+    // a fresh process would now load the store:
+    let store = CampaignStore::load(&store_path).unwrap();
+
+    for (class, procs) in [(Class::W, 4), (Class::W, 25), (Class::A, 4)] {
+        let target = key(class, procs);
+        match advise(&store, &target, 5, regime) {
+            Advice::Native { key } => println!("{target}: native campaign stored ({key})"),
+            Advice::Transfer { source, regime } => {
+                // the target only needs its isolated kernel times
+                let mut exec = NpbExecutor::new(
+                    NpbApp::new(Benchmark::Bt, class, procs),
+                    MachineConfig::ibm_sp_p2sc().without_noise(),
+                    ExecConfig::default(),
+                );
+                let ids: Vec<_> = exec.kernel_set().ids().collect();
+                let isolated: Vec<f64> = ids
+                    .iter()
+                    .map(|&k| exec.measure_chain(&[k], 3).mean())
+                    .collect();
+                let overhead = exec.measure_serial_overhead().mean();
+                let iters = exec.loop_iterations();
+                let pred = transfer_predict(&store, &source, &isolated, iters, overhead).unwrap();
+                let actual = exec.measure_application().mean();
+                println!(
+                    "{target}: TRANSFER from {source} (regime {regime}) -> \
+                     predicted {pred:.2} s, actual {actual:.2} s ({:.2}% off, \
+                     5 cluster runs instead of 12)",
+                    100.0 * (pred - actual).abs() / actual
+                );
+            }
+            Advice::MeasureFresh { plan } => println!(
+                "{target}: different regime — measure fresh ({} cluster runs)",
+                plan.runs()
+            ),
+        }
+    }
+    let _ = std::fs::remove_file(&store_path);
+}

@@ -1,0 +1,101 @@
+//! Integration: numeric correctness of the benchmarks when driven
+//! through the public API on the realistic machine preset (the crate
+//! tests use the tiny test machine; here we make sure nothing about
+//! the calibrated preset breaks the arithmetic).
+
+use kernel_couplings::machine::MachineConfig;
+use kernel_couplings::npb::{Benchmark, Class, ExecConfig, Mode, NpbApp, NpbExecutor};
+
+fn numeric_exec(b: Benchmark, class: Class, p: usize) -> NpbExecutor {
+    let cfg = ExecConfig {
+        mode: Mode::Numeric,
+        ..ExecConfig::default()
+    };
+    NpbExecutor::new(
+        NpbApp::new(b, class, p),
+        MachineConfig::ibm_sp_p2sc().without_noise(),
+        cfg,
+    )
+}
+
+#[test]
+fn all_benchmarks_preserve_the_steady_state() {
+    for b in Benchmark::ALL {
+        let exec = numeric_exec(b, Class::S, 4);
+        let s = exec.run_numeric(3, 0.0);
+        assert!(
+            s.verify.resid_norm < 1e-20,
+            "{b}: residual {}",
+            s.verify.resid_norm
+        );
+        assert!(
+            s.verify.dev_norm < 1e-20,
+            "{b}: deviation {}",
+            s.verify.dev_norm
+        );
+    }
+}
+
+#[test]
+fn all_benchmarks_contract_perturbations() {
+    for b in Benchmark::ALL {
+        let exec = numeric_exec(b, Class::S, 4);
+        let short = exec.run_numeric(2, 0.05);
+        let long = exec.run_numeric(14, 0.05);
+        assert!(
+            long.verify.dev_norm < 0.5 * short.verify.dev_norm,
+            "{b}: {} -> {}",
+            short.verify.dev_norm,
+            long.verify.dev_norm
+        );
+    }
+}
+
+#[test]
+fn numeric_and_profile_measurements_agree_on_the_preset_machine() {
+    for b in Benchmark::ALL {
+        let app = NpbApp::new(b, Class::S, 4);
+        let machine = MachineConfig::ibm_sp_p2sc().without_noise();
+        let chain: Vec<_> = app.benchmark.spec().kernel_set().ids().collect();
+        let t_profile =
+            NpbExecutor::new(app, machine.clone(), ExecConfig::default()).run_chain_raw(&chain);
+        let cfg = ExecConfig {
+            mode: Mode::Numeric,
+            ..ExecConfig::default()
+        };
+        let t_numeric = NpbExecutor::new(app, machine, cfg).run_chain_raw(&chain);
+        assert!(
+            (t_profile - t_numeric).abs() < 1e-9 * t_numeric.max(1.0),
+            "{b}: profile {t_profile} vs numeric {t_numeric}"
+        );
+    }
+}
+
+#[test]
+fn larger_processor_counts_run_faster() {
+    for b in Benchmark::ALL {
+        // 4 and 16 are admissible for both the square (BT/SP) and
+        // power-of-two (LU) processor-count rules
+        let procs: [usize; 2] = [4, 16];
+        let t_small = numeric_exec(b, Class::W, procs[0]).run_application_raw();
+        let t_big = numeric_exec(b, Class::W, procs[1]).run_application_raw();
+        assert!(
+            t_big < t_small,
+            "{b}: {} procs took {t_small}, {} procs took {t_big}",
+            procs[0],
+            procs[1]
+        );
+        // but not super-linearly faster overall
+        let speedup = t_small / t_big;
+        assert!(speedup < 8.0, "{b}: implausible speedup {speedup}");
+    }
+}
+
+#[test]
+fn lu_rectangular_grids_work_through_the_public_api() {
+    // p = 8 and 32 give non-square grids (4x2, 8x4)
+    let exec = numeric_exec(Benchmark::Lu, Class::S, 8);
+    let s = exec.run_numeric(2, 0.02);
+    assert!(s.verify.dev_norm.is_finite());
+    assert!(s.total_time > 0.0);
+}

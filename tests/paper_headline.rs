@@ -1,0 +1,118 @@
+//! Integration: the paper's headline result holds end-to-end for all
+//! three benchmarks on the simulated IBM SP — the coupling predictor
+//! produces (much) smaller relative errors than the summation
+//! methodology.
+
+use kernel_couplings::coupling::{CouplingAnalysis, Predictor};
+use kernel_couplings::machine::MachineConfig;
+use kernel_couplings::npb::{Benchmark, Class, ExecConfig, NpbApp, NpbExecutor};
+
+fn executor(b: Benchmark, class: Class, p: usize) -> NpbExecutor {
+    NpbExecutor::new(
+        NpbApp::new(b, class, p),
+        MachineConfig::ibm_sp_p2sc().without_noise(),
+        ExecConfig::default(),
+    )
+}
+
+fn errors(b: Benchmark, class: Class, p: usize, chain_len: usize) -> (f64, f64) {
+    let mut exec = executor(b, class, p);
+    let analysis = CouplingAnalysis::collect(&mut exec, chain_len, 3).unwrap();
+    let actual = analysis.actual().mean();
+    let err = |pred: f64| (pred - actual).abs() / actual;
+    (
+        err(analysis.predict(Predictor::Summation).unwrap()),
+        err(analysis.predict(Predictor::coupling(chain_len)).unwrap()),
+    )
+}
+
+#[test]
+fn bt_coupling_beats_summation_at_every_proc_count() {
+    for p in [4, 9, 16] {
+        let (sum, cpl) = errors(Benchmark::Bt, Class::S, p, 2);
+        assert!(
+            cpl < sum,
+            "BT S p={p}: coupling {cpl:.4} vs summation {sum:.4}"
+        );
+    }
+}
+
+#[test]
+fn bt_class_w_matches_paper_error_bands() {
+    // paper Table 3b: summation 18.10–24.44%, coupling 1.15–3.00%
+    let (sum, cpl) = errors(Benchmark::Bt, Class::W, 9, 3);
+    assert!(
+        sum > 0.10 && sum < 0.30,
+        "summation error {sum:.4} outside the paper band"
+    );
+    assert!(
+        cpl < 0.05,
+        "coupling error {cpl:.4} should be a few percent at most"
+    );
+    assert!(
+        sum / cpl > 5.0,
+        "improvement factor {:.1} too small",
+        sum / cpl
+    );
+}
+
+#[test]
+fn sp_five_kernel_chains_beat_four_kernel_chains_at_class_w() {
+    // paper §4.2: for SP class W the 5-kernel predictor (0.70% avg)
+    // beats the 4-kernel predictor (1.63% avg)
+    let mut exec = executor(Benchmark::Sp, Class::W, 9);
+    let a4 = CouplingAnalysis::collect(&mut exec, 4, 3).unwrap();
+    let a5 = CouplingAnalysis::collect(&mut exec, 5, 3).unwrap();
+    let actual = a4.actual().mean();
+    let e4 = (a4.predict(Predictor::coupling(4)).unwrap() - actual).abs() / actual;
+    let e5 = (a5.predict(Predictor::coupling(5)).unwrap() - actual).abs() / actual;
+    assert!(e5 < e4, "5-kernel ({e5:.4}) should beat 4-kernel ({e4:.4})");
+}
+
+#[test]
+fn lu_three_kernel_chains_give_small_errors() {
+    for p in [4, 8] {
+        let (sum, cpl) = errors(Benchmark::Lu, Class::W, p, 3);
+        assert!(cpl < 0.05, "LU W p={p}: coupling error {cpl:.4}");
+        assert!(cpl < sum / 3.0, "LU W p={p}: {cpl:.4} vs {sum:.4}");
+    }
+}
+
+#[test]
+fn couplings_are_constructive_where_the_paper_says() {
+    // class W working sets fit L2: every 3-kernel coupling is < 1
+    let mut exec = executor(Benchmark::Bt, Class::W, 4);
+    let analysis = CouplingAnalysis::collect(&mut exec, 3, 3).unwrap();
+    for (w, c) in analysis.couplings().unwrap().into_iter().enumerate() {
+        assert!(
+            c < 1.0,
+            "window {} has coupling {c:.4} >= 1",
+            analysis.windows()[w].label(analysis.kernel_set())
+        );
+        assert!(c > 0.5, "coupling {c:.4} implausibly small");
+    }
+}
+
+#[test]
+fn class_a_couplings_weaken_at_low_processor_counts() {
+    // paper §4.1.3: at 4 processors class A exceeds the caches and the
+    // coupling is close to 1; at 25 it is clearly constructive
+    let c4 = {
+        let mut exec = executor(Benchmark::Bt, Class::A, 4);
+        let a = CouplingAnalysis::collect(&mut exec, 4, 2).unwrap();
+        a.couplings().unwrap().iter().sum::<f64>() / 5.0
+    };
+    let c25 = {
+        let mut exec = executor(Benchmark::Bt, Class::A, 25);
+        let a = CouplingAnalysis::collect(&mut exec, 4, 2).unwrap();
+        a.couplings().unwrap().iter().sum::<f64>() / 5.0
+    };
+    assert!(
+        c4 > 0.97,
+        "class A at 4 procs should couple weakly, got {c4:.4}"
+    );
+    assert!(
+        c25 < 0.90,
+        "class A at 25 procs should couple strongly, got {c25:.4}"
+    );
+}
