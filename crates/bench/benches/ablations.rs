@@ -6,7 +6,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use kc_core::{CouplingAnalysis, Predictor};
-use kc_experiments::Runner;
+use kc_experiments::{AnalysisSpec, Campaign, Runner};
 use kc_npb::executor::ColdStart;
 use kc_npb::{Benchmark, Class};
 use std::hint::black_box;
@@ -83,13 +83,11 @@ fn bench_cache_capacity(c: &mut Criterion) {
         runner.machine.caches[1].capacity = mib << 20;
         g.bench_with_input(BenchmarkId::from_parameter(mib), &mib, |b, _| {
             b.iter(|| {
-                black_box(kc_experiments::transitions::mean_coupling(
-                    &runner,
-                    Benchmark::Bt,
-                    Class::S,
-                    4,
-                    2,
-                ))
+                // fresh campaign each iteration: the bench times the
+                // measurement, not the cache hit
+                let campaign = Campaign::new(runner.clone());
+                let spec = AnalysisSpec::new(Benchmark::Bt, Class::S, 4, 2);
+                black_box(kc_experiments::transitions::mean_coupling(&campaign, &spec))
             })
         });
     }

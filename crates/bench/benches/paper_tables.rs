@@ -8,7 +8,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use kc_core::{CouplingAnalysis, Predictor};
-use kc_experiments::Runner;
+use kc_experiments::{AnalysisSpec, Campaign, Runner};
 use kc_npb::{Benchmark, Class};
 use std::hint::black_box;
 use std::time::Duration;
@@ -76,13 +76,11 @@ fn bench_tables(c: &mut Criterion) {
     g.measurement_time(Duration::from_secs(3));
     g.bench_function("bt_mean_pair_coupling_w_p9", |bench| {
         bench.iter(|| {
-            black_box(kc_experiments::transitions::mean_coupling(
-                &runner,
-                Benchmark::Bt,
-                Class::W,
-                9,
-                2,
-            ))
+            // fresh campaign each iteration so the measurement itself
+            // is timed rather than a cache hit
+            let campaign = Campaign::new(runner.clone());
+            let spec = AnalysisSpec::new(Benchmark::Bt, Class::W, 9, 2);
+            black_box(kc_experiments::transitions::mean_coupling(&campaign, &spec))
         })
     });
     g.finish();

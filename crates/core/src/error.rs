@@ -63,6 +63,81 @@ impl fmt::Display for CouplingError {
 
 impl std::error::Error for CouplingError {}
 
+/// Result alias for the measurement path.
+pub type KcResult<T> = Result<T, KcError>;
+
+/// Errors from the measurement-provider path (cell resolution,
+/// cache/backend access, analysis assembly).  Wraps [`CouplingError`]
+/// so the whole measurement pipeline reports failures instead of
+/// panicking.
+#[derive(Clone, Debug, PartialEq)]
+pub enum KcError {
+    /// The coupling algebra rejected the assembled measurements.
+    Coupling(CouplingError),
+    /// A measurement key names a benchmark the provider cannot build.
+    UnknownBenchmark(String),
+    /// A measurement key names a problem class the provider cannot
+    /// build.
+    UnknownClass(String),
+    /// A measurement key carries a machine fingerprint that was never
+    /// registered with the provider.
+    UnknownMachine {
+        /// The unresolvable fingerprint.
+        fingerprint: String,
+    },
+    /// A measurement key carries an execution-config digest that was
+    /// never registered with the provider.
+    UnknownExecConfig {
+        /// The unresolvable digest.
+        digest: String,
+    },
+    /// A measurement key is structurally invalid for its target (e.g.
+    /// a chain referencing kernels outside the loop).
+    BadCell {
+        /// Canonical form of the offending key.
+        key: String,
+        /// What is wrong with it.
+        reason: String,
+    },
+    /// Persistence (store/backend) failure.
+    Io(String),
+}
+
+impl From<CouplingError> for KcError {
+    fn from(e: CouplingError) -> Self {
+        KcError::Coupling(e)
+    }
+}
+
+impl fmt::Display for KcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KcError::Coupling(e) => write!(f, "coupling error: {e}"),
+            KcError::UnknownBenchmark(b) => write!(f, "unknown benchmark '{b}'"),
+            KcError::UnknownClass(c) => write!(f, "unknown problem class '{c}'"),
+            KcError::UnknownMachine { fingerprint } => {
+                write!(f, "no machine registered for fingerprint {fingerprint}")
+            }
+            KcError::UnknownExecConfig { digest } => {
+                write!(f, "no exec config registered for digest {digest}")
+            }
+            KcError::BadCell { key, reason } => {
+                write!(f, "invalid measurement cell {key}: {reason}")
+            }
+            KcError::Io(msg) => write!(f, "measurement store error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for KcError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            KcError::Coupling(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -79,5 +154,25 @@ mod tests {
             chain: "{a,b}".into(),
         };
         assert!(e.to_string().contains("{a,b}"));
+    }
+
+    #[test]
+    fn kc_error_wraps_and_displays() {
+        let inner = CouplingError::BadChainLength {
+            requested: 9,
+            kernels: 5,
+        };
+        let e: KcError = inner.clone().into();
+        assert_eq!(e, KcError::Coupling(inner));
+        assert!(e.to_string().contains("chain length 9"));
+        let e = KcError::UnknownMachine {
+            fingerprint: "deadbeef".into(),
+        };
+        assert!(e.to_string().contains("deadbeef"));
+        let e = KcError::BadCell {
+            key: "k".into(),
+            reason: "out of range".into(),
+        };
+        assert!(e.to_string().contains("out of range"));
     }
 }

@@ -77,6 +77,7 @@ pub mod executor;
 pub mod kernel;
 pub mod measurement;
 pub mod predict;
+pub mod provider;
 pub mod report;
 pub mod reuse;
 pub mod synthetic;
@@ -84,10 +85,14 @@ pub mod windows;
 
 pub use analysis::CouplingAnalysis;
 pub use coefficients::Coefficients;
-pub use error::CouplingError;
+pub use error::{CouplingError, KcError, KcResult};
 pub use executor::ChainExecutor;
 pub use kernel::{KernelId, KernelSet};
 pub use measurement::Measurement;
+pub use provider::{
+    analysis_cells, assemble_analysis, CacheStats, CachedProvider, CellContext, CellKind,
+    MeasurementBackend, MeasurementKey, MeasurementProvider,
+};
 pub use predict::{Prediction, PredictionSet, Predictor};
 pub use report::{CouplingRow, CouplingTable, PredictionRow, PredictionTable};
 pub use reuse::{predict_with_reused_coefficients, ReuseCell, ReuseStudy};

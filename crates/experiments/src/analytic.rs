@@ -15,41 +15,48 @@
 //! * measured + coupling: the paper's evaluation setting, for
 //!   reference.
 
-use crate::runner::Runner;
+use crate::campaign::{AnalysisSpec, Campaign};
 use kc_core::report::TableCell;
-use kc_core::{CouplingAnalysis, PredictionRow, PredictionTable, Predictor};
+use kc_core::{KcResult, PredictionRow, PredictionTable, Predictor};
 use kc_npb::models::analytic_isolated_totals;
 use kc_npb::{Benchmark, Class};
 
-/// Build the analytic-composition table for one benchmark × class over
-/// processor counts, at chain length `len`.
-pub fn analytic_table(
-    runner: &Runner,
+/// The analyses [`analytic_table`] needs.
+pub fn analytic_requests(
     benchmark: Benchmark,
     class: Class,
     procs: &[usize],
     len: usize,
-) -> PredictionTable {
+) -> Vec<AnalysisSpec> {
+    procs
+        .iter()
+        .map(|&p| AnalysisSpec::new(benchmark, class, p, len))
+        .collect()
+}
+
+/// Build the analytic-composition table for one benchmark × class over
+/// processor counts, at chain length `len`.
+pub fn analytic_table(
+    campaign: &Campaign,
+    benchmark: Benchmark,
+    class: Class,
+    procs: &[usize],
+    len: usize,
+) -> KcResult<PredictionTable> {
+    campaign.prefetch(&analytic_requests(benchmark, class, procs, len))?;
     let columns: Vec<String> = procs.iter().map(|p| format!("{p} processors")).collect();
     let mut actual = Vec::new();
     let mut rows_data: Vec<Vec<f64>> = vec![Vec::new(); 3];
     for &p in procs {
-        let mut exec = runner.executor(benchmark, class, p);
-        let analysis = CouplingAnalysis::collect(&mut exec, len, runner.reps).unwrap();
-        let models =
-            analytic_isolated_totals(&kc_npb::NpbApp::new(benchmark, class, p), &runner.machine);
+        let analysis = campaign.analysis(&AnalysisSpec::new(benchmark, class, p, len))?;
+        let models = analytic_isolated_totals(
+            &kc_npb::NpbApp::new(benchmark, class, p),
+            &campaign.runner().machine,
+        );
         actual.push(analysis.actual().mean());
-        rows_data[0].push(
-            analysis
-                .predict_with_models(Predictor::Summation, &models)
-                .unwrap(),
-        );
-        rows_data[1].push(
-            analysis
-                .predict_with_models(Predictor::coupling(len), &models)
-                .unwrap(),
-        );
-        rows_data[2].push(analysis.predict(Predictor::coupling(len)).unwrap());
+        rows_data[0].push(analysis.predict_with_models(Predictor::Summation, &models)?);
+        rows_data[1].push(analysis.predict_with_models(Predictor::coupling(len), &models)?);
+        rows_data[2].push(analysis.predict(Predictor::coupling(len))?);
     }
     let err = |t: f64, a: f64| Some(100.0 * (t - a).abs() / a);
     let mut rows = vec![PredictionRow {
@@ -85,13 +92,13 @@ pub fn analytic_table(
                 .collect(),
         });
     }
-    PredictionTable {
+    Ok(PredictionTable {
         title: format!(
             "Analytic composition (paper Eq. 3): {benchmark} class {class}, {len}-kernel coefficients"
         ),
         columns,
         rows,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -100,8 +107,8 @@ mod tests {
 
     #[test]
     fn analytic_composition_beats_analytic_summation() {
-        let runner = Runner::noise_free();
-        let t = analytic_table(&runner, Benchmark::Bt, Class::W, &[4, 9], 3);
+        let campaign = Campaign::noise_free();
+        let t = analytic_table(&campaign, Benchmark::Bt, Class::W, &[4, 9], 3).unwrap();
         t.check();
         let summed = t
             .row("Analytic models (of isolated runs), summed")

@@ -1,25 +1,44 @@
 //! Regenerate the paper's tables from the command line.
 //!
 //! ```text
-//! paper_tables [EXPERIMENT ...] [--noise-free] [--out DIR] [--reps N]
+//! paper_tables [EXPERIMENT ...] [--noise-free] [--out DIR] [--reps N] [--store FILE]
 //!
 //! EXPERIMENT: classes | bt-s | bt-w | bt-a | sp-w | sp-a | sp-b |
 //!             lu-w | lu-a | lu-b | transitions | ablations | all
 //! ```
 //!
+//! All selected experiments run as ONE measurement campaign: their
+//! cells are enumerated up front, deduplicated, executed in parallel
+//! (largest first), and every table is assembled from the shared
+//! cache — the campaign arithmetic is printed to stderr.
+//!
 //! With `--out DIR`, each experiment additionally writes `<id>.txt`
 //! and `<id>.json` artifacts into DIR (consumed by EXPERIMENTS.md).
+//! With `--store FILE`, raw cell measurements are loaded from and
+//! saved to a `kc-prophesy` cell store, so a re-run (or a run with
+//! more experiments) measures only what the file doesn't hold.
 
 use kc_experiments::render::Artifact;
 use kc_experiments::{
-    ablations, analytic, bt, granularity, lu, machines, reuse, sp, transitions, Runner,
+    ablations, analytic, bt, granularity, lu, machines, reuse, sp, transitions, AnalysisSpec,
+    Campaign, Runner,
 };
+use kc_machine::MachineConfig;
 use kc_npb::{Benchmark, Class};
+use kc_prophesy::CellStore;
 use std::path::PathBuf;
+use std::sync::Arc;
+
+const TRANSITION_CLASSES: [Class; 3] = [Class::S, Class::W, Class::A];
+const TRANSITION_PROCS: [usize; 4] = [4, 9, 16, 25];
+const L2_CAPS: [usize; 5] = [1 << 20, 2 << 20, 4 << 20, 8 << 20, 16 << 20];
+const CONTENTIONS: [f64; 5] = [0.0, 0.01, 0.02, 0.05, 0.1];
+const NOISE_MULTS: [f64; 4] = [0.0, 1.0, 4.0, 16.0];
+const GRANULARITY_PROCS: [usize; 3] = [4, 9, 16];
 
 fn usage() -> ! {
     eprintln!(
-        "usage: paper_tables [EXPERIMENT ...] [--noise-free] [--out DIR] [--reps N]\n\
+        "usage: paper_tables [EXPERIMENT ...] [--noise-free] [--out DIR] [--reps N] [--store FILE]\n\
          experiments: classes bt-s bt-w bt-a sp-w sp-a sp-b lu-w lu-a lu-b transitions ablations analytic reuse machines granularity all"
     );
     std::process::exit(2);
@@ -59,10 +78,77 @@ fn classes_tables() -> String {
     s
 }
 
+/// The analyses one experiment id needs (empty for purely static ones).
+fn requests_for(exp: &str, machine: &MachineConfig) -> Vec<AnalysisSpec> {
+    match exp {
+        "classes" => Vec::new(),
+        "bt-s" => bt::table2_requests(),
+        "bt-w" => bt::table3_requests(),
+        "bt-a" => bt::table4_requests(),
+        "sp-w" => sp::table6_requests(Class::W),
+        "sp-a" => sp::table6_requests(Class::A),
+        "sp-b" => sp::table6_requests(Class::B),
+        "lu-w" => lu::table8_requests(Class::W),
+        "lu-a" => lu::table8_requests(Class::A),
+        "lu-b" => lu::table8_requests(Class::B),
+        "transitions" => transitions::transition_requests(&TRANSITION_CLASSES, &TRANSITION_PROCS),
+        "analytic" => {
+            let mut r = analytic::analytic_requests(Benchmark::Bt, Class::W, &[4, 9, 16, 25], 3);
+            r.extend(analytic::analytic_requests(
+                Benchmark::Sp,
+                Class::A,
+                &[4, 9, 16, 25],
+                5,
+            ));
+            r.extend(analytic::analytic_requests(
+                Benchmark::Lu,
+                Class::A,
+                &[4, 8, 16, 32],
+                3,
+            ));
+            r
+        }
+        "granularity" => granularity::granularity_requests(Class::W, &GRANULARITY_PROCS),
+        "machines" => {
+            let mut r = machines::comparison_requests(Benchmark::Bt, Class::W, 9, 3);
+            r.extend(machines::comparison_requests(Benchmark::Lu, Class::W, 8, 3));
+            r
+        }
+        "reuse" => {
+            let mut r = reuse::proc_transfer_requests(Benchmark::Bt, Class::W, &[4, 9, 16, 25], 3);
+            r.extend(reuse::class_transfer_requests(
+                Benchmark::Bt,
+                &[Class::S, Class::W, Class::A],
+                16,
+                3,
+            ));
+            r.extend(reuse::proc_transfer_requests(
+                Benchmark::Lu,
+                Class::A,
+                &[4, 8, 16, 32],
+                3,
+            ));
+            r
+        }
+        "ablations" => {
+            let mut r = ablations::chain_length_requests(Benchmark::Bt, Class::W, 9);
+            r.extend(ablations::cache_capacity_requests(machine, &L2_CAPS));
+            r.extend(ablations::contention_requests(machine, &CONTENTIONS));
+            r.extend(ablations::noise_requests(machine, &NOISE_MULTS));
+            r
+        }
+        other => {
+            eprintln!("unknown experiment '{other}'");
+            usage();
+        }
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut experiments: Vec<String> = Vec::new();
     let mut out: Option<PathBuf> = None;
+    let mut store_path: Option<PathBuf> = None;
     let mut runner = Runner::default();
     let mut i = 0;
     while i < args.len() {
@@ -71,6 +157,10 @@ fn main() {
             "--out" => {
                 i += 1;
                 out = Some(PathBuf::from(args.get(i).unwrap_or_else(|| usage())));
+            }
+            "--store" => {
+                i += 1;
+                store_path = Some(PathBuf::from(args.get(i).unwrap_or_else(|| usage())));
             }
             "--reps" => {
                 i += 1;
@@ -112,6 +202,34 @@ fn main() {
         .collect();
     }
 
+    let store: Option<Arc<CellStore>> = store_path.as_ref().map(|p| {
+        if p.exists() {
+            Arc::new(CellStore::load(p).unwrap_or_else(|e| {
+                eprintln!("error: cannot load cell store {}: {e}", p.display());
+                std::process::exit(2);
+            }))
+        } else {
+            Arc::new(CellStore::new())
+        }
+    });
+    let campaign = match &store {
+        Some(s) => Campaign::with_backend(runner, Box::new(Arc::clone(s))),
+        None => Campaign::new(runner),
+    };
+
+    // ONE campaign for everything selected: enumerate every
+    // experiment's cells, dedupe across experiments, execute the
+    // union in parallel; the per-experiment code below then assembles
+    // its tables from the warm cache without measuring anything new.
+    let all_requests: Vec<AnalysisSpec> = experiments
+        .iter()
+        .flat_map(|e| requests_for(e, &campaign.runner().machine))
+        .collect();
+    let stats = campaign
+        .prefetch(&all_requests)
+        .expect("campaign measurement failed");
+    eprintln!("[campaign] {stats}");
+
     for exp in &experiments {
         let started = std::time::Instant::now();
         let artifact: Option<Artifact> = match exp.as_str() {
@@ -119,64 +237,75 @@ fn main() {
                 println!("{}", classes_tables());
                 None
             }
-            "bt-s" => Some(Artifact::from_pair("table2_bt_s", &bt::table2(&runner))),
-            "bt-w" => Some(Artifact::from_pair("table3_bt_w", &bt::table3(&runner))),
-            "bt-a" => Some(Artifact::from_pair("table4_bt_a", &bt::table4(&runner))),
+            "bt-s" => Some(Artifact::from_pair(
+                "table2_bt_s",
+                &bt::table2(&campaign).unwrap(),
+            )),
+            "bt-w" => Some(Artifact::from_pair(
+                "table3_bt_w",
+                &bt::table3(&campaign).unwrap(),
+            )),
+            "bt-a" => Some(Artifact::from_pair(
+                "table4_bt_a",
+                &bt::table4(&campaign).unwrap(),
+            )),
             "sp-w" => Some(Artifact::from_pair(
                 "table6a_sp_w",
-                &sp::table6(&runner, Class::W),
+                &sp::table6(&campaign, Class::W).unwrap(),
             )),
             "sp-a" => Some(Artifact::from_pair(
                 "table6b_sp_a",
-                &sp::table6(&runner, Class::A),
+                &sp::table6(&campaign, Class::A).unwrap(),
             )),
             "sp-b" => Some(Artifact::from_pair(
                 "table6c_sp_b",
-                &sp::table6(&runner, Class::B),
+                &sp::table6(&campaign, Class::B).unwrap(),
             )),
             "lu-w" => Some(Artifact::from_pair(
                 "table8a_lu_w",
-                &lu::table8(&runner, Class::W),
+                &lu::table8(&campaign, Class::W).unwrap(),
             )),
             "lu-a" => Some(Artifact::from_pair(
                 "table8b_lu_a",
-                &lu::table8(&runner, Class::A),
+                &lu::table8(&campaign, Class::A).unwrap(),
             )),
             "lu-b" => Some(Artifact::from_pair(
                 "table8c_lu_b",
-                &lu::table8(&runner, Class::B),
+                &lu::table8(&campaign, Class::B).unwrap(),
             )),
-            "transitions" => {
-                let classes = [Class::S, Class::W, Class::A];
-                let procs = [4, 9, 16, 25];
-                Some(Artifact::from_couplings(
-                    "transitions",
-                    vec![
-                        transitions::transition_table(&runner, &classes, &procs),
-                        transitions::regime_table(&runner, &classes, &procs),
-                    ],
-                ))
-            }
+            "transitions" => Some(Artifact::from_couplings(
+                "transitions",
+                vec![
+                    transitions::transition_table(&campaign, &TRANSITION_CLASSES, &TRANSITION_PROCS)
+                        .unwrap(),
+                    transitions::regime_table(&campaign, &TRANSITION_CLASSES, &TRANSITION_PROCS),
+                ],
+            )),
             "analytic" => {
                 let mut a = Artifact::from_couplings("analytic", vec![]);
                 a.predictions = vec![
-                    analytic::analytic_table(&runner, Benchmark::Bt, Class::W, &[4, 9, 16, 25], 3),
-                    analytic::analytic_table(&runner, Benchmark::Sp, Class::A, &[4, 9, 16, 25], 5),
-                    analytic::analytic_table(&runner, Benchmark::Lu, Class::A, &[4, 8, 16, 32], 3),
+                    analytic::analytic_table(&campaign, Benchmark::Bt, Class::W, &[4, 9, 16, 25], 3)
+                        .unwrap(),
+                    analytic::analytic_table(&campaign, Benchmark::Sp, Class::A, &[4, 9, 16, 25], 5)
+                        .unwrap(),
+                    analytic::analytic_table(&campaign, Benchmark::Lu, Class::A, &[4, 8, 16, 32], 3)
+                        .unwrap(),
                 ];
                 Some(a)
             }
             "granularity" => {
-                let (c, p) = granularity::granularity_tables(&runner, Class::W, &[4, 9, 16]);
+                let (c, p) =
+                    granularity::granularity_tables(&campaign, Class::W, &GRANULARITY_PROCS)
+                        .unwrap();
                 let mut a = Artifact::from_couplings("granularity", vec![c]);
                 a.predictions = vec![p];
                 Some(a)
             }
             "machines" => {
                 let (t1, o1) =
-                    machines::machine_comparison(Benchmark::Bt, Class::W, 9, 3, runner.reps);
+                    machines::machine_comparison(&campaign, Benchmark::Bt, Class::W, 9, 3).unwrap();
                 let (t2, o2) =
-                    machines::machine_comparison(Benchmark::Lu, Class::W, 8, 3, runner.reps);
+                    machines::machine_comparison(&campaign, Benchmark::Lu, Class::W, 8, 3).unwrap();
                 for (label, o) in [("BT W/9", &o1), ("LU W/8", &o2)] {
                     let (pr, ar) = machines::relative_performance(o);
                     println!(
@@ -188,38 +317,38 @@ fn main() {
             }
             "reuse" => {
                 let (t1, _) = reuse::proc_transfer_table(
-                    &runner,
+                    &campaign,
                     Benchmark::Bt,
                     Class::W,
                     &[4, 9, 16, 25],
                     3,
-                );
+                )
+                .unwrap();
                 let (t2, _) = reuse::class_transfer_table(
-                    &runner,
+                    &campaign,
                     Benchmark::Bt,
                     &[Class::S, Class::W, Class::A],
                     16,
                     3,
-                );
+                )
+                .unwrap();
                 let (t3, _) = reuse::proc_transfer_table(
-                    &runner,
+                    &campaign,
                     Benchmark::Lu,
                     Class::A,
                     &[4, 8, 16, 32],
                     3,
-                );
+                )
+                .unwrap();
                 Some(Artifact::from_couplings("reuse", vec![t1, t2, t3]))
             }
             "ablations" => Some(Artifact::from_couplings(
                 "ablations",
                 vec![
-                    ablations::chain_length_sweep(&runner, Benchmark::Bt, Class::W, 9),
-                    ablations::cache_capacity_sweep(
-                        &runner,
-                        &[1 << 20, 2 << 20, 4 << 20, 8 << 20, 16 << 20],
-                    ),
-                    ablations::contention_sweep(&runner, &[0.0, 0.01, 0.02, 0.05, 0.1]),
-                    ablations::noise_sweep(&runner, &[0.0, 1.0, 4.0, 16.0]),
+                    ablations::chain_length_sweep(&campaign, Benchmark::Bt, Class::W, 9).unwrap(),
+                    ablations::cache_capacity_sweep(&campaign, &L2_CAPS).unwrap(),
+                    ablations::contention_sweep(&campaign, &CONTENTIONS).unwrap(),
+                    ablations::noise_sweep(&campaign, &NOISE_MULTS).unwrap(),
                 ],
             )),
             other => {
@@ -234,5 +363,15 @@ fn main() {
             }
             eprintln!("[{exp}] done in {:.1}s", started.elapsed().as_secs_f64());
         }
+    }
+
+    let cache = campaign.cache_stats();
+    eprintln!(
+        "[cache] {} requests, {} memory hits, {} backend hits, {} executed",
+        cache.requests, cache.hits, cache.backend_hits, cache.executed
+    );
+    if let (Some(s), Some(p)) = (&store, &store_path) {
+        s.save(p).expect("failed to save cell store");
+        eprintln!("[store] {} cells saved to {}", s.len(), p.display());
     }
 }

@@ -5,7 +5,9 @@
 //! (class A) uses 4-kernel chains over 4/9/16/25 — exactly the chain
 //! lengths the paper found gave the best predictions per class.
 
-use crate::runner::{build_tables, Runner, TablePair};
+use crate::campaign::{AnalysisSpec, Campaign};
+use crate::runner::{build_tables, table_requests, TablePair};
+use kc_core::KcResult;
 use kc_npb::{Benchmark, Class};
 
 /// Processor counts of the class-S study (paper Table 2).
@@ -13,11 +15,16 @@ pub const S_PROCS: [usize; 3] = [4, 9, 16];
 /// Processor counts of the class-W/A studies (paper Tables 3 and 4).
 pub const WA_PROCS: [usize; 4] = [4, 9, 16, 25];
 
+/// The analyses Table 2 needs.
+pub fn table2_requests() -> Vec<AnalysisSpec> {
+    table_requests(Benchmark::Bt, Class::S, &S_PROCS, &[2])
+}
+
 /// Tables 2a + 2b: BT class S, two-kernel coupling values and the
 /// execution-time comparison.
-pub fn table2(runner: &Runner) -> TablePair {
+pub fn table2(campaign: &Campaign) -> KcResult<TablePair> {
     build_tables(
-        runner,
+        campaign,
         Benchmark::Bt,
         Class::S,
         &S_PROCS,
@@ -27,10 +34,15 @@ pub fn table2(runner: &Runner) -> TablePair {
     )
 }
 
+/// The analyses Table 3 needs.
+pub fn table3_requests() -> Vec<AnalysisSpec> {
+    table_requests(Benchmark::Bt, Class::W, &WA_PROCS, &[3])
+}
+
 /// Tables 3a + 3b: BT class W, three-kernel chains.
-pub fn table3(runner: &Runner) -> TablePair {
+pub fn table3(campaign: &Campaign) -> KcResult<TablePair> {
     build_tables(
-        runner,
+        campaign,
         Benchmark::Bt,
         Class::W,
         &WA_PROCS,
@@ -40,10 +52,15 @@ pub fn table3(runner: &Runner) -> TablePair {
     )
 }
 
+/// The analyses Table 4 needs.
+pub fn table4_requests() -> Vec<AnalysisSpec> {
+    table_requests(Benchmark::Bt, Class::A, &WA_PROCS, &[4])
+}
+
 /// Tables 4a + 4b: BT class A, four-kernel chains.
-pub fn table4(runner: &Runner) -> TablePair {
+pub fn table4(campaign: &Campaign) -> KcResult<TablePair> {
     build_tables(
-        runner,
+        campaign,
         Benchmark::Bt,
         Class::A,
         &WA_PROCS,
@@ -59,7 +76,7 @@ mod tests {
 
     #[test]
     fn table2_has_three_processor_columns_and_five_pairs() {
-        let pair = table2(&Runner::noise_free());
+        let pair = table2(&Campaign::noise_free()).unwrap();
         assert_eq!(pair.couplings[0].columns.len(), 3);
         assert_eq!(pair.couplings[0].rows.len(), 5);
         let labels: Vec<&str> = pair.couplings[0]

@@ -1,0 +1,352 @@
+//! The campaign engine: enumerate → dedupe → execute in parallel →
+//! assemble from the shared cache.
+//!
+//! The old runner measured each table's cells inline, so two tables
+//! needing the same cell (every chain-length study shares its isolated
+//! kernels, overhead and ground truth; the reuse and transition
+//! studies revisit whole configurations) paid for it twice.  The
+//! campaign engine splits measurement from assembly:
+//!
+//! 1. every requested analysis ([`AnalysisSpec`]) is *enumerated* into
+//!    its measurement cells (canonical `kc_core::MeasurementKey`s);
+//! 2. the union is *deduplicated* — cell keys carry no chain length,
+//!    so the sharing the `kc-prophesy` planner reasons about falls out
+//!    of key equality;
+//! 3. unique, not-yet-cached cells *execute in parallel* (largest
+//!    first), each on its own freshly built simulated cluster with a
+//!    per-cell noise seed, so results are bit-identical regardless of
+//!    thread count or schedule;
+//! 4. analyses are *assembled* from the shared
+//!    `kc_core::CachedProvider` — by construction each unique cell was
+//!    measured exactly once.
+//!
+//! [`CampaignStats`] reports the arithmetic (requested vs unique vs
+//! executed vs cache hits, and the naive run count a table-at-a-time
+//! campaign would have paid) plus wall-clock per phase.
+
+use crate::runner::Runner;
+use kc_core::{
+    analysis_cells, assemble_analysis, CacheStats, CachedProvider, CellContext, CouplingAnalysis,
+    KcResult, KernelSet, MeasurementBackend, MeasurementKey, MeasurementProvider,
+};
+use kc_machine::MachineConfig;
+use kc_npb::{Benchmark, Class, NpbApp, NpbProvider};
+use rayon::prelude::*;
+use std::collections::BTreeSet;
+use std::fmt;
+use std::time::Instant;
+
+/// One requested coupling analysis: benchmark × class × processor
+/// count × chain length, optionally at the fine decomposition or on a
+/// machine other than the campaign default.
+#[derive(Clone, Debug, PartialEq)]
+pub struct AnalysisSpec {
+    /// Which benchmark.
+    pub benchmark: Benchmark,
+    /// Which problem class.
+    pub class: Class,
+    /// How many processors.
+    pub procs: usize,
+    /// Window chain length `L`.
+    pub chain_len: usize,
+    /// Use the loop-level (fine) BT decomposition.
+    pub fine: bool,
+    /// Run on this machine instead of the campaign's default.
+    pub machine: Option<MachineConfig>,
+}
+
+impl AnalysisSpec {
+    /// A spec on the campaign's default machine, coarse decomposition.
+    pub fn new(benchmark: Benchmark, class: Class, procs: usize, chain_len: usize) -> Self {
+        Self {
+            benchmark,
+            class,
+            procs,
+            chain_len,
+            fine: false,
+            machine: None,
+        }
+    }
+
+    /// Switch to the loop-level BT decomposition.
+    pub fn fine(mut self) -> Self {
+        self.fine = true;
+        self
+    }
+
+    /// Run on `machine` instead of the campaign default.
+    pub fn on(mut self, machine: MachineConfig) -> Self {
+        self.machine = Some(machine);
+        self
+    }
+
+    /// The loop kernel set this spec analyses.
+    pub fn kernel_set(&self) -> KernelSet {
+        if self.fine {
+            kc_npb::bt::fine_spec().kernel_set()
+        } else {
+            self.benchmark.spec().kernel_set()
+        }
+    }
+}
+
+/// The measurement arithmetic of one [`Campaign::prefetch`] call.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct CampaignStats {
+    /// Cells the requested analyses need, counted with multiplicity.
+    pub cells_requested: usize,
+    /// Distinct cells after deduplication.
+    pub cells_unique: usize,
+    /// Unique cells already in the cache before this prefetch.
+    pub cache_hits: usize,
+    /// Cells actually executed by this prefetch.
+    pub cells_executed: usize,
+    /// Cluster runs a table-at-a-time campaign would have performed
+    /// (the `kc_prophesy::campaign_runs` accounting, one fresh
+    /// campaign per analysis).
+    pub naive_runs: usize,
+    /// Wall-clock seconds spent enumerating and deduplicating.
+    pub enumerate_secs: f64,
+    /// Wall-clock seconds spent executing cells.
+    pub execute_secs: f64,
+}
+
+impl CampaignStats {
+    /// Merge another prefetch's counters into this one (wall-clock
+    /// adds; the cell arithmetic sums phase by phase).
+    pub fn absorb(&mut self, other: &CampaignStats) {
+        self.cells_requested += other.cells_requested;
+        self.cells_unique += other.cells_unique;
+        self.cache_hits += other.cache_hits;
+        self.cells_executed += other.cells_executed;
+        self.naive_runs += other.naive_runs;
+        self.enumerate_secs += other.enumerate_secs;
+        self.execute_secs += other.execute_secs;
+    }
+}
+
+impl fmt::Display for CampaignStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} cells requested -> {} unique ({} cached, {} executed; naive plan: {} runs) \
+             [enumerate {:.2}s, execute {:.2}s]",
+            self.cells_requested,
+            self.cells_unique,
+            self.cache_hits,
+            self.cells_executed,
+            self.naive_runs,
+            self.enumerate_secs,
+            self.execute_secs,
+        )
+    }
+}
+
+/// The campaign engine: a [`Runner`] (machine + protocol + reps)
+/// driving a cached [`NpbProvider`].
+///
+/// All experiment modules take `&Campaign`; analyses assembled through
+/// one campaign share every measurement cell.
+pub struct Campaign {
+    runner: Runner,
+    provider: CachedProvider<NpbProvider>,
+}
+
+impl Default for Campaign {
+    fn default() -> Self {
+        Self::new(Runner::default())
+    }
+}
+
+impl Campaign {
+    /// A campaign over `runner`'s machine and protocol, in-memory
+    /// cache only.
+    pub fn new(runner: Runner) -> Self {
+        Self {
+            runner,
+            provider: CachedProvider::new(NpbProvider::new()),
+        }
+    }
+
+    /// A campaign whose cache is backed by persistent cell storage
+    /// (e.g. `kc_prophesy::CellStore`): misses consult the backend
+    /// before executing, executions are written back.
+    pub fn with_backend(runner: Runner, backend: Box<dyn MeasurementBackend>) -> Self {
+        Self {
+            runner,
+            provider: CachedProvider::with_backend(NpbProvider::new(), backend),
+        }
+    }
+
+    /// A noise-free campaign (for shape-focused tests and benches).
+    pub fn noise_free() -> Self {
+        Self::new(Runner::noise_free())
+    }
+
+    /// The runner (machine, protocol, reps) this campaign measures
+    /// under.
+    pub fn runner(&self) -> &Runner {
+        &self.runner
+    }
+
+    /// Timing repetitions per chain cell.
+    pub fn reps(&self) -> u32 {
+        self.runner.reps
+    }
+
+    /// Traffic counters of the underlying measurement cache.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.provider.stats()
+    }
+
+    /// The cell context (machine fingerprint + protocol digest) of one
+    /// spec, registering its machine with the provider.
+    fn context(&self, spec: &AnalysisSpec) -> CellContext {
+        let machine = spec
+            .machine
+            .clone()
+            .unwrap_or_else(|| self.runner.machine.clone());
+        let app = NpbApp::new(spec.benchmark, spec.class, spec.procs);
+        self.provider
+            .inner()
+            .context(&app, spec.fine, &machine, self.runner.exec)
+    }
+
+    /// The measurement cells one spec needs.
+    pub fn cells(&self, spec: &AnalysisSpec) -> KcResult<Vec<MeasurementKey>> {
+        let ctx = self.context(spec);
+        let set = spec.kernel_set();
+        Ok(analysis_cells(&ctx, &set, spec.chain_len, self.runner.reps)?)
+    }
+
+    /// Enumerate, dedupe and execute every cell the given analyses
+    /// need.  Unique uncached cells run in parallel, largest first;
+    /// results land in the shared cache, so subsequent
+    /// [`Campaign::analysis`] calls for these specs measure nothing.
+    pub fn prefetch(&self, specs: &[AnalysisSpec]) -> KcResult<CampaignStats> {
+        let enumerate_started = Instant::now();
+        let mut stats = CampaignStats::default();
+        let mut unique: BTreeSet<MeasurementKey> = BTreeSet::new();
+        for spec in specs {
+            let cells = self.cells(spec)?;
+            stats.cells_requested += cells.len();
+            stats.naive_runs += kc_prophesy::campaign_runs(spec.kernel_set().len(), 1);
+            unique.extend(cells);
+        }
+        stats.cells_unique = unique.len();
+        let mut todo: Vec<MeasurementKey> = unique
+            .into_iter()
+            .filter(|k| !self.provider.contains(k))
+            .collect();
+        stats.cache_hits = stats.cells_unique - todo.len();
+        // biggest simulations first, so the tail of the parallel phase
+        // isn't one huge straggler; ties broken by key order to keep
+        // the schedule deterministic
+        todo.sort_by(|a, b| {
+            let (ca, cb) = (
+                self.provider.cost_estimate(a),
+                self.provider.cost_estimate(b),
+            );
+            cb.partial_cmp(&ca).unwrap().then_with(|| a.cmp(b))
+        });
+        stats.enumerate_secs = enumerate_started.elapsed().as_secs_f64();
+
+        let execute_started = Instant::now();
+        let results: Vec<KcResult<()>> = todo
+            .par_iter()
+            .map(|k| self.provider.measure(k).map(|_| ()))
+            .collect();
+        for r in results {
+            r?;
+        }
+        stats.cells_executed = todo.len();
+        stats.execute_secs = execute_started.elapsed().as_secs_f64();
+        Ok(stats)
+    }
+
+    /// The coupling analysis for one spec, assembled from the cache
+    /// (measuring — in parallel — whatever is not yet cached).
+    pub fn analysis(&self, spec: &AnalysisSpec) -> KcResult<CouplingAnalysis> {
+        self.prefetch(std::slice::from_ref(spec))?;
+        let ctx = self.context(spec);
+        let set = spec.kernel_set();
+        let iters = spec.benchmark.problem(spec.class).iterations;
+        assemble_analysis(
+            &self.provider,
+            &ctx,
+            &set,
+            spec.chain_len,
+            iters,
+            self.runner.reps,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prefetch_dedupes_across_chain_lengths() {
+        let campaign = Campaign::noise_free();
+        // BT has 5 loop kernels: length-2 and length-3 studies share
+        // the 5 isolated cells, the overhead and the ground truth
+        let specs = [
+            AnalysisSpec::new(Benchmark::Bt, Class::S, 4, 2),
+            AnalysisSpec::new(Benchmark::Bt, Class::S, 4, 3),
+        ];
+        let stats = campaign.prefetch(&specs).unwrap();
+        assert_eq!(stats.cells_requested, 2 * (5 + 5 + 2));
+        assert_eq!(stats.cells_unique, 5 + 5 + 5 + 2, "shared cells dedupe");
+        assert_eq!(stats.cells_executed, stats.cells_unique);
+        assert_eq!(stats.cache_hits, 0);
+        assert_eq!(stats.naive_runs, 2 * (5 + 5 + 2));
+
+        // a second prefetch finds everything cached
+        let again = campaign.prefetch(&specs).unwrap();
+        assert_eq!(again.cells_executed, 0);
+        assert_eq!(again.cache_hits, again.cells_unique);
+    }
+
+    #[test]
+    fn analysis_matches_the_legacy_collect_path() {
+        use kc_core::{ChainExecutor, CouplingAnalysis};
+
+        let campaign = Campaign::noise_free();
+        let spec = AnalysisSpec::new(Benchmark::Bt, Class::S, 4, 2);
+        let via_campaign = campaign.analysis(&spec).unwrap();
+
+        let runner = Runner::noise_free();
+        let mut exec = runner.executor(Benchmark::Bt, Class::S, 4);
+        let direct = CouplingAnalysis::collect(&mut exec, 2, runner.reps).unwrap();
+
+        assert_eq!(via_campaign.couplings().unwrap(), direct.couplings().unwrap());
+        assert_eq!(via_campaign.actual(), direct.actual());
+        assert_eq!(
+            via_campaign.loop_iterations(),
+            exec.loop_iterations(),
+            "campaign must use the benchmark's real iteration count"
+        );
+    }
+
+    #[test]
+    fn machine_overrides_are_distinct_cells() {
+        let campaign = Campaign::noise_free();
+        let base = AnalysisSpec::new(Benchmark::Bt, Class::S, 4, 2);
+        let other =
+            base.clone().on(MachineConfig::ethernet_cluster().without_noise());
+        let stats = campaign.prefetch(&[base, other]).unwrap();
+        assert_eq!(
+            stats.cells_unique, stats.cells_requested,
+            "different machines must share nothing"
+        );
+    }
+
+    #[test]
+    fn bad_chain_length_is_an_error() {
+        let campaign = Campaign::noise_free();
+        let spec = AnalysisSpec::new(Benchmark::Bt, Class::S, 4, 99);
+        assert!(campaign.analysis(&spec).is_err());
+        assert!(campaign.cells(&spec).is_err());
+    }
+}

@@ -16,36 +16,46 @@
 //!   penalties to sum) while the coupling predictor holds up, so the
 //!   methodology's advantage *grows* with decomposition detail.
 
-use crate::runner::Runner;
+use crate::campaign::{AnalysisSpec, Campaign};
 use kc_core::report::TableCell;
 use kc_core::{
-    CouplingAnalysis, CouplingRow, CouplingTable, PredictionRow, PredictionTable, Predictor,
+    CouplingAnalysis, CouplingRow, CouplingTable, KcResult, PredictionRow, PredictionTable,
+    Predictor,
 };
-use kc_npb::{Benchmark, Class, NpbApp, NpbExecutor};
+use kc_npb::{Benchmark, Class};
 
 /// Collect an analysis at the fine (8-kernel) BT decomposition.
 pub fn fine_analysis(
-    runner: &Runner,
+    campaign: &Campaign,
     class: Class,
     procs: usize,
     chain_len: usize,
-) -> CouplingAnalysis {
-    let mut exec = NpbExecutor::with_spec(
-        NpbApp::new(Benchmark::Bt, class, procs),
-        runner.machine.clone(),
-        runner.exec,
-        kc_npb::bt::fine_spec(),
-    );
-    CouplingAnalysis::collect(&mut exec, chain_len, runner.reps).unwrap()
+) -> KcResult<CouplingAnalysis> {
+    campaign.analysis(&AnalysisSpec::new(Benchmark::Bt, class, procs, chain_len).fine())
+}
+
+/// The analyses [`granularity_tables`] needs.
+pub fn granularity_requests(class: Class, procs: &[usize]) -> Vec<AnalysisSpec> {
+    procs
+        .iter()
+        .flat_map(|&p| {
+            [
+                AnalysisSpec::new(Benchmark::Bt, class, p, 3),
+                AnalysisSpec::new(Benchmark::Bt, class, p, 2).fine(),
+                AnalysisSpec::new(Benchmark::Bt, class, p, 5).fine(),
+            ]
+        })
+        .collect()
 }
 
 /// The granularity comparison for BT at one class: coarse (paper)
 /// vs fine decomposition, each with its best-suited chain length.
 pub fn granularity_tables(
-    runner: &Runner,
+    campaign: &Campaign,
     class: Class,
     procs: &[usize],
-) -> (CouplingTable, PredictionTable) {
+) -> KcResult<(CouplingTable, PredictionTable)> {
+    campaign.prefetch(&granularity_requests(class, procs))?;
     let columns: Vec<String> = procs.iter().map(|p| format!("{p} processors")).collect();
     let mut pair_coupling = Vec::new(); // strongest fine pair per proc
     let mut actual = Vec::new();
@@ -56,14 +66,13 @@ pub fn granularity_tables(
 
     for &p in procs {
         // coarse: the paper's decomposition, 3-kernel chains
-        let mut coarse_exec = runner.executor(Benchmark::Bt, class, p);
-        let coarse = CouplingAnalysis::collect(&mut coarse_exec, 3, runner.reps).unwrap();
+        let coarse = campaign.analysis(&AnalysisSpec::new(Benchmark::Bt, class, p, 3))?;
         actual.push(coarse.actual().mean());
-        coarse_sum.push(coarse.predict(Predictor::Summation).unwrap());
-        coarse_cpl.push(coarse.predict(Predictor::coupling(3)).unwrap());
+        coarse_sum.push(coarse.predict(Predictor::Summation)?);
+        coarse_cpl.push(coarse.predict(Predictor::coupling(3))?);
 
         // fine: 8 kernels, pairwise chains highlight the elim/subst bond
-        let fine2 = fine_analysis(runner, class, p, 2);
+        let fine2 = fine_analysis(campaign, class, p, 2)?;
         let set = fine2.kernel_set().clone();
         let elim_subst = fine2
             .windows()
@@ -78,10 +87,10 @@ pub fn granularity_tables(
             .map(|(i, _)| fine2.coupling(i).unwrap())
             .fold(f64::INFINITY, f64::min);
         pair_coupling.push(elim_subst);
-        fine_sum.push(fine2.predict(Predictor::Summation).unwrap());
+        fine_sum.push(fine2.predict(Predictor::Summation)?);
         // longer chains for the prediction at the fine granularity
-        let fine5 = fine_analysis(runner, class, p, 5);
-        fine_cpl.push(fine5.predict(Predictor::coupling(5)).unwrap());
+        let fine5 = fine_analysis(campaign, class, p, 5)?;
+        fine_cpl.push(fine5.predict(Predictor::coupling(5))?);
     }
 
     let couplings = CouplingTable {
@@ -157,17 +166,18 @@ pub fn granularity_tables(
         columns,
         rows,
     };
-    (couplings, predictions)
+    Ok((couplings, predictions))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use kc_npb::{NpbApp, NpbExecutor};
 
     #[test]
     fn elim_subst_pairs_couple_strongly() {
-        let runner = Runner::noise_free();
-        let fine = fine_analysis(&runner, Class::S, 4, 2);
+        let campaign = Campaign::noise_free();
+        let fine = fine_analysis(&campaign, Class::S, 4, 2).unwrap();
         let set = fine.kernel_set().clone();
         assert_eq!(set.len(), 8);
         // the x_elim/x_subst pair must couple more constructively than
@@ -219,8 +229,8 @@ mod tests {
 
     #[test]
     fn coupling_advantage_grows_with_granularity() {
-        let runner = Runner::noise_free();
-        let (_, table) = granularity_tables(&runner, Class::S, &[4]);
+        let campaign = Campaign::noise_free();
+        let (_, table) = granularity_tables(&campaign, Class::S, &[4]).unwrap();
         let get = |label: &str| table.row(label).unwrap().avg_rel_err_pct().unwrap();
         let coarse_sum = get("Coarse summation (5 kernels)");
         let fine_sum = get("Fine summation (8 kernels)");

@@ -30,6 +30,7 @@
 pub mod ablations;
 pub mod analytic;
 pub mod bt;
+pub mod campaign;
 pub mod granularity;
 pub mod lu;
 pub mod machines;
@@ -39,4 +40,5 @@ pub mod runner;
 pub mod sp;
 pub mod transitions;
 
+pub use campaign::{AnalysisSpec, Campaign, CampaignStats};
 pub use runner::{Runner, TablePair};

@@ -4,7 +4,9 @@
 //! coupling predictor over processor counts 4/8/16/32 for one class
 //! (W, A, B) — LU requires powers of two.
 
-use crate::runner::{build_tables, Runner, TablePair};
+use crate::campaign::{AnalysisSpec, Campaign};
+use crate::runner::{build_tables, table_requests, TablePair};
+use kc_core::KcResult;
 use kc_npb::{Benchmark, Class};
 
 /// Processor counts of the LU study (paper Table 8).
@@ -13,8 +15,13 @@ pub const PROCS: [usize; 4] = [4, 8, 16, 32];
 /// The chain length the paper reports for LU.
 pub const CHAIN_LEN: usize = 3;
 
+/// The analyses one of Tables 8a/8b/8c needs.
+pub fn table8_requests(class: Class) -> Vec<AnalysisSpec> {
+    table_requests(Benchmark::Lu, class, &PROCS, &[CHAIN_LEN])
+}
+
 /// One of Tables 8a/8b/8c, selected by class.
-pub fn table8(runner: &Runner, class: Class) -> TablePair {
+pub fn table8(campaign: &Campaign, class: Class) -> KcResult<TablePair> {
     let sub = match class {
         Class::W => "8a",
         Class::A => "8b",
@@ -22,7 +29,7 @@ pub fn table8(runner: &Runner, class: Class) -> TablePair {
         Class::S => "8s",
     };
     build_tables(
-        runner,
+        campaign,
         Benchmark::Lu,
         class,
         &PROCS,
@@ -38,7 +45,7 @@ mod tests {
 
     #[test]
     fn lu_class_w_structure() {
-        let pair = table8(&Runner::noise_free(), Class::W);
+        let pair = table8(&Campaign::noise_free(), Class::W).unwrap();
         assert_eq!(pair.predictions.columns.len(), 4);
         assert_eq!(pair.predictions.rows.len(), 3);
         // LU has 4 loop kernels -> 4 windows of length 3

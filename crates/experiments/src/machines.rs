@@ -8,9 +8,13 @@
 //! by what factor — matches the measured ratio, even though the
 //! absolute coupling values differ per machine (the regimes move with
 //! the memory subsystem).
+//!
+//! Both machines' campaigns flow through the same shared cache: each
+//! is an [`AnalysisSpec`] with a machine override, so their cells are
+//! distinct by fingerprint but execute in one parallel prefetch.
 
-use crate::runner::Runner;
-use kc_core::{CouplingAnalysis, CouplingRow, CouplingTable, Predictor};
+use crate::campaign::{AnalysisSpec, Campaign};
+use kc_core::{CouplingRow, CouplingTable, KcResult, Predictor};
 use kc_machine::MachineConfig;
 use kc_npb::{Benchmark, Class};
 
@@ -27,57 +31,59 @@ pub struct MachineOutcome {
     pub mean_coupling: f64,
 }
 
-/// Run the campaign on one machine.
-pub fn outcome_on(
-    machine: MachineConfig,
+/// The two machines of the study, noise-free (the comparison is about
+/// architecture, not measurement error).
+fn study_machines() -> [MachineConfig; 2] {
+    [
+        MachineConfig::ibm_sp_p2sc().without_noise(),
+        MachineConfig::ethernet_cluster().without_noise(),
+    ]
+}
+
+/// The analyses [`machine_comparison`] needs.
+pub fn comparison_requests(
     benchmark: Benchmark,
     class: Class,
     procs: usize,
     len: usize,
-    reps: u32,
-) -> MachineOutcome {
-    let runner = Runner {
-        machine,
-        ..Runner::noise_free()
-    };
-    let machine_name = runner.machine.name.clone();
-    let mut exec = runner.executor(benchmark, class, procs);
-    let analysis = CouplingAnalysis::collect(&mut exec, len, reps).unwrap();
-    let cs = analysis.couplings().unwrap();
-    MachineOutcome {
+) -> Vec<AnalysisSpec> {
+    study_machines()
+        .into_iter()
+        .map(|m| AnalysisSpec::new(benchmark, class, procs, len).on(m))
+        .collect()
+}
+
+/// Run the campaign for one machine-override spec.
+pub fn outcome_on(campaign: &Campaign, spec: &AnalysisSpec) -> KcResult<MachineOutcome> {
+    let machine_name = spec
+        .machine
+        .as_ref()
+        .map(|m| m.name.clone())
+        .unwrap_or_else(|| campaign.runner().machine.name.clone());
+    let analysis = campaign.analysis(spec)?;
+    let cs = analysis.couplings()?;
+    Ok(MachineOutcome {
         machine: machine_name,
         actual: analysis.actual().mean(),
-        predicted: analysis.predict(Predictor::coupling(len)).unwrap(),
+        predicted: analysis.predict(Predictor::coupling(spec.chain_len))?,
         mean_coupling: cs.iter().sum::<f64>() / cs.len() as f64,
-    }
+    })
 }
 
 /// The cross-machine comparison table for one workload.
 pub fn machine_comparison(
+    campaign: &Campaign,
     benchmark: Benchmark,
     class: Class,
     procs: usize,
     len: usize,
-    reps: u32,
-) -> (CouplingTable, Vec<MachineOutcome>) {
-    let outcomes = vec![
-        outcome_on(
-            MachineConfig::ibm_sp_p2sc().without_noise(),
-            benchmark,
-            class,
-            procs,
-            len,
-            reps,
-        ),
-        outcome_on(
-            MachineConfig::ethernet_cluster().without_noise(),
-            benchmark,
-            class,
-            procs,
-            len,
-            reps,
-        ),
-    ];
+) -> KcResult<(CouplingTable, Vec<MachineOutcome>)> {
+    let requests = comparison_requests(benchmark, class, procs, len);
+    campaign.prefetch(&requests)?;
+    let outcomes = requests
+        .iter()
+        .map(|spec| outcome_on(campaign, spec))
+        .collect::<KcResult<Vec<_>>>()?;
     let columns = outcomes.iter().map(|o| o.machine.clone()).collect();
     let rows = vec![
         CouplingRow {
@@ -98,7 +104,7 @@ pub fn machine_comparison(
         columns,
         rows,
     };
-    (table, outcomes)
+    Ok((table, outcomes))
 }
 
 /// Relative-performance check: (predicted ratio, actual ratio) of
@@ -114,10 +120,18 @@ pub fn relative_performance(outcomes: &[MachineOutcome]) -> (f64, f64) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::runner::Runner;
+
+    fn quick_campaign() -> Campaign {
+        let mut runner = Runner::noise_free();
+        runner.reps = 2;
+        Campaign::new(runner)
+    }
 
     #[test]
     fn relative_performance_is_predicted_accurately() {
-        let (_, outcomes) = machine_comparison(Benchmark::Bt, Class::W, 9, 3, 2);
+        let (_, outcomes) =
+            machine_comparison(&quick_campaign(), Benchmark::Bt, Class::W, 9, 3).unwrap();
         let (pred_ratio, actual_ratio) = relative_performance(&outcomes);
         let err = (pred_ratio - actual_ratio).abs() / actual_ratio;
         assert!(
@@ -131,7 +145,8 @@ mod tests {
     fn coupling_values_are_machine_dependent() {
         // the same workload couples differently on a machine with a
         // different memory subsystem — the paper's architectural claim
-        let (_, outcomes) = machine_comparison(Benchmark::Bt, Class::S, 4, 2, 2);
+        let (_, outcomes) =
+            machine_comparison(&quick_campaign(), Benchmark::Bt, Class::S, 4, 2).unwrap();
         let diff = (outcomes[0].mean_coupling - outcomes[1].mean_coupling).abs();
         assert!(
             diff > 0.01,
@@ -143,7 +158,8 @@ mod tests {
 
     #[test]
     fn per_machine_predictions_stay_accurate() {
-        let (_, outcomes) = machine_comparison(Benchmark::Bt, Class::S, 4, 2, 2);
+        let (_, outcomes) =
+            machine_comparison(&quick_campaign(), Benchmark::Bt, Class::S, 4, 2).unwrap();
         for o in &outcomes {
             let err = (o.predicted - o.actual).abs() / o.actual;
             assert!(

@@ -9,25 +9,27 @@
 //! chain measurements per configuration; reuse needs `N` — the
 //! question is what it costs in accuracy.
 
-use crate::runner::Runner;
-use kc_core::{CouplingAnalysis, CouplingRow, CouplingTable, ReuseStudy};
+use crate::campaign::{AnalysisSpec, Campaign};
+use kc_core::{CouplingAnalysis, CouplingRow, CouplingTable, KcResult, ReuseStudy};
 use kc_npb::{Benchmark, Class};
 
-/// Collect analyses for every processor count of one benchmark/class.
-fn analyses(
-    runner: &Runner,
+/// The analyses [`proc_transfer_table`] needs.
+pub fn proc_transfer_requests(
     benchmark: Benchmark,
     class: Class,
     procs: &[usize],
     len: usize,
-) -> Vec<CouplingAnalysis> {
+) -> Vec<AnalysisSpec> {
     procs
         .iter()
-        .map(|&p| {
-            let mut exec = runner.executor(benchmark, class, p);
-            CouplingAnalysis::collect(&mut exec, len, runner.reps).unwrap()
-        })
+        .map(|&p| AnalysisSpec::new(benchmark, class, p, len))
         .collect()
+}
+
+/// Collect analyses for every spec, through the campaign cache.
+fn analyses(campaign: &Campaign, specs: &[AnalysisSpec]) -> KcResult<Vec<CouplingAnalysis>> {
+    campaign.prefetch(specs)?;
+    specs.iter().map(|s| campaign.analysis(s)).collect()
 }
 
 /// The source × target transfer matrix across processor counts:
@@ -35,21 +37,22 @@ fn analyses(
 /// error (%) of predicting the target with the source's coefficients.
 /// The diagonal is the native coupling predictor.
 pub fn proc_transfer_table(
-    runner: &Runner,
+    campaign: &Campaign,
     benchmark: Benchmark,
     class: Class,
     procs: &[usize],
     len: usize,
-) -> (CouplingTable, ReuseStudy) {
-    let all = analyses(runner, benchmark, class, procs, len);
+) -> KcResult<(CouplingTable, ReuseStudy)> {
+    let all = analyses(
+        campaign,
+        &proc_transfer_requests(benchmark, class, procs, len),
+    )?;
     let mut study = ReuseStudy::new();
     let mut rows = Vec::new();
     for (si, &sp) in procs.iter().enumerate() {
         let mut values = Vec::new();
         for (ti, &tp) in procs.iter().enumerate() {
-            let cell = study
-                .record(&all[si], &format!("p{sp}"), &all[ti], &format!("p{tp}"))
-                .unwrap();
+            let cell = study.record(&all[si], &format!("p{sp}"), &all[ti], &format!("p{tp}"))?;
             values.push(100.0 * cell.rel_err());
         }
         rows.push(CouplingRow {
@@ -65,38 +68,46 @@ pub fn proc_transfer_table(
         columns: procs.iter().map(|p| format!("{p} procs")).collect(),
         rows,
     };
-    (table, study)
+    Ok((table, study))
+}
+
+/// The analyses [`class_transfer_table`] needs.
+pub fn class_transfer_requests(
+    benchmark: Benchmark,
+    classes: &[Class],
+    procs: usize,
+    len: usize,
+) -> Vec<AnalysisSpec> {
+    classes
+        .iter()
+        .map(|&c| AnalysisSpec::new(benchmark, c, procs, len))
+        .collect()
 }
 
 /// Transfer across classes at a fixed processor count: coefficients
 /// from each class predicting each other class.
 pub fn class_transfer_table(
-    runner: &Runner,
+    campaign: &Campaign,
     benchmark: Benchmark,
     classes: &[Class],
     procs: usize,
     len: usize,
-) -> (CouplingTable, ReuseStudy) {
-    let all: Vec<CouplingAnalysis> = classes
-        .iter()
-        .map(|&c| {
-            let mut exec = runner.executor(benchmark, c, procs);
-            CouplingAnalysis::collect(&mut exec, len, runner.reps).unwrap()
-        })
-        .collect();
+) -> KcResult<(CouplingTable, ReuseStudy)> {
+    let all = analyses(
+        campaign,
+        &class_transfer_requests(benchmark, classes, procs, len),
+    )?;
     let mut study = ReuseStudy::new();
     let mut rows = Vec::new();
     for (si, &sc) in classes.iter().enumerate() {
         let mut values = Vec::new();
         for (ti, &tc) in classes.iter().enumerate() {
-            let cell = study
-                .record(
-                    &all[si],
-                    &format!("class {sc}"),
-                    &all[ti],
-                    &format!("class {tc}"),
-                )
-                .unwrap();
+            let cell = study.record(
+                &all[si],
+                &format!("class {sc}"),
+                &all[ti],
+                &format!("class {tc}"),
+            )?;
             values.push(100.0 * cell.rel_err());
         }
         rows.push(CouplingRow {
@@ -112,7 +123,7 @@ pub fn class_transfer_table(
         columns: classes.iter().map(|c| format!("class {c}")).collect(),
         rows,
     };
-    (table, study)
+    Ok((table, study))
 }
 
 #[cfg(test)]
@@ -124,8 +135,9 @@ mod tests {
         // BT class W sits in one cache regime at every processor
         // count, so coefficients transfer across processor counts with
         // little loss and always beat summation
-        let runner = Runner::noise_free();
-        let (table, study) = proc_transfer_table(&runner, Benchmark::Bt, Class::W, &[4, 16], 3);
+        let campaign = Campaign::noise_free();
+        let (table, study) =
+            proc_transfer_table(&campaign, Benchmark::Bt, Class::W, &[4, 16], 3).unwrap();
         table.check();
         assert_eq!(
             study.transfer_win_rate(),

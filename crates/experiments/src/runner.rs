@@ -1,13 +1,13 @@
 //! The experiment runner: machine + measurement protocol + generic
 //! table builders.
 
+use crate::campaign::{AnalysisSpec, Campaign};
 use kc_core::report::TableCell;
 use kc_core::{
-    CouplingAnalysis, CouplingRow, CouplingTable, PredictionRow, PredictionTable, Predictor,
+    CouplingRow, CouplingTable, KcResult, PredictionRow, PredictionTable, Predictor,
 };
 use kc_machine::MachineConfig;
 use kc_npb::{Benchmark, Class, ExecConfig, NpbApp, NpbExecutor};
-use rayon::prelude::*;
 
 /// Owns the simulated machine and the measurement-protocol settings
 /// used for every experiment.
@@ -76,25 +76,46 @@ impl TablePair {
     }
 }
 
+/// The analysis specs a [`build_tables`] call needs — prefetch these
+/// (possibly merged with other tables' requests) to measure the whole
+/// study as one deduplicated parallel campaign.
+pub fn table_requests(
+    benchmark: Benchmark,
+    class: Class,
+    procs: &[usize],
+    chain_lens: &[usize],
+) -> Vec<AnalysisSpec> {
+    procs
+        .iter()
+        .flat_map(|&p| {
+            chain_lens
+                .iter()
+                .map(move |&len| AnalysisSpec::new(benchmark, class, p, len))
+        })
+        .collect()
+}
+
 /// Run the full measurement campaign for one benchmark × class over a
 /// set of processor counts and chain lengths, producing the paper's
 /// table pair.
+///
+/// Measurement goes through the campaign's shared cache: the cells of
+/// this table are prefetched (deduplicated, in parallel) and anything
+/// another table already measured is reused.
 pub fn build_tables(
-    runner: &Runner,
+    campaign: &Campaign,
     benchmark: Benchmark,
     class: Class,
     procs: &[usize],
     chain_lens: &[usize],
     coupling_title: &str,
     prediction_title: &str,
-) -> TablePair {
+) -> KcResult<TablePair> {
     assert!(!procs.is_empty() && !chain_lens.is_empty());
     let columns: Vec<String> = procs.iter().map(|p| format!("{p} processors")).collect();
 
-    // campaigns at different processor counts are independent (each
-    // has its own executor, simulated cluster and seeded timer), so
-    // run them in parallel; results are bit-identical to a sequential
-    // sweep (tested in `tests/determinism.rs`)
+    campaign.prefetch(&table_requests(benchmark, class, procs, chain_lens))?;
+
     struct ProcResult {
         actual: f64,
         summation: f64,
@@ -102,42 +123,38 @@ pub fn build_tables(
         couplings: Vec<Vec<f64>>,
         coupled: Vec<f64>,
     }
-    let per_proc: Vec<ProcResult> = procs
-        .par_iter()
-        .map(|&p| {
-            let mut exec = runner.executor(benchmark, class, p);
-            let mut res = ProcResult {
-                actual: 0.0,
-                summation: 0.0,
-                labels: Vec::new(),
-                couplings: Vec::new(),
-                coupled: Vec::new(),
-            };
-            for (li, &len) in chain_lens.iter().enumerate() {
-                let analysis = CouplingAnalysis::collect(&mut exec, len, runner.reps)
-                    .expect("chain length must fit the kernel set");
-                res.labels.push(
-                    analysis
-                        .windows()
-                        .iter()
-                        .map(|w| w.label(analysis.kernel_set()))
-                        .collect(),
-                );
-                res.couplings
-                    .push(analysis.couplings().expect("positive kernel times"));
-                if li == 0 {
-                    res.actual = analysis.actual().mean();
-                    res.summation = analysis.predict(Predictor::Summation).expect("summation");
-                }
-                res.coupled.push(
-                    analysis
-                        .predict(Predictor::coupling(len))
-                        .expect("coupling"),
-                );
+    let mut per_proc: Vec<ProcResult> = Vec::new();
+    for &p in procs {
+        let mut res = ProcResult {
+            actual: 0.0,
+            summation: 0.0,
+            labels: Vec::new(),
+            couplings: Vec::new(),
+            coupled: Vec::new(),
+        };
+        for (li, &len) in chain_lens.iter().enumerate() {
+            let analysis = campaign.analysis(&AnalysisSpec::new(benchmark, class, p, len))?;
+            res.labels.push(
+                analysis
+                    .windows()
+                    .iter()
+                    .map(|w| w.label(analysis.kernel_set()))
+                    .collect(),
+            );
+            res.couplings
+                .push(analysis.couplings().expect("positive kernel times"));
+            if li == 0 {
+                res.actual = analysis.actual().mean();
+                res.summation = analysis.predict(Predictor::Summation).expect("summation");
             }
-            res
-        })
-        .collect();
+            res.coupled.push(
+                analysis
+                    .predict(Predictor::coupling(len))
+                    .expect("coupling"),
+            );
+        }
+        per_proc.push(res);
+    }
 
     let mut coupling_values: Vec<Vec<Vec<f64>>> = vec![Vec::new(); chain_lens.len()];
     let window_labels: Vec<Vec<String>> = per_proc[0].labels.clone();
@@ -219,10 +236,10 @@ pub fn build_tables(
         columns,
         rows,
     };
-    TablePair {
+    Ok(TablePair {
         couplings,
         predictions,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -231,16 +248,17 @@ mod tests {
 
     #[test]
     fn bt_class_s_tables_have_paper_shape() {
-        let runner = Runner::noise_free();
+        let campaign = Campaign::noise_free();
         let pair = build_tables(
-            &runner,
+            &campaign,
             Benchmark::Bt,
             Class::S,
             &[4],
             &[2],
             "Table 2a",
             "Table 2b",
-        );
+        )
+        .unwrap();
         assert_eq!(pair.couplings.len(), 1);
         assert_eq!(
             pair.couplings[0].rows.len(),
@@ -259,8 +277,9 @@ mod tests {
 
     #[test]
     fn coupling_beats_summation_for_bt_class_s() {
-        let runner = Runner::noise_free();
-        let pair = build_tables(&runner, Benchmark::Bt, Class::S, &[4], &[4], "Ta", "Tb");
+        let campaign = Campaign::noise_free();
+        let pair =
+            build_tables(&campaign, Benchmark::Bt, Class::S, &[4], &[4], "Ta", "Tb").unwrap();
         let sum_err = pair
             .predictions
             .row("Summation")
@@ -281,16 +300,17 @@ mod tests {
 
     #[test]
     fn render_text_contains_both_tables() {
-        let runner = Runner::noise_free();
+        let campaign = Campaign::noise_free();
         let pair = build_tables(
-            &runner,
+            &campaign,
             Benchmark::Bt,
             Class::S,
             &[4],
             &[2],
             "Table 2a",
             "Table 2b",
-        );
+        )
+        .unwrap();
         let text = pair.render_text();
         assert!(text.contains("Table 2a"));
         assert!(text.contains("Table 2b"));

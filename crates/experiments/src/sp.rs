@@ -4,7 +4,9 @@
 //! 5-kernel coupling predictors over processor counts 4/9/16/25 for
 //! one class (W, A, B).
 
-use crate::runner::{build_tables, Runner, TablePair};
+use crate::campaign::{AnalysisSpec, Campaign};
+use crate::runner::{build_tables, table_requests, TablePair};
+use kc_core::KcResult;
 use kc_npb::{Benchmark, Class};
 
 /// Processor counts of the SP study (paper Table 6).
@@ -13,8 +15,13 @@ pub const PROCS: [usize; 4] = [4, 9, 16, 25];
 /// The chain lengths the paper reports for SP.
 pub const CHAIN_LENS: [usize; 2] = [4, 5];
 
+/// The analyses one of Tables 6a/6b/6c needs.
+pub fn table6_requests(class: Class) -> Vec<AnalysisSpec> {
+    table_requests(Benchmark::Sp, class, &PROCS, &CHAIN_LENS)
+}
+
 /// One of Tables 6a/6b/6c, selected by class.
-pub fn table6(runner: &Runner, class: Class) -> TablePair {
+pub fn table6(campaign: &Campaign, class: Class) -> KcResult<TablePair> {
     let sub = match class {
         Class::W => "6a",
         Class::A => "6b",
@@ -22,7 +29,7 @@ pub fn table6(runner: &Runner, class: Class) -> TablePair {
         Class::S => "6s",
     };
     build_tables(
-        runner,
+        campaign,
         Benchmark::Sp,
         class,
         &PROCS,
@@ -38,7 +45,7 @@ mod tests {
 
     #[test]
     fn sp_class_w_has_two_coupling_rows() {
-        let pair = table6(&Runner::noise_free(), Class::W);
+        let pair = table6(&Campaign::noise_free(), Class::W).unwrap();
         // Actual + Summation + Coupling:4 + Coupling:5
         assert_eq!(pair.predictions.rows.len(), 4);
         assert!(pair.predictions.row("Coupling: 5 kernels").is_some());

@@ -9,23 +9,16 @@
 //! visible as plateaus of the coupling value that shift when the
 //! working set crosses L1 or L2 capacity.
 
-use crate::runner::Runner;
-use kc_core::{CouplingAnalysis, CouplingRow, CouplingTable};
+use crate::campaign::{AnalysisSpec, Campaign};
+use kc_core::{CouplingRow, CouplingTable, KcResult};
 use kc_npb::state::{lhs_bytes_per_cell, CELL_BYTES};
 use kc_npb::{Benchmark, Class};
 
 /// Mean coupling value over all windows of length `chain_len`.
-pub fn mean_coupling(
-    runner: &Runner,
-    benchmark: Benchmark,
-    class: Class,
-    procs: usize,
-    chain_len: usize,
-) -> f64 {
-    let mut exec = runner.executor(benchmark, class, procs);
-    let analysis = CouplingAnalysis::collect(&mut exec, chain_len, runner.reps).unwrap();
-    let cs = analysis.couplings().unwrap();
-    cs.iter().sum::<f64>() / cs.len() as f64
+pub fn mean_coupling(campaign: &Campaign, spec: &AnalysisSpec) -> KcResult<f64> {
+    let analysis = campaign.analysis(spec)?;
+    let cs = analysis.couplings()?;
+    Ok(cs.iter().sum::<f64>() / cs.len() as f64)
 }
 
 /// Approximate per-processor *resident* working set of a benchmark
@@ -51,39 +44,60 @@ pub fn cache_regime(machine: &kc_machine::MachineConfig, bytes: usize) -> usize 
     machine.caches.len()
 }
 
+/// The analyses [`transition_table`] needs.
+pub fn transition_requests(classes: &[Class], procs: &[usize]) -> Vec<AnalysisSpec> {
+    classes
+        .iter()
+        .flat_map(|&class| {
+            procs
+                .iter()
+                .map(move |&p| AnalysisSpec::new(Benchmark::Bt, class, p, 2))
+        })
+        .collect()
+}
+
 /// The transition table: one row per class, one column per processor
 /// count, each cell the mean pairwise coupling value.
-pub fn transition_table(runner: &Runner, classes: &[Class], procs: &[usize]) -> CouplingTable {
-    let rows = classes
-        .iter()
-        .map(|&class| CouplingRow {
+pub fn transition_table(
+    campaign: &Campaign,
+    classes: &[Class],
+    procs: &[usize],
+) -> KcResult<CouplingTable> {
+    campaign.prefetch(&transition_requests(classes, procs))?;
+    let mut rows = Vec::new();
+    for &class in classes {
+        let mut values = Vec::new();
+        for &p in procs {
+            values.push(mean_coupling(
+                campaign,
+                &AnalysisSpec::new(Benchmark::Bt, class, p, 2),
+            )?);
+        }
+        rows.push(CouplingRow {
             label: format!("class {class}"),
-            values: procs
-                .iter()
-                .map(|&p| mean_coupling(runner, Benchmark::Bt, class, p, 2))
-                .collect(),
-        })
-        .collect();
-    CouplingTable {
+            values,
+        });
+    }
+    Ok(CouplingTable {
         title: "Coupling regime transitions: mean BT pairwise coupling vs class and processors"
             .to_string(),
         columns: procs.iter().map(|p| format!("{p} processors")).collect(),
         rows,
-    }
+    })
 }
 
 /// Companion table: the cache regime (0 = fits L1, 1 = fits L2,
-/// 2 = spills to memory) for each (class × procs) cell.
-pub fn regime_table(runner: &Runner, classes: &[Class], procs: &[usize]) -> CouplingTable {
+/// 2 = spills to memory) for each (class × procs) cell.  Pure
+/// arithmetic over the campaign's machine — no measurements.
+pub fn regime_table(campaign: &Campaign, classes: &[Class], procs: &[usize]) -> CouplingTable {
+    let machine = &campaign.runner().machine;
     let rows = classes
         .iter()
         .map(|&class| CouplingRow {
             label: format!("class {class}"),
             values: procs
                 .iter()
-                .map(|&p| {
-                    cache_regime(&runner.machine, working_set_bytes(Benchmark::Bt, class, p)) as f64
-                })
+                .map(|&p| cache_regime(machine, working_set_bytes(Benchmark::Bt, class, p)) as f64)
                 .collect(),
         })
         .collect();

@@ -257,6 +257,24 @@ impl MachineConfig {
         self.trace_comm = true;
         self
     }
+
+    /// A content fingerprint of the full configuration: an FNV-1a hash
+    /// of its canonical JSON form, as 16 hex digits.
+    ///
+    /// Any change anywhere in the config — a cache capacity, the
+    /// network contention coefficient, the timer noise model or its
+    /// seed — yields a different fingerprint, which is what lets
+    /// measurement caches key cells on the machine they ran on and
+    /// never serve a cell measured under different hardware.
+    pub fn fingerprint(&self) -> String {
+        let json = serde_json::to_string(self).expect("machine config serializes");
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in json.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        format!("{h:016x}")
+    }
 }
 
 #[cfg(test)]
@@ -292,5 +310,18 @@ mod tests {
         let cfg = MachineConfig::ibm_sp_p2sc().without_noise();
         assert_eq!(cfg.timer.noise_floor, 0.0);
         assert_eq!(cfg.timer.noise_frac, 0.0);
+    }
+
+    #[test]
+    fn fingerprint_tracks_configuration_content() {
+        let base = MachineConfig::ibm_sp_p2sc();
+        assert_eq!(base.fingerprint(), base.clone().fingerprint(), "stable");
+        assert_eq!(base.fingerprint().len(), 16);
+        assert_ne!(base.fingerprint(), MachineConfig::ethernet_cluster().fingerprint());
+        assert_ne!(base.fingerprint(), base.clone().without_noise().fingerprint());
+        assert_ne!(base.fingerprint(), base.clone().with_seed(99).fingerprint());
+        let mut bigger_l2 = base.clone();
+        bigger_l2.caches[1].capacity *= 2;
+        assert_ne!(base.fingerprint(), bigger_l2.fingerprint());
     }
 }

@@ -74,6 +74,31 @@ impl ColdStart {
     }
 }
 
+impl ExecConfig {
+    /// A compact, canonical digest of every protocol field, used in
+    /// measurement-cell keys: two configs digest equal iff they
+    /// measure identically.
+    pub fn digest(&self) -> String {
+        let mode = match self.mode {
+            Mode::Numeric => 'n',
+            Mode::Profile => 'p',
+        };
+        let cold = match self.cold_start {
+            ColdStart::None => 'n',
+            ColdStart::IsolatedOnly => 'i',
+            ColdStart::All => 'a',
+        };
+        format!(
+            "w{}t{}m{}b{}c{}",
+            self.warmup_iters,
+            self.timed_iters,
+            mode,
+            u8::from(self.barrier_per_iteration),
+            cold
+        )
+    }
+}
+
 impl Default for ExecConfig {
     fn default() -> Self {
         Self {
@@ -335,6 +360,28 @@ mod tests {
             MachineConfig::test_tiny(),
             ExecConfig::default(),
         )
+    }
+
+    #[test]
+    fn exec_config_digest_distinguishes_protocols() {
+        let base = ExecConfig::default();
+        assert_eq!(base.digest(), "w1t2mpb1ci");
+        assert_eq!(base.digest(), ExecConfig::default().digest());
+        let numeric = ExecConfig {
+            mode: Mode::Numeric,
+            ..base
+        };
+        assert_ne!(base.digest(), numeric.digest());
+        let cold = ExecConfig {
+            cold_start: ColdStart::All,
+            ..base
+        };
+        assert_ne!(base.digest(), cold.digest());
+        let unbracketed = ExecConfig {
+            barrier_per_iteration: false,
+            ..base
+        };
+        assert_ne!(base.digest(), unbracketed.digest());
     }
 
     #[test]

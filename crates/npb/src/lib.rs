@@ -58,6 +58,7 @@ pub mod lu;
 pub mod models;
 pub mod penta;
 pub mod physics;
+pub mod provider;
 pub mod sp;
 pub mod state;
 pub mod verification;
@@ -66,4 +67,5 @@ pub use app::{AppSpec, Benchmark, NpbApp};
 pub use classes::Class;
 pub use executor::{ColdStart, ExecConfig, NpbExecutor};
 pub use kernel::{KernelSpec, Mode};
+pub use provider::NpbProvider;
 pub use state::RankState;

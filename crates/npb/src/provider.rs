@@ -1,0 +1,386 @@
+//! [`NpbProvider`]: the `kc_core::MeasurementProvider` for the NAS
+//! benchmarks on the simulated cluster.
+//!
+//! Every cell is measured on a **fresh** executor (its own simulated
+//! cluster and timer), so measurements are a pure function of the
+//! cell key: any thread can measure any cell in any order and get the
+//! identical result.  Two ingredients make that work:
+//!
+//! * executors are cheap to construct (the cluster allocates per-rank
+//!   state lazily inside the run), so a per-cell executor costs
+//!   microseconds, not a campaign's budget;
+//! * the timer noise stream is seeded per cell, by mixing the
+//!   machine's configured seed with a hash of the canonical key — a
+//!   noisy campaign is therefore bit-identical no matter how its
+//!   cells are scheduled across threads, while still replaying
+//!   exactly for a fixed machine seed.
+//!
+//! Machine configurations and execution protocols are *registered*
+//! (keyed by [`MachineConfig::fingerprint`] / [`ExecConfig::digest`])
+//! before cells referencing them can be measured; an unregistered
+//! fingerprint in a key is an error, never a silent fallback — the
+//! cache-isolation guarantee the campaign layer relies on.
+
+use crate::app::{AppSpec, Benchmark, NpbApp};
+use crate::classes::Class;
+use crate::executor::{ExecConfig, NpbExecutor};
+use kc_core::{
+    CellContext, CellKind, ChainExecutor, KcError, KcResult, Measurement, MeasurementKey,
+    MeasurementProvider,
+};
+use kc_machine::MachineConfig;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+
+/// Suffix marking the loop-level (fine) BT decomposition in a cell
+/// key's benchmark name.
+const FINE_SUFFIX: &str = "#fine";
+
+/// Measures NPB cells on the simulated cluster, one fresh executor
+/// per cell.
+#[derive(Default)]
+pub struct NpbProvider {
+    machines: Mutex<HashMap<String, MachineConfig>>,
+    execs: Mutex<HashMap<String, ExecConfig>>,
+}
+
+impl NpbProvider {
+    /// An empty provider (no machines or protocols registered yet).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a machine; returns its fingerprint for use in keys.
+    pub fn register_machine(&self, machine: &MachineConfig) -> String {
+        let fp = machine.fingerprint();
+        self.machines
+            .lock()
+            .entry(fp.clone())
+            .or_insert_with(|| machine.clone());
+        fp
+    }
+
+    /// Register an execution protocol; returns its digest for keys.
+    pub fn register_exec(&self, cfg: ExecConfig) -> String {
+        let digest = cfg.digest();
+        self.execs.lock().entry(digest.clone()).or_insert(cfg);
+        digest
+    }
+
+    /// The cell context for one benchmark instance under `machine` and
+    /// `cfg`, registering both as a side effect.  `fine` selects the
+    /// loop-level BT decomposition (8 kernels) instead of the paper's
+    /// procedure-level one.
+    pub fn context(
+        &self,
+        app: &NpbApp,
+        fine: bool,
+        machine: &MachineConfig,
+        cfg: ExecConfig,
+    ) -> CellContext {
+        CellContext {
+            benchmark: benchmark_name(app.benchmark, fine),
+            class: app.class.to_string(),
+            procs: app.procs,
+            exec_digest: self.register_exec(cfg),
+            machine_fingerprint: self.register_machine(machine),
+        }
+    }
+
+    /// Build the per-cell executor for a key.
+    fn executor_for(&self, key: &MeasurementKey) -> KcResult<NpbExecutor> {
+        let machine = self
+            .machines
+            .lock()
+            .get(&key.machine_fingerprint)
+            .cloned()
+            .ok_or_else(|| KcError::UnknownMachine {
+                fingerprint: key.machine_fingerprint.clone(),
+            })?;
+        let cfg = self
+            .execs
+            .lock()
+            .get(&key.exec_digest)
+            .copied()
+            .ok_or_else(|| KcError::UnknownExecConfig {
+                digest: key.exec_digest.clone(),
+            })?;
+        let (benchmark, fine) = parse_benchmark(&key.benchmark)?;
+        let class = parse_class(&key.class)?;
+        let spec = resolve_spec(benchmark, fine, key)?;
+        check_instance(benchmark, class, key)?;
+        let app = NpbApp::new(benchmark, class, key.procs);
+        // Per-cell noise seed: deterministic in (machine seed, key),
+        // independent of scheduling.  Noise-free machines ignore it.
+        let machine = machine.clone().with_seed(cell_seed(machine.timer.seed, key));
+        Ok(NpbExecutor::with_spec(app, machine, cfg, spec))
+    }
+}
+
+impl MeasurementProvider for NpbProvider {
+    fn measure(&self, key: &MeasurementKey) -> KcResult<Measurement> {
+        let mut exec = self.executor_for(key)?;
+        match &key.cell {
+            CellKind::Chain(chain) => {
+                let n = exec.kernel_set().len();
+                if chain.is_empty() || chain.iter().any(|k| k.index() >= n) {
+                    return Err(KcError::BadCell {
+                        key: key.to_string(),
+                        reason: format!("chain must name kernels 0..{n}"),
+                    });
+                }
+                Ok(exec.measure_chain(chain, key.reps))
+            }
+            CellKind::SerialOverhead => Ok(exec.measure_serial_overhead()),
+            CellKind::Application => Ok(exec.measure_application()),
+        }
+    }
+
+    /// Rough simulation cost: grid cells × kernels touched, with a
+    /// mild processor surcharge (more simulated ranks and messages).
+    /// Only the ordering matters — campaigns schedule largest first.
+    fn cost_estimate(&self, key: &MeasurementKey) -> f64 {
+        let Ok((benchmark, fine)) = parse_benchmark(&key.benchmark) else {
+            return 1.0;
+        };
+        let Ok(class) = parse_class(&key.class) else {
+            return 1.0;
+        };
+        let loop_kernels = if fine {
+            crate::bt::fine_spec().loop_kernels.len()
+        } else {
+            benchmark.spec().loop_kernels.len()
+        };
+        let kernels = match &key.cell {
+            CellKind::Chain(chain) => chain.len(),
+            // overhead runs only init/final; the application runs the
+            // whole loop plus init/final
+            CellKind::SerialOverhead => 2,
+            CellKind::Application => loop_kernels + 2,
+        };
+        let cells = benchmark.problem(class).cells() as f64;
+        cells * kernels as f64 * (1.0 + 0.05 * key.procs as f64)
+    }
+}
+
+fn benchmark_name(benchmark: Benchmark, fine: bool) -> String {
+    let base = benchmark.to_string();
+    if fine {
+        format!("{base}{FINE_SUFFIX}")
+    } else {
+        base
+    }
+}
+
+fn parse_benchmark(name: &str) -> KcResult<(Benchmark, bool)> {
+    let (base, fine) = match name.strip_suffix(FINE_SUFFIX) {
+        Some(base) => (base, true),
+        None => (name, false),
+    };
+    let benchmark = match base {
+        "BT" => Benchmark::Bt,
+        "SP" => Benchmark::Sp,
+        "LU" => Benchmark::Lu,
+        _ => return Err(KcError::UnknownBenchmark(name.to_string())),
+    };
+    Ok((benchmark, fine))
+}
+
+fn parse_class(name: &str) -> KcResult<Class> {
+    match name {
+        "S" => Ok(Class::S),
+        "W" => Ok(Class::W),
+        "A" => Ok(Class::A),
+        "B" => Ok(Class::B),
+        _ => Err(KcError::UnknownClass(name.to_string())),
+    }
+}
+
+fn resolve_spec(benchmark: Benchmark, fine: bool, key: &MeasurementKey) -> KcResult<AppSpec> {
+    match (benchmark, fine) {
+        (_, false) => Ok(benchmark.spec()),
+        (Benchmark::Bt, true) => Ok(crate::bt::fine_spec()),
+        _ => Err(KcError::BadCell {
+            key: key.to_string(),
+            reason: "the fine decomposition exists only for BT".to_string(),
+        }),
+    }
+}
+
+/// The validity checks `NpbApp::new` would assert, reported as errors.
+fn check_instance(benchmark: Benchmark, class: Class, key: &MeasurementKey) -> KcResult<()> {
+    if !benchmark.valid_procs(key.procs) {
+        return Err(KcError::BadCell {
+            key: key.to_string(),
+            reason: format!("{benchmark} does not admit {} processors", key.procs),
+        });
+    }
+    let grid = benchmark.grid(key.procs);
+    let n = benchmark.problem(class).size;
+    if grid.cols() > n || grid.rows() > n {
+        return Err(KcError::BadCell {
+            key: key.to_string(),
+            reason: format!("class {class} ({n}^3) cannot be split over the process grid"),
+        });
+    }
+    Ok(())
+}
+
+/// Mix the machine's noise seed with the cell identity (FNV-1a over
+/// the canonical key, finalized with a splitmix64 round).
+fn cell_seed(machine_seed: u64, key: &MeasurementKey) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in key.to_string().bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    let mut z = machine_seed ^ h;
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kc_core::KernelId;
+
+    fn key(provider: &NpbProvider, cell: CellKind, reps: u32) -> MeasurementKey {
+        let app = NpbApp::new(Benchmark::Bt, Class::S, 4);
+        let ctx = provider.context(
+            &app,
+            false,
+            &MachineConfig::ibm_sp_p2sc().without_noise(),
+            ExecConfig::default(),
+        );
+        ctx.key(cell, reps)
+    }
+
+    #[test]
+    fn provider_matches_the_direct_executor_noise_free() {
+        let provider = NpbProvider::new();
+        let machine = MachineConfig::ibm_sp_p2sc().without_noise();
+        let app = NpbApp::new(Benchmark::Bt, Class::S, 4);
+        let ctx = provider.context(&app, false, &machine, ExecConfig::default());
+
+        let mut direct = NpbExecutor::new(app, machine, ExecConfig::default());
+        let ids: Vec<KernelId> = direct.kernel_set().ids().collect();
+
+        let via_provider = provider
+            .measure(&ctx.key(CellKind::Chain(ids[..2].to_vec()), 3))
+            .unwrap();
+        assert_eq!(via_provider, direct.measure_chain(&ids[..2], 3));
+        assert_eq!(
+            provider.measure(&ctx.key(CellKind::Application, 1)).unwrap(),
+            direct.measure_application()
+        );
+        assert_eq!(
+            provider
+                .measure(&ctx.key(CellKind::SerialOverhead, 1))
+                .unwrap(),
+            direct.measure_serial_overhead()
+        );
+    }
+
+    #[test]
+    fn noisy_cells_are_schedule_independent_but_seed_sensitive() {
+        let provider = NpbProvider::new();
+        let machine = MachineConfig::ibm_sp_p2sc(); // noisy, seed 0x5eed_c0de
+        let app = NpbApp::new(Benchmark::Bt, Class::S, 4);
+        let ctx = provider.context(&app, false, &machine, ExecConfig::default());
+        let k0 = ctx.key(CellKind::Chain(vec![KernelId(0)]), 5);
+        let k1 = ctx.key(CellKind::Chain(vec![KernelId(1)]), 5);
+
+        // same cell, any order, any interleaving: identical samples
+        let a = provider.measure(&k0).unwrap();
+        let _ = provider.measure(&k1).unwrap();
+        assert_eq!(a, provider.measure(&k0).unwrap());
+
+        // a different machine seed replays differently
+        let ctx2 = provider.context(&app, false, &machine.clone().with_seed(7), ExecConfig::default());
+        let b = provider.measure(&ctx2.key(CellKind::Chain(vec![KernelId(0)]), 5)).unwrap();
+        assert_ne!(a.samples(), b.samples());
+    }
+
+    #[test]
+    fn unregistered_machine_or_protocol_is_an_error() {
+        let provider = NpbProvider::new();
+        let mut k = key(&provider, CellKind::Application, 1);
+        k.machine_fingerprint = "0000000000000000".to_string();
+        assert!(matches!(
+            provider.measure(&k),
+            Err(KcError::UnknownMachine { .. })
+        ));
+        let mut k = key(&provider, CellKind::Application, 1);
+        k.exec_digest = "bogus".to_string();
+        assert!(matches!(
+            provider.measure(&k),
+            Err(KcError::UnknownExecConfig { .. })
+        ));
+    }
+
+    #[test]
+    fn malformed_cells_are_errors_not_panics() {
+        let provider = NpbProvider::new();
+        let mut k = key(&provider, CellKind::Application, 1);
+        k.benchmark = "FT".to_string();
+        assert!(matches!(
+            provider.measure(&k),
+            Err(KcError::UnknownBenchmark(_))
+        ));
+        let mut k = key(&provider, CellKind::Application, 1);
+        k.class = "C".to_string();
+        assert!(matches!(provider.measure(&k), Err(KcError::UnknownClass(_))));
+        let mut k = key(&provider, CellKind::Application, 1);
+        k.procs = 6; // not a square
+        assert!(matches!(provider.measure(&k), Err(KcError::BadCell { .. })));
+        let k = key(&provider, CellKind::Chain(vec![KernelId(99)]), 1);
+        assert!(matches!(provider.measure(&k), Err(KcError::BadCell { .. })));
+        let mut k = key(&provider, CellKind::Application, 1);
+        k.benchmark = "LU#fine".to_string();
+        k.procs = 4;
+        assert!(matches!(provider.measure(&k), Err(KcError::BadCell { .. })));
+    }
+
+    #[test]
+    fn fine_decomposition_cells_resolve() {
+        let provider = NpbProvider::new();
+        let app = NpbApp::new(Benchmark::Bt, Class::S, 4);
+        let ctx = provider.context(
+            &app,
+            true,
+            &MachineConfig::ibm_sp_p2sc().without_noise(),
+            ExecConfig::default(),
+        );
+        assert_eq!(ctx.benchmark, "BT#fine");
+        // the fine spec has 8 loop kernels; kernel 7 is addressable
+        let m = provider
+            .measure(&ctx.key(CellKind::Chain(vec![KernelId(7)]), 1))
+            .unwrap();
+        assert!(m.mean() > 0.0);
+    }
+
+    #[test]
+    fn cost_estimates_order_by_problem_size() {
+        let provider = NpbProvider::new();
+        let machine = MachineConfig::ibm_sp_p2sc().without_noise();
+        let small = provider
+            .context(
+                &NpbApp::new(Benchmark::Bt, Class::S, 4),
+                false,
+                &machine,
+                ExecConfig::default(),
+            )
+            .key(CellKind::Chain(vec![KernelId(0)]), 5);
+        let large = provider
+            .context(
+                &NpbApp::new(Benchmark::Bt, Class::A, 4),
+                false,
+                &machine,
+                ExecConfig::default(),
+            )
+            .key(CellKind::Application, 1);
+        assert!(provider.cost_estimate(&large) > provider.cost_estimate(&small));
+    }
+}

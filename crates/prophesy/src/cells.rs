@@ -1,0 +1,193 @@
+//! The cell store: persistent raw-measurement storage at *cell*
+//! granularity, pluggable under `kc_core::CachedProvider`.
+//!
+//! [`crate::store::CampaignStore`] persists whole campaign records —
+//! one analysis per (machine, benchmark, class, procs, chain length).
+//! The cell store sits a level below: it keeps the raw samples of
+//! individual measurement cells, keyed by the canonical text of
+//! `kc_core::MeasurementKey`.  Because cell keys carry no chain
+//! length, one saved cell serves every campaign that needs it — the
+//! planner's sharing argument (isolated kernels, overhead and ground
+//! truth are chain-length-independent) falls out of key equality
+//! instead of bespoke bookkeeping.
+//!
+//! Persistence is a single JSON object mapping canonical keys to
+//! sample arrays.  The workspace's JSON writer prints floats in
+//! shortest-roundtrip form, so samples survive a save/load cycle
+//! bit-exactly and a store-backed campaign reproduces an in-memory
+//! one to the last bit.
+
+use kc_core::{Measurement, MeasurementBackend, MeasurementKey};
+use parking_lot::Mutex;
+use serde::Value;
+use std::collections::BTreeMap;
+use std::path::Path;
+
+/// A thread-safe map from canonical cell keys to raw samples, with
+/// JSON-file persistence.
+#[derive(Debug, Default)]
+pub struct CellStore {
+    cells: Mutex<BTreeMap<String, Vec<f64>>>,
+}
+
+impl CellStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of stored cells.
+    pub fn len(&self) -> usize {
+        self.cells.lock().len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.cells.lock().is_empty()
+    }
+
+    /// Insert (or replace) one cell's samples.
+    pub fn insert(&self, key: &MeasurementKey, samples: Vec<f64>) {
+        self.cells.lock().insert(key.to_string(), samples);
+    }
+
+    /// The stored samples for a cell, if any.
+    pub fn get(&self, key: &MeasurementKey) -> Option<Vec<f64>> {
+        self.cells.lock().get(&key.to_string()).cloned()
+    }
+
+    /// All stored canonical keys, sorted.
+    pub fn keys(&self) -> Vec<String> {
+        self.cells.lock().keys().cloned().collect()
+    }
+
+    /// Save as a single JSON object `{canonical key: [samples...]}`.
+    pub fn save(&self, path: &Path) -> std::io::Result<()> {
+        let fields: Vec<(String, Value)> = self
+            .cells
+            .lock()
+            .iter()
+            .map(|(k, samples)| {
+                let arr = samples.iter().copied().map(Value::Float).collect();
+                (k.clone(), Value::Array(arr))
+            })
+            .collect();
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        let json = serde_json::to_string_pretty(&Value::Object(fields))
+            .expect("cell store serializes");
+        std::fs::write(path, json)
+    }
+
+    /// Load a store written by [`CellStore::save`].
+    pub fn load(path: &Path) -> std::io::Result<Self> {
+        let bad = |msg: String| std::io::Error::new(std::io::ErrorKind::InvalidData, msg);
+        let data = std::fs::read_to_string(path)?;
+        let value: Value =
+            serde_json::from_str(&data).map_err(|e| bad(e.to_string()))?;
+        let Value::Object(fields) = value else {
+            return Err(bad("cell store file must be a JSON object".into()));
+        };
+        let mut cells = BTreeMap::new();
+        for (key, v) in fields {
+            let Value::Array(items) = v else {
+                return Err(bad(format!("cell '{key}' must hold a sample array")));
+            };
+            let mut samples = Vec::with_capacity(items.len());
+            for item in items {
+                match item {
+                    Value::Float(f) => samples.push(f),
+                    Value::Int(i) => samples.push(i as f64),
+                    Value::UInt(u) => samples.push(u as f64),
+                    _ => return Err(bad(format!("cell '{key}' has a non-numeric sample"))),
+                }
+            }
+            cells.insert(key, samples);
+        }
+        Ok(Self {
+            cells: Mutex::new(cells),
+        })
+    }
+}
+
+impl MeasurementBackend for CellStore {
+    fn load(&self, key: &MeasurementKey) -> Option<Measurement> {
+        self.get(key)
+            .filter(|s| !s.is_empty())
+            .map(Measurement::from_samples)
+    }
+
+    fn store(&self, key: &MeasurementKey, m: &Measurement) {
+        self.insert(key, m.samples().to_vec());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kc_core::CellKind;
+
+    fn key(cell: CellKind, reps: u32) -> MeasurementKey {
+        MeasurementKey {
+            benchmark: "BT".to_string(),
+            class: "S".to_string(),
+            procs: 4,
+            cell,
+            reps,
+            exec_digest: "w1t2mpb1ci".to_string(),
+            machine_fingerprint: "00ff00ff00ff00ff".to_string(),
+        }
+    }
+
+    #[test]
+    fn backend_roundtrips_measurements() {
+        let store = CellStore::new();
+        let k = key(CellKind::SerialOverhead, 1);
+        assert!(MeasurementBackend::load(&store, &k).is_none());
+        let m = Measurement::from_samples(vec![0.25, 0.3, 0.28]);
+        store.store(&k, &m);
+        assert_eq!(MeasurementBackend::load(&store, &k), Some(m));
+        assert_eq!(store.len(), 1);
+    }
+
+    #[test]
+    fn save_load_is_bit_exact() {
+        let store = CellStore::new();
+        // awkward floats: shortest-roundtrip printing must preserve them
+        store.insert(
+            &key(CellKind::Chain(vec![kc_core::KernelId(0)]), 5),
+            vec![0.1, 1.0 / 3.0, 6.02e-23],
+        );
+        store.insert(&key(CellKind::Application, 1), vec![42.0]);
+        let path = std::env::temp_dir().join("kc_prophesy_cells/cells.json");
+        let _ = std::fs::remove_file(&path);
+        store.save(&path).unwrap();
+        let loaded = CellStore::load(&path).unwrap();
+        assert_eq!(loaded.keys(), store.keys());
+        for k in store.keys() {
+            let a = store.cells.lock().get(&k).cloned().unwrap();
+            let b = loaded.cells.lock().get(&k).cloned().unwrap();
+            let bits = |v: &[f64]| v.iter().map(|f| f.to_bits()).collect::<Vec<_>>();
+            assert_eq!(bits(&a), bits(&b), "samples of {k} drifted");
+        }
+        let _ = std::fs::remove_dir_all(path.parent().unwrap());
+    }
+
+    #[test]
+    fn load_rejects_malformed_files() {
+        let dir = std::env::temp_dir().join("kc_prophesy_cells_bad");
+        std::fs::create_dir_all(&dir).unwrap();
+        for (name, text) in [
+            ("notjson.json", "not json"),
+            ("notobject.json", "[1,2]"),
+            ("notarray.json", "{\"k\": 3}"),
+            ("notnumeric.json", "{\"k\": [\"x\"]}"),
+        ] {
+            let path = dir.join(name);
+            std::fs::write(&path, text).unwrap();
+            assert!(CellStore::load(&path).is_err(), "{name} should be rejected");
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

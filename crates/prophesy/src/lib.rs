@@ -11,6 +11,9 @@
 //! * [`record`] — serializable campaign records round-tripping to and
 //!   from `kc_core::CouplingAnalysis` with full sample fidelity;
 //! * [`store`] — a JSON-file-backed store with key/filter queries;
+//! * [`cells`] — raw per-cell sample storage implementing
+//!   `kc_core::MeasurementBackend`, so a `CachedProvider` can persist
+//!   individual measurements across processes and campaigns;
 //! * [`planner`] — incremental measurement planning: given what the
 //!   store already holds, which cluster runs does a new campaign
 //!   actually need?  (Isolated kernel times, the serial overhead and
@@ -43,11 +46,13 @@
 //! ```
 
 pub mod advisor;
+pub mod cells;
 pub mod planner;
 pub mod record;
 pub mod store;
 
 pub use advisor::{advise, transfer_predict, Advice};
+pub use cells::CellStore;
 pub use planner::{campaign_runs, MeasurementPlan};
 pub use record::{CampaignKey, CampaignRecord};
 pub use store::CampaignStore;

@@ -11,6 +11,8 @@
 
 use crate::record::CampaignKey;
 use crate::store::CampaignStore;
+use kc_core::windows::cyclic_windows;
+use kc_core::{CellContext, CellKind, CouplingError, KernelSet, MeasurementKey};
 use serde::{Deserialize, Serialize};
 
 /// What still has to be measured for a campaign.
@@ -49,6 +51,47 @@ impl MeasurementPlan {
     /// Whether nothing needs to run.
     pub fn is_complete(&self) -> bool {
         self.runs() == 0
+    }
+
+    /// The plan's outstanding runs as provider cells: the
+    /// `MeasurementKey`s a `kc_core::MeasurementProvider` would have
+    /// to measure (isolated kernels and windows at `reps` samples,
+    /// overhead and ground truth at one run each, matching the
+    /// accounting of [`MeasurementPlan::runs`]).
+    ///
+    /// `ctx` pins the machine fingerprint and execution protocol;
+    /// `set` must be the loop's kernel set.
+    pub fn cells(
+        &self,
+        ctx: &CellContext,
+        set: &KernelSet,
+        reps: u32,
+    ) -> Result<Vec<MeasurementKey>, CouplingError> {
+        let chain_len = self.key.chain_len;
+        if chain_len < 1 || chain_len > set.len() {
+            return Err(CouplingError::BadChainLength {
+                requested: chain_len,
+                kernels: set.len(),
+            });
+        }
+        let mut out = Vec::new();
+        if self.needs_isolated {
+            for id in set.ids() {
+                out.push(ctx.key(CellKind::Chain(vec![id]), reps));
+            }
+        }
+        if self.needs_windows {
+            for w in cyclic_windows(set, chain_len) {
+                out.push(ctx.key(CellKind::Chain(w.kernels().to_vec()), reps));
+            }
+        }
+        if self.needs_overhead {
+            out.push(ctx.key(CellKind::SerialOverhead, 1));
+        }
+        if self.needs_actual {
+            out.push(ctx.key(CellKind::Application, 1));
+        }
+        Ok(out)
     }
 }
 
@@ -133,6 +176,44 @@ mod tests {
         let key = CampaignKey::new("m", "synthetic", "S", 9, 2); // other procs
         let p = plan(&store, &key, 3);
         assert_eq!(p.runs(), 8);
+    }
+
+    #[test]
+    fn plan_cells_match_the_run_accounting() {
+        use kc_core::KernelSet;
+
+        let set = KernelSet::new(vec!["a", "b", "c"]);
+        let ctx = CellContext {
+            benchmark: "synthetic".to_string(),
+            class: "S".to_string(),
+            procs: 4,
+            exec_digest: "d".to_string(),
+            machine_fingerprint: "fp".to_string(),
+        };
+
+        // fresh campaign: every cell of the analysis, dedup-ready
+        let fresh = plan(&CampaignStore::new(), &CampaignKey::new("m", "synthetic", "S", 4, 2), 3);
+        let cells = fresh.cells(&ctx, &set, 5).unwrap();
+        assert_eq!(cells.len(), fresh.runs());
+        assert_eq!(
+            cells,
+            kc_core::analysis_cells(&ctx, &set, 2, 5).unwrap(),
+            "a fresh plan is exactly the full analysis cell set"
+        );
+
+        // extension: only the windows remain
+        let mut store = CampaignStore::new();
+        store.insert(stored(2));
+        let ext = plan(&store, &CampaignKey::new("m", "synthetic", "S", 4, 3), 3);
+        let cells = ext.cells(&ctx, &set, 5).unwrap();
+        assert_eq!(cells.len(), 3);
+        assert!(cells
+            .iter()
+            .all(|k| matches!(&k.cell, CellKind::Chain(c) if c.len() == 3)));
+
+        // a chain length the loop cannot support is an error
+        let bad = plan(&CampaignStore::new(), &CampaignKey::new("m", "synthetic", "S", 4, 9), 3);
+        assert!(bad.cells(&ctx, &set, 5).is_err());
     }
 
     #[test]

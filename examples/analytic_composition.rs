@@ -5,12 +5,12 @@
 //! cargo run --release --example analytic_composition
 //! ```
 
-use kernel_couplings::experiments::{analytic, Runner};
+use kernel_couplings::experiments::{analytic, Campaign};
 use kernel_couplings::npb::models::analytic_loop_models;
 use kernel_couplings::npb::{Benchmark, Class, NpbApp};
 
 fn main() {
-    let runner = Runner::noise_free();
+    let campaign = Campaign::noise_free();
     let app = NpbApp::new(Benchmark::Bt, Class::W, 9);
 
     println!("hand-derived kernel models for {} —", app.label());
@@ -18,7 +18,7 @@ fn main() {
         "{:>12} {:>11} {:>11} {:>11} {:>11} {:>12}",
         "kernel", "compute", "memory", "comm", "warm E_k", "isolated E_k"
     );
-    for m in analytic_loop_models(&app, &runner.machine) {
+    for m in analytic_loop_models(&app, &campaign.runner().machine) {
         println!(
             "{:>12} {:>10.2}ms {:>10.2}ms {:>10.2}ms {:>10.2}ms {:>11.2}ms",
             m.name,
@@ -31,7 +31,8 @@ fn main() {
     }
 
     println!();
-    let table = analytic::analytic_table(&runner, Benchmark::Bt, Class::W, &[4, 9, 16, 25], 3);
+    let table =
+        analytic::analytic_table(&campaign, Benchmark::Bt, Class::W, &[4, 9, 16, 25], 3).unwrap();
     println!("{table}");
     println!(
         "The coupling coefficients correct the isolated-measurement bias of the\n\

@@ -6,13 +6,13 @@
 //! cargo run --release --example bt_prediction
 //! ```
 
-use kernel_couplings::experiments::{bt, Runner};
+use kernel_couplings::experiments::{bt, Campaign};
 
 fn main() {
     println!("BT class W on the simulated IBM SP (120 MHz P2SC nodes)\n");
 
-    let runner = Runner::default(); // noisy timers, like real measurements
-    let pair = bt::table3(&runner);
+    let campaign = Campaign::default(); // noisy timers, like real measurements
+    let pair = bt::table3(&campaign).unwrap();
 
     println!("{}", pair.render_text());
 

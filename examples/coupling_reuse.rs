@@ -5,15 +5,16 @@
 //! cargo run --release --example coupling_reuse
 //! ```
 
-use kernel_couplings::experiments::{reuse, Runner};
+use kernel_couplings::experiments::{reuse, Campaign};
 use kernel_couplings::npb::{Benchmark, Class};
 
 fn main() {
-    let runner = Runner::noise_free();
+    let campaign = Campaign::noise_free();
 
     println!("Within one cache regime, coefficients transfer almost freely:\n");
     let (table, study) =
-        reuse::proc_transfer_table(&runner, Benchmark::Bt, Class::W, &[4, 9, 16, 25], 3);
+        reuse::proc_transfer_table(&campaign, Benchmark::Bt, Class::W, &[4, 9, 16, 25], 3)
+            .unwrap();
     println!("{table}");
     println!(
         "mean transfer error {:.2}%, beats summation in {:.0}% of transfers\n",
@@ -23,12 +24,13 @@ fn main() {
 
     println!("Across cache regimes, reuse breaks down — measure anew:\n");
     let (table, study) = reuse::class_transfer_table(
-        &runner,
+        &campaign,
         Benchmark::Bt,
         &[Class::S, Class::W, Class::A],
         16,
         3,
-    );
+    )
+    .unwrap();
     println!("{table}");
     println!(
         "mean transfer error {:.2}%, beats summation in {:.0}% of transfers",

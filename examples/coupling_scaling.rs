@@ -6,19 +6,19 @@
 //! cargo run --release --example coupling_scaling
 //! ```
 
-use kernel_couplings::experiments::{transitions, Runner};
+use kernel_couplings::experiments::{transitions, Campaign};
 use kernel_couplings::npb::{Benchmark, Class};
 
 fn main() {
-    let runner = Runner::noise_free();
+    let campaign = Campaign::noise_free();
     let classes = [Class::S, Class::W, Class::A];
     let procs = [4, 9, 16, 25];
 
     println!(
         "{}",
-        transitions::transition_table(&runner, &classes, &procs)
+        transitions::transition_table(&campaign, &classes, &procs).unwrap()
     );
-    println!("{}", transitions::regime_table(&runner, &classes, &procs));
+    println!("{}", transitions::regime_table(&campaign, &classes, &procs));
 
     println!("per-processor working sets (BT):");
     for class in classes {

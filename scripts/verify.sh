@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# The repo's verification gate: tier-1 build + tests, then a smoke run
+# of the paper-table campaign.  Run from anywhere inside the repo.
+set -euo pipefail
+cd "$(git -C "$(dirname "$0")" rev-parse --show-toplevel)"
+
+echo "== build (release) =="
+cargo build --release
+
+echo "== tests (workspace) =="
+cargo test -q --workspace
+
+echo "== smoke: BT class-S table via the campaign engine =="
+cargo run --release -p kc-experiments --bin paper_tables -- bt-s --noise-free
+
+echo "verify: OK"

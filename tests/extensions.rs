@@ -74,7 +74,12 @@ fn coefficients_transfer_within_a_regime_on_npb() {
 
 #[test]
 fn cross_machine_ratio_is_predicted() {
-    let (_, outcomes) = machines::machine_comparison(Benchmark::Bt, Class::W, 9, 3, 2);
+    use kernel_couplings::experiments::{Campaign, Runner};
+    let mut runner = Runner::noise_free();
+    runner.reps = 2;
+    let campaign = Campaign::new(runner);
+    let (_, outcomes) =
+        machines::machine_comparison(&campaign, Benchmark::Bt, Class::W, 9, 3).unwrap();
     let (pred, actual) = machines::relative_performance(&outcomes);
     assert!(
         (pred - actual).abs() / actual < 0.10,

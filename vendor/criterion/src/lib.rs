@@ -1,0 +1,201 @@
+//! Workspace-local, offline stand-in for `criterion`.
+//!
+//! Keeps the bench files compiling and runnable without the real
+//! statistical harness: each `bench_function` executes its routine a
+//! handful of times and prints the best observed wall-clock time.
+//! Good enough for smoke-testing the bench targets and for eyeballing
+//! gross regressions; not a statistics engine.
+
+// Vendored stand-in: keep its shape close to the real crate's rather
+// than chasing lints.
+#![allow(clippy::all)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// How many times the stand-in executes each routine (first run is
+/// warm-up, the rest are timed).
+const RUNS: u32 = 3;
+
+/// Top-level harness handle.
+pub struct Criterion {
+    _private: (),
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { _private: () }
+    }
+}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup {
+        BenchmarkGroup {
+            name: name.to_string(),
+        }
+    }
+
+    /// Run a free-standing benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one("", name, f);
+        self
+    }
+}
+
+/// A named group of benchmarks; configuration setters are accepted and
+/// ignored (the stand-in always does [`RUNS`] passes).
+pub struct BenchmarkGroup {
+    name: String,
+}
+
+impl BenchmarkGroup {
+    /// Accepted for compatibility; ignored.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for compatibility; ignored.
+    pub fn warm_up_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Accepted for compatibility; ignored.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Accepted for compatibility; ignored.
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Time one routine.
+    pub fn bench_function<F>(&mut self, name: impl Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&self.name, &name.to_string(), f);
+        self
+    }
+
+    /// Time one routine parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_one(&self.name, &id.0, |b| f(b, input));
+        self
+    }
+
+    /// End the group.
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(group: &str, name: &str, mut f: F) {
+    let mut best: Option<Duration> = None;
+    for run in 0..RUNS {
+        let mut b = Bencher { elapsed: None };
+        f(&mut b);
+        let elapsed = b.elapsed.unwrap_or(Duration::ZERO);
+        if run > 0 {
+            best = Some(best.map_or(elapsed, |p| p.min(elapsed)));
+        }
+    }
+    let label = if group.is_empty() {
+        name.to_string()
+    } else {
+        format!("{group}/{name}")
+    };
+    println!(
+        "bench {label}: {:?} (best of {} timed runs)",
+        best.unwrap_or(Duration::ZERO),
+        RUNS - 1
+    );
+}
+
+/// Passed to each benchmark routine.
+pub struct Bencher {
+    elapsed: Option<Duration>,
+}
+
+impl Bencher {
+    /// Execute `routine` once and record its wall-clock time.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        let out = routine();
+        self.elapsed = Some(start.elapsed());
+        std::hint::black_box(out);
+    }
+}
+
+/// Identifies one parameterized benchmark.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// `group/<function>/<parameter>` style id.
+    pub fn new(function: impl Display, parameter: impl Display) -> Self {
+        Self(format!("{function}/{parameter}"))
+    }
+
+    /// Id from the parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self(parameter.to_string())
+    }
+}
+
+/// Declared throughput of a routine; accepted and ignored.
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// Bundle benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Generate `main` for a `harness = false` bench target.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_times() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("demo");
+        g.sample_size(10).warm_up_time(Duration::from_millis(1));
+        let mut count = 0u32;
+        g.bench_function("counting", |b| b.iter(|| count += 1));
+        g.bench_with_input(BenchmarkId::from_parameter(42), &42u64, |b, &x| {
+            b.iter(|| x * 2)
+        });
+        g.finish();
+        assert_eq!(count, RUNS, "routine runs once per pass");
+    }
+}

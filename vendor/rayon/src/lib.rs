@@ -1,0 +1,209 @@
+//! Workspace-local, offline stand-in for `rayon`.
+//!
+//! Implements the small data-parallel surface this workspace uses —
+//! `par_iter()`/`into_par_iter()` followed by `map`/`for_each`/
+//! `collect` — over `std::thread::scope`.  Items are split into
+//! contiguous chunks, one per worker, and results are stitched back in
+//! input order, so `collect()` is order-identical to the sequential
+//! iterator.  `RAYON_NUM_THREADS` is honoured like the real crate.
+
+// Vendored stand-in: keep its shape close to the real crate's rather
+// than chasing lints.
+#![allow(clippy::all)]
+
+/// Everything application code imports.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator, ParMap, ParSource};
+}
+
+/// Number of worker threads: `RAYON_NUM_THREADS` if set and positive,
+/// otherwise the machine's available parallelism.
+pub fn current_num_threads() -> usize {
+    std::env::var("RAYON_NUM_THREADS")
+        .ok()
+        .and_then(|s| s.trim().parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        })
+}
+
+/// Order-preserving parallel map: contiguous chunks, one scoped thread
+/// per worker, results concatenated in input order.
+fn par_map_vec<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let n = items.len();
+    let workers = current_num_threads().min(n.max(1));
+    if workers <= 1 || n <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let chunk = n.div_ceil(workers);
+    let mut chunks: Vec<Vec<T>> = Vec::with_capacity(workers);
+    let mut iter = items.into_iter();
+    loop {
+        let c: Vec<T> = iter.by_ref().take(chunk).collect();
+        if c.is_empty() {
+            break;
+        }
+        chunks.push(c);
+    }
+    let f = &f;
+    let per_chunk: Vec<Vec<R>> = std::thread::scope(|s| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|c| s.spawn(move || c.into_iter().map(f).collect::<Vec<R>>()))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| match h.join() {
+                Ok(v) => v,
+                Err(payload) => std::panic::resume_unwind(payload),
+            })
+            .collect()
+    });
+    per_chunk.into_iter().flatten().collect()
+}
+
+/// A not-yet-mapped parallel source (the result of `par_iter()` /
+/// `into_par_iter()`).
+pub struct ParSource<T> {
+    items: Vec<T>,
+}
+
+/// A parallel source with a pending map stage.
+pub struct ParMap<T, F> {
+    items: Vec<T>,
+    f: F,
+}
+
+impl<T: Send> ParSource<T> {
+    /// Apply `f` to every item in parallel.
+    pub fn map<R, F>(self, f: F) -> ParMap<T, F>
+    where
+        R: Send,
+        F: Fn(T) -> R + Sync,
+    {
+        ParMap {
+            items: self.items,
+            f,
+        }
+    }
+
+    /// Run `f` on every item in parallel, discarding results.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(T) + Sync,
+    {
+        par_map_vec(self.items, |t| f(t));
+    }
+
+    /// Collect the items (identity stage) preserving order.
+    pub fn collect<C: FromIterator<T>>(self) -> C {
+        self.items.into_iter().collect()
+    }
+
+    /// Number of items.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the source is empty.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+}
+
+impl<T: Send, R: Send, F: Fn(T) -> R + Sync> ParMap<T, F> {
+    /// Run the map stage and collect results in input order.
+    pub fn collect<C: FromIterator<R>>(self) -> C {
+        par_map_vec(self.items, self.f).into_iter().collect()
+    }
+
+    /// Run the map stage, discarding results.
+    pub fn for_each_noop(self) {
+        par_map_vec(self.items, self.f);
+    }
+}
+
+/// `.par_iter()` on borrowed collections.
+pub trait IntoParallelRefIterator<'a> {
+    /// Borrowed item type.
+    type Item: Send + 'a;
+    /// A parallel iterator over references.
+    fn par_iter(&'a self) -> ParSource<Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParSource<&'a T> {
+        ParSource {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParSource<&'a T> {
+        ParSource {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+/// `.into_par_iter()` on owned collections.
+pub trait IntoParallelIterator {
+    /// Owned item type.
+    type Item: Send;
+    /// A parallel iterator over owned items.
+    fn into_par_iter(self) -> ParSource<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParSource<T> {
+        ParSource { items: self }
+    }
+}
+
+impl IntoParallelIterator for std::ops::Range<usize> {
+    type Item = usize;
+    fn into_par_iter(self) -> ParSource<usize> {
+        ParSource {
+            items: self.collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let xs: Vec<usize> = (0..103).collect();
+        let doubled: Vec<usize> = xs.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, (0..103).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn into_par_iter_owned() {
+        let squares: Vec<u64> = (0usize..17).into_par_iter().map(|x| (x * x) as u64).collect();
+        assert_eq!(squares[16], 256);
+        assert_eq!(squares.len(), 17);
+    }
+
+    #[test]
+    fn empty_and_single() {
+        let none: Vec<u8> = Vec::<u8>::new().into_par_iter().map(|x| x).collect();
+        assert!(none.is_empty());
+        let one: Vec<u8> = vec![7u8].into_par_iter().map(|x| x + 1).collect();
+        assert_eq!(one, vec![8]);
+    }
+}

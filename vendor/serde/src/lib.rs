@@ -1,0 +1,477 @@
+//! Workspace-local, offline stand-in for the `serde` crate.
+//!
+//! The build environment has no network access and no crates.io
+//! mirror, so the workspace vendors the minimal serialization surface
+//! it actually uses.  Unlike real serde's visitor-based architecture,
+//! this stand-in routes everything through one self-describing
+//! [`Value`] tree — dramatically simpler, byte-stable, and entirely
+//! sufficient for the JSON artifacts and measurement stores this
+//! workspace produces.  The public names (`Serialize`, `Deserialize`,
+//! `#[derive(Serialize, Deserialize)]`, `#[serde(default)]`) match
+//! real serde so application code is source-compatible.
+
+// Vendored stand-in: keep its shape close to the real crate's rather
+// than chasing lints.
+#![allow(clippy::all)]
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A self-describing tree of serialized data (the JSON data model,
+/// with integers kept exact).
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Signed integer (used for negative values).
+    Int(i64),
+    /// Unsigned integer (preferred for non-negative values).
+    UInt(u64),
+    /// Floating-point number.
+    Float(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Array(Vec<Value>),
+    /// Object with insertion-ordered keys.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Look up an object key.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Index into an array.
+    pub fn at(&self, idx: usize) -> Option<&Value> {
+        match self {
+            Value::Array(items) => items.get(idx),
+            _ => None,
+        }
+    }
+
+    /// The value as an `f64` if it is numeric.
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Value::Int(i) => Some(i as f64),
+            Value::UInt(u) => Some(u as f64),
+            Value::Float(f) => Some(f),
+            _ => None,
+        }
+    }
+
+    /// The value as a `u64` if it is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Value::UInt(u) => Some(u),
+            Value::Int(i) if i >= 0 => Some(i as u64),
+            _ => None,
+        }
+    }
+
+    /// The value as an `i64` if it is an integer.
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Value::Int(i) => Some(i),
+            Value::UInt(u) if u <= i64::MAX as u64 => Some(u as i64),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+static NULL: Value = Value::Null;
+
+impl std::ops::Index<&str> for Value {
+    type Output = Value;
+    fn index(&self, key: &str) -> &Value {
+        self.get(key).unwrap_or(&NULL)
+    }
+}
+
+impl std::ops::Index<usize> for Value {
+    type Output = Value;
+    fn index(&self, idx: usize) -> &Value {
+        self.at(idx).unwrap_or(&NULL)
+    }
+}
+
+impl PartialEq<&str> for Value {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == Some(*other)
+    }
+}
+
+impl PartialEq<str> for Value {
+    fn eq(&self, other: &str) -> bool {
+        self.as_str() == Some(other)
+    }
+}
+
+impl PartialEq<f64> for Value {
+    fn eq(&self, other: &f64) -> bool {
+        self.as_f64() == Some(*other)
+    }
+}
+
+impl PartialEq<i32> for Value {
+    fn eq(&self, other: &i32) -> bool {
+        self.as_i64() == Some(*other as i64)
+    }
+}
+
+impl PartialEq<u64> for Value {
+    fn eq(&self, other: &u64) -> bool {
+        self.as_u64() == Some(*other)
+    }
+}
+
+impl PartialEq<bool> for Value {
+    fn eq(&self, other: &bool) -> bool {
+        matches!(self, Value::Bool(b) if b == other)
+    }
+}
+
+/// Deserialization error.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DeError {
+    msg: String,
+}
+
+impl DeError {
+    /// A new error with the given message.
+    pub fn new(msg: impl Into<String>) -> Self {
+        Self { msg: msg.into() }
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "deserialization error: {}", self.msg)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Serialize into the [`Value`] data model.
+pub trait Serialize {
+    /// This value as a serialization tree.
+    fn to_value(&self) -> Value;
+}
+
+/// Deserialize from the [`Value`] data model.
+pub trait Deserialize: Sized {
+    /// Rebuild from a serialization tree.
+    fn from_value(v: &Value) -> Result<Self, DeError>;
+}
+
+// ---------- primitive impls ----------
+
+macro_rules! impl_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value { Value::UInt(*self as u64) }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let u = v.as_u64().ok_or_else(|| DeError::new(concat!("expected ", stringify!($t))))?;
+                <$t>::try_from(u).map_err(|_| DeError::new(concat!("out of range for ", stringify!($t))))
+            }
+        }
+    )*};
+}
+impl_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let i = *self as i64;
+                if i >= 0 { Value::UInt(i as u64) } else { Value::Int(i) }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let i = v.as_i64().ok_or_else(|| DeError::new(concat!("expected ", stringify!($t))))?;
+                <$t>::try_from(i).map_err(|_| DeError::new(concat!("out of range for ", stringify!($t))))
+            }
+        }
+    )*};
+}
+impl_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Float(*self)
+    }
+}
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        v.as_f64().ok_or_else(|| DeError::new("expected f64"))
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::Float(*self as f64)
+    }
+}
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        v.as_f64().map(|f| f as f32).ok_or_else(|| DeError::new("expected f32"))
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            _ => Err(DeError::new("expected bool")),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        v.as_str().map(str::to_string).ok_or_else(|| DeError::new("expected string"))
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Array(items) => items.iter().map(T::from_value).collect(),
+            _ => Err(DeError::new("expected array")),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+impl<T: Deserialize + Copy + Default, const N: usize> Deserialize for [T; N] {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Array(items) if items.len() == N => {
+                let mut out = [T::default(); N];
+                for (slot, item) in out.iter_mut().zip(items) {
+                    *slot = T::from_value(item)?;
+                }
+                Ok(out)
+            }
+            _ => Err(DeError::new("expected fixed-size array")),
+        }
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn to_value(&self) -> Value {
+        Value::Array(vec![self.0.to_value(), self.1.to_value()])
+    }
+}
+impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Array(items) if items.len() == 2 => {
+                Ok((A::from_value(&items[0])?, B::from_value(&items[1])?))
+            }
+            _ => Err(DeError::new("expected 2-tuple")),
+        }
+    }
+}
+
+impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {
+    fn to_value(&self) -> Value {
+        Value::Array(vec![self.0.to_value(), self.1.to_value(), self.2.to_value()])
+    }
+}
+impl<A: Deserialize, B: Deserialize, C: Deserialize> Deserialize for (A, B, C) {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Array(items) if items.len() == 3 => Ok((
+                A::from_value(&items[0])?,
+                B::from_value(&items[1])?,
+                C::from_value(&items[2])?,
+            )),
+            _ => Err(DeError::new("expected 3-tuple")),
+        }
+    }
+}
+
+impl<K: Serialize + Ord, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(|(k, v)| (k, v).to_value()).collect())
+    }
+}
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Array(items) => items
+                .iter()
+                .map(|item| <(K, V)>::from_value(item))
+                .collect(),
+            _ => Err(DeError::new("expected map entry array")),
+        }
+    }
+}
+
+impl<K: Serialize, V: Serialize, S> Serialize for HashMap<K, V, S> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(|(k, v)| (k, v).to_value()).collect())
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(v.clone())
+    }
+}
+
+// ---------- derive-support helpers ----------
+
+/// Helpers the `#[derive(Serialize, Deserialize)]` expansion calls.
+/// Not part of the public API contract.
+pub mod __private {
+    use super::{DeError, Deserialize, Value};
+
+    /// Fetch and deserialize a required struct field.
+    pub fn field<T: Deserialize>(v: &Value, name: &str) -> Result<T, DeError> {
+        match v.get(name) {
+            Some(f) => T::from_value(f)
+                .map_err(|e| DeError::new(format!("field '{name}': {e}"))),
+            None => Err(DeError::new(format!("missing field '{name}'"))),
+        }
+    }
+
+    /// Fetch an optional (`#[serde(default)]`) struct field.
+    pub fn field_or_default<T: Deserialize + Default>(
+        v: &Value,
+        name: &str,
+    ) -> Result<T, DeError> {
+        match v.get(name) {
+            Some(Value::Null) | None => Ok(T::default()),
+            Some(f) => T::from_value(f)
+                .map_err(|e| DeError::new(format!("field '{name}': {e}"))),
+        }
+    }
+
+    /// Expect an object (struct payload).
+    pub fn expect_object<'v>(v: &'v Value, ty: &str) -> Result<&'v Value, DeError> {
+        match v {
+            Value::Object(_) => Ok(v),
+            _ => Err(DeError::new(format!("expected object for {ty}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_roundtrip() {
+        assert_eq!(u32::from_value(&42u32.to_value()).unwrap(), 42);
+        assert_eq!(i64::from_value(&(-3i64).to_value()).unwrap(), -3);
+        assert_eq!(f64::from_value(&1.5f64.to_value()).unwrap(), 1.5);
+        assert_eq!(bool::from_value(&true.to_value()).unwrap(), true);
+        assert_eq!(
+            String::from_value(&"hi".to_string().to_value()).unwrap(),
+            "hi"
+        );
+        let v: Vec<f64> = Deserialize::from_value(&vec![1.0, 2.0].to_value()).unwrap();
+        assert_eq!(v, vec![1.0, 2.0]);
+        let a: [u64; 3] = Deserialize::from_value(&[1u64, 2, 3].to_value()).unwrap();
+        assert_eq!(a, [1, 2, 3]);
+        let o: Option<f64> = Deserialize::from_value(&Value::Null).unwrap();
+        assert_eq!(o, None);
+    }
+
+    #[test]
+    fn value_indexing() {
+        let v = Value::Object(vec![(
+            "xs".to_string(),
+            Value::Array(vec![Value::Float(0.5)]),
+        )]);
+        assert_eq!(v["xs"][0], 0.5);
+        assert_eq!(v["missing"], Value::Null);
+    }
+
+    #[test]
+    fn ints_deserialize_as_floats() {
+        assert_eq!(f64::from_value(&Value::UInt(7)).unwrap(), 7.0);
+        assert_eq!(f64::from_value(&Value::Int(-7)).unwrap(), -7.0);
+    }
+}

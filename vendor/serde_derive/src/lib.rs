@@ -1,0 +1,488 @@
+//! Derive macros for the workspace-local `serde` stand-in.
+//!
+//! The build environment has no crates.io access, so `syn`/`quote`
+//! are unavailable; the input item is parsed directly from the
+//! `proc_macro` token stream and the generated impls are emitted as
+//! source strings.  Supported shapes are exactly what the workspace
+//! uses: structs with named fields (including `#[serde(default)]`),
+//! tuple structs, and enums with unit / tuple / struct variants.
+//! Generic types are intentionally rejected.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// One parsed field of a struct or struct variant.
+struct Field {
+    name: String,
+    default: bool,
+}
+
+/// One parsed enum variant.
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<Field>),
+}
+
+/// The parsed item shape.
+enum Item {
+    NamedStruct { name: String, fields: Vec<Field> },
+    TupleStruct { name: String, arity: usize },
+    Enum { name: String, variants: Vec<Variant> },
+}
+
+struct Cursor {
+    tokens: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn new(stream: TokenStream) -> Self {
+        Self {
+            tokens: stream.into_iter().collect(),
+            pos: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    /// Skip a run of `#[...]` attributes; report whether any of them
+    /// was `#[serde(default)]`.
+    fn skip_attrs(&mut self) -> bool {
+        let mut has_default = false;
+        loop {
+            match self.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    self.next();
+                    if let Some(TokenTree::Group(g)) = self.next() {
+                        if attr_is_serde_default(&g.stream()) {
+                            has_default = true;
+                        }
+                    }
+                }
+                _ => return has_default,
+            }
+        }
+    }
+
+    /// Skip `pub`, `pub(crate)`, `pub(super)` etc.
+    fn skip_vis(&mut self) {
+        if let Some(TokenTree::Ident(id)) = self.peek() {
+            if id.to_string() == "pub" {
+                self.next();
+                if let Some(TokenTree::Group(g)) = self.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        self.next();
+                    }
+                }
+            }
+        }
+    }
+
+    fn expect_ident(&mut self, what: &str) -> String {
+        match self.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => panic!("serde derive: expected {what}, got {other:?}"),
+        }
+    }
+}
+
+fn attr_is_serde_default(stream: &TokenStream) -> bool {
+    let tokens: Vec<TokenTree> = stream.clone().into_iter().collect();
+    match tokens.as_slice() {
+        [TokenTree::Ident(name), TokenTree::Group(args)] if name.to_string() == "serde" => args
+            .stream()
+            .into_iter()
+            .any(|t| matches!(&t, TokenTree::Ident(i) if i.to_string() == "default")),
+        _ => false,
+    }
+}
+
+/// Parse the fields of a `{ ... }` group: `attrs vis name : Type ,`*
+fn parse_named_fields(group: TokenStream) -> Vec<Field> {
+    let mut cur = Cursor::new(group);
+    let mut fields = Vec::new();
+    while cur.peek().is_some() {
+        let default = cur.skip_attrs();
+        cur.skip_vis();
+        let name = cur.expect_ident("field name");
+        match cur.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde derive: expected ':' after field '{name}', got {other:?}"),
+        }
+        // consume the type: everything until a top-level comma.
+        // Angle brackets do not nest in groups, so track their depth.
+        let mut angle = 0i32;
+        while let Some(t) = cur.peek() {
+            match t {
+                TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                    cur.next();
+                    break;
+                }
+                TokenTree::Punct(p) if p.as_char() == '<' => {
+                    angle += 1;
+                    cur.next();
+                }
+                TokenTree::Punct(p) if p.as_char() == '>' => {
+                    angle -= 1;
+                    cur.next();
+                }
+                _ => {
+                    cur.next();
+                }
+            }
+        }
+        fields.push(Field { name, default });
+    }
+    fields
+}
+
+/// Count the fields of a tuple `( ... )` group.
+fn count_tuple_fields(group: TokenStream) -> usize {
+    let mut depth = 0i32;
+    let mut arity = 0usize;
+    let mut any = false;
+    for t in group {
+        match &t {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => arity += 1,
+            _ => any = true,
+        }
+    }
+    if any {
+        arity + 1
+    } else {
+        0
+    }
+}
+
+fn parse_variants(group: TokenStream) -> Vec<Variant> {
+    let mut cur = Cursor::new(group);
+    let mut variants = Vec::new();
+    while cur.peek().is_some() {
+        cur.skip_attrs();
+        let name = cur.expect_ident("variant name");
+        let kind = match cur.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                cur.next();
+                VariantKind::Struct(fields)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = count_tuple_fields(g.stream());
+                cur.next();
+                VariantKind::Tuple(arity)
+            }
+            _ => VariantKind::Unit,
+        };
+        // skip an optional discriminant `= expr` and the trailing comma
+        while let Some(t) = cur.peek() {
+            match t {
+                TokenTree::Punct(p) if p.as_char() == ',' => {
+                    cur.next();
+                    break;
+                }
+                _ => {
+                    cur.next();
+                }
+            }
+        }
+        variants.push(Variant { name, kind });
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut cur = Cursor::new(input);
+    cur.skip_attrs();
+    cur.skip_vis();
+    let kw = cur.expect_ident("'struct' or 'enum'");
+    let name = cur.expect_ident("type name");
+    if let Some(TokenTree::Punct(p)) = cur.peek() {
+        if p.as_char() == '<' {
+            panic!("serde derive: generic type '{name}' is not supported by the offline serde stand-in");
+        }
+    }
+    match kw.as_str() {
+        "struct" => match cur.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Item::NamedStruct {
+                name,
+                fields: parse_named_fields(g.stream()),
+            },
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Item::TupleStruct {
+                    name,
+                    arity: count_tuple_fields(g.stream()),
+                }
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => {
+                Item::NamedStruct { name, fields: Vec::new() }
+            }
+            other => panic!("serde derive: unsupported struct body {other:?}"),
+        },
+        "enum" => match cur.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Item::Enum {
+                name,
+                variants: parse_variants(g.stream()),
+            },
+            other => panic!("serde derive: expected enum body, got {other:?}"),
+        },
+        other => panic!("serde derive: unsupported item kind '{other}'"),
+    }
+}
+
+/// `#[derive(Serialize)]`
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let code = match &item {
+        Item::NamedStruct { name, fields } => {
+            let pairs: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{n}\"), ::serde::Serialize::to_value(&self.{n}))",
+                        n = f.name
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         ::serde::Value::Object(::std::vec![{}])\n\
+                     }}\n\
+                 }}",
+                pairs.join(", ")
+            )
+        }
+        Item::TupleStruct { name, arity } => {
+            let body = if *arity == 1 {
+                "::serde::Serialize::to_value(&self.0)".to_string()
+            } else {
+                let items: Vec<String> = (0..*arity)
+                    .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                    .collect();
+                format!("::serde::Value::Array(::std::vec![{}])", items.join(", "))
+            };
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| match &v.kind {
+                    VariantKind::Unit => format!(
+                        "{name}::{v} => ::serde::Value::Str(::std::string::String::from(\"{v}\")),",
+                        v = v.name
+                    ),
+                    VariantKind::Tuple(arity) => {
+                        let binds: Vec<String> = (0..*arity).map(|i| format!("__f{i}")).collect();
+                        let payload = if *arity == 1 {
+                            "::serde::Serialize::to_value(__f0)".to_string()
+                        } else {
+                            let items: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!("::serde::Value::Array(::std::vec![{}])", items.join(", "))
+                        };
+                        format!(
+                            "{name}::{v}({binds}) => ::serde::Value::Object(::std::vec![(::std::string::String::from(\"{v}\"), {payload})]),",
+                            v = v.name,
+                            binds = binds.join(", ")
+                        )
+                    }
+                    VariantKind::Struct(fields) => {
+                        let binds: Vec<String> =
+                            fields.iter().map(|f| f.name.clone()).collect();
+                        let pairs: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "(::std::string::String::from(\"{n}\"), ::serde::Serialize::to_value({n}))",
+                                    n = f.name
+                                )
+                            })
+                            .collect();
+                        format!(
+                            "{name}::{v} {{ {binds} }} => ::serde::Value::Object(::std::vec![(::std::string::String::from(\"{v}\"), ::serde::Value::Object(::std::vec![{pairs}]))]),",
+                            v = v.name,
+                            binds = binds.join(", "),
+                            pairs = pairs.join(", ")
+                        )
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         match self {{\n{}\n}}\n\
+                     }}\n\
+                 }}",
+                arms.join("\n")
+            )
+        }
+    };
+    code.parse().expect("serde derive: generated Serialize impl must parse")
+}
+
+/// `#[derive(Deserialize)]`
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let code = match &item {
+        Item::NamedStruct { name, fields } => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    let getter = if f.default { "field_or_default" } else { "field" };
+                    format!(
+                        "{n}: ::serde::__private::{getter}(__obj, \"{n}\")?,",
+                        n = f.name
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                         let __obj = ::serde::__private::expect_object(__v, \"{name}\")?;\n\
+                         ::std::result::Result::Ok({name} {{ {inits} }})\n\
+                     }}\n\
+                 }}",
+                inits = inits.join(" ")
+            )
+        }
+        Item::TupleStruct { name, arity } => {
+            let body = if *arity == 1 {
+                format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(__v)?))")
+            } else {
+                let items: Vec<String> = (0..*arity)
+                    .map(|i| format!("::serde::Deserialize::from_value(&__items[{i}])?"))
+                    .collect();
+                format!(
+                    "match __v {{\n\
+                         ::serde::Value::Array(__items) if __items.len() == {arity} => \
+                             ::std::result::Result::Ok({name}({items})),\n\
+                         _ => ::std::result::Result::Err(::serde::DeError::new(\"expected {arity}-element array for {name}\")),\n\
+                     }}",
+                    items = items.join(", ")
+                )
+            };
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                         {body}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.kind, VariantKind::Unit))
+                .map(|v| {
+                    format!(
+                        "\"{v}\" => ::std::result::Result::Ok({name}::{v}),",
+                        v = v.name
+                    )
+                })
+                .collect();
+            let data_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|v| match &v.kind {
+                    VariantKind::Unit => None,
+                    VariantKind::Tuple(arity) => {
+                        let body = if *arity == 1 {
+                            format!(
+                                "::std::result::Result::Ok({name}::{v}(::serde::Deserialize::from_value(__payload)?))",
+                                v = v.name
+                            )
+                        } else {
+                            let items: Vec<String> = (0..*arity)
+                                .map(|i| {
+                                    format!("::serde::Deserialize::from_value(&__items[{i}])?")
+                                })
+                                .collect();
+                            format!(
+                                "match __payload {{\n\
+                                     ::serde::Value::Array(__items) if __items.len() == {arity} => \
+                                         ::std::result::Result::Ok({name}::{v}({items})),\n\
+                                     _ => ::std::result::Result::Err(::serde::DeError::new(\"bad payload for {name}::{v}\")),\n\
+                                 }}",
+                                v = v.name,
+                                items = items.join(", ")
+                            )
+                        };
+                        Some(format!("\"{v}\" => {{ {body} }}", v = v.name))
+                    }
+                    VariantKind::Struct(fields) => {
+                        let inits: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                let getter =
+                                    if f.default { "field_or_default" } else { "field" };
+                                format!(
+                                    "{n}: ::serde::__private::{getter}(__p, \"{n}\")?,",
+                                    n = f.name
+                                )
+                            })
+                            .collect();
+                        Some(format!(
+                            "\"{v}\" => {{\n\
+                                 let __p = ::serde::__private::expect_object(__payload, \"{name}::{v}\")?;\n\
+                                 ::std::result::Result::Ok({name}::{v} {{ {inits} }})\n\
+                             }}",
+                            v = v.name,
+                            inits = inits.join(" ")
+                        ))
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                         if let ::serde::Value::Str(__s) = __v {{\n\
+                             return match __s.as_str() {{\n\
+                                 {unit_arms}\n\
+                                 __other => ::std::result::Result::Err(::serde::DeError::new(\
+                                     ::std::format!(\"unknown {name} variant '{{__other}}'\"))),\n\
+                             }};\n\
+                         }}\n\
+                         if let ::serde::Value::Object(__fields) = __v {{\n\
+                             if __fields.len() == 1 {{\n\
+                                 let (__k, __payload) = &__fields[0];\n\
+                                 return match __k.as_str() {{\n\
+                                     {data_arms}\n\
+                                     __other => ::std::result::Result::Err(::serde::DeError::new(\
+                                         ::std::format!(\"unknown {name} variant '{{__other}}'\"))),\n\
+                                 }};\n\
+                             }}\n\
+                         }}\n\
+                         ::std::result::Result::Err(::serde::DeError::new(\"bad encoding for enum {name}\"))\n\
+                     }}\n\
+                 }}",
+                unit_arms = unit_arms.join("\n"),
+                data_arms = data_arms.join("\n")
+            )
+        }
+    };
+    code.parse().expect("serde derive: generated Deserialize impl must parse")
+}
