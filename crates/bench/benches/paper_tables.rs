@@ -7,6 +7,7 @@
 //! campaign cost show up in CI.
 
 use criterion::{criterion_group, criterion_main, Criterion};
+use kc_bench::{trajectory_dir, BenchTrajectory};
 use kc_core::{CouplingAnalysis, Predictor};
 use kc_experiments::{AnalysisSpec, Campaign, Runner};
 use kc_npb::{Benchmark, Class};
@@ -84,6 +85,31 @@ fn bench_tables(c: &mut Criterion) {
         })
     });
     g.finish();
+
+    emit_trajectories(&runner);
+}
+
+/// With `KC_BENCH_TRAJECTORY=<dir>`, leave `BENCH_<name>.json`
+/// cell-level breakdowns behind for the cheap tables, so a bench run
+/// records *which* cells the campaign paid for, not just the total.
+fn emit_trajectories(runner: &Runner) {
+    let Some(dir) = trajectory_dir() else {
+        return;
+    };
+    for (name, b, class, procs, len) in [
+        ("table2_bt_s_p4", Benchmark::Bt, Class::S, 4, 2),
+        ("table8a_lu_w_p4", Benchmark::Lu, Class::W, 4, 3),
+    ] {
+        let campaign = Campaign::new(runner.clone());
+        let spec = AnalysisSpec::new(b, class, procs, len);
+        campaign
+            .prefetch(std::slice::from_ref(&spec))
+            .expect("trajectory campaign failed");
+        let path = BenchTrajectory::from_campaign(name, &campaign)
+            .write_to(&dir)
+            .expect("failed to write bench trajectory");
+        eprintln!("[trajectory] {}", path.display());
+    }
 }
 
 criterion_group!(benches, bench_tables);

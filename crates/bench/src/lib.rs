@@ -6,3 +6,11 @@
 //! sweeps, and micro-benchmarks of the substrates (cache simulator,
 //! 5x5 block solver, cluster messaging).  Run them with
 //! `cargo bench -p kc-bench`.
+//!
+//! With `KC_BENCH_TRAJECTORY=<dir>`, the table benches additionally
+//! write `BENCH_<name>.json` cell-level breakdowns (see
+//! [`trajectory::BenchTrajectory`]).
+
+pub mod trajectory;
+
+pub use trajectory::{trajectory_dir, BenchTrajectory};

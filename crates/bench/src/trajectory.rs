@@ -1,0 +1,106 @@
+//! `BENCH_*.json` trajectories: cell-level breakdowns of a campaign.
+//!
+//! Criterion reports one wall-clock number per bench; when a table's
+//! campaign regresses, that number says nothing about *which* cells
+//! got slower.  A [`BenchTrajectory`] snapshots the campaign's
+//! telemetry — the end-of-run [`RunSummary`] plus every executed
+//! cell's simulation duration — so a bench run can leave
+//! `BENCH_<name>.json` files behind for diffing across commits.
+//!
+//! Emission is opt-in: benches write trajectories only when the
+//! `KC_BENCH_TRAJECTORY` environment variable names a directory (see
+//! [`trajectory_dir`]), so plain `cargo bench -p kc-bench` is
+//! unchanged.
+
+use kc_core::{summarize, RunSummary, SlowCell, TelemetryEvent};
+use kc_experiments::Campaign;
+use serde::{Deserialize, Serialize};
+use std::path::{Path, PathBuf};
+
+/// Slow cells kept in a trajectory's embedded summary.
+const TOP_N: usize = 10;
+
+/// One bench run's cell-level breakdown, serialized as
+/// `BENCH_<name>.json`.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct BenchTrajectory {
+    /// Bench name (becomes the file name).
+    pub name: String,
+    /// End-of-run aggregates over the campaign's telemetry.
+    pub summary: RunSummary,
+    /// Every executed cell with its simulation wall-clock duration,
+    /// in canonical key order.
+    pub cells: Vec<SlowCell>,
+}
+
+impl BenchTrajectory {
+    /// Snapshot a campaign's telemetry stream.
+    pub fn from_campaign(name: &str, campaign: &Campaign) -> Self {
+        let events = campaign.telemetry_events();
+        let cells = events
+            .iter()
+            .filter_map(|e| match e {
+                TelemetryEvent::CellExecuted {
+                    key, duration_secs, ..
+                } => Some(SlowCell {
+                    key: key.clone(),
+                    duration_secs: *duration_secs,
+                }),
+                _ => None,
+            })
+            .collect();
+        Self {
+            name: name.to_string(),
+            summary: summarize(&events, TOP_N),
+            cells,
+        }
+    }
+
+    /// Write `BENCH_<name>.json` into `dir`, returning the path.
+    pub fn write_to(&self, dir: &Path) -> std::io::Result<PathBuf> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(format!("BENCH_{}.json", self.name));
+        let json = serde_json::to_string_pretty(self).expect("trajectory serializes");
+        std::fs::write(&path, json)?;
+        Ok(path)
+    }
+
+    /// Read a trajectory written by [`BenchTrajectory::write_to`].
+    pub fn read(path: &Path) -> std::io::Result<Self> {
+        let data = std::fs::read_to_string(path)?;
+        serde_json::from_str(&data)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))
+    }
+}
+
+/// The trajectory output directory, if `KC_BENCH_TRAJECTORY` is set.
+pub fn trajectory_dir() -> Option<PathBuf> {
+    std::env::var_os("KC_BENCH_TRAJECTORY").map(PathBuf::from)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kc_experiments::AnalysisSpec;
+    use kc_npb::{Benchmark, Class};
+
+    #[test]
+    fn trajectory_snapshots_and_roundtrips() {
+        let campaign = Campaign::noise_free();
+        let spec = AnalysisSpec::new(Benchmark::Bt, Class::S, 4, 2);
+        campaign.prefetch(std::slice::from_ref(&spec)).unwrap();
+        let t = BenchTrajectory::from_campaign("test_bt_s", &campaign);
+        assert_eq!(
+            t.summary.executed, 12,
+            "5 isolated + 5 pairs + overhead + app"
+        );
+        assert_eq!(t.cells.len(), 12);
+        assert!(t.cells.iter().all(|c| c.key.starts_with("BT|S|p4|")));
+
+        let dir = std::env::temp_dir().join("kc_bench_trajectory_test");
+        let path = t.write_to(&dir).unwrap();
+        assert!(path.ends_with("BENCH_test_bt_s.json"));
+        assert_eq!(BenchTrajectory::read(&path).unwrap(), t);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -81,6 +81,7 @@ pub mod provider;
 pub mod report;
 pub mod reuse;
 pub mod synthetic;
+pub mod telemetry;
 pub mod windows;
 
 pub use analysis::CouplingAnalysis;
@@ -89,12 +90,16 @@ pub use error::{CouplingError, KcError, KcResult};
 pub use executor::ChainExecutor;
 pub use kernel::{KernelId, KernelSet};
 pub use measurement::Measurement;
+pub use predict::{Prediction, PredictionSet, Predictor};
 pub use provider::{
     analysis_cells, assemble_analysis, CacheStats, CachedProvider, CellContext, CellKind,
     MeasurementBackend, MeasurementKey, MeasurementProvider,
 };
-pub use predict::{Prediction, PredictionSet, Predictor};
 pub use report::{CouplingRow, CouplingTable, PredictionRow, PredictionTable};
 pub use reuse::{predict_with_reused_coefficients, ReuseCell, ReuseStudy};
 pub use synthetic::SyntheticExecutor;
+pub use telemetry::{
+    canonicalize, read_jsonl, summarize, worker_label, write_jsonl, Disposition, FanoutSink,
+    JsonLinesSink, MemorySink, RunSummary, SlowCell, TelemetryEvent, TelemetrySink,
+};
 pub use windows::ChainWindow;

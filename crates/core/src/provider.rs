@@ -27,13 +27,17 @@ use crate::analysis::CouplingAnalysis;
 use crate::error::{CouplingError, KcResult};
 use crate::kernel::{KernelId, KernelSet};
 use crate::measurement::Measurement;
+use crate::telemetry::{worker_label, Disposition, TelemetryEvent, TelemetrySink};
 use crate::windows::cyclic_windows;
 use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::Arc;
+use std::time::Instant;
 
 /// What one measurement cell times.
-#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub enum CellKind {
     /// A loop whose body is this kernel chain (isolated kernels are
     /// length-1 chains).
@@ -81,7 +85,7 @@ impl fmt::Display for CellKind {
 /// (`machine_fingerprint` — a content hash of the full
 /// `MachineConfig`, so *any* change to the simulated hardware or its
 /// noise model yields a distinct cell).
-#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct MeasurementKey {
     /// Benchmark name (provider-defined, e.g. `BT` or `BT#fine`).
     pub benchmark: String,
@@ -114,6 +118,27 @@ impl fmt::Display for MeasurementKey {
             self.exec_digest,
             self.machine_fingerprint
         )
+    }
+}
+
+impl MeasurementKey {
+    /// Content digest of the canonical key text (FNV-1a, 64 bit).
+    /// Two keys have equal digests exactly when they are equal (up to
+    /// hash collisions, which the canonicalization property tests
+    /// treat as equality-breaking bugs).
+    pub fn digest_u64(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in self.to_string().bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        h
+    }
+
+    /// [`MeasurementKey::digest_u64`] as fixed-width hex, for logs and
+    /// stores.
+    pub fn digest(&self) -> String {
+        format!("{:016x}", self.digest_u64())
     }
 }
 
@@ -212,6 +237,7 @@ pub struct CachedProvider<P> {
     cache: Mutex<HashMap<MeasurementKey, Measurement>>,
     backend: Option<Box<dyn MeasurementBackend>>,
     stats: Mutex<CacheStats>,
+    sink: Option<Arc<dyn TelemetrySink>>,
 }
 
 impl<P: MeasurementProvider> CachedProvider<P> {
@@ -222,6 +248,7 @@ impl<P: MeasurementProvider> CachedProvider<P> {
             cache: Mutex::new(HashMap::new()),
             backend: None,
             stats: Mutex::new(CacheStats::default()),
+            sink: None,
         }
     }
 
@@ -234,6 +261,13 @@ impl<P: MeasurementProvider> CachedProvider<P> {
         }
     }
 
+    /// Emit a cell-started / cell-finished telemetry span (with the
+    /// request's disposition and duration) for every `measure` call.
+    pub fn with_telemetry(mut self, sink: Arc<dyn TelemetrySink>) -> Self {
+        self.sink = Some(sink);
+        self
+    }
+
     /// The wrapped provider.
     pub fn inner(&self) -> &P {
         &self.inner
@@ -241,20 +275,41 @@ impl<P: MeasurementProvider> CachedProvider<P> {
 
     /// Measure through the cache.
     pub fn measure(&self, key: &MeasurementKey) -> KcResult<Measurement> {
+        let Some(sink) = &self.sink else {
+            return self.measure_inner(key).map(|(m, _)| m);
+        };
+        let worker = worker_label();
+        sink.record(TelemetryEvent::CellStarted {
+            key: key.to_string(),
+            worker: worker.clone(),
+        });
+        let started = Instant::now();
+        let (m, disposition) = self.measure_inner(key)?;
+        sink.record(TelemetryEvent::CellFinished {
+            key: key.to_string(),
+            disposition,
+            duration_secs: started.elapsed().as_secs_f64(),
+            worker,
+        });
+        Ok(m)
+    }
+
+    /// The cache lookup chain, reporting how the request was served.
+    fn measure_inner(&self, key: &MeasurementKey) -> KcResult<(Measurement, Disposition)> {
         {
             let cache = self.cache.lock();
             let mut stats = self.stats.lock();
             stats.requests += 1;
             if let Some(m) = cache.get(key) {
                 stats.hits += 1;
-                return Ok(m.clone());
+                return Ok((m.clone(), Disposition::Hit));
             }
         }
         if let Some(backend) = &self.backend {
             if let Some(m) = backend.load(key) {
                 self.stats.lock().backend_hits += 1;
                 self.cache.lock().insert(key.clone(), m.clone());
-                return Ok(m);
+                return Ok((m, Disposition::BackendHit));
             }
         }
         self.stats.lock().executed += 1;
@@ -269,7 +324,7 @@ impl<P: MeasurementProvider> CachedProvider<P> {
             .lock()
             .entry(key.clone())
             .or_insert_with(|| m.clone());
-        Ok(m)
+        Ok((m, Disposition::Executed))
     }
 
     /// Insert a precomputed measurement (e.g. from a prior campaign).
@@ -453,7 +508,10 @@ mod tests {
         assert_eq!(k1.to_string(), "synthetic|S|p1|chain:0+1|r5|w1t2|fp0");
         let k3 = c.key(CellKind::Chain(vec![KernelId(1), KernelId(0)]), 5);
         assert_ne!(k1, k3, "chain order is part of the identity");
-        assert_ne!(k1, c.key(CellKind::Chain(vec![KernelId(0), KernelId(1)]), 6));
+        assert_ne!(
+            k1,
+            c.key(CellKind::Chain(vec![KernelId(0), KernelId(1)]), 6)
+        );
         assert_eq!(k1.cell.chain_len(), Some(2));
         assert_eq!(CellKind::Application.chain_len(), None);
         assert!(CellKind::SerialOverhead.to_string().contains("overhead"));
@@ -498,8 +556,7 @@ mod tests {
         let p = CachedProvider::new(SyntheticProvider::new());
         let c = ctx();
         let set = exec.kernel_set().clone();
-        let assembled =
-            assemble_analysis(&p, &c, &set, 2, exec.loop_iterations(), 4).unwrap();
+        let assembled = assemble_analysis(&p, &c, &set, 2, exec.loop_iterations(), 4).unwrap();
 
         assert_eq!(assembled.couplings().unwrap(), direct.couplings().unwrap());
         assert_eq!(assembled.actual(), direct.actual());
@@ -587,9 +644,7 @@ mod tests {
         let p2 = CachedProvider::with_backend(
             SyntheticProvider::new(),
             Box::new(MapBackend {
-                cells: Mutex::new(
-                    [(fresh.to_string(), m.clone())].into_iter().collect(),
-                ),
+                cells: Mutex::new([(fresh.to_string(), m.clone())].into_iter().collect()),
             }),
         );
         assert_eq!(p2.measure(&fresh).unwrap(), m);

@@ -1,0 +1,752 @@
+//! Campaign telemetry: structured spans from the measurement layers.
+//!
+//! PR 1 made every paper table flow through one deduplicating parallel
+//! campaign, but the engine was a black box: `CacheStats` counted hits
+//! while nothing recorded *which* cells ran, how long they took, or on
+//! which worker.  This module is the observability layer:
+//!
+//! * [`TelemetryEvent`] — the schema-stable event vocabulary: cell
+//!   request started/finished (with canonical key, wall-clock duration,
+//!   worker thread and hit/backend-hit/executed disposition), raw
+//!   provider executions, campaign phases (enumerate, dedupe, execute,
+//!   assemble) and an end-of-run [`RunSummary`].
+//! * [`TelemetrySink`] — anything that accepts events; emitters
+//!   (`CachedProvider`, `NpbProvider`, `Campaign`) hold an
+//!   `Arc<dyn TelemetrySink>` and record into it from any thread.
+//! * Collectors: [`MemorySink`] (in-memory ring, the campaign's
+//!   always-on collector), [`JsonLinesSink`] (buffers, then writes a
+//!   canonical JSON-lines trace) and [`FanoutSink`] (broadcast, with
+//!   runtime attachment).
+//!
+//! ## Determinism contract
+//!
+//! A campaign's event stream is **deterministic in content** across
+//! thread counts: the same cells, dispositions and phases appear no
+//! matter how execution was scheduled — only durations and worker
+//! labels vary.  Two functions make that testable:
+//!
+//! * [`canonicalize`] reorders concurrent runs of cell events into a
+//!   stable order (phase markers are serial and keep their positions);
+//! * [`TelemetryEvent::redacted`] zeroes the fields that legitimately
+//!   vary (durations, workers, summary timings).
+//!
+//! `canonicalize(a).map(redacted) == canonicalize(b).map(redacted)`
+//! therefore holds for any two runs of the same campaign, and the
+//! golden/regression tests assert exactly that.
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+/// How the cache satisfied one cell request.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Disposition {
+    /// Answered from the in-memory cache.
+    Hit,
+    /// Answered from the persistent backend.
+    BackendHit,
+    /// Executed by the inner provider.
+    Executed,
+}
+
+/// One structured telemetry event.
+///
+/// The variants and their fields are the trace **schema**: tests and
+/// external tooling parse them back, so changes must stay
+/// backward-readable (add variants or fields, do not repurpose).
+/// Cell keys are the canonical `MeasurementKey` text (its `Display`
+/// form), which is itself part of the cache-identity contract.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum TelemetryEvent {
+    /// A campaign phase began (`enumerate`, `dedupe`, `execute`,
+    /// `assemble`).
+    PhaseStarted {
+        /// Phase name.
+        phase: String,
+    },
+    /// A campaign phase completed.
+    PhaseFinished {
+        /// Phase name.
+        phase: String,
+        /// Wall-clock seconds the phase took.
+        duration_secs: f64,
+    },
+    /// A cell request entered the caching measurement layer.
+    CellStarted {
+        /// Canonical cell key.
+        key: String,
+        /// Label of the requesting worker thread.
+        worker: String,
+    },
+    /// A cell request completed.
+    CellFinished {
+        /// Canonical cell key.
+        key: String,
+        /// How the request was satisfied.
+        disposition: Disposition,
+        /// Wall-clock seconds from request to answer.
+        duration_secs: f64,
+        /// Label of the requesting worker thread.
+        worker: String,
+    },
+    /// The provider ran one cell on a fresh simulated cluster (the
+    /// raw execution inside a [`Disposition::Executed`] request).
+    CellExecuted {
+        /// Canonical cell key.
+        key: String,
+        /// Wall-clock seconds of the simulation itself.
+        duration_secs: f64,
+        /// Label of the executing worker thread.
+        worker: String,
+    },
+    /// End-of-run aggregates (normally the last trace line).
+    RunSummary(RunSummary),
+}
+
+impl TelemetryEvent {
+    /// Whether this is a per-cell event (as opposed to a phase marker
+    /// or summary).
+    pub fn is_cell_event(&self) -> bool {
+        matches!(
+            self,
+            TelemetryEvent::CellStarted { .. }
+                | TelemetryEvent::CellFinished { .. }
+                | TelemetryEvent::CellExecuted { .. }
+        )
+    }
+
+    /// The canonical cell key, for cell events.
+    pub fn cell_key(&self) -> Option<&str> {
+        match self {
+            TelemetryEvent::CellStarted { key, .. }
+            | TelemetryEvent::CellFinished { key, .. }
+            | TelemetryEvent::CellExecuted { key, .. } => Some(key),
+            _ => None,
+        }
+    }
+
+    /// A copy with every legitimately schedule-dependent field zeroed:
+    /// durations become `0.0`, worker labels become `""`, and the
+    /// summary drops its timing block.  Two runs of the same campaign
+    /// compare equal after [`canonicalize`] + `redacted`.
+    pub fn redacted(&self) -> TelemetryEvent {
+        match self {
+            TelemetryEvent::PhaseStarted { phase } => TelemetryEvent::PhaseStarted {
+                phase: phase.clone(),
+            },
+            TelemetryEvent::PhaseFinished { phase, .. } => TelemetryEvent::PhaseFinished {
+                phase: phase.clone(),
+                duration_secs: 0.0,
+            },
+            TelemetryEvent::CellStarted { key, .. } => TelemetryEvent::CellStarted {
+                key: key.clone(),
+                worker: String::new(),
+            },
+            TelemetryEvent::CellFinished {
+                key, disposition, ..
+            } => TelemetryEvent::CellFinished {
+                key: key.clone(),
+                disposition: *disposition,
+                duration_secs: 0.0,
+                worker: String::new(),
+            },
+            TelemetryEvent::CellExecuted { key, .. } => TelemetryEvent::CellExecuted {
+                key: key.clone(),
+                duration_secs: 0.0,
+                worker: String::new(),
+            },
+            TelemetryEvent::RunSummary(s) => TelemetryEvent::RunSummary(s.redacted()),
+        }
+    }
+
+    /// Stable ordering rank among cell events sharing a key: started,
+    /// then executed, then finished.
+    fn variant_rank(&self) -> u8 {
+        match self {
+            TelemetryEvent::CellStarted { .. } => 0,
+            TelemetryEvent::CellExecuted { .. } => 1,
+            TelemetryEvent::CellFinished { .. } => 2,
+            _ => 3,
+        }
+    }
+}
+
+/// One slow cell in the end-of-run aggregates.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SlowCell {
+    /// Canonical cell key.
+    pub key: String,
+    /// Wall-clock seconds the execution took.
+    pub duration_secs: f64,
+}
+
+/// End-of-run aggregates over one campaign's event stream.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct RunSummary {
+    /// Total cell requests (must equal `CacheStats::requests`).
+    pub requests: u64,
+    /// Requests answered from the in-memory cache.
+    pub hits: u64,
+    /// Requests answered from the persistent backend.
+    pub backend_hits: u64,
+    /// Requests that executed a fresh measurement.
+    pub executed: u64,
+    /// Distinct cells touched.
+    pub unique_cells: u64,
+    /// `(hits + backend_hits) / requests`, `0` with no requests.
+    pub cache_hit_rate: f64,
+    /// Distinct cells per benchmark (first segment of the key).
+    pub per_benchmark: BTreeMap<String, u64>,
+    /// Distinct worker threads that executed cells.
+    pub workers: u64,
+    /// Sum of executed-cell durations (the serial cost of the run).
+    pub serial_cell_secs: f64,
+    /// Wall-clock seconds spent in `execute` phases.
+    pub execute_wall_secs: f64,
+    /// `serial_cell_secs / execute_wall_secs` — how much the parallel
+    /// execute phase beat a serial one.
+    pub parallel_speedup: f64,
+    /// Speedup divided by the worker count.
+    pub parallel_efficiency: f64,
+    /// The slowest executed cells, longest first.
+    pub slowest: Vec<SlowCell>,
+}
+
+impl RunSummary {
+    /// A copy without the schedule-dependent timing block (see
+    /// [`TelemetryEvent::redacted`]).
+    pub fn redacted(&self) -> RunSummary {
+        RunSummary {
+            workers: 0,
+            serial_cell_secs: 0.0,
+            execute_wall_secs: 0.0,
+            parallel_speedup: 0.0,
+            parallel_efficiency: 0.0,
+            slowest: Vec::new(),
+            ..self.clone()
+        }
+    }
+}
+
+impl fmt::Display for RunSummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "cells      {} requests -> {} unique ({} hits, {} backend, {} executed; hit rate {:.1}%)",
+            self.requests,
+            self.unique_cells,
+            self.hits,
+            self.backend_hits,
+            self.executed,
+            100.0 * self.cache_hit_rate,
+        )?;
+        write!(f, "benchmarks ")?;
+        for (i, (b, n)) in self.per_benchmark.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{b}: {n}")?;
+        }
+        writeln!(f)?;
+        writeln!(
+            f,
+            "execute    {:.2}s wall, {:.2}s serial cell sum -> {:.2}x speedup on {} worker(s) ({:.0}% efficiency)",
+            self.execute_wall_secs,
+            self.serial_cell_secs,
+            self.parallel_speedup,
+            self.workers,
+            100.0 * self.parallel_efficiency,
+        )?;
+        writeln!(f, "slowest cells")?;
+        for s in &self.slowest {
+            writeln!(f, "  {:>9.4}s  {}", s.duration_secs, s.key)?;
+        }
+        Ok(())
+    }
+}
+
+/// Build the end-of-run aggregates from an event stream, keeping the
+/// `top_n` slowest executed cells.
+pub fn summarize(events: &[TelemetryEvent], top_n: usize) -> RunSummary {
+    let mut s = RunSummary::default();
+    let mut unique: BTreeSet<&str> = BTreeSet::new();
+    let mut workers: BTreeSet<&str> = BTreeSet::new();
+    let mut executed: Vec<(&str, f64)> = Vec::new();
+    for e in events {
+        match e {
+            TelemetryEvent::CellFinished {
+                key,
+                disposition,
+                duration_secs,
+                worker,
+            } => {
+                s.requests += 1;
+                unique.insert(key);
+                match disposition {
+                    Disposition::Hit => s.hits += 1,
+                    Disposition::BackendHit => s.backend_hits += 1,
+                    Disposition::Executed => {
+                        s.executed += 1;
+                        s.serial_cell_secs += duration_secs;
+                        workers.insert(worker);
+                        executed.push((key, *duration_secs));
+                    }
+                }
+            }
+            TelemetryEvent::PhaseFinished {
+                phase,
+                duration_secs,
+            } if phase == phases::EXECUTE => {
+                s.execute_wall_secs += duration_secs;
+            }
+            _ => {}
+        }
+    }
+    s.unique_cells = unique.len() as u64;
+    for key in &unique {
+        let benchmark = key.split('|').next().unwrap_or("?").to_string();
+        *s.per_benchmark.entry(benchmark).or_insert(0) += 1;
+    }
+    if s.requests > 0 {
+        s.cache_hit_rate = (s.hits + s.backend_hits) as f64 / s.requests as f64;
+    }
+    s.workers = workers.len() as u64;
+    if s.execute_wall_secs > 0.0 {
+        s.parallel_speedup = s.serial_cell_secs / s.execute_wall_secs;
+        if s.workers > 0 {
+            s.parallel_efficiency = s.parallel_speedup / s.workers as f64;
+        }
+    }
+    // longest first; ties broken by key so the list is deterministic
+    executed.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then_with(|| a.0.cmp(b.0)));
+    s.slowest = executed
+        .into_iter()
+        .take(top_n)
+        .map(|(key, duration_secs)| SlowCell {
+            key: key.to_string(),
+            duration_secs,
+        })
+        .collect();
+    s
+}
+
+/// Canonical event order: phase markers and summaries are emitted
+/// serially and keep their positions; each contiguous run of cell
+/// events (which parallel workers interleave arbitrarily) is sorted
+/// by `(key, started < executed < finished, disposition)`.
+///
+/// Two runs of the same campaign produce the same canonical sequence
+/// up to [`TelemetryEvent::redacted`] fields, regardless of thread
+/// count or schedule.
+pub fn canonicalize(events: Vec<TelemetryEvent>) -> Vec<TelemetryEvent> {
+    let mut out = Vec::with_capacity(events.len());
+    let mut run: Vec<TelemetryEvent> = Vec::new();
+    let flush = |run: &mut Vec<TelemetryEvent>, out: &mut Vec<TelemetryEvent>| {
+        run.sort_by(|a, b| {
+            a.cell_key()
+                .cmp(&b.cell_key())
+                .then_with(|| a.variant_rank().cmp(&b.variant_rank()))
+        });
+        out.append(run);
+    };
+    for e in events {
+        if e.is_cell_event() {
+            run.push(e);
+        } else {
+            flush(&mut run, &mut out);
+            out.push(e);
+        }
+    }
+    flush(&mut run, &mut out);
+    out
+}
+
+/// The phase names the campaign engine emits.
+pub mod phases {
+    /// Enumerating requested analyses into cells.
+    pub const ENUMERATE: &str = "enumerate";
+    /// Deduplicating cells and filtering against the cache.
+    pub const DEDUPE: &str = "dedupe";
+    /// Executing unique uncached cells (in parallel).
+    pub const EXECUTE: &str = "execute";
+    /// Assembling an analysis from the warm cache.
+    pub const ASSEMBLE: &str = "assemble";
+}
+
+/// A label for the current worker thread (name if set, otherwise the
+/// OS thread id).
+pub fn worker_label() -> String {
+    let t = std::thread::current();
+    match t.name() {
+        Some(name) if !name.is_empty() => name.to_string(),
+        _ => format!("{:?}", t.id()),
+    }
+}
+
+/// Accepts telemetry events from any thread.
+pub trait TelemetrySink: Send + Sync {
+    /// Record one event.
+    fn record(&self, event: TelemetryEvent);
+}
+
+/// Collects events in memory, in emission order.
+#[derive(Debug, Default)]
+pub struct MemorySink {
+    events: Mutex<Vec<TelemetryEvent>>,
+}
+
+impl MemorySink {
+    /// An empty collector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A snapshot of the recorded events, in emission order.
+    pub fn events(&self) -> Vec<TelemetryEvent> {
+        self.events.lock().clone()
+    }
+
+    /// The recorded events in canonical order (see [`canonicalize`]).
+    pub fn canonical_events(&self) -> Vec<TelemetryEvent> {
+        canonicalize(self.events())
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.events.lock().len()
+    }
+
+    /// Whether nothing was recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.events.lock().is_empty()
+    }
+
+    /// Drop all recorded events.
+    pub fn clear(&self) {
+        self.events.lock().clear();
+    }
+}
+
+impl TelemetrySink for MemorySink {
+    fn record(&self, event: TelemetryEvent) {
+        self.events.lock().push(event);
+    }
+}
+
+/// Buffers events and writes them as a canonical JSON-lines trace on
+/// [`JsonLinesSink::flush`] — one JSON object per line, in
+/// [`canonicalize`] order, so traces of the same campaign are
+/// line-for-line comparable (modulo durations) across thread counts.
+#[derive(Debug)]
+pub struct JsonLinesSink {
+    path: PathBuf,
+    buffer: MemorySink,
+}
+
+impl JsonLinesSink {
+    /// A sink that will write to `path` on flush.
+    pub fn new(path: impl Into<PathBuf>) -> Self {
+        Self {
+            path: path.into(),
+            buffer: MemorySink::new(),
+        }
+    }
+
+    /// The destination path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Number of buffered events.
+    pub fn len(&self) -> usize {
+        self.buffer.len()
+    }
+
+    /// Whether nothing was recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.buffer.is_empty()
+    }
+
+    /// Write the canonical trace to the destination path.
+    pub fn flush(&self) -> std::io::Result<()> {
+        write_jsonl(&self.path, &self.buffer.canonical_events())
+    }
+}
+
+impl TelemetrySink for JsonLinesSink {
+    fn record(&self, event: TelemetryEvent) {
+        self.buffer.record(event);
+    }
+}
+
+/// Broadcasts every event to a set of sinks; sinks can attach at any
+/// time (events recorded before attachment are not replayed).
+#[derive(Default)]
+pub struct FanoutSink {
+    sinks: Mutex<Vec<Arc<dyn TelemetrySink>>>,
+}
+
+impl FanoutSink {
+    /// An empty broadcast set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Attach another sink.
+    pub fn add(&self, sink: Arc<dyn TelemetrySink>) {
+        self.sinks.lock().push(sink);
+    }
+
+    /// Number of attached sinks.
+    pub fn len(&self) -> usize {
+        self.sinks.lock().len()
+    }
+
+    /// Whether no sink is attached.
+    pub fn is_empty(&self) -> bool {
+        self.sinks.lock().is_empty()
+    }
+}
+
+impl TelemetrySink for FanoutSink {
+    fn record(&self, event: TelemetryEvent) {
+        let sinks = self.sinks.lock().clone();
+        for s in &sinks {
+            s.record(event.clone());
+        }
+    }
+}
+
+/// Write events as JSON lines (one event per line).
+pub fn write_jsonl(path: &Path, events: &[TelemetryEvent]) -> std::io::Result<()> {
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
+    for e in events {
+        let line = serde_json::to_string(e).expect("telemetry events serialize");
+        writeln!(f, "{line}")?;
+    }
+    f.flush()
+}
+
+/// Read a JSON-lines trace written by [`write_jsonl`] /
+/// [`JsonLinesSink::flush`].
+pub fn read_jsonl(path: &Path) -> std::io::Result<Vec<TelemetryEvent>> {
+    let bad = |msg: String| std::io::Error::new(std::io::ErrorKind::InvalidData, msg);
+    let data = std::fs::read_to_string(path)?;
+    let mut events = Vec::new();
+    for (i, line) in data.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let e: TelemetryEvent =
+            serde_json::from_str(line).map_err(|e| bad(format!("trace line {}: {e}", i + 1)))?;
+        events.push(e);
+    }
+    Ok(events)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn started(key: &str, worker: &str) -> TelemetryEvent {
+        TelemetryEvent::CellStarted {
+            key: key.into(),
+            worker: worker.into(),
+        }
+    }
+
+    fn finished(key: &str, d: Disposition, secs: f64, worker: &str) -> TelemetryEvent {
+        TelemetryEvent::CellFinished {
+            key: key.into(),
+            disposition: d,
+            duration_secs: secs,
+            worker: worker.into(),
+        }
+    }
+
+    fn phase_pair(name: &str, secs: f64) -> [TelemetryEvent; 2] {
+        [
+            TelemetryEvent::PhaseStarted { phase: name.into() },
+            TelemetryEvent::PhaseFinished {
+                phase: name.into(),
+                duration_secs: secs,
+            },
+        ]
+    }
+
+    #[test]
+    fn canonicalize_sorts_cell_runs_but_keeps_phase_markers() {
+        let mut events = vec![TelemetryEvent::PhaseStarted {
+            phase: phases::EXECUTE.into(),
+        }];
+        // two workers interleaving b before a
+        events.push(started("b", "w2"));
+        events.push(started("a", "w1"));
+        events.push(finished("b", Disposition::Executed, 0.2, "w2"));
+        events.push(finished("a", Disposition::Executed, 0.1, "w1"));
+        events.push(TelemetryEvent::PhaseFinished {
+            phase: phases::EXECUTE.into(),
+            duration_secs: 0.3,
+        });
+        let canon = canonicalize(events);
+        assert!(matches!(&canon[0], TelemetryEvent::PhaseStarted { .. }));
+        assert_eq!(canon[1].cell_key(), Some("a"));
+        assert_eq!(canon[2].cell_key(), Some("a"));
+        assert_eq!(canon[3].cell_key(), Some("b"));
+        assert_eq!(canon[4].cell_key(), Some("b"));
+        assert!(matches!(&canon[5], TelemetryEvent::PhaseFinished { .. }));
+        // started sorts before finished for the same key
+        assert!(matches!(&canon[1], TelemetryEvent::CellStarted { .. }));
+        assert!(matches!(&canon[2], TelemetryEvent::CellFinished { .. }));
+    }
+
+    #[test]
+    fn two_schedules_redact_to_the_same_canonical_stream() {
+        let a = vec![
+            started("x", "w1"),
+            started("y", "w2"),
+            finished("y", Disposition::Executed, 0.5, "w2"),
+            finished("x", Disposition::Executed, 0.9, "w1"),
+        ];
+        let b = vec![
+            started("y", "main"),
+            finished("y", Disposition::Executed, 0.41, "main"),
+            started("x", "main"),
+            finished("x", Disposition::Executed, 0.88, "main"),
+        ];
+        let redact = |v: Vec<TelemetryEvent>| -> Vec<TelemetryEvent> {
+            canonicalize(v)
+                .iter()
+                .map(TelemetryEvent::redacted)
+                .collect()
+        };
+        assert_eq!(redact(a), redact(b));
+    }
+
+    #[test]
+    fn summary_counts_dispositions_and_ranks_slowest() {
+        let mut events = Vec::new();
+        events.extend(phase_pair(phases::ENUMERATE, 0.01));
+        events.extend(phase_pair(phases::EXECUTE, 2.0));
+        events.push(finished(
+            "BT|S|p4|chain:0|r5|e|m",
+            Disposition::Executed,
+            1.5,
+            "w1",
+        ));
+        events.push(finished(
+            "BT|S|p4|chain:1|r5|e|m",
+            Disposition::Executed,
+            0.5,
+            "w2",
+        ));
+        events.push(finished(
+            "BT|S|p4|chain:0|r5|e|m",
+            Disposition::Hit,
+            0.0,
+            "w1",
+        ));
+        events.push(finished(
+            "SP|W|p4|overhead|r1|e|m",
+            Disposition::BackendHit,
+            0.0,
+            "w1",
+        ));
+        let s = summarize(&events, 1);
+        assert_eq!(s.requests, 4);
+        assert_eq!(s.hits, 1);
+        assert_eq!(s.backend_hits, 1);
+        assert_eq!(s.executed, 2);
+        assert_eq!(s.unique_cells, 3);
+        assert_eq!(s.per_benchmark.get("BT"), Some(&2));
+        assert_eq!(s.per_benchmark.get("SP"), Some(&1));
+        assert_eq!(s.workers, 2);
+        assert!((s.cache_hit_rate - 0.5).abs() < 1e-12);
+        assert!((s.serial_cell_secs - 2.0).abs() < 1e-12);
+        assert!((s.execute_wall_secs - 2.0).abs() < 1e-12);
+        assert!((s.parallel_speedup - 1.0).abs() < 1e-12);
+        assert!((s.parallel_efficiency - 0.5).abs() < 1e-12);
+        assert_eq!(s.slowest.len(), 1);
+        assert_eq!(s.slowest[0].key, "BT|S|p4|chain:0|r5|e|m");
+        let text = s.to_string();
+        assert!(text.contains("4 requests"));
+        assert!(text.contains("BT: 2"));
+    }
+
+    #[test]
+    fn redacted_summary_drops_timing_but_keeps_counts() {
+        let events = vec![
+            finished("a", Disposition::Executed, 1.0, "w1"),
+            finished("a", Disposition::Hit, 0.0, "w2"),
+        ];
+        let s = summarize(&events, 5);
+        let r = s.redacted();
+        assert_eq!(r.requests, 2);
+        assert_eq!(r.executed, 1);
+        assert_eq!(r.workers, 0);
+        assert_eq!(r.serial_cell_secs, 0.0);
+        assert!(r.slowest.is_empty());
+    }
+
+    #[test]
+    fn jsonl_roundtrips_every_variant() {
+        let mut events = Vec::new();
+        events.extend(phase_pair(phases::EXECUTE, 0.25));
+        events.push(started("k1", "w1"));
+        events.push(TelemetryEvent::CellExecuted {
+            key: "k1".into(),
+            duration_secs: 0.2,
+            worker: "w1".into(),
+        });
+        events.push(finished("k1", Disposition::Executed, 0.25, "w1"));
+        events.push(TelemetryEvent::RunSummary(summarize(&events, 3)));
+        let path = std::env::temp_dir().join("kc_telemetry_test/trace.jsonl");
+        let _ = std::fs::remove_file(&path);
+        write_jsonl(&path, &events).unwrap();
+        let back = read_jsonl(&path).unwrap();
+        assert_eq!(back, events);
+        let _ = std::fs::remove_dir_all(path.parent().unwrap());
+    }
+
+    #[test]
+    fn read_jsonl_rejects_garbage_lines() {
+        let path = std::env::temp_dir().join("kc_telemetry_garbage.jsonl");
+        std::fs::write(&path, "{\"PhaseStarted\":{\"phase\":\"x\"}}\nnot json\n").unwrap();
+        assert!(read_jsonl(&path).is_err());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn sinks_collect_and_fan_out() {
+        let memory = Arc::new(MemorySink::new());
+        let jsonl = Arc::new(JsonLinesSink::new(
+            std::env::temp_dir().join("kc_telemetry_fanout/trace.jsonl"),
+        ));
+        let fanout = FanoutSink::new();
+        assert!(fanout.is_empty());
+        fanout.add(memory.clone());
+        fanout.add(jsonl.clone());
+        assert_eq!(fanout.len(), 2);
+        fanout.record(started("cell", "w"));
+        assert_eq!(memory.len(), 1);
+        assert_eq!(jsonl.len(), 1);
+        assert!(!jsonl.is_empty());
+        jsonl.flush().unwrap();
+        assert_eq!(read_jsonl(jsonl.path()).unwrap().len(), 1);
+        memory.clear();
+        assert!(memory.is_empty());
+        let _ = std::fs::remove_dir_all(jsonl.path().parent().unwrap());
+    }
+
+    #[test]
+    fn worker_label_is_nonempty() {
+        assert!(!worker_label().is_empty());
+    }
+}

@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! paper_tables [EXPERIMENT ...] [--noise-free] [--out DIR] [--reps N] [--store FILE]
+//!              [--trace FILE] [--metrics]
 //!
 //! EXPERIMENT: classes | bt-s | bt-w | bt-a | sp-w | sp-a | sp-b |
 //!             lu-w | lu-a | lu-b | transitions | ablations | all
@@ -17,7 +18,15 @@
 //! With `--store FILE`, raw cell measurements are loaded from and
 //! saved to a `kc-prophesy` cell store, so a re-run (or a run with
 //! more experiments) measures only what the file doesn't hold.
+//!
+//! With `--trace FILE`, the campaign's telemetry stream (cell spans,
+//! phases, end-of-run summary) is written as canonical JSON lines —
+//! identical in content across thread counts, only durations vary.
+//! With `--metrics`, the end-of-run aggregates (cache hit rate,
+//! per-benchmark cell counts, parallel efficiency, slowest cells) are
+//! printed to stderr.
 
+use kc_core::JsonLinesSink;
 use kc_experiments::render::Artifact;
 use kc_experiments::{
     ablations, analytic, bt, granularity, lu, machines, reuse, sp, transitions, AnalysisSpec,
@@ -29,6 +38,9 @@ use kc_prophesy::CellStore;
 use std::path::PathBuf;
 use std::sync::Arc;
 
+/// Slow cells to keep in the `--metrics` / trace summary.
+const SUMMARY_TOP_N: usize = 10;
+
 const TRANSITION_CLASSES: [Class; 3] = [Class::S, Class::W, Class::A];
 const TRANSITION_PROCS: [usize; 4] = [4, 9, 16, 25];
 const L2_CAPS: [usize; 5] = [1 << 20, 2 << 20, 4 << 20, 8 << 20, 16 << 20];
@@ -39,6 +51,7 @@ const GRANULARITY_PROCS: [usize; 3] = [4, 9, 16];
 fn usage() -> ! {
     eprintln!(
         "usage: paper_tables [EXPERIMENT ...] [--noise-free] [--out DIR] [--reps N] [--store FILE]\n\
+         \x20                   [--trace FILE] [--metrics]\n\
          experiments: classes bt-s bt-w bt-a sp-w sp-a sp-b lu-w lu-a lu-b transitions ablations analytic reuse machines granularity all"
     );
     std::process::exit(2);
@@ -149,6 +162,8 @@ fn main() {
     let mut experiments: Vec<String> = Vec::new();
     let mut out: Option<PathBuf> = None;
     let mut store_path: Option<PathBuf> = None;
+    let mut trace_path: Option<PathBuf> = None;
+    let mut metrics = false;
     let mut runner = Runner::default();
     let mut i = 0;
     while i < args.len() {
@@ -162,6 +177,11 @@ fn main() {
                 i += 1;
                 store_path = Some(PathBuf::from(args.get(i).unwrap_or_else(|| usage())));
             }
+            "--trace" => {
+                i += 1;
+                trace_path = Some(PathBuf::from(args.get(i).unwrap_or_else(|| usage())));
+            }
+            "--metrics" => metrics = true,
             "--reps" => {
                 i += 1;
                 runner.reps = args
@@ -216,6 +236,11 @@ fn main() {
         Some(s) => Campaign::with_backend(runner, Box::new(Arc::clone(s))),
         None => Campaign::new(runner),
     };
+    let trace_sink: Option<Arc<JsonLinesSink>> = trace_path.as_ref().map(|p| {
+        let sink = Arc::new(JsonLinesSink::new(p.clone()));
+        campaign.attach_sink(sink.clone());
+        sink
+    });
 
     // ONE campaign for everything selected: enumerate every
     // experiment's cells, dedupe across experiments, execute the
@@ -276,20 +301,42 @@ fn main() {
             "transitions" => Some(Artifact::from_couplings(
                 "transitions",
                 vec![
-                    transitions::transition_table(&campaign, &TRANSITION_CLASSES, &TRANSITION_PROCS)
-                        .unwrap(),
+                    transitions::transition_table(
+                        &campaign,
+                        &TRANSITION_CLASSES,
+                        &TRANSITION_PROCS,
+                    )
+                    .unwrap(),
                     transitions::regime_table(&campaign, &TRANSITION_CLASSES, &TRANSITION_PROCS),
                 ],
             )),
             "analytic" => {
                 let mut a = Artifact::from_couplings("analytic", vec![]);
                 a.predictions = vec![
-                    analytic::analytic_table(&campaign, Benchmark::Bt, Class::W, &[4, 9, 16, 25], 3)
-                        .unwrap(),
-                    analytic::analytic_table(&campaign, Benchmark::Sp, Class::A, &[4, 9, 16, 25], 5)
-                        .unwrap(),
-                    analytic::analytic_table(&campaign, Benchmark::Lu, Class::A, &[4, 8, 16, 32], 3)
-                        .unwrap(),
+                    analytic::analytic_table(
+                        &campaign,
+                        Benchmark::Bt,
+                        Class::W,
+                        &[4, 9, 16, 25],
+                        3,
+                    )
+                    .unwrap(),
+                    analytic::analytic_table(
+                        &campaign,
+                        Benchmark::Sp,
+                        Class::A,
+                        &[4, 9, 16, 25],
+                        5,
+                    )
+                    .unwrap(),
+                    analytic::analytic_table(
+                        &campaign,
+                        Benchmark::Lu,
+                        Class::A,
+                        &[4, 8, 16, 32],
+                        3,
+                    )
+                    .unwrap(),
                 ];
                 Some(a)
             }
@@ -370,8 +417,30 @@ fn main() {
         "[cache] {} requests, {} memory hits, {} backend hits, {} executed",
         cache.requests, cache.hits, cache.backend_hits, cache.executed
     );
+    if metrics || trace_sink.is_some() {
+        let summary = campaign.record_summary(SUMMARY_TOP_N);
+        if metrics {
+            eprint!("[metrics]\n{summary}");
+        }
+    }
+    if let Some(sink) = &trace_sink {
+        sink.flush().expect("failed to write telemetry trace");
+        eprintln!(
+            "[trace] {} events written to {}",
+            sink.len(),
+            sink.path().display()
+        );
+    }
     if let (Some(s), Some(p)) = (&store, &store_path) {
         s.save(p).expect("failed to save cell store");
-        eprintln!("[store] {} cells saved to {}", s.len(), p.display());
+        let b = s.stats();
+        eprintln!(
+            "[store] {} cells saved to {} ({} loads, {} hits, {} stores)",
+            s.len(),
+            p.display(),
+            b.loads,
+            b.load_hits,
+            b.stores
+        );
     }
 }

@@ -25,15 +25,19 @@
 //! campaign would have paid) plus wall-clock per phase.
 
 use crate::runner::Runner;
+use kc_core::telemetry::phases;
 use kc_core::{
-    analysis_cells, assemble_analysis, CacheStats, CachedProvider, CellContext, CouplingAnalysis,
-    KcResult, KernelSet, MeasurementBackend, MeasurementKey, MeasurementProvider,
+    analysis_cells, assemble_analysis, summarize, write_jsonl, CacheStats, CachedProvider,
+    CellContext, CouplingAnalysis, FanoutSink, KcResult, KernelSet, MeasurementBackend,
+    MeasurementKey, MeasurementProvider, MemorySink, RunSummary, TelemetryEvent, TelemetrySink,
 };
 use kc_machine::MachineConfig;
 use kc_npb::{Benchmark, Class, NpbApp, NpbProvider};
 use rayon::prelude::*;
 use std::collections::BTreeSet;
 use std::fmt;
+use std::path::Path;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// One requested coupling analysis: benchmark × class × processor
@@ -150,6 +154,11 @@ impl fmt::Display for CampaignStats {
 pub struct Campaign {
     runner: Runner,
     provider: CachedProvider<NpbProvider>,
+    /// Always-on in-memory collector of this campaign's events.
+    telemetry: Arc<MemorySink>,
+    /// Broadcast point every emitter records into; external sinks
+    /// (e.g. a `JsonLinesSink`) attach here at any time.
+    fanout: Arc<FanoutSink>,
 }
 
 impl Default for Campaign {
@@ -162,9 +171,13 @@ impl Campaign {
     /// A campaign over `runner`'s machine and protocol, in-memory
     /// cache only.
     pub fn new(runner: Runner) -> Self {
+        let (telemetry, fanout) = Self::sinks();
         Self {
             runner,
-            provider: CachedProvider::new(NpbProvider::new()),
+            provider: CachedProvider::new(NpbProvider::new().with_telemetry(fanout.clone()))
+                .with_telemetry(fanout.clone()),
+            telemetry,
+            fanout,
         }
     }
 
@@ -172,10 +185,24 @@ impl Campaign {
     /// (e.g. `kc_prophesy::CellStore`): misses consult the backend
     /// before executing, executions are written back.
     pub fn with_backend(runner: Runner, backend: Box<dyn MeasurementBackend>) -> Self {
+        let (telemetry, fanout) = Self::sinks();
         Self {
             runner,
-            provider: CachedProvider::with_backend(NpbProvider::new(), backend),
+            provider: CachedProvider::with_backend(
+                NpbProvider::new().with_telemetry(fanout.clone()),
+                backend,
+            )
+            .with_telemetry(fanout.clone()),
+            telemetry,
+            fanout,
         }
+    }
+
+    fn sinks() -> (Arc<MemorySink>, Arc<FanoutSink>) {
+        let telemetry = Arc::new(MemorySink::new());
+        let fanout = Arc::new(FanoutSink::new());
+        fanout.add(telemetry.clone());
+        (telemetry, fanout)
     }
 
     /// A noise-free campaign (for shape-focused tests and benches).
@@ -199,6 +226,52 @@ impl Campaign {
         self.provider.stats()
     }
 
+    /// Attach an external telemetry sink (e.g. a
+    /// `kc_core::JsonLinesSink`); it receives every event emitted from
+    /// now on.
+    pub fn attach_sink(&self, sink: Arc<dyn TelemetrySink>) {
+        self.fanout.add(sink);
+    }
+
+    /// This campaign's event stream so far, in canonical order (see
+    /// `kc_core::canonicalize`).
+    pub fn telemetry_events(&self) -> Vec<TelemetryEvent> {
+        self.telemetry.canonical_events()
+    }
+
+    /// End-of-run aggregates over the events so far, keeping the
+    /// `top_n` slowest executed cells.
+    pub fn summary(&self, top_n: usize) -> RunSummary {
+        summarize(&self.telemetry.events(), top_n)
+    }
+
+    /// Compute the aggregates and append them to the event stream (so
+    /// attached sinks — and the trace — end with a `RunSummary` line).
+    pub fn record_summary(&self, top_n: usize) -> RunSummary {
+        let s = self.summary(top_n);
+        self.fanout.record(TelemetryEvent::RunSummary(s.clone()));
+        s
+    }
+
+    /// Write the canonical event stream as a JSON-lines trace.
+    pub fn write_trace(&self, path: &Path) -> std::io::Result<()> {
+        write_jsonl(path, &self.telemetry_events())
+    }
+
+    /// Run `f` bracketed by phase started/finished telemetry events.
+    fn phase<T>(&self, name: &str, f: impl FnOnce() -> T) -> T {
+        self.fanout.record(TelemetryEvent::PhaseStarted {
+            phase: name.to_string(),
+        });
+        let started = Instant::now();
+        let out = f();
+        self.fanout.record(TelemetryEvent::PhaseFinished {
+            phase: name.to_string(),
+            duration_secs: started.elapsed().as_secs_f64(),
+        });
+        out
+    }
+
     /// The cell context (machine fingerprint + protocol digest) of one
     /// spec, registering its machine with the provider.
     fn context(&self, spec: &AnalysisSpec) -> CellContext {
@@ -216,7 +289,12 @@ impl Campaign {
     pub fn cells(&self, spec: &AnalysisSpec) -> KcResult<Vec<MeasurementKey>> {
         let ctx = self.context(spec);
         let set = spec.kernel_set();
-        Ok(analysis_cells(&ctx, &set, spec.chain_len, self.runner.reps)?)
+        Ok(analysis_cells(
+            &ctx,
+            &set,
+            spec.chain_len,
+            self.runner.reps,
+        )?)
     }
 
     /// Enumerate, dedupe and execute every cell the given analyses
@@ -227,35 +305,43 @@ impl Campaign {
         let enumerate_started = Instant::now();
         let mut stats = CampaignStats::default();
         let mut unique: BTreeSet<MeasurementKey> = BTreeSet::new();
-        for spec in specs {
-            let cells = self.cells(spec)?;
-            stats.cells_requested += cells.len();
-            stats.naive_runs += kc_prophesy::campaign_runs(spec.kernel_set().len(), 1);
-            unique.extend(cells);
-        }
-        stats.cells_unique = unique.len();
-        let mut todo: Vec<MeasurementKey> = unique
-            .into_iter()
-            .filter(|k| !self.provider.contains(k))
-            .collect();
-        stats.cache_hits = stats.cells_unique - todo.len();
-        // biggest simulations first, so the tail of the parallel phase
-        // isn't one huge straggler; ties broken by key order to keep
-        // the schedule deterministic
-        todo.sort_by(|a, b| {
-            let (ca, cb) = (
-                self.provider.cost_estimate(a),
-                self.provider.cost_estimate(b),
-            );
-            cb.partial_cmp(&ca).unwrap().then_with(|| a.cmp(b))
+        self.phase(phases::ENUMERATE, || -> KcResult<()> {
+            for spec in specs {
+                let cells = self.cells(spec)?;
+                stats.cells_requested += cells.len();
+                stats.naive_runs += kc_prophesy::campaign_runs(spec.kernel_set().len(), 1);
+                unique.extend(cells);
+            }
+            Ok(())
+        })?;
+        let todo = self.phase(phases::DEDUPE, || {
+            stats.cells_unique = unique.len();
+            let mut todo: Vec<MeasurementKey> = unique
+                .iter()
+                .filter(|k| !self.provider.contains(k))
+                .cloned()
+                .collect();
+            stats.cache_hits = stats.cells_unique - todo.len();
+            // biggest simulations first, so the tail of the parallel
+            // phase isn't one huge straggler; ties broken by key order
+            // to keep the schedule deterministic
+            todo.sort_by(|a, b| {
+                let (ca, cb) = (
+                    self.provider.cost_estimate(a),
+                    self.provider.cost_estimate(b),
+                );
+                cb.partial_cmp(&ca).unwrap().then_with(|| a.cmp(b))
+            });
+            todo
         });
         stats.enumerate_secs = enumerate_started.elapsed().as_secs_f64();
 
         let execute_started = Instant::now();
-        let results: Vec<KcResult<()>> = todo
-            .par_iter()
-            .map(|k| self.provider.measure(k).map(|_| ()))
-            .collect();
+        let results: Vec<KcResult<()>> = self.phase(phases::EXECUTE, || {
+            todo.par_iter()
+                .map(|k| self.provider.measure(k).map(|_| ()))
+                .collect()
+        });
         for r in results {
             r?;
         }
@@ -271,14 +357,16 @@ impl Campaign {
         let ctx = self.context(spec);
         let set = spec.kernel_set();
         let iters = spec.benchmark.problem(spec.class).iterations;
-        assemble_analysis(
-            &self.provider,
-            &ctx,
-            &set,
-            spec.chain_len,
-            iters,
-            self.runner.reps,
-        )
+        self.phase(phases::ASSEMBLE, || {
+            assemble_analysis(
+                &self.provider,
+                &ctx,
+                &set,
+                spec.chain_len,
+                iters,
+                self.runner.reps,
+            )
+        })
     }
 }
 
@@ -320,7 +408,10 @@ mod tests {
         let mut exec = runner.executor(Benchmark::Bt, Class::S, 4);
         let direct = CouplingAnalysis::collect(&mut exec, 2, runner.reps).unwrap();
 
-        assert_eq!(via_campaign.couplings().unwrap(), direct.couplings().unwrap());
+        assert_eq!(
+            via_campaign.couplings().unwrap(),
+            direct.couplings().unwrap()
+        );
         assert_eq!(via_campaign.actual(), direct.actual());
         assert_eq!(
             via_campaign.loop_iterations(),
@@ -333,8 +424,9 @@ mod tests {
     fn machine_overrides_are_distinct_cells() {
         let campaign = Campaign::noise_free();
         let base = AnalysisSpec::new(Benchmark::Bt, Class::S, 4, 2);
-        let other =
-            base.clone().on(MachineConfig::ethernet_cluster().without_noise());
+        let other = base
+            .clone()
+            .on(MachineConfig::ethernet_cluster().without_noise());
         let stats = campaign.prefetch(&[base, other]).unwrap();
         assert_eq!(
             stats.cells_unique, stats.cells_requested,

@@ -3,9 +3,7 @@
 
 use crate::campaign::{AnalysisSpec, Campaign};
 use kc_core::report::TableCell;
-use kc_core::{
-    CouplingRow, CouplingTable, KcResult, PredictionRow, PredictionTable, Predictor,
-};
+use kc_core::{CouplingRow, CouplingTable, KcResult, PredictionRow, PredictionTable, Predictor};
 use kc_machine::MachineConfig;
 use kc_npb::{Benchmark, Class, ExecConfig, NpbApp, NpbExecutor};
 

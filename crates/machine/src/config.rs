@@ -317,8 +317,14 @@ mod tests {
         let base = MachineConfig::ibm_sp_p2sc();
         assert_eq!(base.fingerprint(), base.clone().fingerprint(), "stable");
         assert_eq!(base.fingerprint().len(), 16);
-        assert_ne!(base.fingerprint(), MachineConfig::ethernet_cluster().fingerprint());
-        assert_ne!(base.fingerprint(), base.clone().without_noise().fingerprint());
+        assert_ne!(
+            base.fingerprint(),
+            MachineConfig::ethernet_cluster().fingerprint()
+        );
+        assert_ne!(
+            base.fingerprint(),
+            base.clone().without_noise().fingerprint()
+        );
         assert_ne!(base.fingerprint(), base.clone().with_seed(99).fingerprint());
         let mut bigger_l2 = base.clone();
         bigger_l2.caches[1].capacity *= 2;

@@ -25,12 +25,14 @@ use crate::app::{AppSpec, Benchmark, NpbApp};
 use crate::classes::Class;
 use crate::executor::{ExecConfig, NpbExecutor};
 use kc_core::{
-    CellContext, CellKind, ChainExecutor, KcError, KcResult, Measurement, MeasurementKey,
-    MeasurementProvider,
+    worker_label, CellContext, CellKind, ChainExecutor, KcError, KcResult, Measurement,
+    MeasurementKey, MeasurementProvider, TelemetryEvent, TelemetrySink,
 };
 use kc_machine::MachineConfig;
 use parking_lot::Mutex;
 use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Instant;
 
 /// Suffix marking the loop-level (fine) BT decomposition in a cell
 /// key's benchmark name.
@@ -42,12 +44,20 @@ const FINE_SUFFIX: &str = "#fine";
 pub struct NpbProvider {
     machines: Mutex<HashMap<String, MachineConfig>>,
     execs: Mutex<HashMap<String, ExecConfig>>,
+    sink: Option<Arc<dyn TelemetrySink>>,
 }
 
 impl NpbProvider {
     /// An empty provider (no machines or protocols registered yet).
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Emit a `CellExecuted` telemetry event (with simulation
+    /// wall-clock duration) for every cell this provider measures.
+    pub fn with_telemetry(mut self, sink: Arc<dyn TelemetrySink>) -> Self {
+        self.sink = Some(sink);
+        self
     }
 
     /// Register a machine; returns its fingerprint for use in keys.
@@ -112,15 +122,18 @@ impl NpbProvider {
         let app = NpbApp::new(benchmark, class, key.procs);
         // Per-cell noise seed: deterministic in (machine seed, key),
         // independent of scheduling.  Noise-free machines ignore it.
-        let machine = machine.clone().with_seed(cell_seed(machine.timer.seed, key));
+        let machine = machine
+            .clone()
+            .with_seed(cell_seed(machine.timer.seed, key));
         Ok(NpbExecutor::with_spec(app, machine, cfg, spec))
     }
 }
 
 impl MeasurementProvider for NpbProvider {
     fn measure(&self, key: &MeasurementKey) -> KcResult<Measurement> {
+        let started = self.sink.as_ref().map(|_| Instant::now());
         let mut exec = self.executor_for(key)?;
-        match &key.cell {
+        let m = match &key.cell {
             CellKind::Chain(chain) => {
                 let n = exec.kernel_set().len();
                 if chain.is_empty() || chain.iter().any(|k| k.index() >= n) {
@@ -129,11 +142,19 @@ impl MeasurementProvider for NpbProvider {
                         reason: format!("chain must name kernels 0..{n}"),
                     });
                 }
-                Ok(exec.measure_chain(chain, key.reps))
+                exec.measure_chain(chain, key.reps)
             }
-            CellKind::SerialOverhead => Ok(exec.measure_serial_overhead()),
-            CellKind::Application => Ok(exec.measure_application()),
+            CellKind::SerialOverhead => exec.measure_serial_overhead(),
+            CellKind::Application => exec.measure_application(),
+        };
+        if let (Some(sink), Some(started)) = (&self.sink, started) {
+            sink.record(TelemetryEvent::CellExecuted {
+                key: key.to_string(),
+                duration_secs: started.elapsed().as_secs_f64(),
+                worker: worker_label(),
+            });
         }
+        Ok(m)
     }
 
     /// Rough simulation cost: grid cells × kernels touched, with a
@@ -229,12 +250,7 @@ fn check_instance(benchmark: Benchmark, class: Class, key: &MeasurementKey) -> K
 /// Mix the machine's noise seed with the cell identity (FNV-1a over
 /// the canonical key, finalized with a splitmix64 round).
 fn cell_seed(machine_seed: u64, key: &MeasurementKey) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for b in key.to_string().bytes() {
-        h ^= b as u64;
-        h = h.wrapping_mul(0x100_0000_01b3);
-    }
-    let mut z = machine_seed ^ h;
+    let mut z = machine_seed ^ key.digest_u64();
     z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
     z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
@@ -272,7 +288,9 @@ mod tests {
             .unwrap();
         assert_eq!(via_provider, direct.measure_chain(&ids[..2], 3));
         assert_eq!(
-            provider.measure(&ctx.key(CellKind::Application, 1)).unwrap(),
+            provider
+                .measure(&ctx.key(CellKind::Application, 1))
+                .unwrap(),
             direct.measure_application()
         );
         assert_eq!(
@@ -298,8 +316,15 @@ mod tests {
         assert_eq!(a, provider.measure(&k0).unwrap());
 
         // a different machine seed replays differently
-        let ctx2 = provider.context(&app, false, &machine.clone().with_seed(7), ExecConfig::default());
-        let b = provider.measure(&ctx2.key(CellKind::Chain(vec![KernelId(0)]), 5)).unwrap();
+        let ctx2 = provider.context(
+            &app,
+            false,
+            &machine.clone().with_seed(7),
+            ExecConfig::default(),
+        );
+        let b = provider
+            .measure(&ctx2.key(CellKind::Chain(vec![KernelId(0)]), 5))
+            .unwrap();
         assert_ne!(a.samples(), b.samples());
     }
 
@@ -331,7 +356,10 @@ mod tests {
         ));
         let mut k = key(&provider, CellKind::Application, 1);
         k.class = "C".to_string();
-        assert!(matches!(provider.measure(&k), Err(KcError::UnknownClass(_))));
+        assert!(matches!(
+            provider.measure(&k),
+            Err(KcError::UnknownClass(_))
+        ));
         let mut k = key(&provider, CellKind::Application, 1);
         k.procs = 6; // not a square
         assert!(matches!(provider.measure(&k), Err(KcError::BadCell { .. })));

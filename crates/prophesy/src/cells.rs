@@ -23,17 +23,35 @@ use serde::Value;
 use std::collections::BTreeMap;
 use std::path::Path;
 
+/// Traffic counters of one [`CellStore`]'s backend interface: how
+/// often the campaign consulted it and how often it answered.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BackendStats {
+    /// `load` calls (cache misses that consulted the store).
+    pub loads: u64,
+    /// `load` calls answered from stored samples.
+    pub load_hits: u64,
+    /// `store` calls (fresh executions written back).
+    pub stores: u64,
+}
+
 /// A thread-safe map from canonical cell keys to raw samples, with
 /// JSON-file persistence.
 #[derive(Debug, Default)]
 pub struct CellStore {
     cells: Mutex<BTreeMap<String, Vec<f64>>>,
+    stats: Mutex<BackendStats>,
 }
 
 impl CellStore {
     /// An empty store.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Backend traffic counters since construction (or load).
+    pub fn stats(&self) -> BackendStats {
+        *self.stats.lock()
     }
 
     /// Number of stored cells.
@@ -75,8 +93,8 @@ impl CellStore {
         if let Some(parent) = path.parent() {
             std::fs::create_dir_all(parent)?;
         }
-        let json = serde_json::to_string_pretty(&Value::Object(fields))
-            .expect("cell store serializes");
+        let json =
+            serde_json::to_string_pretty(&Value::Object(fields)).expect("cell store serializes");
         std::fs::write(path, json)
     }
 
@@ -84,8 +102,7 @@ impl CellStore {
     pub fn load(path: &Path) -> std::io::Result<Self> {
         let bad = |msg: String| std::io::Error::new(std::io::ErrorKind::InvalidData, msg);
         let data = std::fs::read_to_string(path)?;
-        let value: Value =
-            serde_json::from_str(&data).map_err(|e| bad(e.to_string()))?;
+        let value: Value = serde_json::from_str(&data).map_err(|e| bad(e.to_string()))?;
         let Value::Object(fields) = value else {
             return Err(bad("cell store file must be a JSON object".into()));
         };
@@ -107,19 +124,28 @@ impl CellStore {
         }
         Ok(Self {
             cells: Mutex::new(cells),
+            stats: Mutex::new(BackendStats::default()),
         })
     }
 }
 
 impl MeasurementBackend for CellStore {
     fn load(&self, key: &MeasurementKey) -> Option<Measurement> {
-        self.get(key)
+        let m = self
+            .get(key)
             .filter(|s| !s.is_empty())
-            .map(Measurement::from_samples)
+            .map(Measurement::from_samples);
+        let mut stats = self.stats.lock();
+        stats.loads += 1;
+        if m.is_some() {
+            stats.load_hits += 1;
+        }
+        m
     }
 
     fn store(&self, key: &MeasurementKey, m: &Measurement) {
         self.insert(key, m.samples().to_vec());
+        self.stats.lock().stores += 1;
     }
 }
 
@@ -172,6 +198,20 @@ mod tests {
             assert_eq!(bits(&a), bits(&b), "samples of {k} drifted");
         }
         let _ = std::fs::remove_dir_all(path.parent().unwrap());
+    }
+
+    #[test]
+    fn backend_stats_count_loads_hits_and_stores() {
+        let store = CellStore::new();
+        let k = key(CellKind::SerialOverhead, 1);
+        assert_eq!(store.stats(), BackendStats::default());
+        assert!(MeasurementBackend::load(&store, &k).is_none());
+        store.store(&k, &Measurement::from_samples(vec![0.5]));
+        assert!(MeasurementBackend::load(&store, &k).is_some());
+        let s = store.stats();
+        assert_eq!(s.loads, 2);
+        assert_eq!(s.load_hits, 1);
+        assert_eq!(s.stores, 1);
     }
 
     #[test]

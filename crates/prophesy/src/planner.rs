@@ -192,7 +192,11 @@ mod tests {
         };
 
         // fresh campaign: every cell of the analysis, dedup-ready
-        let fresh = plan(&CampaignStore::new(), &CampaignKey::new("m", "synthetic", "S", 4, 2), 3);
+        let fresh = plan(
+            &CampaignStore::new(),
+            &CampaignKey::new("m", "synthetic", "S", 4, 2),
+            3,
+        );
         let cells = fresh.cells(&ctx, &set, 5).unwrap();
         assert_eq!(cells.len(), fresh.runs());
         assert_eq!(
@@ -212,7 +216,11 @@ mod tests {
             .all(|k| matches!(&k.cell, CellKind::Chain(c) if c.len() == 3)));
 
         // a chain length the loop cannot support is an error
-        let bad = plan(&CampaignStore::new(), &CampaignKey::new("m", "synthetic", "S", 4, 9), 3);
+        let bad = plan(
+            &CampaignStore::new(),
+            &CampaignKey::new("m", "synthetic", "S", 4, 9),
+            3,
+        );
         assert!(bad.cells(&ctx, &set, 5).is_err());
     }
 

@@ -13,8 +13,7 @@ fn main() {
 
     println!("Within one cache regime, coefficients transfer almost freely:\n");
     let (table, study) =
-        reuse::proc_transfer_table(&campaign, Benchmark::Bt, Class::W, &[4, 9, 16, 25], 3)
-            .unwrap();
+        reuse::proc_transfer_table(&campaign, Benchmark::Bt, Class::W, &[4, 9, 16, 25], 3).unwrap();
     println!("{table}");
     println!(
         "mean transfer error {:.2}%, beats summation in {:.0}% of transfers\n",

@@ -4,6 +4,12 @@
 set -euo pipefail
 cd "$(git -C "$(dirname "$0")" rev-parse --show-toplevel)"
 
+echo "== format =="
+cargo fmt --check
+
+echo "== lints (clippy, warnings are errors) =="
+cargo clippy --workspace -- -D warnings
+
 echo "== build (release) =="
 cargo build --release
 
@@ -11,6 +17,6 @@ echo "== tests (workspace) =="
 cargo test -q --workspace
 
 echo "== smoke: BT class-S table via the campaign engine =="
-cargo run --release -p kc-experiments --bin paper_tables -- bt-s --noise-free
+cargo run --release -p kc-experiments --bin paper_tables -- bt-s --noise-free --metrics
 
 echo "verify: OK"

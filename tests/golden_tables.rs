@@ -1,0 +1,250 @@
+//! Golden-table regression harness: every reproduced paper table,
+//! compared value-by-value against committed snapshots.
+//!
+//! `artifacts/golden/` holds one JSON snapshot per table (the
+//! noise-free IBM SP configuration) plus `cells.json`, a
+//! `kc-prophesy` cell store with the raw samples of every measurement
+//! cell the tables need.  The main test assembles all tables with the
+//! committed store as backend and asserts `executed == 0` — so a
+//! drift in the `MeasurementKey` schema (which would silently
+//! re-simulate instead of reusing committed cells) fails loudly — and
+//! every numeric value must match its snapshot within a relative
+//! tolerance of 1e-6.  A second test re-simulates the two cheapest
+//! tables from scratch, catching drift in the simulation itself.
+//!
+//! Regenerate the snapshots after an intentional model change with:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test --release --test golden_tables
+//! ```
+
+use kernel_couplings::experiments::render::Artifact;
+use kernel_couplings::experiments::{bt, lu, sp, transitions, Campaign, Runner};
+use kernel_couplings::npb::Class;
+use kernel_couplings::prophesy::CellStore;
+use serde_json::Value;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+/// Per-value relative tolerance for table comparisons.
+const REL_TOL: f64 = 1e-6;
+
+/// Transition-study shape (mirrors the `paper_tables` binary).
+const TRANSITION_CLASSES: [Class; 3] = [Class::S, Class::W, Class::A];
+const TRANSITION_PROCS: [usize; 4] = [4, 9, 16, 25];
+
+fn golden_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("artifacts/golden")
+}
+
+fn updating() -> bool {
+    std::env::var_os("UPDATE_GOLDEN").is_some_and(|v| v != "0" && !v.is_empty())
+}
+
+/// Every golden table, assembled through one shared campaign.
+fn all_artifacts(campaign: &Campaign) -> Vec<Artifact> {
+    vec![
+        Artifact::from_pair("table2_bt_s", &bt::table2(campaign).unwrap()),
+        Artifact::from_pair("table3_bt_w", &bt::table3(campaign).unwrap()),
+        Artifact::from_pair("table4_bt_a", &bt::table4(campaign).unwrap()),
+        Artifact::from_pair("table6a_sp_w", &sp::table6(campaign, Class::W).unwrap()),
+        Artifact::from_pair("table6b_sp_a", &sp::table6(campaign, Class::A).unwrap()),
+        Artifact::from_pair("table6c_sp_b", &sp::table6(campaign, Class::B).unwrap()),
+        Artifact::from_pair("table8a_lu_w", &lu::table8(campaign, Class::W).unwrap()),
+        Artifact::from_pair("table8b_lu_a", &lu::table8(campaign, Class::A).unwrap()),
+        Artifact::from_pair("table8c_lu_b", &lu::table8(campaign, Class::B).unwrap()),
+        Artifact::from_couplings(
+            "transitions",
+            vec![
+                transitions::transition_table(campaign, &TRANSITION_CLASSES, &TRANSITION_PROCS)
+                    .unwrap(),
+                transitions::regime_table(campaign, &TRANSITION_CLASSES, &TRANSITION_PROCS),
+            ],
+        ),
+    ]
+}
+
+/// Walk two JSON values in lockstep, recording every mismatch.
+/// Numbers compare with relative tolerance `tol` (absolute 1e-12 near
+/// zero); everything else must match exactly.
+fn diff_values(golden: &Value, fresh: &Value, path: &str, tol: f64, diffs: &mut Vec<String>) {
+    let num = |v: &Value| -> Option<f64> {
+        match v {
+            Value::Float(f) => Some(*f),
+            Value::Int(i) => Some(*i as f64),
+            Value::UInt(u) => Some(*u as f64),
+            _ => None,
+        }
+    };
+    match (num(golden), num(fresh)) {
+        (Some(g), Some(f)) => {
+            let scale = g.abs().max(f.abs());
+            if (g - f).abs() > tol * scale + 1e-12 {
+                diffs.push(format!("{path}: golden {g} vs fresh {f}"));
+            }
+            return;
+        }
+        (None, None) => {}
+        _ => {
+            diffs.push(format!("{path}: type mismatch ({golden:?} vs {fresh:?})"));
+            return;
+        }
+    }
+    match (golden, fresh) {
+        (Value::Object(g), Value::Object(f)) => {
+            if g.len() != f.len() {
+                diffs.push(format!("{path}: {} fields vs {}", g.len(), f.len()));
+                return;
+            }
+            for ((gk, gv), (fk, fv)) in g.iter().zip(f) {
+                if gk != fk {
+                    diffs.push(format!("{path}: field '{gk}' vs '{fk}'"));
+                    return;
+                }
+                diff_values(gv, fv, &format!("{path}.{gk}"), tol, diffs);
+            }
+        }
+        (Value::Array(g), Value::Array(f)) => {
+            if g.len() != f.len() {
+                diffs.push(format!("{path}: {} items vs {}", g.len(), f.len()));
+                return;
+            }
+            for (i, (gv, fv)) in g.iter().zip(f).enumerate() {
+                diff_values(gv, fv, &format!("{path}[{i}]"), tol, diffs);
+            }
+        }
+        _ => {
+            if golden != fresh {
+                diffs.push(format!("{path}: golden {golden:?} vs fresh {fresh:?}"));
+            }
+        }
+    }
+}
+
+/// Compare one artifact against its committed snapshot.
+fn check_artifact(artifact: &Artifact, diffs: &mut Vec<String>) {
+    let path = golden_dir().join(format!("{}.json", artifact.id));
+    let golden: Value = serde_json::from_str(
+        &std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("missing golden snapshot {}: {e}", path.display())),
+    )
+    .expect("golden snapshot parses");
+    let fresh: Value =
+        serde_json::from_str(&artifact.render_json()).expect("fresh artifact parses");
+    diff_values(&golden, &fresh, &artifact.id, REL_TOL, diffs);
+}
+
+#[test]
+fn golden_tables_match_store_backed_assembly() {
+    let dir = golden_dir();
+    let cells_path = dir.join("cells.json");
+
+    if updating() {
+        // regenerate: simulate everything from scratch, then commit
+        // the snapshots and the raw cells they were built from
+        let store = Arc::new(CellStore::new());
+        let campaign = Campaign::with_backend(Runner::noise_free(), Box::new(Arc::clone(&store)));
+        std::fs::create_dir_all(&dir).unwrap();
+        for artifact in all_artifacts(&campaign) {
+            let json = artifact.render_json();
+            std::fs::write(dir.join(format!("{}.json", artifact.id)), json).unwrap();
+        }
+        store.save(&cells_path).unwrap();
+        eprintln!(
+            "regenerated {} golden cells into {}",
+            store.len(),
+            dir.display()
+        );
+        return;
+    }
+
+    let store = Arc::new(
+        CellStore::load(&cells_path)
+            .unwrap_or_else(|e| panic!("missing golden cell store {}: {e}", cells_path.display())),
+    );
+    let campaign = Campaign::with_backend(Runner::noise_free(), Box::new(Arc::clone(&store)));
+    let artifacts = all_artifacts(&campaign);
+
+    // every cell must come from the committed store: an execution
+    // here means the key schema (or enumeration) drifted and the
+    // tables were silently re-simulated
+    let cache = campaign.cache_stats();
+    assert_eq!(
+        cache.executed, 0,
+        "cells missing from the golden store were re-simulated"
+    );
+    assert!(cache.backend_hits > 0);
+
+    let mut diffs = Vec::new();
+    for artifact in &artifacts {
+        check_artifact(artifact, &mut diffs);
+    }
+    assert!(
+        diffs.is_empty(),
+        "{} value(s) drifted from the golden tables:\n  {}",
+        diffs.len(),
+        diffs.join("\n  ")
+    );
+}
+
+/// The simulation itself (not just the assembly arithmetic) still
+/// reproduces the snapshots: re-measure the cheapest tables with no
+/// backend at all.
+#[test]
+fn fresh_simulation_matches_golden_for_cheap_tables() {
+    if updating() {
+        return; // snapshots are being rewritten by the main test
+    }
+    let campaign = Campaign::noise_free();
+    let fresh = vec![
+        Artifact::from_pair("table2_bt_s", &bt::table2(&campaign).unwrap()),
+        Artifact::from_pair("table8a_lu_w", &lu::table8(&campaign, Class::W).unwrap()),
+    ];
+    assert!(campaign.cache_stats().executed > 0, "nothing was simulated");
+    let mut diffs = Vec::new();
+    for artifact in &fresh {
+        check_artifact(artifact, &mut diffs);
+    }
+    assert!(
+        diffs.is_empty(),
+        "fresh simulation drifted from the golden tables:\n  {}",
+        diffs.join("\n  ")
+    );
+}
+
+/// The comparator actually detects drift (guards against a vacuous
+/// harness).
+#[test]
+fn comparator_flags_value_drift_beyond_tolerance() {
+    let golden: Value =
+        serde_json::from_str(r#"{"t":[{"v":[1.0,2.0]},{"v":[3.0]}],"s":"x"}"#).unwrap();
+
+    // within tolerance: no diffs
+    let close: Value =
+        serde_json::from_str(r#"{"t":[{"v":[1.0000000001,2.0]},{"v":[3.0]}],"s":"x"}"#).unwrap();
+    let mut diffs = Vec::new();
+    diff_values(&golden, &close, "root", REL_TOL, &mut diffs);
+    assert!(diffs.is_empty(), "spurious diffs: {diffs:?}");
+
+    // a 1e-3 relative drift must be flagged, with its path
+    let drifted: Value =
+        serde_json::from_str(r#"{"t":[{"v":[1.0,2.002]},{"v":[3.0]}],"s":"x"}"#).unwrap();
+    let mut diffs = Vec::new();
+    diff_values(&golden, &drifted, "root", REL_TOL, &mut diffs);
+    assert_eq!(diffs.len(), 1);
+    assert!(diffs[0].starts_with("root.t[0].v[1]:"), "{}", diffs[0]);
+
+    // structural drift (missing value) is also flagged
+    let truncated: Value =
+        serde_json::from_str(r#"{"t":[{"v":[1.0]},{"v":[3.0]}],"s":"x"}"#).unwrap();
+    let mut diffs = Vec::new();
+    diff_values(&golden, &truncated, "root", REL_TOL, &mut diffs);
+    assert!(!diffs.is_empty());
+
+    // string drift is exact-match
+    let renamed: Value =
+        serde_json::from_str(r#"{"t":[{"v":[1.0,2.0]},{"v":[3.0]}],"s":"y"}"#).unwrap();
+    let mut diffs = Vec::new();
+    diff_values(&golden, &renamed, "root", REL_TOL, &mut diffs);
+    assert_eq!(diffs.len(), 1);
+}

@@ -1,0 +1,139 @@
+//! Property tests of `MeasurementKey` canonicalization: the cache's
+//! identity contract.  Keys must survive a serde round-trip
+//! unchanged, digests must agree exactly with key equality, and the
+//! chain-length-free cells (isolated kernels, serial overhead,
+//! application ground truth) must hash identically no matter which
+//! chain-length study requested them — that equality is what makes
+//! the campaign's cross-table sharing sound.
+
+use kernel_couplings::coupling::{
+    analysis_cells, CellContext, CellKind, KernelId, KernelSet, MeasurementKey,
+};
+use proptest::prelude::*;
+
+fn build_key(
+    benchmark: &str,
+    class: &str,
+    procs: usize,
+    chain: &[usize],
+    reps: u32,
+    exec: &str,
+    machine: &str,
+) -> MeasurementKey {
+    // use the chain as the variant selector too, so all three cell
+    // kinds appear in the generated population
+    let cell = match chain.len() {
+        0 => CellKind::Application,
+        1 if chain[0] == 7 => CellKind::SerialOverhead,
+        _ => CellKind::Chain(chain.iter().map(|&i| KernelId(i as u32)).collect()),
+    };
+    MeasurementKey {
+        benchmark: benchmark.to_string(),
+        class: class.to_string(),
+        procs,
+        cell,
+        reps,
+        exec_digest: exec.to_string(),
+        machine_fingerprint: machine.to_string(),
+    }
+}
+
+const BENCHMARKS: [&str; 4] = ["BT", "SP", "LU", "BT#fine"];
+const CLASSES: [&str; 4] = ["S", "W", "A", "B"];
+const DIGESTS: [&str; 3] = ["w1t2mpb1ci", "w2t4mpb1ci", "w1t2"];
+const MACHINES: [&str; 3] = ["00ff00ff00ff00ff", "ecdc94b6f33d49ef", "fp0"];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// serde round-trip stability: a key survives JSON and comes back
+    /// equal, with the same canonical text and digest.
+    #[test]
+    fn serde_roundtrip_is_identity(
+        b in 0usize..4,
+        c in 0usize..4,
+        procs in 1usize..64,
+        chain in prop::collection::vec(0usize..8, 0..5),
+        reps in 1u32..20,
+        e in 0usize..3,
+        m in 0usize..3,
+    ) {
+        let key = build_key(
+            BENCHMARKS[b], CLASSES[c], procs, &chain, reps, DIGESTS[e], MACHINES[m],
+        );
+        let json = serde_json::to_string(&key).unwrap();
+        let back: MeasurementKey = serde_json::from_str(&json).unwrap();
+        prop_assert_eq!(&back, &key);
+        prop_assert_eq!(back.to_string(), key.to_string());
+        prop_assert_eq!(back.digest(), key.digest());
+    }
+
+    /// Digest equality ⇔ key equality over generated key pairs: equal
+    /// keys digest equally, and distinct keys keep distinct digests
+    /// (FNV-1a over the canonical text; a collision here would also
+    /// collide the per-cell noise seeds).
+    #[test]
+    fn digest_agrees_with_key_equality(
+        b1 in 0usize..4, b2 in 0usize..4,
+        c1 in 0usize..4, c2 in 0usize..4,
+        p1 in 1usize..32, p2 in 1usize..32,
+        chain1 in prop::collection::vec(0usize..8, 0..4),
+        chain2 in prop::collection::vec(0usize..8, 0..4),
+        reps in 1u32..10,
+    ) {
+        let k1 = build_key(
+            BENCHMARKS[b1], CLASSES[c1], p1, &chain1, reps, DIGESTS[0], MACHINES[0],
+        );
+        let k2 = build_key(
+            BENCHMARKS[b2], CLASSES[c2], p2, &chain2, reps, DIGESTS[0], MACHINES[0],
+        );
+        prop_assert_eq!(
+            k1 == k2,
+            k1.digest_u64() == k2.digest_u64(),
+            "keys {} / {} disagree with their digests", k1, k2
+        );
+        // the hex form is the u64, zero-padded
+        prop_assert_eq!(k1.digest(), format!("{:016x}", k1.digest_u64()));
+    }
+
+    /// Chain-length-free cells (isolated kernels, overhead,
+    /// application) enumerate to the SAME keys — same canonical text,
+    /// same digest — whatever chain length the requesting table used.
+    #[test]
+    fn shared_cells_hash_identically_across_chain_lengths(
+        kernels in 2usize..8,
+        len_a in 1usize..8,
+        len_b in 1usize..8,
+        procs in 1usize..32,
+        reps in 1u32..10,
+    ) {
+        let len_a = len_a.min(kernels);
+        let len_b = len_b.min(kernels);
+        let set = KernelSet::new((0..kernels).map(|i| format!("k{i}")).collect());
+        let ctx = CellContext {
+            benchmark: "BT".to_string(),
+            class: "W".to_string(),
+            procs,
+            exec_digest: DIGESTS[0].to_string(),
+            machine_fingerprint: MACHINES[1].to_string(),
+        };
+        let cells_a = analysis_cells(&ctx, &set, len_a, reps).unwrap();
+        let cells_b = analysis_cells(&ctx, &set, len_b, reps).unwrap();
+        // dedupe by key text: at chain length 1 the windows collapse
+        // onto the isolated cells by key equality, which is the point
+        let shared = |cells: &[MeasurementKey]| -> std::collections::BTreeSet<(String, u64)> {
+            cells
+                .iter()
+                .filter(|k| match &k.cell {
+                    CellKind::Chain(c) => c.len() == 1,
+                    CellKind::SerialOverhead | CellKind::Application => true,
+                })
+                .map(|k| (k.to_string(), k.digest_u64()))
+                .collect()
+        };
+        // n isolated kernels + overhead + application, bit-identical
+        let (a, b) = (shared(&cells_a), shared(&cells_b));
+        prop_assert_eq!(a.len(), kernels + 2);
+        prop_assert_eq!(a, b, "chain length leaked into shared cell identity");
+    }
+}

@@ -1,0 +1,138 @@
+//! Integration: the campaign telemetry stream is deterministic in
+//! content across thread counts, its aggregates agree with
+//! `CacheStats` exactly, and the JSON-lines trace round-trips.
+//!
+//! This test manipulates `RAYON_NUM_THREADS`, so it lives in its own
+//! integration binary: Rust runs each test file as a separate
+//! process, keeping the env mutation away from every other test.
+
+use kernel_couplings::coupling::{
+    read_jsonl, summarize, Disposition, JsonLinesSink, TelemetryEvent,
+};
+use kernel_couplings::experiments::{AnalysisSpec, Campaign, Runner};
+use kernel_couplings::npb::{Benchmark, Class};
+use std::sync::{Arc, Mutex};
+
+/// Tests toggle the env var; the harness runs them on separate
+/// threads, so serialize them.
+static ENV_LOCK: Mutex<()> = Mutex::new(());
+
+fn specs() -> Vec<AnalysisSpec> {
+    vec![
+        AnalysisSpec::new(Benchmark::Bt, Class::S, 4, 2),
+        AnalysisSpec::new(Benchmark::Bt, Class::S, 4, 3),
+        AnalysisSpec::new(Benchmark::Bt, Class::S, 9, 2),
+    ]
+}
+
+/// Run the campaign under `threads` workers and return its canonical
+/// event stream plus the cache counters.
+fn run_with_threads(
+    threads: &str,
+) -> (Vec<TelemetryEvent>, kernel_couplings::coupling::CacheStats) {
+    std::env::set_var("RAYON_NUM_THREADS", threads);
+    let campaign = Campaign::new(Runner::default());
+    for spec in specs() {
+        campaign.analysis(&spec).unwrap();
+    }
+    campaign.record_summary(5);
+    std::env::remove_var("RAYON_NUM_THREADS");
+    (campaign.telemetry_events(), campaign.cache_stats())
+}
+
+#[test]
+fn traces_are_content_identical_across_thread_counts() {
+    let _guard = ENV_LOCK.lock().unwrap();
+    let (serial, serial_cache) = run_with_threads("1");
+    let (parallel, parallel_cache) = run_with_threads("8");
+
+    let redact = |events: &[TelemetryEvent]| -> Vec<TelemetryEvent> {
+        events.iter().map(TelemetryEvent::redacted).collect()
+    };
+    assert_eq!(
+        redact(&serial),
+        redact(&parallel),
+        "canonical event streams must match modulo durations/workers"
+    );
+    assert_eq!(serial_cache, parallel_cache);
+}
+
+#[test]
+fn aggregates_match_cache_stats_exactly() {
+    let _guard = ENV_LOCK.lock().unwrap();
+    std::env::set_var("RAYON_NUM_THREADS", "4");
+    let campaign = Campaign::noise_free();
+    for spec in specs() {
+        campaign.analysis(&spec).unwrap();
+    }
+    std::env::remove_var("RAYON_NUM_THREADS");
+
+    let summary = campaign.summary(3);
+    let cache = campaign.cache_stats();
+    assert_eq!(summary.requests, cache.requests);
+    assert_eq!(summary.hits, cache.hits);
+    assert_eq!(summary.backend_hits, cache.backend_hits);
+    assert_eq!(summary.executed, cache.executed);
+    assert_eq!(
+        summary.requests,
+        summary.hits + summary.backend_hits + summary.executed
+    );
+    assert!(summary.unique_cells > 0);
+    assert_eq!(summary.per_benchmark.get("BT"), Some(&summary.unique_cells));
+
+    // every CellStarted has a matching CellFinished, and every
+    // Executed disposition has exactly one raw CellExecuted span
+    let events = campaign.telemetry_events();
+    let count = |f: &dyn Fn(&TelemetryEvent) -> bool| events.iter().filter(|e| f(e)).count() as u64;
+    assert_eq!(
+        count(&|e| matches!(e, TelemetryEvent::CellStarted { .. })),
+        cache.requests
+    );
+    assert_eq!(
+        count(&|e| matches!(e, TelemetryEvent::CellFinished { .. })),
+        cache.requests
+    );
+    assert_eq!(
+        count(&|e| matches!(e, TelemetryEvent::CellExecuted { .. })),
+        cache.executed
+    );
+    assert_eq!(
+        count(&|e| matches!(
+            e,
+            TelemetryEvent::CellFinished {
+                disposition: Disposition::Executed,
+                ..
+            }
+        )),
+        cache.executed
+    );
+}
+
+#[test]
+fn jsonl_trace_roundtrips_through_an_attached_sink() {
+    let _guard = ENV_LOCK.lock().unwrap();
+    let path = std::env::temp_dir().join("kc_telemetry_trace_test/trace.jsonl");
+    let _ = std::fs::remove_file(&path);
+
+    let campaign = Campaign::noise_free();
+    let sink = Arc::new(JsonLinesSink::new(path.clone()));
+    campaign.attach_sink(sink.clone());
+    campaign
+        .analysis(&AnalysisSpec::new(Benchmark::Bt, Class::S, 4, 2))
+        .unwrap();
+    let recorded = campaign.record_summary(5);
+    sink.flush().unwrap();
+
+    let replayed = read_jsonl(&path).unwrap();
+    assert_eq!(replayed.len(), campaign.telemetry_events().len());
+    // the trace ends with the recorded summary, and summarizing the
+    // replayed stream reproduces the aggregate counts
+    let Some(TelemetryEvent::RunSummary(last)) = replayed.last() else {
+        panic!("trace must end with a RunSummary line");
+    };
+    assert_eq!(last, &recorded);
+    let recomputed = summarize(&replayed, 5);
+    assert_eq!(recomputed.requests, recorded.requests);
+    assert_eq!(recomputed.executed, recorded.executed);
+    let _ = std::fs::remove_dir_all(path.parent().unwrap());
+}

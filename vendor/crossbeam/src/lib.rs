@@ -132,11 +132,7 @@ pub mod channel {
                 if self.shared.senders.load(Ordering::Acquire) == 0 {
                     return Err(RecvError);
                 }
-                q = self
-                    .shared
-                    .ready
-                    .wait(q)
-                    .unwrap_or_else(|p| p.into_inner());
+                q = self.shared.ready.wait(q).unwrap_or_else(|p| p.into_inner());
             }
         }
 

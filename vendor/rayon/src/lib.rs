@@ -194,7 +194,10 @@ mod tests {
 
     #[test]
     fn into_par_iter_owned() {
-        let squares: Vec<u64> = (0usize..17).into_par_iter().map(|x| (x * x) as u64).collect();
+        let squares: Vec<u64> = (0usize..17)
+            .into_par_iter()
+            .map(|x| (x * x) as u64)
+            .collect();
         assert_eq!(squares[16], 256);
         assert_eq!(squares.len(), 17);
     }

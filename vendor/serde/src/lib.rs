@@ -234,7 +234,9 @@ impl Serialize for f32 {
 }
 impl Deserialize for f32 {
     fn from_value(v: &Value) -> Result<Self, DeError> {
-        v.as_f64().map(|f| f as f32).ok_or_else(|| DeError::new("expected f32"))
+        v.as_f64()
+            .map(|f| f as f32)
+            .ok_or_else(|| DeError::new("expected f32"))
     }
 }
 
@@ -259,7 +261,9 @@ impl Serialize for String {
 }
 impl Deserialize for String {
     fn from_value(v: &Value) -> Result<Self, DeError> {
-        v.as_str().map(str::to_string).ok_or_else(|| DeError::new("expected string"))
+        v.as_str()
+            .map(str::to_string)
+            .ok_or_else(|| DeError::new("expected string"))
     }
 }
 
@@ -350,7 +354,11 @@ impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {
 
 impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {
     fn to_value(&self) -> Value {
-        Value::Array(vec![self.0.to_value(), self.1.to_value(), self.2.to_value()])
+        Value::Array(vec![
+            self.0.to_value(),
+            self.1.to_value(),
+            self.2.to_value(),
+        ])
     }
 }
 impl<A: Deserialize, B: Deserialize, C: Deserialize> Deserialize for (A, B, C) {
@@ -410,21 +418,16 @@ pub mod __private {
     /// Fetch and deserialize a required struct field.
     pub fn field<T: Deserialize>(v: &Value, name: &str) -> Result<T, DeError> {
         match v.get(name) {
-            Some(f) => T::from_value(f)
-                .map_err(|e| DeError::new(format!("field '{name}': {e}"))),
+            Some(f) => T::from_value(f).map_err(|e| DeError::new(format!("field '{name}': {e}"))),
             None => Err(DeError::new(format!("missing field '{name}'"))),
         }
     }
 
     /// Fetch an optional (`#[serde(default)]`) struct field.
-    pub fn field_or_default<T: Deserialize + Default>(
-        v: &Value,
-        name: &str,
-    ) -> Result<T, DeError> {
+    pub fn field_or_default<T: Deserialize + Default>(v: &Value, name: &str) -> Result<T, DeError> {
         match v.get(name) {
             Some(Value::Null) | None => Ok(T::default()),
-            Some(f) => T::from_value(f)
-                .map_err(|e| DeError::new(format!("field '{name}': {e}"))),
+            Some(f) => T::from_value(f).map_err(|e| DeError::new(format!("field '{name}': {e}"))),
         }
     }
 

@@ -30,9 +30,18 @@ enum VariantKind {
 
 /// The parsed item shape.
 enum Item {
-    NamedStruct { name: String, fields: Vec<Field> },
-    TupleStruct { name: String, arity: usize },
-    Enum { name: String, variants: Vec<Variant> },
+    NamedStruct {
+        name: String,
+        fields: Vec<Field>,
+    },
+    TupleStruct {
+        name: String,
+        arity: usize,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
 }
 
 struct Cursor {
@@ -230,9 +239,10 @@ fn parse_item(input: TokenStream) -> Item {
                     arity: count_tuple_fields(g.stream()),
                 }
             }
-            Some(TokenTree::Punct(p)) if p.as_char() == ';' => {
-                Item::NamedStruct { name, fields: Vec::new() }
-            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Item::NamedStruct {
+                name,
+                fields: Vec::new(),
+            },
             other => panic!("serde derive: unsupported struct body {other:?}"),
         },
         "enum" => match cur.next() {
@@ -341,7 +351,8 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
             )
         }
     };
-    code.parse().expect("serde derive: generated Serialize impl must parse")
+    code.parse()
+        .expect("serde derive: generated Serialize impl must parse")
 }
 
 /// `#[derive(Deserialize)]`
@@ -353,7 +364,11 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
             let inits: Vec<String> = fields
                 .iter()
                 .map(|f| {
-                    let getter = if f.default { "field_or_default" } else { "field" };
+                    let getter = if f.default {
+                        "field_or_default"
+                    } else {
+                        "field"
+                    };
                     format!(
                         "{n}: ::serde::__private::{getter}(__obj, \"{n}\")?,",
                         n = f.name
@@ -484,5 +499,6 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
             )
         }
     };
-    code.parse().expect("serde derive: generated Deserialize impl must parse")
+    code.parse()
+        .expect("serde derive: generated Deserialize impl must parse")
 }
