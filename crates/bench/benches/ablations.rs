@@ -85,7 +85,7 @@ fn bench_cache_capacity(c: &mut Criterion) {
             b.iter(|| {
                 // fresh campaign each iteration: the bench times the
                 // measurement, not the cache hit
-                let campaign = Campaign::new(runner.clone());
+                let campaign = Campaign::builder(runner.clone()).build();
                 let spec = AnalysisSpec::new(Benchmark::Bt, Class::S, 4, 2);
                 black_box(kc_experiments::transitions::mean_coupling(&campaign, &spec))
             })

@@ -79,7 +79,7 @@ fn bench_tables(c: &mut Criterion) {
         bench.iter(|| {
             // fresh campaign each iteration so the measurement itself
             // is timed rather than a cache hit
-            let campaign = Campaign::new(runner.clone());
+            let campaign = Campaign::builder(runner.clone()).build();
             let spec = AnalysisSpec::new(Benchmark::Bt, Class::W, 9, 2);
             black_box(kc_experiments::transitions::mean_coupling(&campaign, &spec))
         })
@@ -100,7 +100,7 @@ fn emit_trajectories(runner: &Runner) {
         ("table2_bt_s_p4", Benchmark::Bt, Class::S, 4, 2),
         ("table8a_lu_w_p4", Benchmark::Lu, Class::W, 4, 3),
     ] {
-        let campaign = Campaign::new(runner.clone());
+        let campaign = Campaign::builder(runner.clone()).build();
         let spec = AnalysisSpec::new(b, class, procs, len);
         campaign
             .prefetch(std::slice::from_ref(&spec))

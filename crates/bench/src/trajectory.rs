@@ -86,7 +86,7 @@ mod tests {
 
     #[test]
     fn trajectory_snapshots_and_roundtrips() {
-        let campaign = Campaign::noise_free();
+        let campaign = Campaign::builder(kc_experiments::Runner::noise_free()).build();
         let spec = AnalysisSpec::new(Benchmark::Bt, Class::S, 4, 2);
         campaign.prefetch(std::slice::from_ref(&spec)).unwrap();
         let t = BenchTrajectory::from_campaign("test_bt_s", &campaign);

@@ -74,6 +74,7 @@ pub mod analysis;
 pub mod coefficients;
 pub mod error;
 pub mod executor;
+pub mod history;
 pub mod kernel;
 pub mod measurement;
 pub mod predict;
@@ -88,6 +89,7 @@ pub use analysis::CouplingAnalysis;
 pub use coefficients::Coefficients;
 pub use error::{CouplingError, KcError, KcResult};
 pub use executor::ChainExecutor;
+pub use history::{executed_durations, BackendCounters, HistoryRecord, RunHistory};
 pub use kernel::{KernelId, KernelSet};
 pub use measurement::Measurement;
 pub use predict::{Prediction, PredictionSet, Predictor};

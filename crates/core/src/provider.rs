@@ -231,10 +231,18 @@ pub struct CacheStats {
 /// The first request for a key executes it (optionally consulting a
 /// persistent [`MeasurementBackend`] first); every later request is a
 /// cache hit.  The inner provider is *not* called under the cache
-/// lock, so misses for different keys execute concurrently.
+/// lock, so misses for different keys execute concurrently — while
+/// concurrent misses for the *same* key are deduplicated through an
+/// in-flight table: one requester (the leader) executes, the rest
+/// block on the leader's slot and are served its result as hits.
+/// That makes overlapping prefetches from independent assembly
+/// threads safe: each unique cell still executes exactly once.
 pub struct CachedProvider<P> {
     inner: P,
     cache: Mutex<HashMap<MeasurementKey, Measurement>>,
+    /// Keys currently executing: followers block on the leader's slot
+    /// mutex and read the filled measurement when it releases.
+    inflight: Mutex<HashMap<MeasurementKey, Arc<Mutex<Option<Measurement>>>>>,
     backend: Option<Box<dyn MeasurementBackend>>,
     stats: Mutex<CacheStats>,
     sink: Option<Arc<dyn TelemetrySink>>,
@@ -246,6 +254,7 @@ impl<P: MeasurementProvider> CachedProvider<P> {
         Self {
             inner,
             cache: Mutex::new(HashMap::new()),
+            inflight: Mutex::new(HashMap::new()),
             backend: None,
             stats: Mutex::new(CacheStats::default()),
             sink: None,
@@ -295,16 +304,54 @@ impl<P: MeasurementProvider> CachedProvider<P> {
     }
 
     /// The cache lookup chain, reporting how the request was served.
+    ///
+    /// Concurrent misses for the same key elect one leader through the
+    /// in-flight table; followers block on the leader's slot mutex and
+    /// read its result as cache hits.  The slot is locked *before* it
+    /// is published, so a follower can never observe an empty slot
+    /// while the leader is still working — it parks until the leader
+    /// releases.  An empty slot after release means the leader failed;
+    /// the follower retries (and may become the next leader).
     fn measure_inner(&self, key: &MeasurementKey) -> KcResult<(Measurement, Disposition)> {
-        {
-            let cache = self.cache.lock();
-            let mut stats = self.stats.lock();
-            stats.requests += 1;
-            if let Some(m) = cache.get(key) {
-                stats.hits += 1;
+        self.stats.lock().requests += 1;
+        loop {
+            if let Some(m) = self.cache.lock().get(key) {
+                self.stats.lock().hits += 1;
                 return Ok((m.clone(), Disposition::Hit));
             }
+            let slot: Arc<Mutex<Option<Measurement>>> = Arc::new(Mutex::new(None));
+            let mut leader_guard = {
+                let mut inflight = self.inflight.lock();
+                if let Some(existing) = inflight.get(key) {
+                    let theirs = existing.clone();
+                    drop(inflight);
+                    // follower: park until the leader releases its slot
+                    let filled = theirs.lock().clone();
+                    if let Some(m) = filled {
+                        self.stats.lock().hits += 1;
+                        return Ok((m, Disposition::Hit));
+                    }
+                    continue;
+                }
+                // leader: lock the slot while it is still unpublished
+                let guard = slot.lock();
+                inflight.insert(key.clone(), slot.clone());
+                guard
+            };
+            let outcome = self.execute_uncached(key);
+            if let Ok((m, _)) = &outcome {
+                *leader_guard = Some(m.clone());
+            }
+            // unregister before releasing the slot, so a failed key's
+            // next requester becomes a fresh leader, not a follower
+            self.inflight.lock().remove(key);
+            return outcome;
         }
+    }
+
+    /// Serve a miss no other thread is executing: consult the backend,
+    /// else run the inner provider and write back.
+    fn execute_uncached(&self, key: &MeasurementKey) -> KcResult<(Measurement, Disposition)> {
         if let Some(backend) = &self.backend {
             if let Some(m) = backend.load(key) {
                 self.stats.lock().backend_hits += 1;
@@ -317,13 +364,7 @@ impl<P: MeasurementProvider> CachedProvider<P> {
         if let Some(backend) = &self.backend {
             backend.store(key, &m);
         }
-        // a concurrent miss for the same key yields the identical
-        // measurement (providers are deterministic per key), so
-        // whichever insert lands first is fine
-        self.cache
-            .lock()
-            .entry(key.clone())
-            .or_insert_with(|| m.clone());
+        self.cache.lock().insert(key.clone(), m.clone());
         Ok((m, Disposition::Executed))
     }
 
@@ -532,6 +573,35 @@ mod tests {
         assert_eq!(s.executed, 1);
         assert!(p.contains(&key));
         assert_eq!(p.cached_cells(), 1);
+    }
+
+    #[test]
+    fn concurrent_same_key_misses_execute_once() {
+        /// Widens the execution window so the spawned requests really
+        /// do overlap with the leader's in-flight execution.
+        struct Slow(SyntheticProvider);
+        impl MeasurementProvider for Slow {
+            fn measure(&self, key: &MeasurementKey) -> KcResult<Measurement> {
+                std::thread::sleep(std::time::Duration::from_millis(25));
+                self.0.measure(key)
+            }
+        }
+        let p = CachedProvider::new(Slow(SyntheticProvider::new()));
+        let key = ctx().key(CellKind::Application, 1);
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| p.measure(&key).unwrap());
+            }
+        });
+        assert_eq!(
+            p.inner().0.calls_for(&key),
+            1,
+            "one leader executes; followers are served its result"
+        );
+        let stats = p.stats();
+        assert_eq!(stats.requests, 8);
+        assert_eq!(stats.executed, 1);
+        assert_eq!(stats.hits, 7);
     }
 
     #[test]

@@ -205,7 +205,13 @@ mod tests {
 
     #[test]
     fn chain_length_sweep_runs_for_lu() {
-        let t = chain_length_sweep(&Campaign::noise_free(), Benchmark::Lu, Class::S, 4).unwrap();
+        let t = chain_length_sweep(
+            &Campaign::builder(crate::Runner::noise_free()).build(),
+            Benchmark::Lu,
+            Class::S,
+            4,
+        )
+        .unwrap();
         // summation + 4 chain lengths
         assert_eq!(t.rows.len(), 5);
         t.check();

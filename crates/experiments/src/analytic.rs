@@ -107,7 +107,7 @@ mod tests {
 
     #[test]
     fn analytic_composition_beats_analytic_summation() {
-        let campaign = Campaign::noise_free();
+        let campaign = Campaign::builder(crate::Runner::noise_free()).build();
         let t = analytic_table(&campaign, Benchmark::Bt, Class::W, &[4, 9], 3).unwrap();
         t.check();
         let summed = t

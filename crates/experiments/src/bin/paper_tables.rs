@@ -2,22 +2,37 @@
 //!
 //! ```text
 //! paper_tables [EXPERIMENT ...] [--noise-free] [--out DIR] [--reps N] [--store FILE]
-//!              [--trace FILE] [--metrics]
+//!              [--trace FILE] [--metrics] [--history FILE] [--cost-model MODEL]
 //!
 //! EXPERIMENT: classes | bt-s | bt-w | bt-a | sp-w | sp-a | sp-b |
 //!             lu-w | lu-a | lu-b | transitions | ablations | all
 //! ```
 //!
-//! All selected experiments run as ONE measurement campaign: their
-//! cells are enumerated up front, deduplicated, executed in parallel
-//! (largest first), and every table is assembled from the shared
-//! cache — the campaign arithmetic is printed to stderr.
+//! All selected experiments run as ONE measurement campaign over a
+//! shared cell cache, but the campaign is *pipelined*: each experiment
+//! gets its own worker thread that prefetches its cells and assembles
+//! its tables as soon as they are ready, so assembly of finished
+//! experiments overlaps the ongoing execute phase of the others.  The
+//! cache's in-flight deduplication guarantees each unique cell still
+//! executes exactly once, and per-cell noise seeding keeps every table
+//! bit-identical to the serial schedule.  Output is buffered and
+//! printed in experiment order.
 //!
 //! With `--out DIR`, each experiment additionally writes `<id>.txt`
 //! and `<id>.json` artifacts into DIR (consumed by EXPERIMENTS.md).
 //! With `--store FILE`, raw cell measurements are loaded from and
 //! saved to a `kc-prophesy` cell store, so a re-run (or a run with
-//! more experiments) measures only what the file doesn't hold.
+//! more experiments) measures only what the file doesn't hold — and
+//! each run appends its `RunSummary`, backend counters and measured
+//! cell durations to the run-history sidecar `FILE.history.jsonl`
+//! (`--history` overrides the sidecar path, or enables it without a
+//! store).
+//!
+//! With `--cost-model measured`, the execute phase is scheduled by the
+//! real cell durations recorded in the history sidecar (or a prior
+//! `--trace` file), longest first; unseen cells fall back to the
+//! static estimate.  The cost model only permutes the schedule — table
+//! values are unchanged.
 //!
 //! With `--trace FILE`, the campaign's telemetry stream (cell spans,
 //! phases, end-of-run summary) is written as canonical JSON lines —
@@ -26,15 +41,15 @@
 //! per-benchmark cell counts, parallel efficiency, slowest cells) are
 //! printed to stderr.
 
-use kc_core::JsonLinesSink;
+use kc_core::{HistoryRecord, JsonLinesSink, RunHistory};
 use kc_experiments::render::Artifact;
 use kc_experiments::{
     ablations, analytic, bt, granularity, lu, machines, reuse, sp, transitions, AnalysisSpec,
-    Campaign, Runner,
+    Campaign, CampaignStats, CostModel, MeasuredCost, Runner, StaticCost, SummaryOpts,
 };
 use kc_machine::MachineConfig;
 use kc_npb::{Benchmark, Class};
-use kc_prophesy::CellStore;
+use kc_prophesy::{history_sidecar, CellStore};
 use std::path::PathBuf;
 use std::sync::Arc;
 
@@ -48,13 +63,189 @@ const CONTENTIONS: [f64; 5] = [0.0, 0.01, 0.02, 0.05, 0.1];
 const NOISE_MULTS: [f64; 4] = [0.0, 1.0, 4.0, 16.0];
 const GRANULARITY_PROCS: [usize; 3] = [4, 9, 16];
 
+/// Every experiment id, in canonical (`all`) order.
+const EXPERIMENTS: [&str; 16] = [
+    "classes",
+    "bt-s",
+    "bt-w",
+    "bt-a",
+    "sp-w",
+    "sp-a",
+    "sp-b",
+    "lu-w",
+    "lu-a",
+    "lu-b",
+    "transitions",
+    "ablations",
+    "analytic",
+    "reuse",
+    "machines",
+    "granularity",
+];
+
+/// Everything the command line configures.
+#[derive(Default)]
+struct Options {
+    experiments: Vec<String>,
+    out: Option<PathBuf>,
+    store: Option<PathBuf>,
+    trace: Option<PathBuf>,
+    history: Option<PathBuf>,
+    measured_cost: bool,
+    metrics: bool,
+    noise_free: bool,
+    reps: Option<u32>,
+}
+
+/// One command-line flag: its name, value placeholder (None for
+/// switches), help line, and how it lands in [`Options`].  `usage` and
+/// the parse loop are both generated from this one table, so adding a
+/// flag is one entry here.
+struct Flag {
+    name: &'static str,
+    metavar: Option<&'static str>,
+    help: &'static str,
+    apply: fn(&mut Options, &str) -> Result<(), String>,
+}
+
+const FLAGS: [Flag; 8] = [
+    Flag {
+        name: "--noise-free",
+        metavar: None,
+        help: "disable the machine's timer noise",
+        apply: |o, _| {
+            o.noise_free = true;
+            Ok(())
+        },
+    },
+    Flag {
+        name: "--out",
+        metavar: Some("DIR"),
+        help: "write <id>.txt / <id>.json artifacts into DIR",
+        apply: |o, v| {
+            o.out = Some(PathBuf::from(v));
+            Ok(())
+        },
+    },
+    Flag {
+        name: "--reps",
+        metavar: Some("N"),
+        help: "timing repetitions per chain cell",
+        apply: |o, v| {
+            o.reps = Some(v.parse().map_err(|_| format!("bad --reps value '{v}'"))?);
+            Ok(())
+        },
+    },
+    Flag {
+        name: "--store",
+        metavar: Some("FILE"),
+        help: "load/save raw cell measurements in a kc-prophesy cell store",
+        apply: |o, v| {
+            o.store = Some(PathBuf::from(v));
+            Ok(())
+        },
+    },
+    Flag {
+        name: "--trace",
+        metavar: Some("FILE"),
+        help: "write the telemetry stream as canonical JSON lines",
+        apply: |o, v| {
+            o.trace = Some(PathBuf::from(v));
+            Ok(())
+        },
+    },
+    Flag {
+        name: "--metrics",
+        metavar: None,
+        help: "print end-of-run aggregates to stderr",
+        apply: |o, _| {
+            o.metrics = true;
+            Ok(())
+        },
+    },
+    Flag {
+        name: "--history",
+        metavar: Some("FILE"),
+        help: "append this run's summary + cell durations to FILE \
+               (default: STORE.history.jsonl when --store is given)",
+        apply: |o, v| {
+            o.history = Some(PathBuf::from(v));
+            Ok(())
+        },
+    },
+    Flag {
+        name: "--cost-model",
+        metavar: Some("MODEL"),
+        help: "schedule execution by 'static' estimates or 'measured' history durations",
+        apply: |o, v| {
+            o.measured_cost = match v {
+                "static" => false,
+                "measured" => true,
+                other => return Err(format!("bad --cost-model value '{other}'")),
+            };
+            Ok(())
+        },
+    },
+];
+
 fn usage() -> ! {
+    let mut flags = String::new();
+    for f in &FLAGS {
+        let head = match f.metavar {
+            Some(m) => format!("{} {m}", f.name),
+            None => f.name.to_string(),
+        };
+        flags.push_str(&format!("  {head:<20} {}\n", f.help));
+    }
     eprintln!(
-        "usage: paper_tables [EXPERIMENT ...] [--noise-free] [--out DIR] [--reps N] [--store FILE]\n\
-         \x20                   [--trace FILE] [--metrics]\n\
-         experiments: classes bt-s bt-w bt-a sp-w sp-a sp-b lu-w lu-a lu-b transitions ablations analytic reuse machines granularity all"
+        "usage: paper_tables [EXPERIMENT ...] [FLAG ...]\n\
+         experiments: {}  all\n{flags}",
+        EXPERIMENTS.join(" ")
     );
     std::process::exit(2);
+}
+
+fn die(msg: String) -> ! {
+    eprintln!("error: {msg}");
+    usage();
+}
+
+fn parse_args(args: &[String]) -> Options {
+    let mut o = Options::default();
+    let mut i = 0;
+    while i < args.len() {
+        let arg = args[i].as_str();
+        if arg == "--help" || arg == "-h" {
+            usage();
+        }
+        if let Some(flag) = FLAGS.iter().find(|f| f.name == arg) {
+            let value = match flag.metavar {
+                Some(_) => {
+                    i += 1;
+                    args.get(i)
+                        .unwrap_or_else(|| die(format!("{} needs a value", flag.name)))
+                        .as_str()
+                }
+                None => "",
+            };
+            if let Err(e) = (flag.apply)(&mut o, value) {
+                die(e);
+            }
+        } else if arg.starts_with('-') {
+            die(format!("unknown flag '{arg}'"));
+        } else if arg == "all" {
+            o.experiments = EXPERIMENTS.iter().map(|s| s.to_string()).collect();
+        } else if EXPERIMENTS.contains(&arg) {
+            o.experiments.push(arg.to_string());
+        } else {
+            die(format!("unknown experiment '{arg}'"));
+        }
+        i += 1;
+    }
+    if o.experiments.is_empty() {
+        o.experiments = EXPERIMENTS.iter().map(|s| s.to_string()).collect();
+    }
+    o
 }
 
 fn classes_tables() -> String {
@@ -105,6 +296,13 @@ fn requests_for(exp: &str, machine: &MachineConfig) -> Vec<AnalysisSpec> {
         "lu-a" => lu::table8_requests(Class::A),
         "lu-b" => lu::table8_requests(Class::B),
         "transitions" => transitions::transition_requests(&TRANSITION_CLASSES, &TRANSITION_PROCS),
+        "ablations" => {
+            let mut r = ablations::chain_length_requests(Benchmark::Bt, Class::W, 9);
+            r.extend(ablations::cache_capacity_requests(machine, &L2_CAPS));
+            r.extend(ablations::contention_requests(machine, &CONTENTIONS));
+            r.extend(ablations::noise_requests(machine, &NOISE_MULTS));
+            r
+        }
         "analytic" => {
             let mut r = analytic::analytic_requests(Benchmark::Bt, Class::W, &[4, 9, 16, 25], 3);
             r.extend(analytic::analytic_requests(
@@ -143,86 +341,184 @@ fn requests_for(exp: &str, machine: &MachineConfig) -> Vec<AnalysisSpec> {
             ));
             r
         }
-        "ablations" => {
-            let mut r = ablations::chain_length_requests(Benchmark::Bt, Class::W, 9);
-            r.extend(ablations::cache_capacity_requests(machine, &L2_CAPS));
-            r.extend(ablations::contention_requests(machine, &CONTENTIONS));
-            r.extend(ablations::noise_requests(machine, &NOISE_MULTS));
-            r
+        other => unreachable!("experiment '{other}' passed validation"),
+    }
+}
+
+/// One experiment's finished output, buffered so the pipelined workers
+/// can print in deterministic experiment order at the end.
+struct ExperimentOutput {
+    /// Free-form stdout lines (the classes tables, machine ratios).
+    notes: Vec<String>,
+    /// The renderable/writable artifact, if the experiment has one.
+    artifact: Option<Artifact>,
+}
+
+/// Assemble one experiment's tables from the (warm) campaign cache.
+fn assemble(exp: &str, campaign: &Campaign) -> ExperimentOutput {
+    let mut notes = Vec::new();
+    let artifact: Option<Artifact> = match exp {
+        "classes" => {
+            notes.push(classes_tables());
+            None
         }
-        other => {
-            eprintln!("unknown experiment '{other}'");
-            usage();
+        "bt-s" => Some(Artifact::from_pair(
+            "table2_bt_s",
+            &bt::table2(campaign).unwrap(),
+        )),
+        "bt-w" => Some(Artifact::from_pair(
+            "table3_bt_w",
+            &bt::table3(campaign).unwrap(),
+        )),
+        "bt-a" => Some(Artifact::from_pair(
+            "table4_bt_a",
+            &bt::table4(campaign).unwrap(),
+        )),
+        "sp-w" => Some(Artifact::from_pair(
+            "table6a_sp_w",
+            &sp::table6(campaign, Class::W).unwrap(),
+        )),
+        "sp-a" => Some(Artifact::from_pair(
+            "table6b_sp_a",
+            &sp::table6(campaign, Class::A).unwrap(),
+        )),
+        "sp-b" => Some(Artifact::from_pair(
+            "table6c_sp_b",
+            &sp::table6(campaign, Class::B).unwrap(),
+        )),
+        "lu-w" => Some(Artifact::from_pair(
+            "table8a_lu_w",
+            &lu::table8(campaign, Class::W).unwrap(),
+        )),
+        "lu-a" => Some(Artifact::from_pair(
+            "table8b_lu_a",
+            &lu::table8(campaign, Class::A).unwrap(),
+        )),
+        "lu-b" => Some(Artifact::from_pair(
+            "table8c_lu_b",
+            &lu::table8(campaign, Class::B).unwrap(),
+        )),
+        "transitions" => Some(Artifact::from_couplings(
+            "transitions",
+            vec![
+                transitions::transition_table(campaign, &TRANSITION_CLASSES, &TRANSITION_PROCS)
+                    .unwrap(),
+                transitions::regime_table(campaign, &TRANSITION_CLASSES, &TRANSITION_PROCS),
+            ],
+        )),
+        "analytic" => {
+            let mut a = Artifact::from_couplings("analytic", vec![]);
+            a.predictions = vec![
+                analytic::analytic_table(campaign, Benchmark::Bt, Class::W, &[4, 9, 16, 25], 3)
+                    .unwrap(),
+                analytic::analytic_table(campaign, Benchmark::Sp, Class::A, &[4, 9, 16, 25], 5)
+                    .unwrap(),
+                analytic::analytic_table(campaign, Benchmark::Lu, Class::A, &[4, 8, 16, 32], 3)
+                    .unwrap(),
+            ];
+            Some(a)
+        }
+        "granularity" => {
+            let (c, p) =
+                granularity::granularity_tables(campaign, Class::W, &GRANULARITY_PROCS).unwrap();
+            let mut a = Artifact::from_couplings("granularity", vec![c]);
+            a.predictions = vec![p];
+            Some(a)
+        }
+        "machines" => {
+            let (t1, o1) =
+                machines::machine_comparison(campaign, Benchmark::Bt, Class::W, 9, 3).unwrap();
+            let (t2, o2) =
+                machines::machine_comparison(campaign, Benchmark::Lu, Class::W, 8, 3).unwrap();
+            for (label, o) in [("BT W/9", &o1), ("LU W/8", &o2)] {
+                let (pr, ar) = machines::relative_performance(o);
+                notes.push(format!(
+                    "{label}: predicted machine ratio {pr:.3}, actual {ar:.3} ({:.1}% off)",
+                    100.0 * (pr - ar).abs() / ar
+                ));
+            }
+            Some(Artifact::from_couplings("machines", vec![t1, t2]))
+        }
+        "reuse" => {
+            let (t1, _) =
+                reuse::proc_transfer_table(campaign, Benchmark::Bt, Class::W, &[4, 9, 16, 25], 3)
+                    .unwrap();
+            let (t2, _) = reuse::class_transfer_table(
+                campaign,
+                Benchmark::Bt,
+                &[Class::S, Class::W, Class::A],
+                16,
+                3,
+            )
+            .unwrap();
+            let (t3, _) =
+                reuse::proc_transfer_table(campaign, Benchmark::Lu, Class::A, &[4, 8, 16, 32], 3)
+                    .unwrap();
+            Some(Artifact::from_couplings("reuse", vec![t1, t2, t3]))
+        }
+        "ablations" => Some(Artifact::from_couplings(
+            "ablations",
+            vec![
+                ablations::chain_length_sweep(campaign, Benchmark::Bt, Class::W, 9).unwrap(),
+                ablations::cache_capacity_sweep(campaign, &L2_CAPS).unwrap(),
+                ablations::contention_sweep(campaign, &CONTENTIONS).unwrap(),
+                ablations::noise_sweep(campaign, &NOISE_MULTS).unwrap(),
+            ],
+        )),
+        other => unreachable!("experiment '{other}' passed validation"),
+    };
+    ExperimentOutput { notes, artifact }
+}
+
+/// Build the scheduling cost model: measured durations from the
+/// history sidecar (preferred) or a prior `--trace` file, else static.
+fn build_cost_model(
+    measured: bool,
+    history_path: Option<&PathBuf>,
+    trace_path: Option<&PathBuf>,
+) -> Arc<dyn CostModel> {
+    if !measured {
+        return Arc::new(StaticCost);
+    }
+    let mut model = MeasuredCost::new();
+    if let Some(p) = history_path {
+        match MeasuredCost::from_history(p) {
+            Ok(m) => model = m,
+            Err(e) => eprintln!("[cost-model] cannot read history {}: {e}", p.display()),
         }
     }
+    if model.is_empty() {
+        if let Some(p) = trace_path.filter(|p| p.exists()) {
+            match MeasuredCost::from_trace(p) {
+                Ok(m) => model = m,
+                Err(e) => eprintln!("[cost-model] cannot read trace {}: {e}", p.display()),
+            }
+        }
+    }
+    if model.is_empty() {
+        eprintln!(
+            "[cost-model] no recorded durations found; \
+             all cells fall back to static estimates"
+        );
+    } else {
+        eprintln!("[cost-model] measured durations for {} cells", model.len());
+    }
+    Arc::new(model)
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut experiments: Vec<String> = Vec::new();
-    let mut out: Option<PathBuf> = None;
-    let mut store_path: Option<PathBuf> = None;
-    let mut trace_path: Option<PathBuf> = None;
-    let mut metrics = false;
+    let opts = parse_args(&args);
+
     let mut runner = Runner::default();
-    let mut i = 0;
-    while i < args.len() {
-        match args[i].as_str() {
-            "--noise-free" => runner.machine = runner.machine.clone().without_noise(),
-            "--out" => {
-                i += 1;
-                out = Some(PathBuf::from(args.get(i).unwrap_or_else(|| usage())));
-            }
-            "--store" => {
-                i += 1;
-                store_path = Some(PathBuf::from(args.get(i).unwrap_or_else(|| usage())));
-            }
-            "--trace" => {
-                i += 1;
-                trace_path = Some(PathBuf::from(args.get(i).unwrap_or_else(|| usage())));
-            }
-            "--metrics" => metrics = true,
-            "--reps" => {
-                i += 1;
-                runner.reps = args
-                    .get(i)
-                    .and_then(|s| s.parse().ok())
-                    .unwrap_or_else(|| usage());
-            }
-            "--help" | "-h" => usage(),
-            e if e.starts_with('-') => usage(),
-            e => experiments.push(e.to_string()),
-        }
-        i += 1;
+    if opts.noise_free {
+        runner.machine = runner.machine.without_noise();
     }
-    if experiments.is_empty() {
-        experiments.push("all".to_string());
-    }
-    if experiments.iter().any(|e| e == "all") {
-        experiments = [
-            "classes",
-            "bt-s",
-            "bt-w",
-            "bt-a",
-            "sp-w",
-            "sp-a",
-            "sp-b",
-            "lu-w",
-            "lu-a",
-            "lu-b",
-            "transitions",
-            "ablations",
-            "analytic",
-            "reuse",
-            "machines",
-            "granularity",
-        ]
-        .iter()
-        .map(|s| s.to_string())
-        .collect();
+    if let Some(reps) = opts.reps {
+        runner.reps = reps;
     }
 
-    let store: Option<Arc<CellStore>> = store_path.as_ref().map(|p| {
+    let store: Option<Arc<CellStore>> = opts.store.as_ref().map(|p| {
         if p.exists() {
             Arc::new(CellStore::load(p).unwrap_or_else(|e| {
                 eprintln!("error: cannot load cell store {}: {e}", p.display());
@@ -232,196 +528,94 @@ fn main() {
             Arc::new(CellStore::new())
         }
     });
-    let campaign = match &store {
-        Some(s) => Campaign::with_backend(runner, Box::new(Arc::clone(s))),
-        None => Campaign::new(runner),
-    };
-    let trace_sink: Option<Arc<JsonLinesSink>> = trace_path.as_ref().map(|p| {
+    // the sidecar rides along with --store unless --history overrides
+    let history_path: Option<PathBuf> = opts
+        .history
+        .clone()
+        .or_else(|| opts.store.as_ref().map(|p| history_sidecar(p)));
+    let cost_model = build_cost_model(
+        opts.measured_cost,
+        history_path.as_ref(),
+        opts.trace.as_ref(),
+    );
+
+    let mut builder = Campaign::builder(runner).cost_model(cost_model);
+    if let Some(s) = &store {
+        builder = builder.backend(Box::new(Arc::clone(s)));
+    }
+    let campaign = builder.build();
+    let trace_sink: Option<Arc<JsonLinesSink>> = opts.trace.as_ref().map(|p| {
         let sink = Arc::new(JsonLinesSink::new(p.clone()));
         campaign.attach_sink(sink.clone());
         sink
     });
 
-    // ONE campaign for everything selected: enumerate every
-    // experiment's cells, dedupe across experiments, execute the
-    // union in parallel; the per-experiment code below then assembles
-    // its tables from the warm cache without measuring anything new.
-    let all_requests: Vec<AnalysisSpec> = experiments
-        .iter()
-        .flat_map(|e| requests_for(e, &campaign.runner().machine))
-        .collect();
-    let stats = campaign
-        .prefetch(&all_requests)
-        .expect("campaign measurement failed");
-    eprintln!("[campaign] {stats}");
+    // Pipelined campaign: one worker per experiment, all sharing the
+    // campaign's cell cache.  Each worker prefetches its own cells and
+    // assembles its tables the moment they are ready, so assembly of
+    // finished experiments overlaps the ongoing execute phase of the
+    // rest; the cache's in-flight dedup keeps each unique cell at one
+    // execution even when two workers race for it.  Output is buffered
+    // per worker and printed in experiment order below.
+    let outputs: Vec<(ExperimentOutput, CampaignStats, f64)> = std::thread::scope(|s| {
+        let campaign = &campaign;
+        let handles: Vec<_> = opts
+            .experiments
+            .iter()
+            .map(|exp| {
+                s.spawn(move || {
+                    let started = std::time::Instant::now();
+                    let requests = requests_for(exp, &campaign.runner().machine);
+                    let stats = campaign
+                        .prefetch(&requests)
+                        .expect("campaign measurement failed");
+                    let output = assemble(exp, campaign);
+                    (output, stats, started.elapsed().as_secs_f64())
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("experiment worker panicked"))
+            .collect()
+    });
 
-    for exp in &experiments {
-        let started = std::time::Instant::now();
-        let artifact: Option<Artifact> = match exp.as_str() {
-            "classes" => {
-                println!("{}", classes_tables());
-                None
-            }
-            "bt-s" => Some(Artifact::from_pair(
-                "table2_bt_s",
-                &bt::table2(&campaign).unwrap(),
-            )),
-            "bt-w" => Some(Artifact::from_pair(
-                "table3_bt_w",
-                &bt::table3(&campaign).unwrap(),
-            )),
-            "bt-a" => Some(Artifact::from_pair(
-                "table4_bt_a",
-                &bt::table4(&campaign).unwrap(),
-            )),
-            "sp-w" => Some(Artifact::from_pair(
-                "table6a_sp_w",
-                &sp::table6(&campaign, Class::W).unwrap(),
-            )),
-            "sp-a" => Some(Artifact::from_pair(
-                "table6b_sp_a",
-                &sp::table6(&campaign, Class::A).unwrap(),
-            )),
-            "sp-b" => Some(Artifact::from_pair(
-                "table6c_sp_b",
-                &sp::table6(&campaign, Class::B).unwrap(),
-            )),
-            "lu-w" => Some(Artifact::from_pair(
-                "table8a_lu_w",
-                &lu::table8(&campaign, Class::W).unwrap(),
-            )),
-            "lu-a" => Some(Artifact::from_pair(
-                "table8b_lu_a",
-                &lu::table8(&campaign, Class::A).unwrap(),
-            )),
-            "lu-b" => Some(Artifact::from_pair(
-                "table8c_lu_b",
-                &lu::table8(&campaign, Class::B).unwrap(),
-            )),
-            "transitions" => Some(Artifact::from_couplings(
-                "transitions",
-                vec![
-                    transitions::transition_table(
-                        &campaign,
-                        &TRANSITION_CLASSES,
-                        &TRANSITION_PROCS,
-                    )
-                    .unwrap(),
-                    transitions::regime_table(&campaign, &TRANSITION_CLASSES, &TRANSITION_PROCS),
-                ],
-            )),
-            "analytic" => {
-                let mut a = Artifact::from_couplings("analytic", vec![]);
-                a.predictions = vec![
-                    analytic::analytic_table(
-                        &campaign,
-                        Benchmark::Bt,
-                        Class::W,
-                        &[4, 9, 16, 25],
-                        3,
-                    )
-                    .unwrap(),
-                    analytic::analytic_table(
-                        &campaign,
-                        Benchmark::Sp,
-                        Class::A,
-                        &[4, 9, 16, 25],
-                        5,
-                    )
-                    .unwrap(),
-                    analytic::analytic_table(
-                        &campaign,
-                        Benchmark::Lu,
-                        Class::A,
-                        &[4, 8, 16, 32],
-                        3,
-                    )
-                    .unwrap(),
-                ];
-                Some(a)
-            }
-            "granularity" => {
-                let (c, p) =
-                    granularity::granularity_tables(&campaign, Class::W, &GRANULARITY_PROCS)
-                        .unwrap();
-                let mut a = Artifact::from_couplings("granularity", vec![c]);
-                a.predictions = vec![p];
-                Some(a)
-            }
-            "machines" => {
-                let (t1, o1) =
-                    machines::machine_comparison(&campaign, Benchmark::Bt, Class::W, 9, 3).unwrap();
-                let (t2, o2) =
-                    machines::machine_comparison(&campaign, Benchmark::Lu, Class::W, 8, 3).unwrap();
-                for (label, o) in [("BT W/9", &o1), ("LU W/8", &o2)] {
-                    let (pr, ar) = machines::relative_performance(o);
-                    println!(
-                        "{label}: predicted machine ratio {pr:.3}, actual {ar:.3}                          ({:.1}% off)",
-                        100.0 * (pr - ar).abs() / ar
-                    );
-                }
-                Some(Artifact::from_couplings("machines", vec![t1, t2]))
-            }
-            "reuse" => {
-                let (t1, _) = reuse::proc_transfer_table(
-                    &campaign,
-                    Benchmark::Bt,
-                    Class::W,
-                    &[4, 9, 16, 25],
-                    3,
-                )
-                .unwrap();
-                let (t2, _) = reuse::class_transfer_table(
-                    &campaign,
-                    Benchmark::Bt,
-                    &[Class::S, Class::W, Class::A],
-                    16,
-                    3,
-                )
-                .unwrap();
-                let (t3, _) = reuse::proc_transfer_table(
-                    &campaign,
-                    Benchmark::Lu,
-                    Class::A,
-                    &[4, 8, 16, 32],
-                    3,
-                )
-                .unwrap();
-                Some(Artifact::from_couplings("reuse", vec![t1, t2, t3]))
-            }
-            "ablations" => Some(Artifact::from_couplings(
-                "ablations",
-                vec![
-                    ablations::chain_length_sweep(&campaign, Benchmark::Bt, Class::W, 9).unwrap(),
-                    ablations::cache_capacity_sweep(&campaign, &L2_CAPS).unwrap(),
-                    ablations::contention_sweep(&campaign, &CONTENTIONS).unwrap(),
-                    ablations::noise_sweep(&campaign, &NOISE_MULTS).unwrap(),
-                ],
-            )),
-            other => {
-                eprintln!("unknown experiment '{other}'");
-                usage();
-            }
-        };
-        if let Some(a) = artifact {
+    let mut merged = CampaignStats::default();
+    for ((output, stats, secs), exp) in outputs.iter().zip(&opts.experiments) {
+        merged.absorb(stats);
+        for note in &output.notes {
+            println!("{note}");
+        }
+        if let Some(a) = &output.artifact {
             println!("{}", a.render_text());
-            if let Some(dir) = &out {
+            if let Some(dir) = &opts.out {
                 a.write_to(dir).expect("failed to write artifacts");
             }
-            eprintln!("[{exp}] done in {:.1}s", started.elapsed().as_secs_f64());
+            eprintln!("[{exp}] done in {secs:.1}s");
         }
     }
+    eprintln!(
+        "[campaign] {merged} (per-experiment sums; shared cells \
+         dedupe through the cache, scheduler: {})",
+        campaign.cost_model_name()
+    );
 
     let cache = campaign.cache_stats();
     eprintln!(
         "[cache] {} requests, {} memory hits, {} backend hits, {} executed",
         cache.requests, cache.hits, cache.backend_hits, cache.executed
     );
-    if metrics || trace_sink.is_some() {
-        let summary = campaign.record_summary(SUMMARY_TOP_N);
-        if metrics {
-            eprint!("[metrics]\n{summary}");
+    let wants_summary = opts.metrics || trace_sink.is_some() || history_path.is_some();
+    let summary = wants_summary.then(|| {
+        let mut o = SummaryOpts::top(SUMMARY_TOP_N);
+        // traces end with a summary line, as before
+        if trace_sink.is_some() {
+            o = o.recorded();
         }
+        campaign.summary(o)
+    });
+    if opts.metrics {
+        eprint!("[metrics]\n{}", summary.as_ref().expect("summary computed"));
     }
     if let Some(sink) = &trace_sink {
         sink.flush().expect("failed to write telemetry trace");
@@ -431,7 +625,7 @@ fn main() {
             sink.path().display()
         );
     }
-    if let (Some(s), Some(p)) = (&store, &store_path) {
+    if let (Some(s), Some(p)) = (&store, &opts.store) {
         s.save(p).expect("failed to save cell store");
         let b = s.stats();
         eprintln!(
@@ -441,6 +635,20 @@ fn main() {
             b.loads,
             b.load_hits,
             b.stores
+        );
+    }
+    if let Some(p) = &history_path {
+        let summary = summary.expect("summary computed");
+        let mut record = HistoryRecord::from_events(summary, &campaign.telemetry_events());
+        if let Some(s) = &store {
+            record = record.with_backend(s.stats().into());
+        }
+        RunHistory::append(p, &record).expect("failed to append run history");
+        eprintln!(
+            "[history] run {} appended to {} ({} cell durations)",
+            RunHistory::load(p).map(|h| h.len()).unwrap_or(0),
+            p.display(),
+            record.cell_durations.len()
         );
     }
 }

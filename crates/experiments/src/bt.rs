@@ -76,7 +76,7 @@ mod tests {
 
     #[test]
     fn table2_has_three_processor_columns_and_five_pairs() {
-        let pair = table2(&Campaign::noise_free()).unwrap();
+        let pair = table2(&Campaign::builder(crate::Runner::noise_free()).build()).unwrap();
         assert_eq!(pair.couplings[0].columns.len(), 3);
         assert_eq!(pair.couplings[0].rows.len(), 5);
         let labels: Vec<&str> = pair.couplings[0]

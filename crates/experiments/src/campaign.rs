@@ -24,6 +24,7 @@
 //! executed vs cache hits, and the naive run count a table-at-a-time
 //! campaign would have paid) plus wall-clock per phase.
 
+use crate::cost::{CostModel, StaticCost};
 use crate::runner::Runner;
 use kc_core::telemetry::phases;
 use kc_core::{
@@ -146,6 +147,127 @@ impl fmt::Display for CampaignStats {
     }
 }
 
+/// Options for [`Campaign::summary`]: how many slow cells to keep and
+/// whether to append the aggregates to the event stream.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SummaryOpts {
+    /// Slowest executed cells to keep, longest first.
+    pub top_n: usize,
+    /// Also append the computed `RunSummary` to the event stream, so
+    /// attached sinks — and the trace — end with a summary line.
+    pub record: bool,
+}
+
+impl Default for SummaryOpts {
+    fn default() -> Self {
+        Self {
+            top_n: 10,
+            record: false,
+        }
+    }
+}
+
+impl SummaryOpts {
+    /// Keep the `top_n` slowest cells (not recorded to the stream).
+    pub fn top(top_n: usize) -> Self {
+        Self {
+            top_n,
+            ..Self::default()
+        }
+    }
+
+    /// Also append the summary to the event stream.
+    pub fn recorded(mut self) -> Self {
+        self.record = true;
+        self
+    }
+}
+
+/// Configures and builds a [`Campaign`] — the one construction path
+/// (the old `new` / `with_backend` / `noise_free` constructor zoo is
+/// deprecated shims over this).
+///
+/// ```
+/// use kc_experiments::{Campaign, Runner};
+///
+/// let campaign = Campaign::builder(Runner::noise_free()).reps(2).build();
+/// assert_eq!(campaign.reps(), 2);
+/// ```
+pub struct CampaignBuilder {
+    runner: Runner,
+    backend: Option<Box<dyn MeasurementBackend>>,
+    sinks: Vec<Arc<dyn TelemetrySink>>,
+    cost_model: Arc<dyn CostModel>,
+}
+
+impl CampaignBuilder {
+    fn new(runner: Runner) -> Self {
+        Self {
+            runner,
+            backend: None,
+            sinks: Vec::new(),
+            cost_model: Arc::new(StaticCost),
+        }
+    }
+
+    /// Back the cache with persistent cell storage (e.g.
+    /// `kc_prophesy::CellStore`): misses consult the backend before
+    /// executing, executions are written back.
+    pub fn backend(mut self, backend: Box<dyn MeasurementBackend>) -> Self {
+        self.backend = Some(backend);
+        self
+    }
+
+    /// Timing repetitions per chain cell.
+    pub fn reps(mut self, reps: u32) -> Self {
+        self.runner.reps = reps;
+        self
+    }
+
+    /// Disable the machine's timer noise (for shape-focused tests and
+    /// benches).
+    pub fn noise_free(mut self) -> Self {
+        self.runner.machine = self.runner.machine.without_noise();
+        self
+    }
+
+    /// Attach an external telemetry sink from the first event on.
+    pub fn sink(mut self, sink: Arc<dyn TelemetrySink>) -> Self {
+        self.sinks.push(sink);
+        self
+    }
+
+    /// Schedule prefetch execution by this cost model instead of the
+    /// provider's static estimate (see [`crate::cost`]).
+    pub fn cost_model(mut self, model: Arc<dyn CostModel>) -> Self {
+        self.cost_model = model;
+        self
+    }
+
+    /// Build the campaign.
+    pub fn build(self) -> Campaign {
+        let telemetry = Arc::new(MemorySink::new());
+        let fanout = Arc::new(FanoutSink::new());
+        fanout.add(telemetry.clone());
+        for sink in self.sinks {
+            fanout.add(sink);
+        }
+        let inner = NpbProvider::new().with_telemetry(fanout.clone());
+        let provider = match self.backend {
+            Some(backend) => CachedProvider::with_backend(inner, backend),
+            None => CachedProvider::new(inner),
+        }
+        .with_telemetry(fanout.clone());
+        Campaign {
+            runner: self.runner,
+            provider,
+            telemetry,
+            fanout,
+            cost_model: self.cost_model,
+        }
+    }
+}
+
 /// The campaign engine: a [`Runner`] (machine + protocol + reps)
 /// driving a cached [`NpbProvider`].
 ///
@@ -159,55 +281,46 @@ pub struct Campaign {
     /// Broadcast point every emitter records into; external sinks
     /// (e.g. a `JsonLinesSink`) attach here at any time.
     fanout: Arc<FanoutSink>,
+    /// Scheduling cost oracle for [`Campaign::prefetch`].
+    cost_model: Arc<dyn CostModel>,
 }
 
 impl Default for Campaign {
     fn default() -> Self {
-        Self::new(Runner::default())
+        Self::builder(Runner::default()).build()
     }
 }
 
 impl Campaign {
+    /// Start configuring a campaign over `runner`'s machine and
+    /// protocol.
+    pub fn builder(runner: Runner) -> CampaignBuilder {
+        CampaignBuilder::new(runner)
+    }
+
     /// A campaign over `runner`'s machine and protocol, in-memory
     /// cache only.
+    #[deprecated(since = "0.2.0", note = "use `Campaign::builder(runner).build()`")]
     pub fn new(runner: Runner) -> Self {
-        let (telemetry, fanout) = Self::sinks();
-        Self {
-            runner,
-            provider: CachedProvider::new(NpbProvider::new().with_telemetry(fanout.clone()))
-                .with_telemetry(fanout.clone()),
-            telemetry,
-            fanout,
-        }
+        Self::builder(runner).build()
     }
 
-    /// A campaign whose cache is backed by persistent cell storage
-    /// (e.g. `kc_prophesy::CellStore`): misses consult the backend
-    /// before executing, executions are written back.
+    /// A campaign whose cache is backed by persistent cell storage.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `Campaign::builder(runner).backend(backend).build()`"
+    )]
     pub fn with_backend(runner: Runner, backend: Box<dyn MeasurementBackend>) -> Self {
-        let (telemetry, fanout) = Self::sinks();
-        Self {
-            runner,
-            provider: CachedProvider::with_backend(
-                NpbProvider::new().with_telemetry(fanout.clone()),
-                backend,
-            )
-            .with_telemetry(fanout.clone()),
-            telemetry,
-            fanout,
-        }
-    }
-
-    fn sinks() -> (Arc<MemorySink>, Arc<FanoutSink>) {
-        let telemetry = Arc::new(MemorySink::new());
-        let fanout = Arc::new(FanoutSink::new());
-        fanout.add(telemetry.clone());
-        (telemetry, fanout)
+        Self::builder(runner).backend(backend).build()
     }
 
     /// A noise-free campaign (for shape-focused tests and benches).
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `Campaign::builder(Runner::noise_free()).build()`"
+    )]
     pub fn noise_free() -> Self {
-        Self::new(Runner::noise_free())
+        Self::builder(Runner::noise_free()).build()
     }
 
     /// The runner (machine, protocol, reps) this campaign measures
@@ -239,18 +352,31 @@ impl Campaign {
         self.telemetry.canonical_events()
     }
 
-    /// End-of-run aggregates over the events so far, keeping the
-    /// `top_n` slowest executed cells.
-    pub fn summary(&self, top_n: usize) -> RunSummary {
-        summarize(&self.telemetry.events(), top_n)
+    /// End-of-run aggregates over the events so far.  With
+    /// [`SummaryOpts::recorded`], the computed `RunSummary` is also
+    /// appended to the event stream (so attached sinks — and the
+    /// trace — end with a summary line).  This is the one summary
+    /// type: the `--metrics` printer and the run-history sidecar both
+    /// serialize exactly what this returns.
+    pub fn summary(&self, opts: SummaryOpts) -> RunSummary {
+        let s = summarize(&self.telemetry.events(), opts.top_n);
+        if opts.record {
+            self.fanout.record(TelemetryEvent::RunSummary(s.clone()));
+        }
+        s
     }
 
-    /// Compute the aggregates and append them to the event stream (so
-    /// attached sinks — and the trace — end with a `RunSummary` line).
-    pub fn record_summary(&self, top_n: usize) -> RunSummary {
-        let s = self.summary(top_n);
-        self.fanout.record(TelemetryEvent::RunSummary(s.clone()));
-        s
+    /// The scheduling cost of one cell: the cost model's measured
+    /// answer if it has one, otherwise the provider's static estimate.
+    pub fn cell_cost(&self, key: &MeasurementKey) -> f64 {
+        self.cost_model
+            .measured_cost(key)
+            .unwrap_or_else(|| self.provider.cost_estimate(key))
+    }
+
+    /// The active cost model's name (`static`, `measured`, ...).
+    pub fn cost_model_name(&self) -> &'static str {
+        self.cost_model.name()
     }
 
     /// Write the canonical event stream as a JSON-lines trace.
@@ -322,14 +448,13 @@ impl Campaign {
                 .cloned()
                 .collect();
             stats.cache_hits = stats.cells_unique - todo.len();
-            // biggest simulations first, so the tail of the parallel
-            // phase isn't one huge straggler; ties broken by key order
-            // to keep the schedule deterministic
+            // most expensive cells first, so the tail of the parallel
+            // phase isn't one huge straggler; the cost model supplies
+            // measured durations where it has them (falling back to
+            // the static estimate), and ties break by key order to
+            // keep the schedule deterministic
             todo.sort_by(|a, b| {
-                let (ca, cb) = (
-                    self.provider.cost_estimate(a),
-                    self.provider.cost_estimate(b),
-                );
+                let (ca, cb) = (self.cell_cost(a), self.cell_cost(b));
                 cb.partial_cmp(&ca).unwrap().then_with(|| a.cmp(b))
             });
             todo
@@ -376,7 +501,7 @@ mod tests {
 
     #[test]
     fn prefetch_dedupes_across_chain_lengths() {
-        let campaign = Campaign::noise_free();
+        let campaign = Campaign::builder(Runner::noise_free()).build();
         // BT has 5 loop kernels: length-2 and length-3 studies share
         // the 5 isolated cells, the overhead and the ground truth
         let specs = [
@@ -400,7 +525,7 @@ mod tests {
     fn analysis_matches_the_legacy_collect_path() {
         use kc_core::{ChainExecutor, CouplingAnalysis};
 
-        let campaign = Campaign::noise_free();
+        let campaign = Campaign::builder(Runner::noise_free()).build();
         let spec = AnalysisSpec::new(Benchmark::Bt, Class::S, 4, 2);
         let via_campaign = campaign.analysis(&spec).unwrap();
 
@@ -422,7 +547,7 @@ mod tests {
 
     #[test]
     fn machine_overrides_are_distinct_cells() {
-        let campaign = Campaign::noise_free();
+        let campaign = Campaign::builder(Runner::noise_free()).build();
         let base = AnalysisSpec::new(Benchmark::Bt, Class::S, 4, 2);
         let other = base
             .clone()
@@ -436,7 +561,7 @@ mod tests {
 
     #[test]
     fn bad_chain_length_is_an_error() {
-        let campaign = Campaign::noise_free();
+        let campaign = Campaign::builder(Runner::noise_free()).build();
         let spec = AnalysisSpec::new(Benchmark::Bt, Class::S, 4, 99);
         assert!(campaign.analysis(&spec).is_err());
         assert!(campaign.cells(&spec).is_err());

@@ -1,0 +1,202 @@
+//! Cost models for campaign scheduling: what should execute first?
+//!
+//! [`Campaign::prefetch`](crate::Campaign::prefetch) runs unique
+//! uncached cells through the rayon pool **longest first**, so the
+//! tail of the parallel execute phase is not one huge straggler.  The
+//! ordering needs a per-cell cost, and there are two sources:
+//!
+//! * [`StaticCost`] — the provider's `cost_estimate` (grid cells ×
+//!   kernels × a processor surcharge).  Always available, but a model
+//!   of the simulation, not a measurement of it.
+//! * [`MeasuredCost`] — real `CellExecuted` wall-clock durations from
+//!   a previous run, seeded from the run-history sidecar
+//!   (`kc_core::RunHistory`) or a `--trace` JSON-lines file.  Cells
+//!   the history has never seen fall back to the static estimate.
+//!
+//! This is the feedback loop Kerncraft-style tooling argues for:
+//! measured per-kernel timings are the right cost model for planning
+//! the *next* measurement run.  Crucially the cost model only permutes
+//! the execution schedule — cells are measured on independent
+//! per-cell clusters with per-cell noise seeds, so the assembled
+//! tables are bit-identical under any cost model
+//! (`tests/scheduler.rs` proves both properties).
+
+use kc_core::{read_jsonl, MeasurementKey, RunHistory, TelemetryEvent};
+use std::collections::HashMap;
+use std::path::Path;
+
+/// A scheduling cost oracle for measurement cells.
+///
+/// Implementations return `Some(cost)` when they know (or can
+/// predict) the relative cost of a cell, and `None` to defer to the
+/// provider's static estimate.  Only the induced *ordering* matters;
+/// units are whatever the source used (seconds for measured models).
+pub trait CostModel: Send + Sync {
+    /// The known cost of measuring `key`, or `None` to fall back to
+    /// the static estimate.
+    fn measured_cost(&self, key: &MeasurementKey) -> Option<f64>;
+
+    /// Short name for logs and the `--cost-model` flag.
+    fn name(&self) -> &'static str;
+}
+
+/// Today's behavior: every cell defers to the provider's static
+/// `cost_estimate`.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct StaticCost;
+
+impl CostModel for StaticCost {
+    fn measured_cost(&self, _key: &MeasurementKey) -> Option<f64> {
+        None
+    }
+
+    fn name(&self) -> &'static str {
+        "static"
+    }
+}
+
+/// Measured per-cell execution durations from a previous run,
+/// consulted by canonical key text; unseen cells fall back to the
+/// static estimate.
+#[derive(Clone, Debug, Default)]
+pub struct MeasuredCost {
+    durations: HashMap<String, f64>,
+}
+
+impl MeasuredCost {
+    /// An empty model (every cell falls back to the static estimate).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A model over explicit `(canonical key, seconds)` pairs.
+    pub fn from_durations(durations: impl IntoIterator<Item = (String, f64)>) -> Self {
+        Self {
+            durations: durations.into_iter().collect(),
+        }
+    }
+
+    /// Seed from a run-history sidecar (`STORE.history.jsonl`): every
+    /// recorded `CellExecuted` duration across all runs, most recent
+    /// run winning.  A missing sidecar yields an empty model.
+    pub fn from_history(path: &Path) -> std::io::Result<Self> {
+        let history = RunHistory::load(path)?;
+        Ok(Self::from_durations(history.cell_durations()))
+    }
+
+    /// Seed from a JSON-lines telemetry trace written by a prior
+    /// `--trace` run.
+    pub fn from_trace(path: &Path) -> std::io::Result<Self> {
+        let events = read_jsonl(path)?;
+        Ok(Self::from_durations(kc_core::executed_durations(&events)))
+    }
+
+    /// Record one measured duration (later entries overwrite).
+    pub fn record(&mut self, key: &MeasurementKey, duration_secs: f64) {
+        self.durations.insert(key.to_string(), duration_secs);
+    }
+
+    /// Number of cells with a recorded duration.
+    pub fn len(&self) -> usize {
+        self.durations.len()
+    }
+
+    /// Whether no duration is recorded.
+    pub fn is_empty(&self) -> bool {
+        self.durations.is_empty()
+    }
+}
+
+impl CostModel for MeasuredCost {
+    fn measured_cost(&self, key: &MeasurementKey) -> Option<f64> {
+        self.durations.get(&key.to_string()).copied()
+    }
+
+    fn name(&self) -> &'static str {
+        "measured"
+    }
+}
+
+/// Harvest a measured-cost model out of a telemetry event stream
+/// (e.g. `Campaign::telemetry_events` at the end of a run).
+impl From<&[TelemetryEvent]> for MeasuredCost {
+    fn from(events: &[TelemetryEvent]) -> Self {
+        Self::from_durations(kc_core::executed_durations(events))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kc_core::{CellContext, CellKind, HistoryRecord, RunSummary};
+
+    fn key(i: usize) -> MeasurementKey {
+        CellContext {
+            benchmark: "BT".into(),
+            class: "S".into(),
+            procs: 4,
+            exec_digest: "w1t2".into(),
+            machine_fingerprint: "fp".into(),
+        }
+        .key(CellKind::Chain(vec![kc_core::KernelId(i as u32)]), 5)
+    }
+
+    #[test]
+    fn static_cost_always_defers() {
+        assert_eq!(StaticCost.measured_cost(&key(0)), None);
+        assert_eq!(StaticCost.name(), "static");
+    }
+
+    #[test]
+    fn measured_cost_answers_seen_cells_and_defers_unseen() {
+        let mut model = MeasuredCost::new();
+        assert!(model.is_empty());
+        model.record(&key(0), 1.25);
+        assert_eq!(model.len(), 1);
+        assert_eq!(model.measured_cost(&key(0)), Some(1.25));
+        assert_eq!(model.measured_cost(&key(1)), None, "unseen cell defers");
+        assert_eq!(model.name(), "measured");
+    }
+
+    #[test]
+    fn seeds_from_history_sidecar_and_trace() {
+        let dir = std::env::temp_dir().join("kc_cost_model_test");
+        let _ = std::fs::remove_dir_all(&dir);
+
+        // history sidecar: two runs, the later duration wins
+        let history_path = dir.join("s.json.history.jsonl");
+        let mut r1 = HistoryRecord::from_events(RunSummary::default(), &[]);
+        r1.cell_durations.insert(key(0).to_string(), 2.0);
+        RunHistory::append(&history_path, &r1).unwrap();
+        let mut r2 = r1.clone();
+        r2.cell_durations.insert(key(0).to_string(), 3.0);
+        RunHistory::append(&history_path, &r2).unwrap();
+        let from_history = MeasuredCost::from_history(&history_path).unwrap();
+        assert_eq!(from_history.measured_cost(&key(0)), Some(3.0));
+
+        // a missing sidecar is an empty model, not an error
+        assert!(MeasuredCost::from_history(&dir.join("absent.jsonl"))
+            .unwrap()
+            .is_empty());
+
+        // trace: CellExecuted durations only
+        let trace_path = dir.join("trace.jsonl");
+        let events = vec![
+            TelemetryEvent::CellStarted {
+                key: key(1).to_string(),
+                worker: "w".into(),
+            },
+            TelemetryEvent::CellExecuted {
+                key: key(1).to_string(),
+                duration_secs: 0.5,
+                worker: "w".into(),
+            },
+        ];
+        kc_core::write_jsonl(&trace_path, &events).unwrap();
+        let from_trace = MeasuredCost::from_trace(&trace_path).unwrap();
+        assert_eq!(from_trace.measured_cost(&key(1)), Some(0.5));
+        assert_eq!(MeasuredCost::from(events.as_slice()).len(), 1);
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

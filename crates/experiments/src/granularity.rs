@@ -176,7 +176,7 @@ mod tests {
 
     #[test]
     fn elim_subst_pairs_couple_strongly() {
-        let campaign = Campaign::noise_free();
+        let campaign = Campaign::builder(crate::Runner::noise_free()).build();
         let fine = fine_analysis(&campaign, Class::S, 4, 2).unwrap();
         let set = fine.kernel_set().clone();
         assert_eq!(set.len(), 8);
@@ -229,7 +229,7 @@ mod tests {
 
     #[test]
     fn coupling_advantage_grows_with_granularity() {
-        let campaign = Campaign::noise_free();
+        let campaign = Campaign::builder(crate::Runner::noise_free()).build();
         let (_, table) = granularity_tables(&campaign, Class::S, &[4]).unwrap();
         let get = |label: &str| table.row(label).unwrap().avg_rel_err_pct().unwrap();
         let coarse_sum = get("Coarse summation (5 kernels)");

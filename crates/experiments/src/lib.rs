@@ -31,6 +31,7 @@ pub mod ablations;
 pub mod analytic;
 pub mod bt;
 pub mod campaign;
+pub mod cost;
 pub mod granularity;
 pub mod lu;
 pub mod machines;
@@ -40,5 +41,6 @@ pub mod runner;
 pub mod sp;
 pub mod transitions;
 
-pub use campaign::{AnalysisSpec, Campaign, CampaignStats};
+pub use campaign::{AnalysisSpec, Campaign, CampaignBuilder, CampaignStats, SummaryOpts};
+pub use cost::{CostModel, MeasuredCost, StaticCost};
 pub use runner::{Runner, TablePair};

@@ -45,7 +45,11 @@ mod tests {
 
     #[test]
     fn lu_class_w_structure() {
-        let pair = table8(&Campaign::noise_free(), Class::W).unwrap();
+        let pair = table8(
+            &Campaign::builder(crate::Runner::noise_free()).build(),
+            Class::W,
+        )
+        .unwrap();
         assert_eq!(pair.predictions.columns.len(), 4);
         assert_eq!(pair.predictions.rows.len(), 3);
         // LU has 4 loop kernels -> 4 windows of length 3

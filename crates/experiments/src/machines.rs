@@ -125,7 +125,7 @@ mod tests {
     fn quick_campaign() -> Campaign {
         let mut runner = Runner::noise_free();
         runner.reps = 2;
-        Campaign::new(runner)
+        Campaign::builder(runner).build()
     }
 
     #[test]

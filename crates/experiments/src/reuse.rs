@@ -135,7 +135,7 @@ mod tests {
         // BT class W sits in one cache regime at every processor
         // count, so coefficients transfer across processor counts with
         // little loss and always beat summation
-        let campaign = Campaign::noise_free();
+        let campaign = Campaign::builder(crate::Runner::noise_free()).build();
         let (table, study) =
             proc_transfer_table(&campaign, Benchmark::Bt, Class::W, &[4, 16], 3).unwrap();
         table.check();

@@ -246,7 +246,7 @@ mod tests {
 
     #[test]
     fn bt_class_s_tables_have_paper_shape() {
-        let campaign = Campaign::noise_free();
+        let campaign = Campaign::builder(crate::Runner::noise_free()).build();
         let pair = build_tables(
             &campaign,
             Benchmark::Bt,
@@ -275,7 +275,7 @@ mod tests {
 
     #[test]
     fn coupling_beats_summation_for_bt_class_s() {
-        let campaign = Campaign::noise_free();
+        let campaign = Campaign::builder(crate::Runner::noise_free()).build();
         let pair =
             build_tables(&campaign, Benchmark::Bt, Class::S, &[4], &[4], "Ta", "Tb").unwrap();
         let sum_err = pair
@@ -298,7 +298,7 @@ mod tests {
 
     #[test]
     fn render_text_contains_both_tables() {
-        let campaign = Campaign::noise_free();
+        let campaign = Campaign::builder(crate::Runner::noise_free()).build();
         let pair = build_tables(
             &campaign,
             Benchmark::Bt,

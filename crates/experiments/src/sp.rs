@@ -45,7 +45,11 @@ mod tests {
 
     #[test]
     fn sp_class_w_has_two_coupling_rows() {
-        let pair = table6(&Campaign::noise_free(), Class::W).unwrap();
+        let pair = table6(
+            &Campaign::builder(crate::Runner::noise_free()).build(),
+            Class::W,
+        )
+        .unwrap();
         // Actual + Summation + Coupling:4 + Coupling:5
         assert_eq!(pair.predictions.rows.len(), 4);
         assert!(pair.predictions.row("Coupling: 5 kernels").is_some());

@@ -35,6 +35,26 @@ pub struct BackendStats {
     pub stores: u64,
 }
 
+impl From<BackendStats> for kc_core::BackendCounters {
+    fn from(s: BackendStats) -> Self {
+        Self {
+            loads: s.loads,
+            load_hits: s.load_hits,
+            stores: s.stores,
+        }
+    }
+}
+
+/// The run-history sidecar path of a cell-store file: the store path
+/// with `.history.jsonl` appended (`cells.json` →
+/// `cells.json.history.jsonl`), so the history always travels next to
+/// the cells it describes.
+pub fn history_sidecar(store_path: &Path) -> std::path::PathBuf {
+    let mut os = store_path.as_os_str().to_os_string();
+    os.push(".history.jsonl");
+    std::path::PathBuf::from(os)
+}
+
 /// A thread-safe map from canonical cell keys to raw samples, with
 /// JSON-file persistence.
 #[derive(Debug, Default)]
@@ -153,6 +173,31 @@ impl MeasurementBackend for CellStore {
 mod tests {
     use super::*;
     use kc_core::CellKind;
+
+    #[test]
+    fn history_sidecar_travels_next_to_the_store() {
+        assert_eq!(
+            history_sidecar(Path::new("/tmp/cells.json")),
+            Path::new("/tmp/cells.json.history.jsonl")
+        );
+        assert_eq!(
+            history_sidecar(Path::new("s.json")),
+            Path::new("s.json.history.jsonl")
+        );
+    }
+
+    #[test]
+    fn backend_stats_convert_to_history_counters() {
+        let counters: kc_core::BackendCounters = BackendStats {
+            loads: 5,
+            load_hits: 3,
+            stores: 2,
+        }
+        .into();
+        assert_eq!(counters.loads, 5);
+        assert_eq!(counters.load_hits, 3);
+        assert_eq!(counters.stores, 2);
+    }
 
     fn key(cell: CellKind, reps: u32) -> MeasurementKey {
         MeasurementKey {

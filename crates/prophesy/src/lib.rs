@@ -52,7 +52,7 @@ pub mod record;
 pub mod store;
 
 pub use advisor::{advise, transfer_predict, Advice};
-pub use cells::{BackendStats, CellStore};
+pub use cells::{history_sidecar, BackendStats, CellStore};
 pub use planner::{campaign_runs, MeasurementPlan};
 pub use record::{CampaignKey, CampaignRecord};
 pub use store::CampaignStore;

@@ -5,12 +5,12 @@
 //! cargo run --release --example analytic_composition
 //! ```
 
-use kernel_couplings::experiments::{analytic, Campaign};
+use kernel_couplings::experiments::{analytic, Campaign, Runner};
 use kernel_couplings::npb::models::analytic_loop_models;
 use kernel_couplings::npb::{Benchmark, Class, NpbApp};
 
 fn main() {
-    let campaign = Campaign::noise_free();
+    let campaign = Campaign::builder(Runner::noise_free()).build();
     let app = NpbApp::new(Benchmark::Bt, Class::W, 9);
 
     println!("hand-derived kernel models for {} —", app.label());

@@ -5,11 +5,11 @@
 //! cargo run --release --example coupling_reuse
 //! ```
 
-use kernel_couplings::experiments::{reuse, Campaign};
+use kernel_couplings::experiments::{reuse, Campaign, Runner};
 use kernel_couplings::npb::{Benchmark, Class};
 
 fn main() {
-    let campaign = Campaign::noise_free();
+    let campaign = Campaign::builder(Runner::noise_free()).build();
 
     println!("Within one cache regime, coefficients transfer almost freely:\n");
     let (table, study) =

@@ -6,11 +6,11 @@
 //! cargo run --release --example coupling_scaling
 //! ```
 
-use kernel_couplings::experiments::{transitions, Campaign};
+use kernel_couplings::experiments::{transitions, Campaign, Runner};
 use kernel_couplings::npb::{Benchmark, Class};
 
 fn main() {
-    let campaign = Campaign::noise_free();
+    let campaign = Campaign::builder(Runner::noise_free()).build();
     let classes = [Class::S, Class::W, Class::A];
     let procs = [4, 9, 16, 25];
 

@@ -8,12 +8,12 @@
 //! ```
 
 use kernel_couplings::coupling::{read_jsonl, Disposition, JsonLinesSink, TelemetryEvent};
-use kernel_couplings::experiments::{AnalysisSpec, Campaign};
+use kernel_couplings::experiments::{AnalysisSpec, Campaign, Runner, SummaryOpts};
 use kernel_couplings::npb::{Benchmark, Class};
 use std::sync::Arc;
 
 fn main() {
-    let campaign = Campaign::noise_free();
+    let campaign = Campaign::builder(Runner::noise_free()).build();
 
     // external sinks attach at any time; this one buffers everything
     // and writes a canonical JSON-lines trace on flush
@@ -51,7 +51,7 @@ fn main() {
 
     // end-of-run aggregates, appended to the stream so the trace ends
     // with a RunSummary line
-    let summary = campaign.record_summary(5);
+    let summary = campaign.summary(SummaryOpts::top(5).recorded());
     println!("\n{summary}");
 
     trace.flush().unwrap();

@@ -16,6 +16,17 @@ cargo build --release
 echo "== tests (workspace) =="
 cargo test -q --workspace
 
+echo "== tests (scheduler + history sidecar, release) =="
+cargo test -q --release --test scheduler --test history_sidecar
+
+echo "== docs (no rustdoc warnings) =="
+doc_log=$(cargo doc --no-deps --workspace 2>&1) || { echo "$doc_log"; exit 1; }
+if echo "$doc_log" | grep -q "^warning"; then
+    echo "$doc_log" | grep -A4 "^warning"
+    echo "verify: rustdoc warnings"
+    exit 1
+fi
+
 echo "== smoke: BT class-S table via the campaign engine =="
 cargo run --release -p kc-experiments --bin paper_tables -- bt-s --noise-free --metrics
 

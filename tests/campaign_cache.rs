@@ -14,7 +14,7 @@ use kernel_couplings::npb::{Benchmark, Class, ExecConfig, NpbApp, NpbExecutor};
 /// (one executor, sequential measurement) agree bit-for-bit.
 #[test]
 fn campaign_matches_direct_measurement_noise_free() {
-    let campaign = Campaign::noise_free();
+    let campaign = Campaign::builder(Runner::noise_free()).build();
     for procs in [4, 9] {
         let spec = AnalysisSpec::new(Benchmark::Bt, Class::S, procs, 2);
         let cached = campaign.analysis(&spec).unwrap();
@@ -47,7 +47,7 @@ fn campaign_matches_direct_measurement_noise_free() {
 /// truth — and whole analyses requested twice) come from the cache.
 #[test]
 fn multi_table_campaign_measures_each_unique_cell_exactly_once() {
-    let campaign = Campaign::noise_free();
+    let campaign = Campaign::builder(Runner::noise_free()).build();
 
     // two tables over the same benchmark/class share isolated +
     // overhead + application cells; requesting table2's specs twice
@@ -85,7 +85,7 @@ fn multi_table_campaign_measures_each_unique_cell_exactly_once() {
 /// so the same workload re-measures and yields different numbers.
 #[test]
 fn cache_never_serves_cells_across_machine_fingerprints() {
-    let campaign = Campaign::noise_free();
+    let campaign = Campaign::builder(Runner::noise_free()).build();
     let base = AnalysisSpec::new(Benchmark::Bt, Class::S, 4, 2);
     let other_machine = MachineConfig::ethernet_cluster().without_noise();
     let on_other = base.clone().on(other_machine);
@@ -115,7 +115,9 @@ fn cache_never_serves_cells_across_protocol_digests() {
     let base = AnalysisSpec::new(Benchmark::Bt, Class::S, 4, 2);
     let store = Arc::new(CellStore::new());
 
-    let first = Campaign::with_backend(Runner::noise_free(), Box::new(Arc::clone(&store)));
+    let first = Campaign::builder(Runner::noise_free())
+        .backend(Box::new(Arc::clone(&store)))
+        .build();
     first.analysis(&base).unwrap();
     let cells_after_first = store.len();
     assert!(cells_after_first > 0);
@@ -124,7 +126,9 @@ fn cache_never_serves_cells_across_protocol_digests() {
     // different protocol digest in every key
     let mut runner = Runner::noise_free();
     runner.exec.warmup_iters += 1;
-    let second = Campaign::with_backend(runner, Box::new(Arc::clone(&store)));
+    let second = Campaign::builder(runner)
+        .backend(Box::new(Arc::clone(&store)))
+        .build();
     second.analysis(&base).unwrap();
 
     let stats = second.cache_stats();
@@ -139,7 +143,9 @@ fn cache_never_serves_cells_across_protocol_digests() {
 
     // sharing the backend with an IDENTICAL protocol, by contrast,
     // is measurement-free
-    let third = Campaign::with_backend(Runner::noise_free(), Box::new(Arc::clone(&store)));
+    let third = Campaign::builder(Runner::noise_free())
+        .backend(Box::new(Arc::clone(&store)))
+        .build();
     third.analysis(&base).unwrap();
     assert_eq!(third.cache_stats().executed, 0);
 }

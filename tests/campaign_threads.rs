@@ -32,13 +32,13 @@ fn noisy_campaign_is_bit_identical_across_thread_counts() {
     // part of the cell, not of the thread schedule
     let serial = {
         std::env::set_var("RAYON_NUM_THREADS", "1");
-        let campaign = Campaign::new(Runner::default());
+        let campaign = Campaign::builder(Runner::default()).build();
         let out = table2_numbers(&campaign);
         std::env::remove_var("RAYON_NUM_THREADS");
         out
     };
     let parallel = {
-        let campaign = Campaign::new(Runner::default());
+        let campaign = Campaign::builder(Runner::default()).build();
         table2_numbers(&campaign)
     };
     assert_eq!(
@@ -56,10 +56,10 @@ fn noise_free_campaign_is_bit_identical_across_thread_counts() {
     let _guard = ENV_LOCK.lock().unwrap();
     let serial = {
         std::env::set_var("RAYON_NUM_THREADS", "1");
-        let out = table2_numbers(&Campaign::noise_free());
+        let out = table2_numbers(&Campaign::builder(Runner::noise_free()).build());
         std::env::remove_var("RAYON_NUM_THREADS");
         out
     };
-    let parallel = table2_numbers(&Campaign::noise_free());
+    let parallel = table2_numbers(&Campaign::builder(Runner::noise_free()).build());
     assert_eq!(serial, parallel);
 }

@@ -3,15 +3,15 @@
 //! scheduling, and the noise model replays per seed.
 
 use kernel_couplings::coupling::{ChainExecutor, CouplingAnalysis};
-use kernel_couplings::experiments::{bt, Campaign};
+use kernel_couplings::experiments::{bt, Campaign, Runner};
 use kernel_couplings::machine::MachineConfig;
 use kernel_couplings::npb::{Benchmark, Class, ExecConfig, NpbApp, NpbExecutor};
 
 #[test]
 fn repeated_table_builds_are_bit_identical() {
     // two independent campaigns (separate caches) must agree exactly
-    let a = bt::table2(&Campaign::noise_free()).unwrap();
-    let b = bt::table2(&Campaign::noise_free()).unwrap();
+    let a = bt::table2(&Campaign::builder(Runner::noise_free()).build()).unwrap();
+    let b = bt::table2(&Campaign::builder(Runner::noise_free()).build()).unwrap();
     assert_eq!(a.couplings[0], b.couplings[0]);
     assert_eq!(a.predictions, b.predictions);
 }

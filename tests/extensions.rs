@@ -77,7 +77,7 @@ fn cross_machine_ratio_is_predicted() {
     use kernel_couplings::experiments::{Campaign, Runner};
     let mut runner = Runner::noise_free();
     runner.reps = 2;
-    let campaign = Campaign::new(runner);
+    let campaign = Campaign::builder(runner).build();
     let (_, outcomes) =
         machines::machine_comparison(&campaign, Benchmark::Bt, Class::W, 9, 3).unwrap();
     let (pred, actual) = machines::relative_performance(&outcomes);

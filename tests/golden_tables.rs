@@ -19,7 +19,7 @@
 //! ```
 
 use kernel_couplings::experiments::render::Artifact;
-use kernel_couplings::experiments::{bt, lu, sp, transitions, Campaign, Runner};
+use kernel_couplings::experiments::{bt, lu, sp, transitions, Campaign, MeasuredCost, Runner};
 use kernel_couplings::npb::Class;
 use kernel_couplings::prophesy::CellStore;
 use serde_json::Value;
@@ -143,7 +143,9 @@ fn golden_tables_match_store_backed_assembly() {
         // regenerate: simulate everything from scratch, then commit
         // the snapshots and the raw cells they were built from
         let store = Arc::new(CellStore::new());
-        let campaign = Campaign::with_backend(Runner::noise_free(), Box::new(Arc::clone(&store)));
+        let campaign = Campaign::builder(Runner::noise_free())
+            .backend(Box::new(Arc::clone(&store)))
+            .build();
         std::fs::create_dir_all(&dir).unwrap();
         for artifact in all_artifacts(&campaign) {
             let json = artifact.render_json();
@@ -162,7 +164,9 @@ fn golden_tables_match_store_backed_assembly() {
         CellStore::load(&cells_path)
             .unwrap_or_else(|e| panic!("missing golden cell store {}: {e}", cells_path.display())),
     );
-    let campaign = Campaign::with_backend(Runner::noise_free(), Box::new(Arc::clone(&store)));
+    let campaign = Campaign::builder(Runner::noise_free())
+        .backend(Box::new(Arc::clone(&store)))
+        .build();
     let artifacts = all_artifacts(&campaign);
 
     // every cell must come from the committed store: an execution
@@ -185,6 +189,31 @@ fn golden_tables_match_store_backed_assembly() {
         diffs.len(),
         diffs.join("\n  ")
     );
+
+    // the same assembly under a measured cost model (scrambled,
+    // digest-derived durations for every committed cell) must be
+    // value-identical: scheduling order is not allowed to leak into
+    // the tables
+    let model = MeasuredCost::from_durations(
+        store
+            .keys()
+            .iter()
+            .enumerate()
+            .map(|(i, k)| (k.clone(), (i * 7919 % 997) as f64)),
+    );
+    let measured = Campaign::builder(Runner::noise_free())
+        .backend(Box::new(Arc::clone(&store)))
+        .cost_model(std::sync::Arc::new(model))
+        .build();
+    let mut diffs = Vec::new();
+    for artifact in &all_artifacts(&measured) {
+        check_artifact(artifact, &mut diffs);
+    }
+    assert!(
+        diffs.is_empty(),
+        "measured-cost scheduling changed golden values:\n  {}",
+        diffs.join("\n  ")
+    );
 }
 
 /// The simulation itself (not just the assembly arithmetic) still
@@ -195,7 +224,7 @@ fn fresh_simulation_matches_golden_for_cheap_tables() {
     if updating() {
         return; // snapshots are being rewritten by the main test
     }
-    let campaign = Campaign::noise_free();
+    let campaign = Campaign::builder(Runner::noise_free()).build();
     let fresh = vec![
         Artifact::from_pair("table2_bt_s", &bt::table2(&campaign).unwrap()),
         Artifact::from_pair("table8a_lu_w", &lu::table8(&campaign, Class::W).unwrap()),

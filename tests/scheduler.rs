@@ -1,0 +1,110 @@
+//! Integration: measured-cost campaign scheduling.
+//!
+//! Two properties of `kc_experiments::MeasuredCost`:
+//!
+//! 1. **Ordering** — `Campaign::prefetch` executes cells in the order
+//!    the cost model dictates, longest recorded duration first (with
+//!    one rayon thread the execute phase preserves schedule order, so
+//!    the emitted `CellExecuted` sequence *is* the schedule).
+//! 2. **Value identity** — the cost model only permutes the schedule.
+//!    Cells run on independent per-cell clusters with per-cell noise
+//!    seeds, so the assembled tables are bit-identical under any cost
+//!    model, even with measurement noise enabled.
+//!
+//! The ordering test manipulates `RAYON_NUM_THREADS`, so this file is
+//! its own integration binary (each test file is a separate process),
+//! and the tests serialize on an env lock.
+
+use kernel_couplings::coupling::{MemorySink, TelemetryEvent};
+use kernel_couplings::experiments::render::Artifact;
+use kernel_couplings::experiments::{bt, AnalysisSpec, Campaign, MeasuredCost, Runner};
+use kernel_couplings::npb::{Benchmark, Class};
+use std::sync::{Arc, Mutex};
+
+/// The ordering test toggles the env var; serialize anything sharing
+/// the process with it.
+static ENV_LOCK: Mutex<()> = Mutex::new(());
+
+/// `CellExecuted` keys in emission order — the execution schedule when
+/// the execute phase runs on one thread.
+fn executed_keys(events: &[TelemetryEvent]) -> Vec<String> {
+    events
+        .iter()
+        .filter_map(|e| match e {
+            TelemetryEvent::CellExecuted { key, .. } => Some(key.clone()),
+            _ => None,
+        })
+        .collect()
+}
+
+#[test]
+fn measured_cost_executes_longest_recorded_cells_first() {
+    let _guard = ENV_LOCK.lock().unwrap();
+    let spec = AnalysisSpec::new(Benchmark::Bt, Class::S, 4, 2);
+
+    // enumerate the spec's cells with a throwaway campaign, then give
+    // each a crafted duration: ascending key order -> ascending cost,
+    // so a longest-first schedule must be exact *reverse* key order —
+    // the opposite of the deterministic tie-break a static model with
+    // equal estimates would produce
+    let probe = Campaign::builder(Runner::noise_free()).build();
+    let mut cells = probe.cells(&spec).unwrap();
+    cells.sort();
+    cells.dedup();
+    let model = MeasuredCost::from_durations(
+        cells
+            .iter()
+            .enumerate()
+            .map(|(i, k)| (k.to_string(), (i + 1) as f64)),
+    );
+
+    let sink = Arc::new(MemorySink::new());
+    let campaign = Campaign::builder(Runner::noise_free())
+        .cost_model(Arc::new(model))
+        .sink(sink.clone())
+        .build();
+    assert_eq!(campaign.cost_model_name(), "measured");
+
+    std::env::set_var("RAYON_NUM_THREADS", "1");
+    campaign.prefetch(std::slice::from_ref(&spec)).unwrap();
+    std::env::remove_var("RAYON_NUM_THREADS");
+
+    let schedule = executed_keys(&sink.events());
+    let expected: Vec<String> = cells.iter().rev().map(|k| k.to_string()).collect();
+    assert_eq!(schedule.len(), cells.len(), "every cell executes once");
+    assert_eq!(
+        schedule, expected,
+        "execution must follow recorded durations, longest first"
+    );
+}
+
+#[test]
+fn cost_model_permutes_the_schedule_but_not_the_tables() {
+    let _guard = ENV_LOCK.lock().unwrap();
+
+    // noise ON: the strongest form of the claim
+    let static_campaign = Campaign::builder(Runner::default()).build();
+    let static_table = Artifact::from_pair("t2", &bt::table2(&static_campaign).unwrap());
+    assert_eq!(static_campaign.cost_model_name(), "static");
+
+    // a thoroughly scrambled measured model: digest-derived durations
+    // bear no relation to the static estimates, so the schedule is a
+    // genuinely different permutation
+    let mut model = MeasuredCost::new();
+    for spec in bt::table2_requests() {
+        for key in static_campaign.cells(&spec).unwrap() {
+            model.record(&key, key.digest_u64() as f64);
+        }
+    }
+    assert!(!model.is_empty());
+    let measured_campaign = Campaign::builder(Runner::default())
+        .cost_model(Arc::new(model))
+        .build();
+    let measured_table = Artifact::from_pair("t2", &bt::table2(&measured_campaign).unwrap());
+
+    assert_eq!(
+        static_table.render_json(),
+        measured_table.render_json(),
+        "tables must be bit-identical under any cost model"
+    );
+}

@@ -9,7 +9,7 @@
 use kernel_couplings::coupling::{
     read_jsonl, summarize, Disposition, JsonLinesSink, TelemetryEvent,
 };
-use kernel_couplings::experiments::{AnalysisSpec, Campaign, Runner};
+use kernel_couplings::experiments::{AnalysisSpec, Campaign, Runner, SummaryOpts};
 use kernel_couplings::npb::{Benchmark, Class};
 use std::sync::{Arc, Mutex};
 
@@ -31,11 +31,11 @@ fn run_with_threads(
     threads: &str,
 ) -> (Vec<TelemetryEvent>, kernel_couplings::coupling::CacheStats) {
     std::env::set_var("RAYON_NUM_THREADS", threads);
-    let campaign = Campaign::new(Runner::default());
+    let campaign = Campaign::builder(Runner::default()).build();
     for spec in specs() {
         campaign.analysis(&spec).unwrap();
     }
-    campaign.record_summary(5);
+    campaign.summary(SummaryOpts::top(5).recorded());
     std::env::remove_var("RAYON_NUM_THREADS");
     (campaign.telemetry_events(), campaign.cache_stats())
 }
@@ -61,13 +61,13 @@ fn traces_are_content_identical_across_thread_counts() {
 fn aggregates_match_cache_stats_exactly() {
     let _guard = ENV_LOCK.lock().unwrap();
     std::env::set_var("RAYON_NUM_THREADS", "4");
-    let campaign = Campaign::noise_free();
+    let campaign = Campaign::builder(Runner::noise_free()).build();
     for spec in specs() {
         campaign.analysis(&spec).unwrap();
     }
     std::env::remove_var("RAYON_NUM_THREADS");
 
-    let summary = campaign.summary(3);
+    let summary = campaign.summary(SummaryOpts::top(3));
     let cache = campaign.cache_stats();
     assert_eq!(summary.requests, cache.requests);
     assert_eq!(summary.hits, cache.hits);
@@ -114,13 +114,13 @@ fn jsonl_trace_roundtrips_through_an_attached_sink() {
     let path = std::env::temp_dir().join("kc_telemetry_trace_test/trace.jsonl");
     let _ = std::fs::remove_file(&path);
 
-    let campaign = Campaign::noise_free();
+    let campaign = Campaign::builder(Runner::noise_free()).build();
     let sink = Arc::new(JsonLinesSink::new(path.clone()));
     campaign.attach_sink(sink.clone());
     campaign
         .analysis(&AnalysisSpec::new(Benchmark::Bt, Class::S, 4, 2))
         .unwrap();
-    let recorded = campaign.record_summary(5);
+    let recorded = campaign.summary(SummaryOpts::top(5).recorded());
     sink.flush().unwrap();
 
     let replayed = read_jsonl(&path).unwrap();

@@ -47,7 +47,7 @@ impl Criterion {
 }
 
 /// A named group of benchmarks; configuration setters are accepted and
-/// ignored (the stand-in always does [`RUNS`] passes).
+/// ignored (the stand-in always does `RUNS` passes).
 pub struct BenchmarkGroup {
     name: String,
 }
