@@ -53,22 +53,36 @@ pub struct HistoryRecord {
     /// Measured `CellExecuted` wall-clock seconds per canonical cell
     /// key — the measured cost model for subsequent runs.
     pub cell_durations: BTreeMap<String, f64>,
+    /// Bounded-scheduler worker-pool size the run executed under
+    /// (`--jobs`), so recorded durations compare like-for-like across
+    /// runs; `0` for records written before the bounded scheduler
+    /// existed.
+    #[serde(default)]
+    pub jobs: u64,
 }
 
 impl HistoryRecord {
     /// Build a record from a run's summary and its raw event stream,
     /// harvesting every `CellExecuted` duration.
     pub fn from_events(summary: RunSummary, events: &[TelemetryEvent]) -> Self {
+        let jobs = summary.scheduler_jobs;
         Self {
             summary,
             backend: None,
             cell_durations: executed_durations(events),
+            jobs,
         }
     }
 
     /// Attach the persistent backend's counters.
     pub fn with_backend(mut self, counters: BackendCounters) -> Self {
         self.backend = Some(counters);
+        self
+    }
+
+    /// Record the scheduler worker-pool size the run executed under.
+    pub fn with_jobs(mut self, jobs: u64) -> Self {
+        self.jobs = jobs;
         self
     }
 }
@@ -232,6 +246,7 @@ mod tests {
                 stores: 2,
             }),
             cell_durations: cells.iter().map(|(k, d)| (k.to_string(), *d)).collect(),
+            jobs: 4,
         }
     }
 
@@ -341,5 +356,32 @@ mod tests {
         assert_eq!(r.cell_durations.len(), 2);
         assert_eq!(r.cell_durations.get("k2"), Some(&1.5));
         assert!(r.backend.is_some());
+    }
+
+    #[test]
+    fn jobs_round_trip_and_default_for_old_records() {
+        let path = temp("jobs");
+        let _ = std::fs::remove_file(&path);
+        // a pre-scheduler record: no "jobs" field on the line at all
+        let line = serde_json::to_string(&record(0.5, &[("a", 1.0)])).unwrap();
+        let mut value: serde::Value = serde_json::from_str(&line).unwrap();
+        if let serde::Value::Object(fields) = &mut value {
+            fields.retain(|(k, _)| k != "jobs");
+        }
+        let legacy = serde_json::to_string(&value).unwrap();
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, format!("{legacy}\n")).unwrap();
+        RunHistory::append(&path, &record(0.5, &[("a", 1.0)]).with_jobs(8)).unwrap();
+        let h = RunHistory::load(&path).unwrap();
+        assert_eq!(h.len(), 2);
+        assert_eq!(h.records()[0].jobs, 0, "legacy records default to 0");
+        assert_eq!(h.records()[1].jobs, 8);
+        // from_events lifts the summary's scheduler_jobs into the record
+        let summary = RunSummary {
+            scheduler_jobs: 6,
+            ..RunSummary::default()
+        };
+        assert_eq!(HistoryRecord::from_events(summary, &[]).jobs, 6);
+        let _ = std::fs::remove_dir_all(path.parent().unwrap());
     }
 }

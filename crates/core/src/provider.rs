@@ -284,8 +284,17 @@ impl<P: MeasurementProvider> CachedProvider<P> {
 
     /// Measure through the cache.
     pub fn measure(&self, key: &MeasurementKey) -> KcResult<Measurement> {
+        self.measure_classified(key).map(|(m, _)| m)
+    }
+
+    /// Measure through the cache, also reporting how the request was
+    /// served.  This is what a campaign scheduler uses to attribute a
+    /// cell to exactly one disposition counter (executed vs backend
+    /// hit vs cache hit) instead of assuming every scheduled cell was
+    /// an execution.
+    pub fn measure_classified(&self, key: &MeasurementKey) -> KcResult<(Measurement, Disposition)> {
         let Some(sink) = &self.sink else {
-            return self.measure_inner(key).map(|(m, _)| m);
+            return self.measure_inner(key);
         };
         let worker = worker_label();
         sink.record(TelemetryEvent::CellStarted {
@@ -300,7 +309,7 @@ impl<P: MeasurementProvider> CachedProvider<P> {
             duration_secs: started.elapsed().as_secs_f64(),
             worker,
         });
-        Ok(m)
+        Ok((m, disposition))
     }
 
     /// The cache lookup chain, reporting how the request was served.
@@ -602,6 +611,68 @@ mod tests {
         assert_eq!(stats.requests, 8);
         assert_eq!(stats.executed, 1);
         assert_eq!(stats.hits, 7);
+    }
+
+    #[test]
+    fn follower_blocked_on_a_failing_leader_retries_as_the_next_leader() {
+        /// Fails the first execution, succeeds afterwards — the
+        /// injected "leader dies mid-flight" scenario.  The sleep
+        /// widens the window so other requesters really do block on
+        /// the failing leader's slot.
+        struct FailsFirst {
+            attempts: Mutex<u32>,
+        }
+        impl MeasurementProvider for FailsFirst {
+            fn measure(&self, key: &MeasurementKey) -> KcResult<Measurement> {
+                let attempt = {
+                    let mut a = self.attempts.lock();
+                    *a += 1;
+                    *a
+                };
+                std::thread::sleep(std::time::Duration::from_millis(20));
+                if attempt == 1 {
+                    return Err(KcError::Io("injected leader failure".into()));
+                }
+                Ok(Measurement::exact(key.procs as f64))
+            }
+        }
+
+        let p = CachedProvider::new(FailsFirst {
+            attempts: Mutex::new(0),
+        });
+        let key = ctx().key(CellKind::Application, 1);
+        let results: Vec<KcResult<Measurement>> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..6).map(|_| s.spawn(|| p.measure(&key))).collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+
+        let failures = results.iter().filter(|r| r.is_err()).count();
+        let successes: Vec<&Measurement> = results.iter().filter_map(|r| r.as_ref().ok()).collect();
+        assert_eq!(
+            failures, 1,
+            "only the failed leader's caller sees the error"
+        );
+        assert_eq!(successes.len(), 5);
+        assert!(successes.iter().all(|m| m.mean() == 1.0));
+        assert_eq!(
+            *p.inner().attempts.lock(),
+            2,
+            "the failed leader plus exactly one retry leader"
+        );
+        let stats = p.stats();
+        assert_eq!(stats.requests, 6);
+        assert_eq!(
+            stats.executed, 2,
+            "executed counts execution attempts: the failed leader and the retry leader"
+        );
+        assert_eq!(stats.backend_hits, 0);
+        assert_eq!(stats.hits, 4, "the four surviving followers are hits");
+        assert_eq!(
+            stats.hits + stats.backend_hits + stats.executed,
+            stats.requests,
+            "every request lands in exactly one disposition, even across a failure"
+        );
+        assert!(p.contains(&key), "the retry leader's result is cached");
     }
 
     #[test]

@@ -103,6 +103,25 @@ pub enum TelemetryEvent {
         /// Label of the executing worker thread.
         worker: String,
     },
+    /// One prefetch's drain through the campaign's bounded cell
+    /// scheduler: how many cells it pushed through the shared queue,
+    /// how many were already queued or running for another prefetch,
+    /// the queue depth it saw, and the worker-pool size.  Emitted
+    /// exactly once per prefetch (even when nothing was scheduled),
+    /// so trace content stays deterministic; every field is
+    /// schedule-dependent and zeroed by [`TelemetryEvent::redacted`].
+    SchedulerDrain {
+        /// Cells this drain enqueued on the shared queue.
+        enqueued: u64,
+        /// Cells already queued or running on behalf of a concurrent
+        /// prefetch (collapsed at the queue, not re-enqueued).
+        shared: u64,
+        /// Pending-queue depth right after this drain's submit — the
+        /// drain's peak contribution to scheduler backlog.
+        queue_depth: u64,
+        /// Fixed worker-pool size (`--jobs`) the queue drains into.
+        jobs: u64,
+    },
     /// End-of-run aggregates (normally the last trace line).
     RunSummary(RunSummary),
 }
@@ -159,6 +178,12 @@ impl TelemetryEvent {
                 duration_secs: 0.0,
                 worker: String::new(),
             },
+            TelemetryEvent::SchedulerDrain { .. } => TelemetryEvent::SchedulerDrain {
+                enqueued: 0,
+                shared: 0,
+                queue_depth: 0,
+                jobs: 0,
+            },
             TelemetryEvent::RunSummary(s) => TelemetryEvent::RunSummary(s.redacted()),
         }
     }
@@ -214,6 +239,22 @@ pub struct RunSummary {
     pub parallel_efficiency: f64,
     /// The slowest executed cells, longest first.
     pub slowest: Vec<SlowCell>,
+    /// Bounded-scheduler worker-pool size (`--jobs`; the max across
+    /// drains, `0` when no scheduler ran).
+    #[serde(default)]
+    pub scheduler_jobs: u64,
+    /// Cells pushed through the shared scheduler queue, summed over
+    /// drains.
+    #[serde(default)]
+    pub scheduler_enqueued: u64,
+    /// Cells a drain found already queued or running for a concurrent
+    /// prefetch (cross-experiment duplicates collapsed at the queue).
+    #[serde(default)]
+    pub scheduler_shared: u64,
+    /// Peak pending-queue depth any drain observed — how saturated
+    /// the worker pool was.
+    #[serde(default)]
+    pub scheduler_peak_queue_depth: u64,
 }
 
 impl RunSummary {
@@ -227,6 +268,10 @@ impl RunSummary {
             parallel_speedup: 0.0,
             parallel_efficiency: 0.0,
             slowest: Vec::new(),
+            scheduler_jobs: 0,
+            scheduler_enqueued: 0,
+            scheduler_shared: 0,
+            scheduler_peak_queue_depth: 0,
             ..self.clone()
         }
     }
@@ -261,6 +306,16 @@ impl fmt::Display for RunSummary {
             self.workers,
             100.0 * self.parallel_efficiency,
         )?;
+        if self.scheduler_jobs > 0 {
+            writeln!(
+                f,
+                "scheduler  {} cells queued ({} shared across experiments), peak queue depth {}, {} job slot(s)",
+                self.scheduler_enqueued,
+                self.scheduler_shared,
+                self.scheduler_peak_queue_depth,
+                self.scheduler_jobs,
+            )?;
+        }
         writeln!(f, "slowest cells")?;
         for s in &self.slowest {
             writeln!(f, "  {:>9.4}s  {}", s.duration_secs, s.key)?;
@@ -302,6 +357,17 @@ pub fn summarize(events: &[TelemetryEvent], top_n: usize) -> RunSummary {
                 duration_secs,
             } if phase == phases::EXECUTE => {
                 s.execute_wall_secs += duration_secs;
+            }
+            TelemetryEvent::SchedulerDrain {
+                enqueued,
+                shared,
+                queue_depth,
+                jobs,
+            } => {
+                s.scheduler_enqueued += enqueued;
+                s.scheduler_shared += shared;
+                s.scheduler_peak_queue_depth = s.scheduler_peak_queue_depth.max(*queue_depth);
+                s.scheduler_jobs = s.scheduler_jobs.max(*jobs);
             }
             _ => {}
         }
@@ -706,6 +772,12 @@ mod tests {
             worker: "w1".into(),
         });
         events.push(finished("k1", Disposition::Executed, 0.25, "w1"));
+        events.push(TelemetryEvent::SchedulerDrain {
+            enqueued: 3,
+            shared: 1,
+            queue_depth: 2,
+            jobs: 4,
+        });
         events.push(TelemetryEvent::RunSummary(summarize(&events, 3)));
         let path = std::env::temp_dir().join("kc_telemetry_test/trace.jsonl");
         let _ = std::fs::remove_file(&path);
@@ -748,5 +820,71 @@ mod tests {
     #[test]
     fn worker_label_is_nonempty() {
         assert!(!worker_label().is_empty());
+    }
+
+    #[test]
+    fn scheduler_drains_aggregate_into_the_summary_and_redact_away() {
+        let drain = |enqueued, shared, queue_depth, jobs| TelemetryEvent::SchedulerDrain {
+            enqueued,
+            shared,
+            queue_depth,
+            jobs,
+        };
+        let events = vec![
+            drain(5, 0, 5, 4),
+            finished("a", Disposition::Executed, 0.5, "kc-worker-0"),
+            drain(2, 3, 7, 4),
+        ];
+        let s = summarize(&events, 3);
+        assert_eq!(s.scheduler_enqueued, 7, "enqueued sums across drains");
+        assert_eq!(s.scheduler_shared, 3);
+        assert_eq!(s.scheduler_peak_queue_depth, 7, "depth keeps the peak");
+        assert_eq!(s.scheduler_jobs, 4);
+        assert!(s.to_string().contains("7 cells queued"));
+        assert!(s.to_string().contains("4 job slot(s)"));
+
+        // every field is schedule-dependent: redaction zeroes them on
+        // both the event and the summary, and is not a cell event
+        assert!(!events[0].is_cell_event());
+        assert_eq!(events[0].cell_key(), None);
+        assert_eq!(
+            events[2].redacted(),
+            drain(0, 0, 0, 0),
+            "drain payloads vary with the schedule"
+        );
+        let r = s.redacted();
+        assert_eq!(r.scheduler_jobs, 0);
+        assert_eq!(r.scheduler_enqueued, 0);
+        assert_eq!(r.scheduler_shared, 0);
+        assert_eq!(r.scheduler_peak_queue_depth, 0);
+        assert!(!r.to_string().contains("job slot"));
+    }
+
+    #[test]
+    fn summary_without_scheduler_fields_still_decodes() {
+        // a PR-3-era trace line: RunSummary without the scheduler
+        // block (round-trip a current summary, strip the new fields)
+        let modern = TelemetryEvent::RunSummary(RunSummary {
+            requests: 2,
+            scheduler_jobs: 8,
+            ..RunSummary::default()
+        });
+        let line = serde_json::to_string(&modern).unwrap();
+        let mut value: serde::Value = serde_json::from_str(&line).unwrap();
+        if let serde::Value::Object(event) = &mut value {
+            for (_, payload) in event.iter_mut() {
+                if let serde::Value::Object(fields) = payload {
+                    fields.retain(|(k, _)| !k.starts_with("scheduler_"));
+                }
+            }
+        }
+        let legacy = serde_json::to_string(&value).unwrap();
+        assert!(!legacy.contains("scheduler_"), "fields really stripped");
+        let e: TelemetryEvent = serde_json::from_str(&legacy).unwrap();
+        let TelemetryEvent::RunSummary(s) = e else {
+            panic!("expected a RunSummary");
+        };
+        assert_eq!(s.requests, 2);
+        assert_eq!(s.scheduler_jobs, 0, "missing fields default to zero");
     }
 }

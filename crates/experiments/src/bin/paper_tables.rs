@@ -3,20 +3,24 @@
 //! ```text
 //! paper_tables [EXPERIMENT ...] [--noise-free] [--out DIR] [--reps N] [--store FILE]
 //!              [--trace FILE] [--metrics] [--history FILE] [--cost-model MODEL]
+//!              [--jobs N]
 //!
 //! EXPERIMENT: classes | bt-s | bt-w | bt-a | sp-w | sp-a | sp-b |
 //!             lu-w | lu-a | lu-b | transitions | ablations | all
 //! ```
 //!
-//! All selected experiments run as ONE measurement campaign over a
-//! shared cell cache, but the campaign is *pipelined*: each experiment
-//! gets its own worker thread that prefetches its cells and assembles
-//! its tables as soon as they are ready, so assembly of finished
-//! experiments overlaps the ongoing execute phase of the others.  The
-//! cache's in-flight deduplication guarantees each unique cell still
-//! executes exactly once, and per-cell noise seeding keeps every table
-//! bit-identical to the serial schedule.  Output is buffered and
-//! printed in experiment order.
+//! All selected experiments (duplicates dropped, order preserved) run
+//! as ONE measurement campaign over a shared cell cache, and the
+//! campaign is *pipelined*: each experiment gets its own worker thread
+//! that enqueues its cells on the campaign-global bounded scheduler
+//! and assembles its tables as soon as they are ready, so assembly of
+//! finished experiments overlaps the ongoing execute phase of the
+//! others.  The scheduler's fixed worker pool (`--jobs N`, default:
+//! available parallelism) caps how many cells execute concurrently no
+//! matter how many experiments are selected; its queue collapses
+//! cross-experiment duplicates, and per-cell noise seeding keeps every
+//! table bit-identical under any `--jobs` value or schedule.  Output
+//! is buffered and printed in experiment order.
 //!
 //! With `--out DIR`, each experiment additionally writes `<id>.txt`
 //! and `<id>.json` artifacts into DIR (consumed by EXPERIMENTS.md).
@@ -95,6 +99,7 @@ struct Options {
     metrics: bool,
     noise_free: bool,
     reps: Option<u32>,
+    jobs: Option<usize>,
 }
 
 /// One command-line flag: its name, value placeholder (None for
@@ -108,7 +113,7 @@ struct Flag {
     apply: fn(&mut Options, &str) -> Result<(), String>,
 }
 
-const FLAGS: [Flag; 8] = [
+const FLAGS: [Flag; 9] = [
     Flag {
         name: "--noise-free",
         metavar: None,
@@ -174,6 +179,19 @@ const FLAGS: [Flag; 8] = [
         },
     },
     Flag {
+        name: "--jobs",
+        metavar: Some("N"),
+        help: "scheduler worker-pool size, >= 1 (default: available parallelism)",
+        apply: |o, v| {
+            let jobs: usize = v.parse().map_err(|_| format!("bad --jobs value '{v}'"))?;
+            if jobs == 0 {
+                return Err("--jobs must be at least 1".to_string());
+            }
+            o.jobs = Some(jobs);
+            Ok(())
+        },
+    },
+    Flag {
         name: "--cost-model",
         metavar: Some("MODEL"),
         help: "schedule execution by 'static' estimates or 'measured' history durations",
@@ -188,7 +206,7 @@ const FLAGS: [Flag; 8] = [
     },
 ];
 
-fn usage() -> ! {
+fn usage_text() -> String {
     let mut flags = String::new();
     for f in &FLAGS {
         let head = match f.metavar {
@@ -197,17 +215,17 @@ fn usage() -> ! {
         };
         flags.push_str(&format!("  {head:<20} {}\n", f.help));
     }
-    eprintln!(
+    format!(
         "usage: paper_tables [EXPERIMENT ...] [FLAG ...]\n\
          experiments: {}  all\n{flags}",
         EXPERIMENTS.join(" ")
-    );
-    std::process::exit(2);
+    )
 }
 
 fn die(msg: String) -> ! {
     eprintln!("error: {msg}");
-    usage();
+    eprint!("{}", usage_text());
+    std::process::exit(2);
 }
 
 fn parse_args(args: &[String]) -> Options {
@@ -216,7 +234,9 @@ fn parse_args(args: &[String]) -> Options {
     while i < args.len() {
         let arg = args[i].as_str();
         if arg == "--help" || arg == "-h" {
-            usage();
+            // asked-for help goes to stdout and succeeds
+            print!("{}", usage_text());
+            std::process::exit(0);
         }
         if let Some(flag) = FLAGS.iter().find(|f| f.name == arg) {
             let value = match flag.metavar {
@@ -245,6 +265,10 @@ fn parse_args(args: &[String]) -> Options {
     if o.experiments.is_empty() {
         o.experiments = EXPERIMENTS.iter().map(|s| s.to_string()).collect();
     }
+    // `paper_tables bt-s bt-s` must not spawn duplicate workers or
+    // print the table twice: drop repeats, keep first-occurrence order
+    let mut seen = std::collections::BTreeSet::new();
+    o.experiments.retain(|e| seen.insert(e.clone()));
     o
 }
 
@@ -543,6 +567,9 @@ fn main() {
     if let Some(s) = &store {
         builder = builder.backend(Box::new(Arc::clone(s)));
     }
+    if let Some(jobs) = opts.jobs {
+        builder = builder.jobs(jobs);
+    }
     let campaign = builder.build();
     let trace_sink: Option<Arc<JsonLinesSink>> = opts.trace.as_ref().map(|p| {
         let sink = Arc::new(JsonLinesSink::new(p.clone()));
@@ -550,13 +577,14 @@ fn main() {
         sink
     });
 
-    // Pipelined campaign: one worker per experiment, all sharing the
-    // campaign's cell cache.  Each worker prefetches its own cells and
-    // assembles its tables the moment they are ready, so assembly of
-    // finished experiments overlaps the ongoing execute phase of the
-    // rest; the cache's in-flight dedup keeps each unique cell at one
-    // execution even when two workers race for it.  Output is buffered
-    // per worker and printed in experiment order below.
+    // Pipelined campaign: one thread per experiment, all feeding the
+    // campaign-global bounded scheduler.  Each experiment enqueues its
+    // own cells and blocks only on their completion, then assembles
+    // its tables the moment they are ready — assembly of finished
+    // experiments overlaps the ongoing execute phase of the rest,
+    // while at most `jobs` cells execute at any instant and the queue
+    // collapses cells two experiments race for.  Output is buffered
+    // per experiment and printed in experiment order below.
     let outputs: Vec<(ExperimentOutput, CampaignStats, f64)> = std::thread::scope(|s| {
         let campaign = &campaign;
         let handles: Vec<_> = opts
@@ -595,9 +623,11 @@ fn main() {
         }
     }
     eprintln!(
-        "[campaign] {merged} (per-experiment sums; shared cells \
-         dedupe through the cache, scheduler: {})",
-        campaign.cost_model_name()
+        "[campaign] {merged} (per-experiment sums over disjoint dispositions; \
+         a cell shared across experiments counts once, for the experiment \
+         that enqueued it; cost model: {}, jobs: {})",
+        campaign.cost_model_name(),
+        campaign.jobs()
     );
 
     let cache = campaign.cache_stats();
@@ -639,7 +669,8 @@ fn main() {
     }
     if let Some(p) = &history_path {
         let summary = summary.expect("summary computed");
-        let mut record = HistoryRecord::from_events(summary, &campaign.telemetry_events());
+        let mut record = HistoryRecord::from_events(summary, &campaign.telemetry_events())
+            .with_jobs(campaign.jobs() as u64);
         if let Some(s) = &store {
             record = record.with_backend(s.stats().into());
         }

@@ -12,20 +12,30 @@
 //! 2. the union is *deduplicated* — cell keys carry no chain length,
 //!    so the sharing the `kc-prophesy` planner reasons about falls out
 //!    of key equality;
-//! 3. unique, not-yet-cached cells *execute in parallel* (largest
-//!    first), each on its own freshly built simulated cluster with a
-//!    per-cell noise seed, so results are bit-identical regardless of
-//!    thread count or schedule;
+//! 3. unique, not-yet-cached cells are submitted to the
+//!    campaign-global [`crate::CellScheduler`]: one
+//!    cost-ordered queue (longest first) drained by a fixed pool of
+//!    `jobs` workers, so total executor concurrency is bounded no
+//!    matter how many experiments prefetch concurrently.  Each cell
+//!    runs on its own freshly built simulated cluster with a per-cell
+//!    noise seed, so results are bit-identical regardless of `jobs`
+//!    or schedule;
 //! 4. analyses are *assembled* from the shared
 //!    `kc_core::CachedProvider` — by construction each unique cell was
 //!    measured exactly once.
 //!
 //! [`CampaignStats`] reports the arithmetic (requested vs unique vs
-//! executed vs cache hits, and the naive run count a table-at-a-time
-//! campaign would have paid) plus wall-clock per phase.
+//! cached vs backend-served vs executed, and the naive run count a
+//! table-at-a-time campaign would have paid) plus wall-clock per
+//! phase.  Counts are derived from per-cell dispositions, so cells
+//! served by the persistent backend or executed on behalf of a
+//! concurrent prefetch are never misreported as this prefetch's
+//! executions: across concurrent prefetches over one campaign, the
+//! `cells_executed` sum equals `CacheStats::executed` exactly.
 
 use crate::cost::{CostModel, StaticCost};
 use crate::runner::Runner;
+use crate::scheduler::CellScheduler;
 use kc_core::telemetry::phases;
 use kc_core::{
     analysis_cells, assemble_analysis, summarize, write_jsonl, CacheStats, CachedProvider,
@@ -34,7 +44,6 @@ use kc_core::{
 };
 use kc_machine::MachineConfig;
 use kc_npb::{Benchmark, Class, NpbApp, NpbProvider};
-use rayon::prelude::*;
 use std::collections::BTreeSet;
 use std::fmt;
 use std::path::Path;
@@ -102,9 +111,18 @@ pub struct CampaignStats {
     pub cells_requested: usize,
     /// Distinct cells after deduplication.
     pub cells_unique: usize,
-    /// Unique cells already in the cache before this prefetch.
+    /// Unique cells served from the in-memory cache: already cached
+    /// before this prefetch, or brought into the cache by a
+    /// concurrent prefetch of the same campaign while this one
+    /// waited.
     pub cache_hits: usize,
-    /// Cells actually executed by this prefetch.
+    /// Unique cells served by the persistent backend store (loaded,
+    /// not executed).
+    pub backend_hits: usize,
+    /// Cells this prefetch actually executed on a fresh cluster.
+    /// Derived from per-cell dispositions, never from the to-do list
+    /// length: across concurrent prefetches the sum matches
+    /// `CacheStats::executed` exactly.
     pub cells_executed: usize,
     /// Cluster runs a table-at-a-time campaign would have performed
     /// (the `kc_prophesy::campaign_runs` accounting, one fresh
@@ -123,6 +141,7 @@ impl CampaignStats {
         self.cells_requested += other.cells_requested;
         self.cells_unique += other.cells_unique;
         self.cache_hits += other.cache_hits;
+        self.backend_hits += other.backend_hits;
         self.cells_executed += other.cells_executed;
         self.naive_runs += other.naive_runs;
         self.enumerate_secs += other.enumerate_secs;
@@ -134,11 +153,12 @@ impl fmt::Display for CampaignStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{} cells requested -> {} unique ({} cached, {} executed; naive plan: {} runs) \
-             [enumerate {:.2}s, execute {:.2}s]",
+            "{} cells requested -> {} unique ({} cached, {} backend, {} executed; \
+             naive plan: {} runs) [enumerate {:.2}s, execute {:.2}s]",
             self.cells_requested,
             self.cells_unique,
             self.cache_hits,
+            self.backend_hits,
             self.cells_executed,
             self.naive_runs,
             self.enumerate_secs,
@@ -198,6 +218,7 @@ pub struct CampaignBuilder {
     backend: Option<Box<dyn MeasurementBackend>>,
     sinks: Vec<Arc<dyn TelemetrySink>>,
     cost_model: Arc<dyn CostModel>,
+    jobs: Option<usize>,
 }
 
 impl CampaignBuilder {
@@ -207,6 +228,7 @@ impl CampaignBuilder {
             backend: None,
             sinks: Vec::new(),
             cost_model: Arc::new(StaticCost),
+            jobs: None,
         }
     }
 
@@ -244,6 +266,15 @@ impl CampaignBuilder {
         self
     }
 
+    /// Size of the campaign-global scheduler's worker pool (clamped
+    /// to at least 1).  Defaults to the machine's available
+    /// parallelism.  Tables are bit-identical under any value; `jobs`
+    /// only bounds how many cells execute concurrently.
+    pub fn jobs(mut self, jobs: usize) -> Self {
+        self.jobs = Some(jobs.max(1));
+        self
+    }
+
     /// Build the campaign.
     pub fn build(self) -> Campaign {
         let telemetry = Arc::new(MemorySink::new());
@@ -253,13 +284,25 @@ impl CampaignBuilder {
             fanout.add(sink);
         }
         let inner = NpbProvider::new().with_telemetry(fanout.clone());
-        let provider = match self.backend {
-            Some(backend) => CachedProvider::with_backend(inner, backend),
-            None => CachedProvider::new(inner),
-        }
-        .with_telemetry(fanout.clone());
+        let provider = Arc::new(
+            match self.backend {
+                Some(backend) => CachedProvider::with_backend(inner, backend),
+                None => CachedProvider::new(inner),
+            }
+            .with_telemetry(fanout.clone()),
+        );
+        let jobs = self.jobs.unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        });
+        let execute = {
+            let provider = provider.clone();
+            move |key: &MeasurementKey| provider.measure_classified(key).map(|(_, d)| d)
+        };
         Campaign {
             runner: self.runner,
+            scheduler: CellScheduler::new(jobs, Box::new(execute)),
             provider,
             telemetry,
             fanout,
@@ -275,7 +318,10 @@ impl CampaignBuilder {
 /// one campaign share every measurement cell.
 pub struct Campaign {
     runner: Runner,
-    provider: CachedProvider<NpbProvider>,
+    provider: Arc<CachedProvider<NpbProvider>>,
+    /// The campaign-global bounded executor every prefetch drains
+    /// through (see [`crate::scheduler`]).
+    scheduler: CellScheduler,
     /// Always-on in-memory collector of this campaign's events.
     telemetry: Arc<MemorySink>,
     /// Broadcast point every emitter records into; external sinks
@@ -332,6 +378,11 @@ impl Campaign {
     /// Timing repetitions per chain cell.
     pub fn reps(&self) -> u32 {
         self.runner.reps
+    }
+
+    /// Worker-pool size of the campaign-global cell scheduler.
+    pub fn jobs(&self) -> usize {
+        self.scheduler.jobs()
     }
 
     /// Traffic counters of the underlying measurement cache.
@@ -424,9 +475,12 @@ impl Campaign {
     }
 
     /// Enumerate, dedupe and execute every cell the given analyses
-    /// need.  Unique uncached cells run in parallel, largest first;
-    /// results land in the shared cache, so subsequent
-    /// [`Campaign::analysis`] calls for these specs measure nothing.
+    /// need.  Unique uncached cells are submitted to the
+    /// campaign-global bounded scheduler (most expensive first, at
+    /// most `jobs` executing at once); results land in the shared
+    /// cache, so subsequent [`Campaign::analysis`] calls for these
+    /// specs measure nothing.  The call blocks only on *these* specs'
+    /// cells, so concurrent prefetches overlap freely.
     pub fn prefetch(&self, specs: &[AnalysisSpec]) -> KcResult<CampaignStats> {
         let enumerate_started = Instant::now();
         let mut stats = CampaignStats::default();
@@ -442,35 +496,42 @@ impl Campaign {
         })?;
         let todo = self.phase(phases::DEDUPE, || {
             stats.cells_unique = unique.len();
-            let mut todo: Vec<MeasurementKey> = unique
+            // the scheduler orders by cost internally (longest first,
+            // `total_cmp`, key-order tie-break); here we only pair
+            // each uncached cell with its cost
+            let todo: Vec<(MeasurementKey, f64)> = unique
                 .iter()
                 .filter(|k| !self.provider.contains(k))
-                .cloned()
+                .map(|k| (k.clone(), self.cell_cost(k)))
                 .collect();
             stats.cache_hits = stats.cells_unique - todo.len();
-            // most expensive cells first, so the tail of the parallel
-            // phase isn't one huge straggler; the cost model supplies
-            // measured durations where it has them (falling back to
-            // the static estimate), and ties break by key order to
-            // keep the schedule deterministic
-            todo.sort_by(|a, b| {
-                let (ca, cb) = (self.cell_cost(a), self.cell_cost(b));
-                cb.partial_cmp(&ca).unwrap().then_with(|| a.cmp(b))
-            });
             todo
         });
         stats.enumerate_secs = enumerate_started.elapsed().as_secs_f64();
 
         let execute_started = Instant::now();
-        let results: Vec<KcResult<()>> = self.phase(phases::EXECUTE, || {
-            todo.par_iter()
-                .map(|k| self.provider.measure(k).map(|_| ()))
-                .collect()
-        });
-        for r in results {
-            r?;
-        }
-        stats.cells_executed = todo.len();
+        let drained = self.phase(phases::EXECUTE, || {
+            let drained = self.scheduler.drain(todo)?;
+            // one drain event per prefetch, emitted after every cell
+            // event of this drain has reached the sinks — the stream
+            // stays canonical under any jobs value (the fields are
+            // schedule-dependent and redact away)
+            self.fanout.record(TelemetryEvent::SchedulerDrain {
+                enqueued: drained.enqueued as u64,
+                shared: drained.shared as u64,
+                queue_depth: drained.queue_depth as u64,
+                jobs: self.scheduler.jobs() as u64,
+            });
+            Ok::<_, kc_core::KcError>(drained)
+        })?;
+        // attribution: every unique cell is enqueued by exactly one
+        // drain, which owns its disposition; cells another drain got
+        // to first count as cache hits here (shared slots, plus
+        // in-cache `Hit`s for cells a concurrent drain completed
+        // between our dedupe scan and the worker's pop)
+        stats.cells_executed = drained.executed;
+        stats.backend_hits = drained.backend_hits;
+        stats.cache_hits += drained.shared + drained.hits;
         stats.execute_secs = execute_started.elapsed().as_secs_f64();
         Ok(stats)
     }
@@ -484,7 +545,7 @@ impl Campaign {
         let iters = spec.benchmark.problem(spec.class).iterations;
         self.phase(phases::ASSEMBLE, || {
             assemble_analysis(
-                &self.provider,
+                self.provider.as_ref(),
                 &ctx,
                 &set,
                 spec.chain_len,
@@ -513,12 +574,73 @@ mod tests {
         assert_eq!(stats.cells_unique, 5 + 5 + 5 + 2, "shared cells dedupe");
         assert_eq!(stats.cells_executed, stats.cells_unique);
         assert_eq!(stats.cache_hits, 0);
+        assert_eq!(stats.backend_hits, 0, "no persistent backend attached");
         assert_eq!(stats.naive_runs, 2 * (5 + 5 + 2));
 
         // a second prefetch finds everything cached
         let again = campaign.prefetch(&specs).unwrap();
         assert_eq!(again.cells_executed, 0);
         assert_eq!(again.cache_hits, again.cells_unique);
+        assert_eq!(again.backend_hits, 0);
+    }
+
+    /// Regression: a cost model that yields NaN used to panic the
+    /// prefetch sort (`partial_cmp(..).unwrap()`); under `total_cmp`
+    /// ordering it merely skews the schedule, and the tables are
+    /// schedule-independent anyway.
+    #[test]
+    fn poisoned_nan_cost_model_does_not_panic_and_tables_match() {
+        struct Poisoned;
+        impl CostModel for Poisoned {
+            fn measured_cost(&self, _key: &MeasurementKey) -> Option<f64> {
+                Some(f64::NAN)
+            }
+            fn name(&self) -> &'static str {
+                "poisoned"
+            }
+        }
+
+        let spec = AnalysisSpec::new(Benchmark::Bt, Class::S, 4, 2);
+        let poisoned = Campaign::builder(Runner::noise_free())
+            .cost_model(Arc::new(Poisoned))
+            .jobs(2)
+            .build();
+        let healthy = Campaign::builder(Runner::noise_free()).jobs(2).build();
+        let a = poisoned.analysis(&spec).unwrap();
+        let b = healthy.analysis(&spec).unwrap();
+        assert_eq!(a.couplings().unwrap(), b.couplings().unwrap());
+        assert_eq!(a.actual(), b.actual());
+    }
+
+    /// After a warm persistent store fills the cache, a fresh
+    /// campaign's prefetch executes nothing — and reports the
+    /// backend-served cells as backend hits, not executions
+    /// (the ISSUE 4 accounting fix).
+    #[test]
+    fn warm_store_prefetch_reports_backend_hits_not_executions() {
+        use kc_prophesy::CellStore;
+
+        let specs = [AnalysisSpec::new(Benchmark::Bt, Class::S, 4, 2)];
+        let store = Arc::new(CellStore::new());
+
+        let cold = Campaign::builder(Runner::noise_free())
+            .backend(Box::new(Arc::clone(&store)))
+            .build();
+        let first = cold.prefetch(&specs).unwrap();
+        assert_eq!(first.cells_executed, first.cells_unique);
+        assert_eq!(first.backend_hits, 0, "empty store serves nothing");
+
+        let warm = Campaign::builder(Runner::noise_free())
+            .backend(Box::new(Arc::clone(&store)))
+            .build();
+        let again = warm.prefetch(&specs).unwrap();
+        assert_eq!(again.cells_executed, 0, "warm store must execute nothing");
+        assert_eq!(
+            again.backend_hits, again.cells_unique,
+            "store-served cells are backend hits, not executions"
+        );
+        assert_eq!(again.cache_hits, 0);
+        assert_eq!(warm.cache_stats().executed, 0);
     }
 
     #[test]

@@ -1,9 +1,11 @@
 //! Cost models for campaign scheduling: what should execute first?
 //!
-//! [`Campaign::prefetch`](crate::Campaign::prefetch) runs unique
-//! uncached cells through the rayon pool **longest first**, so the
-//! tail of the parallel execute phase is not one huge straggler.  The
-//! ordering needs a per-cell cost, and there are two sources:
+//! [`Campaign::prefetch`](crate::Campaign::prefetch) submits unique
+//! uncached cells to the campaign-global
+//! [`CellScheduler`](crate::CellScheduler), whose priority queue pops
+//! them **longest first**, so the tail of the bounded execute phase
+//! is not one huge straggler.  The ordering needs a per-cell cost,
+//! and there are two sources:
 //!
 //! * [`StaticCost`] — the provider's `cost_estimate` (grid cells ×
 //!   kernels × a processor surcharge).  Always available, but a model

@@ -38,9 +38,11 @@ pub mod machines;
 pub mod render;
 pub mod reuse;
 pub mod runner;
+pub mod scheduler;
 pub mod sp;
 pub mod transitions;
 
 pub use campaign::{AnalysisSpec, Campaign, CampaignBuilder, CampaignStats, SummaryOpts};
 pub use cost::{CostModel, MeasuredCost, StaticCost};
 pub use runner::{Runner, TablePair};
+pub use scheduler::{CellScheduler, DrainStats};

@@ -16,8 +16,20 @@ cargo build --release
 echo "== tests (workspace) =="
 cargo test -q --workspace
 
-echo "== tests (scheduler + history sidecar, release) =="
-cargo test -q --release --test scheduler --test history_sidecar
+echo "== tests (scheduler + concurrency + history sidecar, release) =="
+cargo test -q --release --test scheduler --test cache_concurrency --test history_sidecar
+
+echo "== byte-identity: full tables under --jobs 1 vs --jobs 8 =="
+j1=$(mktemp) && j8=$(mktemp)
+trap 'rm -f "$j1" "$j8"' EXIT
+./target/release/paper_tables all --noise-free --jobs 1 > "$j1" 2>/dev/null
+./target/release/paper_tables all --noise-free --jobs 8 > "$j8" 2>/dev/null
+if ! cmp -s "$j1" "$j8"; then
+    echo "verify: tables differ between --jobs 1 and --jobs 8"
+    diff "$j1" "$j8" | head -20
+    exit 1
+fi
+echo "tables byte-identical across scheduler pool sizes"
 
 echo "== docs (no rustdoc warnings) =="
 doc_log=$(cargo doc --no-deps --workspace 2>&1) || { echo "$doc_log"; exit 1; }

@@ -1,19 +1,10 @@
 //! Integration: parallel campaign execution is schedule-independent.
 //! Each measurement cell runs on its own simulated cluster with a
 //! seed derived from (machine seed, cell key), so the same campaign
-//! produces bit-identical tables no matter how many worker threads
-//! execute it — even with measurement noise enabled.
-//!
-//! This test manipulates `RAYON_NUM_THREADS`, so it lives in its own
-//! integration binary: Rust runs each test file as a separate
-//! process, keeping the env mutation away from every other test.
+//! produces bit-identical tables no matter how many scheduler workers
+//! (`jobs`) execute it — even with measurement noise enabled.
 
 use kernel_couplings::experiments::{bt, Campaign, Runner};
-use std::sync::Mutex;
-
-/// Both tests toggle the env var; the harness runs them on separate
-/// threads, so serialize them.
-static ENV_LOCK: Mutex<()> = Mutex::new(());
 
 fn table2_numbers(campaign: &Campaign) -> (Vec<Vec<f64>>, String) {
     let pair = bt::table2(campaign).unwrap();
@@ -26,24 +17,14 @@ fn table2_numbers(campaign: &Campaign) -> (Vec<Vec<f64>>, String) {
 }
 
 #[test]
-fn noisy_campaign_is_bit_identical_across_thread_counts() {
-    let _guard = ENV_LOCK.lock().unwrap();
+fn noisy_campaign_is_bit_identical_across_worker_counts() {
     // seeded noise ON: the strongest form of the claim — noise is
-    // part of the cell, not of the thread schedule
-    let serial = {
-        std::env::set_var("RAYON_NUM_THREADS", "1");
-        let campaign = Campaign::builder(Runner::default()).build();
-        let out = table2_numbers(&campaign);
-        std::env::remove_var("RAYON_NUM_THREADS");
-        out
-    };
-    let parallel = {
-        let campaign = Campaign::builder(Runner::default()).build();
-        table2_numbers(&campaign)
-    };
+    // part of the cell, not of the worker schedule
+    let serial = table2_numbers(&Campaign::builder(Runner::default()).jobs(1).build());
+    let parallel = table2_numbers(&Campaign::builder(Runner::default()).jobs(8).build());
     assert_eq!(
         serial.0, parallel.0,
-        "coupling values must not depend on the thread count"
+        "coupling values must not depend on the worker count"
     );
     assert_eq!(
         serial.1, parallel.1,
@@ -52,14 +33,9 @@ fn noisy_campaign_is_bit_identical_across_thread_counts() {
 }
 
 #[test]
-fn noise_free_campaign_is_bit_identical_across_thread_counts() {
-    let _guard = ENV_LOCK.lock().unwrap();
-    let serial = {
-        std::env::set_var("RAYON_NUM_THREADS", "1");
-        let out = table2_numbers(&Campaign::builder(Runner::noise_free()).build());
-        std::env::remove_var("RAYON_NUM_THREADS");
-        out
-    };
+fn noise_free_campaign_is_bit_identical_across_worker_counts() {
+    let serial = table2_numbers(&Campaign::builder(Runner::noise_free()).jobs(1).build());
+    // default pool size: whatever the machine offers
     let parallel = table2_numbers(&Campaign::builder(Runner::noise_free()).build());
     assert_eq!(serial, parallel);
 }

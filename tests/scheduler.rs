@@ -1,32 +1,34 @@
-//! Integration: measured-cost campaign scheduling.
+//! Integration: the campaign-global bounded cell scheduler.
 //!
-//! Two properties of `kc_experiments::MeasuredCost`:
+//! Four properties:
 //!
 //! 1. **Ordering** — `Campaign::prefetch` executes cells in the order
 //!    the cost model dictates, longest recorded duration first (with
-//!    one rayon thread the execute phase preserves schedule order, so
-//!    the emitted `CellExecuted` sequence *is* the schedule).
-//! 2. **Value identity** — the cost model only permutes the schedule.
-//!    Cells run on independent per-cell clusters with per-cell noise
-//!    seeds, so the assembled tables are bit-identical under any cost
-//!    model, even with measurement noise enabled.
-//!
-//! The ordering test manipulates `RAYON_NUM_THREADS`, so this file is
-//! its own integration binary (each test file is a separate process),
-//! and the tests serialize on an env lock.
+//!    `jobs = 1` the single worker drains the priority queue in
+//!    order, so the emitted `CellExecuted` sequence *is* the
+//!    schedule).
+//! 2. **Bounded concurrency** — under `jobs = N` at most N cells are
+//!    ever in flight, no matter how many cells a prefetch submits.
+//! 3. **Value identity** — the cost model and the `jobs` value only
+//!    shape the schedule.  Cells run on independent per-cell clusters
+//!    with per-cell noise seeds, so the assembled tables are
+//!    bit-identical under any cost model or pool size, even with
+//!    measurement noise enabled.
+//! 4. **Exact accounting** — concurrent `prefetch` calls over one
+//!    shared cache attribute every cell to exactly one disposition:
+//!    their `cells_executed` / `backend_hits` sums equal the
+//!    `CacheStats` counters exactly (the ISSUE 4 accounting fix).
 
-use kernel_couplings::coupling::{MemorySink, TelemetryEvent};
+use kernel_couplings::coupling::{CacheStats, MemorySink, TelemetryEvent, TelemetrySink};
 use kernel_couplings::experiments::render::Artifact;
 use kernel_couplings::experiments::{bt, AnalysisSpec, Campaign, MeasuredCost, Runner};
 use kernel_couplings::npb::{Benchmark, Class};
-use std::sync::{Arc, Mutex};
-
-/// The ordering test toggles the env var; serialize anything sharing
-/// the process with it.
-static ENV_LOCK: Mutex<()> = Mutex::new(());
+use kernel_couplings::prophesy::CellStore;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 
 /// `CellExecuted` keys in emission order — the execution schedule when
-/// the execute phase runs on one thread.
+/// the scheduler drains on one worker.
 fn executed_keys(events: &[TelemetryEvent]) -> Vec<String> {
     events
         .iter()
@@ -39,7 +41,6 @@ fn executed_keys(events: &[TelemetryEvent]) -> Vec<String> {
 
 #[test]
 fn measured_cost_executes_longest_recorded_cells_first() {
-    let _guard = ENV_LOCK.lock().unwrap();
     let spec = AnalysisSpec::new(Benchmark::Bt, Class::S, 4, 2);
 
     // enumerate the spec's cells with a throwaway campaign, then give
@@ -62,12 +63,12 @@ fn measured_cost_executes_longest_recorded_cells_first() {
     let campaign = Campaign::builder(Runner::noise_free())
         .cost_model(Arc::new(model))
         .sink(sink.clone())
+        .jobs(1)
         .build();
     assert_eq!(campaign.cost_model_name(), "measured");
+    assert_eq!(campaign.jobs(), 1);
 
-    std::env::set_var("RAYON_NUM_THREADS", "1");
     campaign.prefetch(std::slice::from_ref(&spec)).unwrap();
-    std::env::remove_var("RAYON_NUM_THREADS");
 
     let schedule = executed_keys(&sink.events());
     let expected: Vec<String> = cells.iter().rev().map(|k| k.to_string()).collect();
@@ -78,10 +79,117 @@ fn measured_cost_executes_longest_recorded_cells_first() {
     );
 }
 
+/// Watches `CellStarted` / `CellFinished` spans and keeps the peak
+/// number that were ever open at once.  During a cold `prefetch` the
+/// only threads measuring are the scheduler's workers, so the peak is
+/// the executor concurrency.
+#[derive(Default)]
+struct ConcurrencyProbe {
+    active: AtomicUsize,
+    peak: AtomicUsize,
+}
+
+impl TelemetrySink for ConcurrencyProbe {
+    fn record(&self, event: TelemetryEvent) {
+        match event {
+            TelemetryEvent::CellStarted { .. } => {
+                let now = self.active.fetch_add(1, Ordering::SeqCst) + 1;
+                self.peak.fetch_max(now, Ordering::SeqCst);
+            }
+            TelemetryEvent::CellFinished { .. } => {
+                self.active.fetch_sub(1, Ordering::SeqCst);
+            }
+            _ => {}
+        }
+    }
+}
+
+#[test]
+fn jobs_bounds_the_number_of_concurrently_executing_cells() {
+    let probe = Arc::new(ConcurrencyProbe::default());
+    let campaign = Campaign::builder(Runner::noise_free())
+        .sink(probe.clone())
+        .jobs(3)
+        .build();
+    // plenty of cells across two experiments' worth of specs, all
+    // cold, prefetched concurrently from two threads
+    let (a, b) = (bt::table2_requests(), bt::table3_requests());
+    std::thread::scope(|s| {
+        let campaign = &campaign;
+        let ha = s.spawn(move || campaign.prefetch(&a).unwrap());
+        let hb = s.spawn(move || campaign.prefetch(&b).unwrap());
+        (ha.join().unwrap(), hb.join().unwrap())
+    });
+    let peak = probe.peak.load(Ordering::SeqCst);
+    assert!(peak >= 1, "the probe saw the execute phase");
+    assert!(
+        peak <= 3,
+        "at most jobs=3 cells may execute concurrently, saw {peak}"
+    );
+    assert!(
+        campaign.cache_stats().executed > 3,
+        "the bound was actually exercised by more cells than slots"
+    );
+}
+
+/// Concurrent prefetches over one shared cache: every unique cell is
+/// attributed to exactly one prefetch's disposition counters, so the
+/// sums match the cache's own counters exactly — backend hits are
+/// backend hits and nothing is double-reported as an execution.
+#[test]
+fn concurrent_prefetch_disposition_sums_match_cache_stats_exactly() {
+    // warm a persistent store with the BT-S cells so the second
+    // campaign sees real backend hits
+    let store = Arc::new(CellStore::new());
+    let warm = AnalysisSpec::new(Benchmark::Bt, Class::S, 4, 2);
+    Campaign::builder(Runner::noise_free())
+        .backend(Box::new(Arc::clone(&store)))
+        .build()
+        .prefetch(std::slice::from_ref(&warm))
+        .unwrap();
+
+    let campaign = Campaign::builder(Runner::noise_free())
+        .backend(Box::new(Arc::clone(&store)))
+        .jobs(4)
+        .build();
+    // overlapping cell sets: both prefetches want the warm BT-S cells,
+    // one adds the cold chain-3 study on top
+    let a = vec![
+        warm.clone(),
+        AnalysisSpec::new(Benchmark::Bt, Class::S, 4, 3),
+    ];
+    let b = vec![warm];
+    let (sa, sb) = std::thread::scope(|s| {
+        let campaign = &campaign;
+        let ha = s.spawn(move || campaign.prefetch(&a).unwrap());
+        let hb = s.spawn(move || campaign.prefetch(&b).unwrap());
+        (ha.join().unwrap(), hb.join().unwrap())
+    });
+    let cache: CacheStats = campaign.cache_stats();
+
+    assert_eq!(
+        (sa.cells_executed + sb.cells_executed) as u64,
+        cache.executed,
+        "execution counts must sum to the cache's executed counter: {sa} / {sb}"
+    );
+    assert_eq!(
+        (sa.backend_hits + sb.backend_hits) as u64,
+        cache.backend_hits,
+        "backend hits must be reported as backend hits: {sa} / {sb}"
+    );
+    assert!(cache.backend_hits > 0, "the warm store really served cells");
+    assert!(cache.executed > 0, "the cold chain-3 cells really executed");
+    for s in [&sa, &sb] {
+        assert_eq!(
+            s.cells_unique,
+            s.cache_hits + s.backend_hits + s.cells_executed,
+            "every unique cell lands in exactly one disposition: {s}"
+        );
+    }
+}
+
 #[test]
 fn cost_model_permutes_the_schedule_but_not_the_tables() {
-    let _guard = ENV_LOCK.lock().unwrap();
-
     // noise ON: the strongest form of the claim
     let static_campaign = Campaign::builder(Runner::default()).build();
     let static_table = Artifact::from_pair("t2", &bt::table2(&static_campaign).unwrap());
@@ -89,7 +197,8 @@ fn cost_model_permutes_the_schedule_but_not_the_tables() {
 
     // a thoroughly scrambled measured model: digest-derived durations
     // bear no relation to the static estimates, so the schedule is a
-    // genuinely different permutation
+    // genuinely different permutation — and jobs=2 differs from the
+    // default pool as well
     let mut model = MeasuredCost::new();
     for spec in bt::table2_requests() {
         for key in static_campaign.cells(&spec).unwrap() {
@@ -99,12 +208,13 @@ fn cost_model_permutes_the_schedule_but_not_the_tables() {
     assert!(!model.is_empty());
     let measured_campaign = Campaign::builder(Runner::default())
         .cost_model(Arc::new(model))
+        .jobs(2)
         .build();
     let measured_table = Artifact::from_pair("t2", &bt::table2(&measured_campaign).unwrap());
 
     assert_eq!(
         static_table.render_json(),
         measured_table.render_json(),
-        "tables must be bit-identical under any cost model"
+        "tables must be bit-identical under any cost model or pool size"
     );
 }

@@ -1,21 +1,14 @@
 //! Integration: the campaign telemetry stream is deterministic in
-//! content across thread counts, its aggregates agree with
-//! `CacheStats` exactly, and the JSON-lines trace round-trips.
-//!
-//! This test manipulates `RAYON_NUM_THREADS`, so it lives in its own
-//! integration binary: Rust runs each test file as a separate
-//! process, keeping the env mutation away from every other test.
+//! content across scheduler worker counts (`jobs`), its aggregates
+//! agree with `CacheStats` exactly, and the JSON-lines trace
+//! round-trips.
 
 use kernel_couplings::coupling::{
     read_jsonl, summarize, Disposition, JsonLinesSink, TelemetryEvent,
 };
 use kernel_couplings::experiments::{AnalysisSpec, Campaign, Runner, SummaryOpts};
 use kernel_couplings::npb::{Benchmark, Class};
-use std::sync::{Arc, Mutex};
-
-/// Tests toggle the env var; the harness runs them on separate
-/// threads, so serialize them.
-static ENV_LOCK: Mutex<()> = Mutex::new(());
+use std::sync::Arc;
 
 fn specs() -> Vec<AnalysisSpec> {
     vec![
@@ -25,26 +18,21 @@ fn specs() -> Vec<AnalysisSpec> {
     ]
 }
 
-/// Run the campaign under `threads` workers and return its canonical
-/// event stream plus the cache counters.
-fn run_with_threads(
-    threads: &str,
-) -> (Vec<TelemetryEvent>, kernel_couplings::coupling::CacheStats) {
-    std::env::set_var("RAYON_NUM_THREADS", threads);
-    let campaign = Campaign::builder(Runner::default()).build();
+/// Run the campaign under a `jobs`-sized worker pool and return its
+/// canonical event stream plus the cache counters.
+fn run_with_jobs(jobs: usize) -> (Vec<TelemetryEvent>, kernel_couplings::coupling::CacheStats) {
+    let campaign = Campaign::builder(Runner::default()).jobs(jobs).build();
     for spec in specs() {
         campaign.analysis(&spec).unwrap();
     }
     campaign.summary(SummaryOpts::top(5).recorded());
-    std::env::remove_var("RAYON_NUM_THREADS");
     (campaign.telemetry_events(), campaign.cache_stats())
 }
 
 #[test]
-fn traces_are_content_identical_across_thread_counts() {
-    let _guard = ENV_LOCK.lock().unwrap();
-    let (serial, serial_cache) = run_with_threads("1");
-    let (parallel, parallel_cache) = run_with_threads("8");
+fn traces_are_content_identical_across_worker_counts() {
+    let (serial, serial_cache) = run_with_jobs(1);
+    let (parallel, parallel_cache) = run_with_jobs(8);
 
     let redact = |events: &[TelemetryEvent]| -> Vec<TelemetryEvent> {
         events.iter().map(TelemetryEvent::redacted).collect()
@@ -52,20 +40,36 @@ fn traces_are_content_identical_across_thread_counts() {
     assert_eq!(
         redact(&serial),
         redact(&parallel),
-        "canonical event streams must match modulo durations/workers"
+        "canonical event streams must match modulo durations/workers/queue depths"
     );
     assert_eq!(serial_cache, parallel_cache);
+
+    // the scheduler leaves its mark: one drain event per prefetch,
+    // and the summary reports the pool size it ran under
+    let drains = |events: &[TelemetryEvent]| {
+        events
+            .iter()
+            .filter(|e| matches!(e, TelemetryEvent::SchedulerDrain { .. }))
+            .count()
+    };
+    assert_eq!(drains(&serial), specs().len(), "one drain per prefetch");
+    assert_eq!(drains(&serial), drains(&parallel));
+    let jobs_of = |events: &[TelemetryEvent]| {
+        events.iter().rev().find_map(|e| match e {
+            TelemetryEvent::RunSummary(s) => Some(s.scheduler_jobs),
+            _ => None,
+        })
+    };
+    assert_eq!(jobs_of(&serial), Some(1));
+    assert_eq!(jobs_of(&parallel), Some(8));
 }
 
 #[test]
 fn aggregates_match_cache_stats_exactly() {
-    let _guard = ENV_LOCK.lock().unwrap();
-    std::env::set_var("RAYON_NUM_THREADS", "4");
-    let campaign = Campaign::builder(Runner::noise_free()).build();
+    let campaign = Campaign::builder(Runner::noise_free()).jobs(4).build();
     for spec in specs() {
         campaign.analysis(&spec).unwrap();
     }
-    std::env::remove_var("RAYON_NUM_THREADS");
 
     let summary = campaign.summary(SummaryOpts::top(3));
     let cache = campaign.cache_stats();
@@ -79,6 +83,10 @@ fn aggregates_match_cache_stats_exactly() {
     );
     assert!(summary.unique_cells > 0);
     assert_eq!(summary.per_benchmark.get("BT"), Some(&summary.unique_cells));
+    assert_eq!(
+        summary.scheduler_jobs, 4,
+        "the pool size lands in the summary"
+    );
 
     // every CellStarted has a matching CellFinished, and every
     // Executed disposition has exactly one raw CellExecuted span
@@ -106,11 +114,20 @@ fn aggregates_match_cache_stats_exactly() {
         )),
         cache.executed
     );
+    // the scheduler enqueued every executed cell exactly once across
+    // the run's drains
+    let enqueued: u64 = events
+        .iter()
+        .filter_map(|e| match e {
+            TelemetryEvent::SchedulerDrain { enqueued, .. } => Some(*enqueued),
+            _ => None,
+        })
+        .sum();
+    assert_eq!(enqueued, cache.executed, "serial prefetches share nothing");
 }
 
 #[test]
 fn jsonl_trace_roundtrips_through_an_attached_sink() {
-    let _guard = ENV_LOCK.lock().unwrap();
     let path = std::env::temp_dir().join("kc_telemetry_trace_test/trace.jsonl");
     let _ = std::fs::remove_file(&path);
 
@@ -134,5 +151,6 @@ fn jsonl_trace_roundtrips_through_an_attached_sink() {
     let recomputed = summarize(&replayed, 5);
     assert_eq!(recomputed.requests, recorded.requests);
     assert_eq!(recomputed.executed, recorded.executed);
+    assert_eq!(recomputed.scheduler_jobs, recorded.scheduler_jobs);
     let _ = std::fs::remove_dir_all(path.parent().unwrap());
 }
