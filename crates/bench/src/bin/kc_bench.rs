@@ -1,0 +1,134 @@
+//! `kc-bench` — CLI over the bench trajectories.
+//!
+//! ```text
+//! kc-bench diff <dir-a> <dir-b> [--threshold PCT] [--min-secs S]
+//! ```
+//!
+//! Compares two `KC_BENCH_TRAJECTORY` directories cell by cell and
+//! lists every cell whose simulation time regressed by more than
+//! `--threshold` percent (default 10) and at least `--min-secs`
+//! absolute seconds (default 0.001 — sub-millisecond cells jitter).
+//! Exits 1 when any cell regressed, 2 on usage errors, 0 otherwise.
+
+use kc_bench::trajectory::{diff_dirs, DirDiff};
+use std::path::PathBuf;
+
+const DEFAULT_THRESHOLD_PCT: f64 = 10.0;
+const DEFAULT_MIN_SECS: f64 = 0.001;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: kc-bench diff <dir-a> <dir-b> [--threshold PCT] [--min-secs S]\n\
+         \n\
+         compares the BENCH_*.json trajectories of two KC_BENCH_TRAJECTORY\n\
+         directories (matched by file name) and lists cells whose simulation\n\
+         time regressed beyond the threshold; exits 1 on any regression\n\
+         \n\
+         --threshold PCT  relative growth a cell must exceed to count \
+         (default {DEFAULT_THRESHOLD_PCT})\n\
+         --min-secs S     absolute growth floor, seconds (default {DEFAULT_MIN_SECS})"
+    );
+    std::process::exit(2);
+}
+
+fn die(msg: String) -> ! {
+    eprintln!("error: {msg}");
+    usage();
+}
+
+struct DiffArgs {
+    before: PathBuf,
+    after: PathBuf,
+    threshold_pct: f64,
+    min_secs: f64,
+}
+
+fn parse_diff_args(args: &[String]) -> DiffArgs {
+    let mut dirs: Vec<PathBuf> = Vec::new();
+    let mut threshold_pct = DEFAULT_THRESHOLD_PCT;
+    let mut min_secs = DEFAULT_MIN_SECS;
+    let mut i = 0;
+    while i < args.len() {
+        let arg = args[i].as_str();
+        let mut value = |name: &str| -> f64 {
+            i += 1;
+            let Some(v) = args.get(i) else {
+                die(format!("{name} needs a value"));
+            };
+            v.parse()
+                .unwrap_or_else(|_| die(format!("bad {name} value '{v}'")))
+        };
+        match arg {
+            "--help" | "-h" => usage(),
+            "--threshold" => threshold_pct = value("--threshold"),
+            "--min-secs" => min_secs = value("--min-secs"),
+            other if other.starts_with('-') => die(format!("unknown flag '{other}'")),
+            dir => dirs.push(PathBuf::from(dir)),
+        }
+        i += 1;
+    }
+    if dirs.len() != 2 {
+        die(format!(
+            "diff needs exactly two directories, got {}",
+            dirs.len()
+        ));
+    }
+    let after = dirs.pop().expect("two dirs");
+    let before = dirs.pop().expect("two dirs");
+    DiffArgs {
+        before,
+        after,
+        threshold_pct,
+        min_secs,
+    }
+}
+
+fn print_diff(d: &DirDiff, threshold_pct: f64) {
+    for name in &d.only_before {
+        println!("BENCH {name}: only in the before directory (removed)");
+    }
+    for name in &d.only_after {
+        println!("BENCH {name}: only in the after directory (no baseline)");
+    }
+    for diff in &d.diffs {
+        println!(
+            "BENCH {}: {} regressed, {} improved, {} unchanged, {} added, {} removed \
+             (threshold {threshold_pct}%)",
+            diff.name,
+            diff.regressions.len(),
+            diff.improved,
+            diff.unchanged,
+            diff.added,
+            diff.removed,
+        );
+        for r in &diff.regressions {
+            println!(
+                "  {:>+7.1}%  {:.4}s -> {:.4}s  {}",
+                r.change_pct(),
+                r.before_secs,
+                r.after_secs,
+                r.key
+            );
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("diff") => {
+            let a = parse_diff_args(&args[1..]);
+            let d = diff_dirs(&a.before, &a.after, a.threshold_pct, a.min_secs)
+                .unwrap_or_else(|e| die(format!("cannot read trajectories: {e}")));
+            print_diff(&d, a.threshold_pct);
+            if d.has_regressions() {
+                let total: usize = d.diffs.iter().map(|t| t.regressions.len()).sum();
+                eprintln!("{total} cell(s) regressed");
+                std::process::exit(1);
+            }
+            println!("no regressions");
+        }
+        Some("--help") | Some("-h") | None => usage(),
+        Some(other) => die(format!("unknown subcommand '{other}'")),
+    }
+}

@@ -78,6 +78,187 @@ pub fn trajectory_dir() -> Option<PathBuf> {
     std::env::var_os("KC_BENCH_TRAJECTORY").map(PathBuf::from)
 }
 
+/// One cell whose simulation time regressed between two trajectories.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct CellRegression {
+    /// Canonical cell key.
+    pub key: String,
+    /// Simulation seconds in the *before* trajectory.
+    pub before_secs: f64,
+    /// Simulation seconds in the *after* trajectory.
+    pub after_secs: f64,
+}
+
+impl CellRegression {
+    /// Relative change in percent (positive = slower).
+    pub fn change_pct(&self) -> f64 {
+        100.0 * (self.after_secs - self.before_secs) / self.before_secs
+    }
+}
+
+/// The cell-level comparison of two trajectories of the same bench.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct TrajectoryDiff {
+    /// Bench name.
+    pub name: String,
+    /// Cells slower than the threshold allows, worst first.
+    pub regressions: Vec<CellRegression>,
+    /// Cells faster beyond the threshold.
+    pub improved: usize,
+    /// Cells within the threshold either way.
+    pub unchanged: usize,
+    /// Cells only in the *after* trajectory.
+    pub added: usize,
+    /// Cells only in the *before* trajectory.
+    pub removed: usize,
+}
+
+impl TrajectoryDiff {
+    /// Whether any cell regressed beyond the threshold.
+    pub fn has_regressions(&self) -> bool {
+        !self.regressions.is_empty()
+    }
+}
+
+/// Compare two trajectories of the same bench cell by cell.
+///
+/// A cell counts as **regressed** when its simulation time grew by
+/// more than `threshold_pct` percent *and* by at least `min_secs`
+/// absolute seconds (the floor keeps sub-millisecond cells, whose
+/// relative jitter is huge, from tripping the gate).  Cells present
+/// in only one trajectory are counted (`added` / `removed`) but never
+/// regressions — a new cell has no baseline.
+pub fn diff_trajectories(
+    before: &BenchTrajectory,
+    after: &BenchTrajectory,
+    threshold_pct: f64,
+    min_secs: f64,
+) -> TrajectoryDiff {
+    let before_cells: std::collections::BTreeMap<&str, f64> = before
+        .cells
+        .iter()
+        .map(|c| (c.key.as_str(), c.duration_secs))
+        .collect();
+    let after_cells: std::collections::BTreeMap<&str, f64> = after
+        .cells
+        .iter()
+        .map(|c| (c.key.as_str(), c.duration_secs))
+        .collect();
+    let mut diff = TrajectoryDiff {
+        name: after.name.clone(),
+        regressions: Vec::new(),
+        improved: 0,
+        unchanged: 0,
+        added: 0,
+        removed: 0,
+    };
+    for (key, &after_secs) in &after_cells {
+        let Some(&before_secs) = before_cells.get(key) else {
+            diff.added += 1;
+            continue;
+        };
+        let grew_pct =
+            before_secs > 0.0 && after_secs > before_secs * (1.0 + threshold_pct / 100.0);
+        if grew_pct && after_secs - before_secs >= min_secs {
+            diff.regressions.push(CellRegression {
+                key: key.to_string(),
+                before_secs,
+                after_secs,
+            });
+        } else if before_secs > 0.0 && after_secs < before_secs * (1.0 - threshold_pct / 100.0) {
+            diff.improved += 1;
+        } else {
+            diff.unchanged += 1;
+        }
+    }
+    diff.removed = before_cells
+        .keys()
+        .filter(|k| !after_cells.contains_key(*k))
+        .count();
+    // worst relative regression first; key order breaks ties so the
+    // report is deterministic
+    diff.regressions.sort_by(|a, b| {
+        b.change_pct()
+            .total_cmp(&a.change_pct())
+            .then_with(|| a.key.cmp(&b.key))
+    });
+    diff
+}
+
+/// The comparison of two `KC_BENCH_TRAJECTORY` directories.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DirDiff {
+    /// Per-bench diffs for benches present in both directories, in
+    /// name order.
+    pub diffs: Vec<TrajectoryDiff>,
+    /// Bench names only in the *before* directory.
+    pub only_before: Vec<String>,
+    /// Bench names only in the *after* directory.
+    pub only_after: Vec<String>,
+}
+
+impl DirDiff {
+    /// Whether any bench has a regressed cell.
+    pub fn has_regressions(&self) -> bool {
+        self.diffs.iter().any(TrajectoryDiff::has_regressions)
+    }
+}
+
+fn read_dir_trajectories(
+    dir: &Path,
+) -> std::io::Result<std::collections::BTreeMap<String, BenchTrajectory>> {
+    let mut out = std::collections::BTreeMap::new();
+    for entry in std::fs::read_dir(dir)? {
+        let path = entry?.path();
+        let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
+            continue;
+        };
+        if let Some(bench) = name
+            .strip_prefix("BENCH_")
+            .and_then(|n| n.strip_suffix(".json"))
+        {
+            out.insert(bench.to_string(), BenchTrajectory::read(&path)?);
+        }
+    }
+    Ok(out)
+}
+
+/// Diff every `BENCH_*.json` pair between two trajectory directories
+/// (matched by file name).
+pub fn diff_dirs(
+    before_dir: &Path,
+    after_dir: &Path,
+    threshold_pct: f64,
+    min_secs: f64,
+) -> std::io::Result<DirDiff> {
+    let before = read_dir_trajectories(before_dir)?;
+    let after = read_dir_trajectories(after_dir)?;
+    let mut dir_diff = DirDiff {
+        diffs: Vec::new(),
+        only_before: before
+            .keys()
+            .filter(|k| !after.contains_key(*k))
+            .cloned()
+            .collect(),
+        only_after: after
+            .keys()
+            .filter(|k| !before.contains_key(*k))
+            .cloned()
+            .collect(),
+    };
+    for (name, after_t) in &after {
+        if let Some(before_t) = before.get(name) {
+            dir_diff.diffs.push(diff_trajectories(
+                before_t,
+                after_t,
+                threshold_pct,
+                min_secs,
+            ));
+        }
+    }
+    Ok(dir_diff)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -102,5 +283,80 @@ mod tests {
         assert!(path.ends_with("BENCH_test_bt_s.json"));
         assert_eq!(BenchTrajectory::read(&path).unwrap(), t);
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    fn trajectory(name: &str, cells: &[(&str, f64)]) -> BenchTrajectory {
+        BenchTrajectory {
+            name: name.to_string(),
+            summary: RunSummary::default(),
+            cells: cells
+                .iter()
+                .map(|(key, duration_secs)| SlowCell {
+                    key: key.to_string(),
+                    duration_secs: *duration_secs,
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn diff_classifies_cells_by_threshold() {
+        let before = trajectory("t", &[("a", 1.0), ("b", 1.0), ("c", 1.0), ("gone", 1.0)]);
+        let after = trajectory("t", &[("a", 1.5), ("b", 0.5), ("c", 1.05), ("new", 9.0)]);
+        let d = diff_trajectories(&before, &after, 10.0, 0.0);
+        assert!(d.has_regressions());
+        assert_eq!(d.regressions.len(), 1, "only `a` regressed beyond 10%");
+        assert_eq!(d.regressions[0].key, "a");
+        assert!((d.regressions[0].change_pct() - 50.0).abs() < 1e-9);
+        assert_eq!(d.improved, 1, "`b` got faster");
+        assert_eq!(d.unchanged, 1, "`c` moved within the threshold");
+        assert_eq!(d.added, 1, "`new` has no baseline");
+        assert_eq!(d.removed, 1, "`gone` disappeared");
+    }
+
+    #[test]
+    fn min_secs_floor_ignores_tiny_regressions() {
+        let before = trajectory("t", &[("tiny", 0.001), ("big", 1.0)]);
+        let after = trajectory("t", &[("tiny", 0.002), ("big", 2.0)]);
+        let strict = diff_trajectories(&before, &after, 10.0, 0.0);
+        assert_eq!(strict.regressions.len(), 2);
+        let floored = diff_trajectories(&before, &after, 10.0, 0.01);
+        assert_eq!(floored.regressions.len(), 1, "0.001s growth is jitter");
+        assert_eq!(floored.regressions[0].key, "big");
+    }
+
+    #[test]
+    fn regressions_sort_worst_first_with_key_tiebreak() {
+        let before = trajectory("t", &[("x", 1.0), ("m", 1.0), ("a", 1.0)]);
+        let after = trajectory("t", &[("x", 1.2), ("m", 1.5), ("a", 1.2)]);
+        let d = diff_trajectories(&before, &after, 10.0, 0.0);
+        let keys: Vec<&str> = d.regressions.iter().map(|r| r.key.as_str()).collect();
+        assert_eq!(keys, ["m", "a", "x"], "worst first, then key order");
+    }
+
+    #[test]
+    fn diff_dirs_matches_benches_by_file_name() {
+        let base = std::env::temp_dir().join("kc_bench_diff_dirs_test");
+        let _ = std::fs::remove_dir_all(&base);
+        let (dir_a, dir_b) = (base.join("a"), base.join("b"));
+        trajectory("shared", &[("k", 1.0)])
+            .write_to(&dir_a)
+            .unwrap();
+        trajectory("old_only", &[("k", 1.0)])
+            .write_to(&dir_a)
+            .unwrap();
+        trajectory("shared", &[("k", 3.0)])
+            .write_to(&dir_b)
+            .unwrap();
+        trajectory("new_only", &[("k", 1.0)])
+            .write_to(&dir_b)
+            .unwrap();
+        let d = diff_dirs(&dir_a, &dir_b, 10.0, 0.0).unwrap();
+        assert!(d.has_regressions());
+        assert_eq!(d.diffs.len(), 1);
+        assert_eq!(d.diffs[0].name, "shared");
+        assert_eq!(d.only_before, ["old_only"]);
+        assert_eq!(d.only_after, ["new_only"]);
+        let _ = std::fs::remove_dir_all(&base);
     }
 }

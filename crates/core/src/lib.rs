@@ -101,7 +101,7 @@ pub use report::{CouplingRow, CouplingTable, PredictionRow, PredictionTable};
 pub use reuse::{predict_with_reused_coefficients, ReuseCell, ReuseStudy};
 pub use synthetic::SyntheticExecutor;
 pub use telemetry::{
-    canonicalize, read_jsonl, summarize, worker_label, write_jsonl, Disposition, FanoutSink,
-    JsonLinesSink, MemorySink, RunSummary, SlowCell, TelemetryEvent, TelemetrySink,
+    canonicalize, quantile, read_jsonl, summarize, worker_label, write_jsonl, Disposition,
+    FanoutSink, JsonLinesSink, MemorySink, RunSummary, SlowCell, TelemetryEvent, TelemetrySink,
 };
 pub use windows::ChainWindow;

@@ -122,6 +122,23 @@ pub enum TelemetryEvent {
         /// Fixed worker-pool size (`--jobs`) the queue drains into.
         jobs: u64,
     },
+    /// One prediction request answered by the serving layer
+    /// (`kc_serve`): which request it was, how it resolved, how many
+    /// requests shared its batch and how long it waited end-to-end.
+    /// Not a cell event — cell work the request triggered is reported
+    /// separately through the usual cell events.  `batch_size` and
+    /// `duration_secs` are schedule-dependent and zeroed by
+    /// [`TelemetryEvent::redacted`].
+    RequestServed {
+        /// Compact request descriptor (e.g. `bt/W/p9/len3`).
+        request: String,
+        /// Terminal status: `ok`, `error` or `overloaded`.
+        status: String,
+        /// Number of requests resolved in the same engine batch.
+        batch_size: u64,
+        /// Wall-clock seconds from admission to response.
+        duration_secs: f64,
+    },
     /// End-of-run aggregates (normally the last trace line).
     RunSummary(RunSummary),
 }
@@ -183,6 +200,14 @@ impl TelemetryEvent {
                 shared: 0,
                 queue_depth: 0,
                 jobs: 0,
+            },
+            TelemetryEvent::RequestServed {
+                request, status, ..
+            } => TelemetryEvent::RequestServed {
+                request: request.clone(),
+                status: status.clone(),
+                batch_size: 0,
+                duration_secs: 0.0,
             },
             TelemetryEvent::RunSummary(s) => TelemetryEvent::RunSummary(s.redacted()),
         }
@@ -398,6 +423,26 @@ pub fn summarize(events: &[TelemetryEvent], top_n: usize) -> RunSummary {
         })
         .collect();
     s
+}
+
+/// Linear-interpolation quantile over an ascending-sorted slice
+/// (`q` in `[0, 1]`; `q = 0.5` is the median).  Returns `0.0` for an
+/// empty slice so metric reports degrade gracefully.  The serving
+/// layer uses this for request-latency percentiles.
+pub fn quantile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let q = q.clamp(0.0, 1.0);
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = pos - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
 }
 
 /// Canonical event order: phase markers and summaries are emitted
@@ -858,6 +903,49 @@ mod tests {
         assert_eq!(r.scheduler_shared, 0);
         assert_eq!(r.scheduler_peak_queue_depth, 0);
         assert!(!r.to_string().contains("job slot"));
+    }
+
+    #[test]
+    fn request_served_redacts_schedule_dependent_fields() {
+        let e = TelemetryEvent::RequestServed {
+            request: "bt/W/p9/len3".into(),
+            status: "ok".into(),
+            batch_size: 7,
+            duration_secs: 0.42,
+        };
+        assert!(!e.is_cell_event(), "requests are not cell events");
+        assert_eq!(e.cell_key(), None);
+        assert_eq!(
+            e.redacted(),
+            TelemetryEvent::RequestServed {
+                request: "bt/W/p9/len3".into(),
+                status: "ok".into(),
+                batch_size: 0,
+                duration_secs: 0.0,
+            },
+            "batch size and latency vary with the schedule"
+        );
+        // schema round-trip, like every other variant
+        let line = serde_json::to_string(&e).unwrap();
+        let back: TelemetryEvent = serde_json::from_str(&line).unwrap();
+        assert_eq!(back, e);
+    }
+
+    #[test]
+    fn quantile_interpolates_and_handles_edges() {
+        assert_eq!(quantile(&[], 0.5), 0.0, "empty slice degrades to 0");
+        assert_eq!(quantile(&[3.0], 0.99), 3.0);
+        let v = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(quantile(&v, 0.0), 1.0);
+        assert_eq!(quantile(&v, 1.0), 4.0);
+        assert!(
+            (quantile(&v, 0.5) - 2.5).abs() < 1e-12,
+            "median interpolates"
+        );
+        assert!((quantile(&v, 0.25) - 1.75).abs() < 1e-12);
+        // out-of-range q clamps instead of panicking
+        assert_eq!(quantile(&v, -1.0), 1.0);
+        assert_eq!(quantile(&v, 2.0), 4.0);
     }
 
     #[test]

@@ -1,0 +1,388 @@
+//! `kc_served` — the long-running prediction daemon.
+//!
+//! ```text
+//! kc_served [--listen ADDR] [--store FILE] [--noise-free] [--reps N]
+//!          [--jobs N] [--max-inflight N] [--max-batch N]
+//!          [--trace FILE] [--metrics] [--history FILE]
+//! ```
+//!
+//! Reads line-delimited JSON [`kc_serve::PredictRequest`]s — from
+//! stdin by default (**pipe mode**: one response line per request
+//! line, in input order, drains and exits 0 at EOF), or from TCP
+//! connections with `--listen ADDR` (each connection is an
+//! independent pipe stream; concurrent connections batch together;
+//! SIGTERM stops accepting and drains).
+//!
+//! Requests resolve through one shared [`Campaign`]: each server
+//! batch prefetches its cells as a single set through the bounded
+//! cell scheduler, so duplicate cells across in-flight requests
+//! execute exactly once and at most `--jobs` cells execute at any
+//! instant.  With `--store`, cells load from / save to a kc-prophesy
+//! cell store — a warm store answers every request with zero
+//! executions — and the run appends to the `FILE.history.jsonl`
+//! sidecar on shutdown.  `--trace` writes the canonical telemetry
+//! stream (cell spans + `RequestServed` events); `--metrics` prints
+//! request-latency percentiles, batch shape and cache hit rate to
+//! stderr at shutdown.
+
+use kc_core::{HistoryRecord, JsonLinesSink, RunHistory};
+use kc_experiments::{Campaign, CampaignEngine, Runner, SummaryOpts};
+use kc_prophesy::{history_sidecar, CellStore};
+use kc_serve::{Server, ServerConfig};
+use std::path::PathBuf;
+use std::sync::Arc;
+
+/// Slow cells to keep in the `--metrics` / trace summary.
+const SUMMARY_TOP_N: usize = 10;
+
+/// Everything the command line configures.
+#[derive(Default)]
+struct Options {
+    listen: Option<String>,
+    store: Option<PathBuf>,
+    trace: Option<PathBuf>,
+    history: Option<PathBuf>,
+    metrics: bool,
+    noise_free: bool,
+    reps: Option<u32>,
+    jobs: Option<usize>,
+    max_inflight: Option<usize>,
+    max_batch: Option<usize>,
+}
+
+/// One command-line flag (same declarative table as `paper_tables`):
+/// name, value placeholder, help line, and how it lands in
+/// [`Options`].
+struct Flag {
+    name: &'static str,
+    metavar: Option<&'static str>,
+    help: &'static str,
+    apply: fn(&mut Options, &str) -> Result<(), String>,
+}
+
+fn parse_positive(name: &str, v: &str) -> Result<usize, String> {
+    let n: usize = v.parse().map_err(|_| format!("bad {name} value '{v}'"))?;
+    if n == 0 {
+        return Err(format!("{name} must be at least 1"));
+    }
+    Ok(n)
+}
+
+const FLAGS: [Flag; 10] = [
+    Flag {
+        name: "--listen",
+        metavar: Some("ADDR"),
+        help: "serve TCP connections on ADDR (e.g. 127.0.0.1:7070) instead of stdin",
+        apply: |o, v| {
+            o.listen = Some(v.to_string());
+            Ok(())
+        },
+    },
+    Flag {
+        name: "--store",
+        metavar: Some("FILE"),
+        help: "load/save raw cell measurements in a kc-prophesy cell store",
+        apply: |o, v| {
+            o.store = Some(PathBuf::from(v));
+            Ok(())
+        },
+    },
+    Flag {
+        name: "--noise-free",
+        metavar: None,
+        help: "disable the machine's timer noise",
+        apply: |o, _| {
+            o.noise_free = true;
+            Ok(())
+        },
+    },
+    Flag {
+        name: "--reps",
+        metavar: Some("N"),
+        help: "timing repetitions per chain cell",
+        apply: |o, v| {
+            o.reps = Some(v.parse().map_err(|_| format!("bad --reps value '{v}'"))?);
+            Ok(())
+        },
+    },
+    Flag {
+        name: "--jobs",
+        metavar: Some("N"),
+        help: "scheduler worker-pool size, >= 1 (default: available parallelism)",
+        apply: |o, v| {
+            o.jobs = Some(parse_positive("--jobs", v)?);
+            Ok(())
+        },
+    },
+    Flag {
+        name: "--max-inflight",
+        metavar: Some("N"),
+        help: "max requests queued or resolving before overload responses (default 256)",
+        apply: |o, v| {
+            o.max_inflight = Some(parse_positive("--max-inflight", v)?);
+            Ok(())
+        },
+    },
+    Flag {
+        name: "--max-batch",
+        metavar: Some("N"),
+        help: "max requests resolved per engine batch (default 64)",
+        apply: |o, v| {
+            o.max_batch = Some(parse_positive("--max-batch", v)?);
+            Ok(())
+        },
+    },
+    Flag {
+        name: "--trace",
+        metavar: Some("FILE"),
+        help: "write the telemetry stream (cells + requests) as canonical JSON lines",
+        apply: |o, v| {
+            o.trace = Some(PathBuf::from(v));
+            Ok(())
+        },
+    },
+    Flag {
+        name: "--metrics",
+        metavar: None,
+        help: "print serve + campaign aggregates to stderr at shutdown",
+        apply: |o, _| {
+            o.metrics = true;
+            Ok(())
+        },
+    },
+    Flag {
+        name: "--history",
+        metavar: Some("FILE"),
+        help: "append this run's summary + cell durations to FILE \
+               (default: STORE.history.jsonl when --store is given)",
+        apply: |o, v| {
+            o.history = Some(PathBuf::from(v));
+            Ok(())
+        },
+    },
+];
+
+fn usage_text() -> String {
+    let mut flags = String::new();
+    for f in &FLAGS {
+        let head = match f.metavar {
+            Some(m) => format!("{} {m}", f.name),
+            None => f.name.to_string(),
+        };
+        flags.push_str(&format!("  {head:<22} {}\n", f.help));
+    }
+    format!(
+        "usage: kc_served [FLAG ...]\n\
+         reads line-delimited JSON prediction requests from stdin \
+         (one response line per request line, in order; EOF drains \
+         and exits) unless --listen is given\n{flags}"
+    )
+}
+
+fn die(msg: String) -> ! {
+    eprintln!("error: {msg}");
+    eprint!("{}", usage_text());
+    std::process::exit(2);
+}
+
+fn parse_args(args: &[String]) -> Options {
+    let mut o = Options::default();
+    let mut i = 0;
+    while i < args.len() {
+        let arg = args[i].as_str();
+        if arg == "--help" || arg == "-h" {
+            print!("{}", usage_text());
+            std::process::exit(0);
+        }
+        let Some(flag) = FLAGS.iter().find(|f| f.name == arg) else {
+            die(format!("unknown argument '{arg}'"));
+        };
+        let value = match flag.metavar {
+            Some(_) => {
+                i += 1;
+                match args.get(i) {
+                    Some(v) => v.as_str(),
+                    None => die(format!("{arg} needs a value")),
+                }
+            }
+            None => "",
+        };
+        if let Err(e) = (flag.apply)(&mut o, value) {
+            die(e);
+        }
+        i += 1;
+    }
+    o
+}
+
+/// Point SIGTERM at the server's shutdown flag, so the TCP accept
+/// loop stops and drains.  Pipe mode drains at EOF, which is the
+/// reliable shutdown path there (a blocked stdin read resumes after
+/// the handler runs and keeps the process alive until the pipe
+/// closes).
+#[cfg(unix)]
+fn install_sigterm(flag: Arc<std::sync::atomic::AtomicBool>) {
+    use std::sync::OnceLock;
+    static FLAG: OnceLock<Arc<std::sync::atomic::AtomicBool>> = OnceLock::new();
+    let _ = FLAG.set(flag);
+    extern "C" fn on_sigterm(_sig: i32) {
+        if let Some(f) = FLAG.get() {
+            f.store(true, std::sync::atomic::Ordering::SeqCst);
+        }
+    }
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    const SIGTERM: i32 = 15;
+    unsafe {
+        signal(SIGTERM, on_sigterm as *const () as usize);
+    }
+}
+
+#[cfg(not(unix))]
+fn install_sigterm(_flag: Arc<std::sync::atomic::AtomicBool>) {}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = parse_args(&args);
+
+    let mut runner = Runner::default();
+    if opts.noise_free {
+        runner.machine = runner.machine.without_noise();
+    }
+    if let Some(reps) = opts.reps {
+        runner.reps = reps;
+    }
+
+    let store: Option<Arc<CellStore>> = opts.store.as_ref().map(|p| {
+        if p.exists() {
+            Arc::new(CellStore::load(p).unwrap_or_else(|e| {
+                eprintln!("error: cannot load cell store {}: {e}", p.display());
+                std::process::exit(2);
+            }))
+        } else {
+            Arc::new(CellStore::new())
+        }
+    });
+    let history_path: Option<PathBuf> = opts
+        .history
+        .clone()
+        .or_else(|| opts.store.as_ref().map(|p| history_sidecar(p)));
+
+    let mut builder = Campaign::builder(runner);
+    if let Some(s) = &store {
+        builder = builder.backend(Box::new(Arc::clone(s)));
+    }
+    if let Some(jobs) = opts.jobs {
+        builder = builder.jobs(jobs);
+    }
+    let campaign = Arc::new(builder.build());
+    let trace_sink: Option<Arc<JsonLinesSink>> = opts.trace.as_ref().map(|p| {
+        let sink = Arc::new(JsonLinesSink::new(p.clone()));
+        campaign.attach_sink(sink.clone());
+        sink
+    });
+
+    let mut config = ServerConfig::default();
+    if let Some(n) = opts.max_inflight {
+        config.max_inflight = n;
+    }
+    if let Some(n) = opts.max_batch {
+        config.max_batch = n;
+    }
+    let engine = Arc::new(CampaignEngine::new(campaign.clone()));
+    let server = Server::new(engine, config);
+    if let Some(sink) = &trace_sink {
+        // request events land in the same trace as the cell spans
+        server.attach_sink(sink.clone() as Arc<dyn kc_core::TelemetrySink>);
+    }
+    install_sigterm(server.shutdown_flag());
+
+    let served = match &opts.listen {
+        Some(addr) => {
+            let listener = std::net::TcpListener::bind(addr).unwrap_or_else(|e| {
+                eprintln!("error: cannot listen on {addr}: {e}");
+                std::process::exit(2);
+            });
+            eprintln!(
+                "[serve] listening on {} (jobs {}, max inflight {}, max batch {})",
+                listener
+                    .local_addr()
+                    .map(|a| a.to_string())
+                    .unwrap_or_else(|_| addr.clone()),
+                campaign.jobs(),
+                config.max_inflight,
+                config.max_batch,
+            );
+            server.serve_tcp(listener)
+        }
+        None => {
+            let stdin = std::io::stdin();
+            server.serve_pipe(stdin.lock(), std::io::stdout())
+        }
+    };
+    if let Err(e) = served {
+        eprintln!("error: serve loop failed: {e}");
+        std::process::exit(1);
+    }
+    // drain every admitted request, then stop the batcher
+    server.shutdown();
+
+    let report = server.metrics().report();
+    let cache = campaign.cache_stats();
+    eprintln!(
+        "[cache] {} requests, {} memory hits, {} backend hits, {} executed",
+        cache.requests, cache.hits, cache.backend_hits, cache.executed
+    );
+    let wants_summary = opts.metrics || trace_sink.is_some() || history_path.is_some();
+    let summary = wants_summary.then(|| {
+        let mut o = SummaryOpts::top(SUMMARY_TOP_N);
+        if trace_sink.is_some() {
+            o = o.recorded();
+        }
+        campaign.summary(o)
+    });
+    if opts.metrics {
+        eprint!("[metrics]\n{report}");
+        eprint!("{}", summary.as_ref().expect("summary computed"));
+    }
+    if let Some(sink) = &trace_sink {
+        sink.flush().expect("failed to write telemetry trace");
+        eprintln!(
+            "[trace] {} events written to {}",
+            sink.len(),
+            sink.path().display()
+        );
+    }
+    if let (Some(s), Some(p)) = (&store, &opts.store) {
+        s.save(p).expect("failed to save cell store");
+        let b = s.stats();
+        eprintln!(
+            "[store] {} cells saved to {} ({} loads, {} hits, {} stores)",
+            s.len(),
+            p.display(),
+            b.loads,
+            b.load_hits,
+            b.stores
+        );
+    }
+    if let Some(p) = &history_path {
+        let summary = summary.expect("summary computed");
+        let mut record = HistoryRecord::from_events(summary, &campaign.telemetry_events())
+            .with_jobs(campaign.jobs() as u64);
+        if let Some(s) = &store {
+            record = record.with_backend(s.stats().into());
+        }
+        RunHistory::append(p, &record).expect("failed to append run history");
+        eprintln!(
+            "[history] run {} appended to {} ({} cell durations)",
+            RunHistory::load(p).map(|h| h.len()).unwrap_or(0),
+            p.display(),
+            record.cell_durations.len()
+        );
+    }
+    eprintln!(
+        "[serve] {} request(s) answered (ok {}, error {}, overloaded {}); exiting 0",
+        report.requests, report.ok, report.errors, report.overloaded
+    );
+}

@@ -344,31 +344,6 @@ impl Campaign {
         CampaignBuilder::new(runner)
     }
 
-    /// A campaign over `runner`'s machine and protocol, in-memory
-    /// cache only.
-    #[deprecated(since = "0.2.0", note = "use `Campaign::builder(runner).build()`")]
-    pub fn new(runner: Runner) -> Self {
-        Self::builder(runner).build()
-    }
-
-    /// A campaign whose cache is backed by persistent cell storage.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `Campaign::builder(runner).backend(backend).build()`"
-    )]
-    pub fn with_backend(runner: Runner, backend: Box<dyn MeasurementBackend>) -> Self {
-        Self::builder(runner).backend(backend).build()
-    }
-
-    /// A noise-free campaign (for shape-focused tests and benches).
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `Campaign::builder(Runner::noise_free()).build()`"
-    )]
-    pub fn noise_free() -> Self {
-        Self::builder(Runner::noise_free()).build()
-    }
-
     /// The runner (machine, protocol, reps) this campaign measures
     /// under.
     pub fn runner(&self) -> &Runner {

@@ -39,6 +39,7 @@ pub mod render;
 pub mod reuse;
 pub mod runner;
 pub mod scheduler;
+pub mod serve;
 pub mod sp;
 pub mod transitions;
 
@@ -46,3 +47,4 @@ pub use campaign::{AnalysisSpec, Campaign, CampaignBuilder, CampaignStats, Summa
 pub use cost::{CostModel, MeasuredCost, StaticCost};
 pub use runner::{Runner, TablePair};
 pub use scheduler::{CellScheduler, DrainStats};
+pub use serve::CampaignEngine;

@@ -1,0 +1,257 @@
+//! The campaign-backed prediction engine for `kc-serve`.
+//!
+//! [`CampaignEngine`] adapts a [`Campaign`] to the
+//! [`kc_serve::PredictionEngine`] trait: each server batch is
+//! validated into [`AnalysisSpec`]s, prefetched **as one set** through
+//! the campaign's shared cache and bounded cell scheduler — so
+//! duplicate cells across concurrent requests execute exactly once
+//! and executor concurrency stays bounded by the campaign's `--jobs`
+//! pool — then assembled per request into a
+//! [`kc_serve::PredictionReport`] with the coupling-composed
+//! prediction, the summation baseline and the per-kernel breakdown.
+//!
+//! Validation failures (unknown benchmark, bad class letter, invalid
+//! grid, out-of-range chain length, `fine` outside BT) are values:
+//! they become `error` responses and never reach the measurement
+//! layer.
+
+use crate::campaign::{AnalysisSpec, Campaign};
+use kc_core::{Prediction, Predictor};
+use kc_npb::{Benchmark, Class};
+use kc_serve::{KernelContribution, PredictRequest, PredictionEngine, PredictionReport};
+use std::sync::Arc;
+
+/// Parse a benchmark name (`bt`, `sp`, `lu`; case-insensitive).
+pub fn parse_benchmark(name: &str) -> Result<Benchmark, String> {
+    match name.to_lowercase().as_str() {
+        "bt" => Ok(Benchmark::Bt),
+        "sp" => Ok(Benchmark::Sp),
+        "lu" => Ok(Benchmark::Lu),
+        other => Err(format!(
+            "unknown benchmark `{other}` (expected bt, sp or lu)"
+        )),
+    }
+}
+
+/// Parse a class letter (`S`, `W`, `A`, `B`; case-insensitive).
+pub fn parse_class(name: &str) -> Result<Class, String> {
+    match name.to_uppercase().as_str() {
+        "S" => Ok(Class::S),
+        "W" => Ok(Class::W),
+        "A" => Ok(Class::A),
+        "B" => Ok(Class::B),
+        other => Err(format!("unknown class `{other}` (expected S, W, A or B)")),
+    }
+}
+
+/// A [`PredictionEngine`] over one shared [`Campaign`].
+pub struct CampaignEngine {
+    campaign: Arc<Campaign>,
+}
+
+impl CampaignEngine {
+    /// An engine resolving requests through `campaign`'s cache and
+    /// scheduler.
+    pub fn new(campaign: Arc<Campaign>) -> Self {
+        Self { campaign }
+    }
+
+    /// The underlying campaign (for stats, telemetry and stores).
+    pub fn campaign(&self) -> &Campaign {
+        &self.campaign
+    }
+
+    /// Validate one request into an analysis spec, without touching
+    /// the measurement layer.
+    pub fn validate(&self, request: &PredictRequest) -> Result<AnalysisSpec, String> {
+        let benchmark = parse_benchmark(&request.benchmark)?;
+        let class = parse_class(&request.class)?;
+        if request.procs == 0 || !benchmark.valid_procs(request.procs) {
+            let shape = match benchmark {
+                Benchmark::Bt | Benchmark::Sp => "a perfect square",
+                Benchmark::Lu => "a power of two",
+            };
+            return Err(format!(
+                "invalid processor count {} for {} (must be {shape})",
+                request.procs,
+                benchmark.name(),
+            ));
+        }
+        if request.fine && benchmark != Benchmark::Bt {
+            return Err(format!(
+                "the fine decomposition exists only for bt, not {}",
+                benchmark.name(),
+            ));
+        }
+        let mut spec = AnalysisSpec::new(benchmark, class, request.procs, request.chain_len);
+        if request.fine {
+            spec = spec.fine();
+        }
+        let kernels = spec.kernel_set().len();
+        if request.chain_len == 0 || request.chain_len > kernels {
+            return Err(format!(
+                "chain length {} out of range (this decomposition has {kernels} kernels)",
+                request.chain_len,
+            ));
+        }
+        Ok(spec)
+    }
+
+    /// Assemble one validated spec from the (now warm) cache.
+    fn report(&self, spec: &AnalysisSpec) -> Result<PredictionReport, String> {
+        let analysis = self.campaign.analysis(spec).map_err(|e| e.to_string())?;
+        let coefficients = analysis.coefficients().map_err(|e| e.to_string())?;
+        let coupled_secs = analysis
+            .predict(Predictor::coupling(spec.chain_len))
+            .map_err(|e| e.to_string())?;
+        let summation_secs = analysis
+            .predict(Predictor::Summation)
+            .map_err(|e| e.to_string())?;
+        let actual_secs = analysis.actual().mean();
+        let iterations = analysis.loop_iterations() as f64;
+        let set = analysis.kernel_set().clone();
+        let kernels = set
+            .ids()
+            .map(|k| {
+                let alpha = coefficients.alpha(k);
+                let isolated_secs = analysis.isolated(k).mean();
+                KernelContribution {
+                    name: set.name(k).to_string(),
+                    alpha,
+                    isolated_secs,
+                    coupled_total_secs: alpha * isolated_secs * iterations,
+                }
+            })
+            .collect();
+        let rel = |predicted: f64| {
+            Prediction {
+                predicted,
+                actual: actual_secs,
+            }
+            .rel_err_pct()
+        };
+        Ok(PredictionReport {
+            benchmark: spec.benchmark.name().to_string(),
+            class: spec.class.letter().to_string(),
+            procs: spec.procs,
+            chain_len: spec.chain_len,
+            loop_iterations: analysis.loop_iterations() as u64,
+            overhead_secs: analysis.overhead().mean(),
+            actual_secs,
+            coupled_rel_err_pct: rel(coupled_secs),
+            summation_rel_err_pct: rel(summation_secs),
+            coupled_secs,
+            summation_secs,
+            kernels,
+        })
+    }
+}
+
+impl PredictionEngine for CampaignEngine {
+    fn predict_batch(&self, batch: &[PredictRequest]) -> Vec<Result<PredictionReport, String>> {
+        let validated: Vec<Result<AnalysisSpec, String>> =
+            batch.iter().map(|r| self.validate(r)).collect();
+        let specs: Vec<AnalysisSpec> = validated
+            .iter()
+            .filter_map(|v| v.as_ref().ok())
+            .cloned()
+            .collect();
+        if !specs.is_empty() {
+            // one batch-wide prefetch: every valid request's cells
+            // dedupe against each other at the shared scheduler queue;
+            // a prefetch failure surfaces per request during assembly,
+            // which repeats the (then mostly cached) prefetch
+            let _ = self.campaign.prefetch(&specs);
+        }
+        validated
+            .into_iter()
+            .map(|v| v.and_then(|spec| self.report(&spec)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::Runner;
+
+    fn engine() -> CampaignEngine {
+        CampaignEngine::new(Arc::new(Campaign::builder(Runner::noise_free()).build()))
+    }
+
+    fn request(benchmark: &str, class: &str, procs: usize, chain_len: usize) -> PredictRequest {
+        PredictRequest {
+            id: 0,
+            benchmark: benchmark.into(),
+            class: class.into(),
+            procs,
+            chain_len,
+            fine: false,
+        }
+    }
+
+    #[test]
+    fn validation_rejects_bad_specs_without_measuring() {
+        let e = engine();
+        let cases = [
+            (request("ft", "S", 4, 2), "unknown benchmark"),
+            (request("bt", "C", 4, 2), "unknown class"),
+            (request("bt", "S", 5, 2), "perfect square"),
+            (request("lu", "S", 6, 2), "power of two"),
+            (request("bt", "S", 0, 2), "invalid processor count"),
+            (request("bt", "S", 4, 0), "chain length 0 out of range"),
+            (request("bt", "S", 4, 99), "chain length 99 out of range"),
+        ];
+        for (req, needle) in cases {
+            let err = e.validate(&req).unwrap_err();
+            assert!(err.contains(needle), "{req:?}: {err}");
+        }
+        let mut fine = request("sp", "S", 4, 2);
+        fine.fine = true;
+        assert!(e.validate(&fine).unwrap_err().contains("only for bt"));
+        assert_eq!(e.campaign().cache_stats().requests, 0, "nothing measured");
+    }
+
+    #[test]
+    fn case_insensitive_names_validate() {
+        let e = engine();
+        let spec = e.validate(&request("BT", "w", 9, 3)).unwrap();
+        assert_eq!(spec.benchmark, Benchmark::Bt);
+        assert_eq!(spec.class, Class::W);
+    }
+
+    #[test]
+    fn batch_mixes_reports_and_errors_in_order() {
+        let e = engine();
+        let results = e.predict_batch(&[
+            request("bt", "S", 4, 2),
+            request("ft", "S", 4, 2),
+            request("bt", "S", 4, 2),
+        ]);
+        assert_eq!(results.len(), 3);
+        let first = results[0].as_ref().unwrap();
+        assert!(results[1].is_err());
+        let third = results[2].as_ref().unwrap();
+        assert_eq!(first, third, "identical requests get identical reports");
+        assert_eq!(first.benchmark, "bt");
+        assert_eq!(first.class, "S");
+        assert_eq!(first.kernels.len(), 5, "BT has five loop kernels");
+        // the breakdown recomposes the prediction exactly
+        let total: f64 = first.kernels.iter().map(|k| k.coupled_total_secs).sum();
+        assert!(
+            (first.overhead_secs + total - first.coupled_secs).abs() < 1e-9,
+            "overhead + Σ α_k·E_k·iters = coupled prediction"
+        );
+        assert!(first.actual_secs > 0.0);
+    }
+
+    #[test]
+    fn duplicate_requests_in_one_batch_measure_cells_once() {
+        let e = engine();
+        let req = request("bt", "S", 4, 2);
+        e.predict_batch(&[req.clone(), req.clone(), req]);
+        let stats = e.campaign().cache_stats();
+        // 5 isolated + 5 pair windows + overhead + application
+        assert_eq!(stats.executed, 12, "each unique cell executed once");
+    }
+}

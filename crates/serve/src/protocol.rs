@@ -1,0 +1,245 @@
+//! The line-delimited JSON wire protocol.
+//!
+//! One [`PredictRequest`] per input line, one [`PredictResponse`] per
+//! output line, **in input order** — a client can pipeline requests
+//! and match responses positionally or by `id` (echoed verbatim).
+//!
+//! A response's `status` is one of the [`status`] constants: `ok`
+//! (with a [`PredictionReport`] in `result`), `error` (malformed line
+//! or invalid spec, with `error` text) or `overloaded` (admission
+//! control rejected the request; retry later).  Responses carry no
+//! timing fields, so the stream is byte-identical across `--jobs`
+//! values and batch splits.
+
+use serde::{Deserialize, Serialize};
+
+/// Terminal response statuses.
+pub mod status {
+    /// Prediction computed; `result` is populated.
+    pub const OK: &str = "ok";
+    /// Malformed request or invalid spec; `error` says why.
+    pub const ERROR: &str = "error";
+    /// Rejected by admission control (queue full or draining).
+    pub const OVERLOADED: &str = "overloaded";
+}
+
+/// One prediction request: which benchmark × class × processor-count
+/// × chain-length coupling study to answer.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct PredictRequest {
+    /// Client-chosen correlation id, echoed in the response
+    /// (defaults to 0).
+    #[serde(default)]
+    pub id: u64,
+    /// Benchmark name (`bt`, `sp`, `lu`; case-insensitive).
+    pub benchmark: String,
+    /// Problem class letter (`S`, `W`, `A`, `B`; case-insensitive).
+    pub class: String,
+    /// Processor count (must be valid for the benchmark's grid).
+    pub procs: usize,
+    /// Window chain length `L` for the Eq. 2 coupling windows.
+    pub chain_len: usize,
+    /// Use the loop-level (fine) BT decomposition.
+    #[serde(default)]
+    pub fine: bool,
+}
+
+impl PredictRequest {
+    /// Compact descriptor for telemetry and logs, e.g. `bt/W/p9/len3`.
+    pub fn describe(&self) -> String {
+        format!(
+            "{}/{}/p{}/len{}{}",
+            self.benchmark.to_lowercase(),
+            self.class.to_uppercase(),
+            self.procs,
+            self.chain_len,
+            if self.fine { "/fine" } else { "" },
+        )
+    }
+}
+
+/// One kernel's contribution to the composed prediction.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct KernelContribution {
+    /// Kernel name from the benchmark's loop decomposition.
+    pub name: String,
+    /// Composition coefficient `α_k` (Eq. 2 weighted average of the
+    /// coupling values of every window containing this kernel).
+    pub alpha: f64,
+    /// Isolated per-iteration model `E_k`, seconds.
+    pub isolated_secs: f64,
+    /// This kernel's share of the coupled prediction:
+    /// `α_k·E_k·iterations`, seconds.
+    pub coupled_total_secs: f64,
+}
+
+/// The coupling-composed prediction for one request, with the
+/// summation baseline and per-kernel breakdown.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct PredictionReport {
+    /// Benchmark name, lowercase.
+    pub benchmark: String,
+    /// Problem class letter, uppercase.
+    pub class: String,
+    /// Processor count.
+    pub procs: usize,
+    /// Window chain length `L`.
+    pub chain_len: usize,
+    /// Loop iterations of the full application.
+    pub loop_iterations: u64,
+    /// Serial (init + final) overhead, seconds.
+    pub overhead_secs: f64,
+    /// Measured full-application time, seconds.
+    pub actual_secs: f64,
+    /// Coupling-composed prediction (`T = overhead + Σ α_k·E_k·iters`),
+    /// seconds.
+    pub coupled_secs: f64,
+    /// Summation baseline (`α_k = 1`), seconds.
+    pub summation_secs: f64,
+    /// Relative error `|predicted − actual| / actual` of the coupled
+    /// prediction, percent (as the paper reports it).
+    pub coupled_rel_err_pct: f64,
+    /// Relative error of the summation baseline, percent.
+    pub summation_rel_err_pct: f64,
+    /// Per-kernel breakdown, in kernel-set order.
+    pub kernels: Vec<KernelContribution>,
+}
+
+/// One response line.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct PredictResponse {
+    /// The request's correlation id (0 when the line did not parse).
+    pub id: u64,
+    /// Terminal status (see [`status`]).
+    pub status: String,
+    /// Failure detail for `error` / `overloaded`.
+    #[serde(default)]
+    pub error: Option<String>,
+    /// The prediction, for `ok`.
+    #[serde(default)]
+    pub result: Option<PredictionReport>,
+}
+
+impl PredictResponse {
+    /// A successful response.
+    pub fn ok(id: u64, result: PredictionReport) -> Self {
+        Self {
+            id,
+            status: status::OK.to_string(),
+            error: None,
+            result: Some(result),
+        }
+    }
+
+    /// A failed response.
+    pub fn error(id: u64, message: impl Into<String>) -> Self {
+        Self {
+            id,
+            status: status::ERROR.to_string(),
+            error: Some(message.into()),
+            result: None,
+        }
+    }
+
+    /// An admission-control rejection.
+    pub fn overloaded(id: u64, message: impl Into<String>) -> Self {
+        Self {
+            id,
+            status: status::OVERLOADED.to_string(),
+            error: Some(message.into()),
+            result: None,
+        }
+    }
+}
+
+/// Parse one request line.
+pub fn parse_request(line: &str) -> Result<PredictRequest, String> {
+    serde_json::from_str(line.trim()).map_err(|e| format!("bad request: {e}"))
+}
+
+/// Encode one response line (no trailing newline).
+pub fn encode_response(response: &PredictResponse) -> String {
+    serde_json::to_string(response).expect("responses serialize")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_roundtrips_and_defaults_optional_fields() {
+        let line = r#"{"benchmark":"bt","class":"w","procs":9,"chain_len":3}"#;
+        let req = parse_request(line).unwrap();
+        assert_eq!(req.id, 0, "id defaults");
+        assert!(!req.fine, "fine defaults");
+        assert_eq!(req.describe(), "bt/W/p9/len3");
+        let encoded = serde_json::to_string(&req).unwrap();
+        let back = parse_request(&encoded).unwrap();
+        assert_eq!(back, req);
+    }
+
+    #[test]
+    fn parse_rejects_garbage_and_missing_fields() {
+        assert!(parse_request("not json").is_err());
+        assert!(
+            parse_request(r#"{"benchmark":"bt"}"#).is_err(),
+            "class/procs/chain_len are required"
+        );
+    }
+
+    #[test]
+    fn describe_marks_the_fine_decomposition() {
+        let req = PredictRequest {
+            id: 7,
+            benchmark: "BT".into(),
+            class: "s".into(),
+            procs: 4,
+            chain_len: 2,
+            fine: true,
+        };
+        assert_eq!(req.describe(), "bt/S/p4/len2/fine");
+    }
+
+    #[test]
+    fn response_constructors_set_status_and_payload() {
+        let ok = PredictResponse::ok(
+            3,
+            PredictionReport {
+                benchmark: "bt".into(),
+                class: "W".into(),
+                procs: 9,
+                chain_len: 3,
+                loop_iterations: 200,
+                overhead_secs: 1.0,
+                actual_secs: 10.0,
+                coupled_secs: 9.8,
+                summation_secs: 9.0,
+                coupled_rel_err_pct: -2.0,
+                summation_rel_err_pct: -10.0,
+                kernels: vec![KernelContribution {
+                    name: "rhs".into(),
+                    alpha: 1.05,
+                    isolated_secs: 0.02,
+                    coupled_total_secs: 4.2,
+                }],
+            },
+        );
+        assert_eq!(ok.status, status::OK);
+        assert!(ok.error.is_none());
+        assert_eq!(ok.result.as_ref().unwrap().kernels.len(), 1);
+
+        let err = PredictResponse::error(0, "bad request: not json");
+        assert_eq!(err.status, status::ERROR);
+        assert!(err.result.is_none());
+
+        let over = PredictResponse::overloaded(9, "queue full");
+        assert_eq!(over.status, status::OVERLOADED);
+
+        // every shape round-trips through the wire encoding
+        for r in [ok, err, over] {
+            let line = encode_response(&r);
+            let back: PredictResponse = serde_json::from_str(&line).unwrap();
+            assert_eq!(back, r);
+        }
+    }
+}

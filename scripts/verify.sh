@@ -16,12 +16,13 @@ cargo build --release
 echo "== tests (workspace) =="
 cargo test -q --workspace
 
-echo "== tests (scheduler + concurrency + history sidecar, release) =="
-cargo test -q --release --test scheduler --test cache_concurrency --test history_sidecar
+echo "== tests (scheduler + concurrency + history sidecar + serve, release) =="
+cargo test -q --release --test scheduler --test cache_concurrency \
+    --test history_sidecar --test serve_concurrency --test golden_tables
 
 echo "== byte-identity: full tables under --jobs 1 vs --jobs 8 =="
-j1=$(mktemp) && j8=$(mktemp)
-trap 'rm -f "$j1" "$j8"' EXIT
+j1=$(mktemp) && j8=$(mktemp) && smoke=$(mktemp -d)
+trap 'rm -f "$j1" "$j8"; rm -rf "$smoke"' EXIT
 ./target/release/paper_tables all --noise-free --jobs 1 > "$j1" 2>/dev/null
 ./target/release/paper_tables all --noise-free --jobs 8 > "$j8" 2>/dev/null
 if ! cmp -s "$j1" "$j8"; then
@@ -30,6 +31,29 @@ if ! cmp -s "$j1" "$j8"; then
     exit 1
 fi
 echo "tables byte-identical across scheduler pool sizes"
+
+echo "== serve: scripted batch vs golden transcript (pipe mode) =="
+./target/release/kc_served --noise-free --store "$smoke/cells.json" \
+    < scripts/serve_smoke_requests.jsonl \
+    > "$smoke/responses.jsonl" 2> "$smoke/cold.log"
+if ! cmp -s artifacts/golden/serve_smoke.jsonl "$smoke/responses.jsonl"; then
+    echo "verify: serve responses drifted from the golden transcript"
+    diff artifacts/golden/serve_smoke.jsonl "$smoke/responses.jsonl" | head -20
+    exit 1
+fi
+grep -q "exiting 0" "$smoke/cold.log" || {
+    echo "verify: serve did not report a graceful shutdown"; cat "$smoke/cold.log"; exit 1; }
+echo "serve responses match the golden transcript; graceful EOF shutdown"
+
+echo "== serve: warm store answers the same batch with zero executions =="
+./target/release/kc_served --noise-free --store "$smoke/cells.json" \
+    < scripts/serve_smoke_requests.jsonl \
+    > "$smoke/warm.jsonl" 2> "$smoke/warm.log"
+grep -q ", 0 executed" "$smoke/warm.log" || {
+    echo "verify: warm serve run re-executed cells"; cat "$smoke/warm.log"; exit 1; }
+cmp -s artifacts/golden/serve_smoke.jsonl "$smoke/warm.jsonl" || {
+    echo "verify: warm serve responses differ from the cold run"; exit 1; }
+echo "warm store: 0 executions, byte-identical responses"
 
 echo "== docs (no rustdoc warnings) =="
 doc_log=$(cargo doc --no-deps --workspace 2>&1) || { echo "$doc_log"; exit 1; }

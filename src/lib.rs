@@ -18,6 +18,7 @@
 //! | [`grid`] | `kc-grid` | arrays, decompositions, process topologies |
 //! | [`experiments`] | `kc-experiments` | regenerators for every paper table |
 //! | [`prophesy`] | `kc-prophesy` | measurement database, planner, reuse advisor |
+//! | [`serve`] | `kc-serve` | online batched prediction service (wire protocol, server, metrics) |
 //!
 //! ## Quickstart
 //!
@@ -75,4 +76,9 @@ pub mod experiments {
 /// Prophesy-style measurement database (re-export of `kc-prophesy`).
 pub mod prophesy {
     pub use kc_prophesy::*;
+}
+
+/// The online prediction service (re-export of `kc-serve`).
+pub mod serve {
+    pub use kc_serve::*;
 }

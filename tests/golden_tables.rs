@@ -19,8 +19,10 @@
 //! ```
 
 use kernel_couplings::experiments::render::Artifact;
-use kernel_couplings::experiments::{bt, lu, sp, transitions, Campaign, MeasuredCost, Runner};
-use kernel_couplings::npb::Class;
+use kernel_couplings::experiments::{
+    analytic, bt, lu, machines, sp, transitions, Campaign, MeasuredCost, Runner,
+};
+use kernel_couplings::npb::{Benchmark, Class};
 use kernel_couplings::prophesy::CellStore;
 use serde_json::Value;
 use std::path::PathBuf;
@@ -212,6 +214,87 @@ fn golden_tables_match_store_backed_assembly() {
     assert!(
         diffs.is_empty(),
         "measured-cost scheduling changed golden values:\n  {}",
+        diffs.join("\n  ")
+    );
+}
+
+/// The extended studies (analytic composition per paper Eq. 3, and the
+/// cross-machine comparison), mirroring the `paper_tables` shapes.
+fn extended_artifacts(campaign: &Campaign) -> Vec<Artifact> {
+    let mut analytic_art = Artifact::from_couplings("analytic", vec![]);
+    analytic_art.predictions = vec![
+        analytic::analytic_table(campaign, Benchmark::Bt, Class::W, &[4, 9, 16, 25], 3).unwrap(),
+        analytic::analytic_table(campaign, Benchmark::Sp, Class::A, &[4, 9, 16, 25], 5).unwrap(),
+        analytic::analytic_table(campaign, Benchmark::Lu, Class::A, &[4, 8, 16, 32], 3).unwrap(),
+    ];
+    let (t1, o1) = machines::machine_comparison(campaign, Benchmark::Bt, Class::W, 9, 3).unwrap();
+    let (t2, o2) = machines::machine_comparison(campaign, Benchmark::Lu, Class::W, 8, 3).unwrap();
+    // the headline claim the machines table encodes must keep holding
+    for outcomes in [&o1, &o2] {
+        let (pred_ratio, actual_ratio) = machines::relative_performance(outcomes);
+        assert!(
+            (pred_ratio - actual_ratio).abs() / actual_ratio < 0.10,
+            "cross-machine ratio drifted: predicted {pred_ratio:.3}, actual {actual_ratio:.3}"
+        );
+    }
+    vec![
+        analytic_art,
+        Artifact::from_couplings("machines", vec![t1, t2]),
+    ]
+}
+
+/// Same harness as the main test, for the analytic-composition and
+/// machine-comparison studies.  These need cells the paper tables
+/// don't (machine-override fingerprints, SP 5-kernel windows), so they
+/// carry their own committed store, `cells_extended.json`.
+#[test]
+fn extended_golden_tables_match_store_backed_assembly() {
+    let dir = golden_dir();
+    let cells_path = dir.join("cells_extended.json");
+
+    if updating() {
+        let store = Arc::new(CellStore::new());
+        let campaign = Campaign::builder(Runner::noise_free())
+            .backend(Box::new(Arc::clone(&store)))
+            .build();
+        std::fs::create_dir_all(&dir).unwrap();
+        for artifact in extended_artifacts(&campaign) {
+            let json = artifact.render_json();
+            std::fs::write(dir.join(format!("{}.json", artifact.id)), json).unwrap();
+        }
+        store.save(&cells_path).unwrap();
+        eprintln!(
+            "regenerated {} extended golden cells into {}",
+            store.len(),
+            dir.display()
+        );
+        return;
+    }
+
+    let store = Arc::new(
+        CellStore::load(&cells_path)
+            .unwrap_or_else(|e| panic!("missing golden cell store {}: {e}", cells_path.display())),
+    );
+    let campaign = Campaign::builder(Runner::noise_free())
+        .backend(Box::new(Arc::clone(&store)))
+        .build();
+    let artifacts = extended_artifacts(&campaign);
+
+    let cache = campaign.cache_stats();
+    assert_eq!(
+        cache.executed, 0,
+        "cells missing from the extended golden store were re-simulated"
+    );
+    assert!(cache.backend_hits > 0);
+
+    let mut diffs = Vec::new();
+    for artifact in &artifacts {
+        check_artifact(artifact, &mut diffs);
+    }
+    assert!(
+        diffs.is_empty(),
+        "{} value(s) drifted from the extended golden tables:\n  {}",
+        diffs.len(),
         diffs.join("\n  ")
     );
 }
