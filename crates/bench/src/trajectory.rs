@@ -15,6 +15,7 @@
 use kc_core::{summarize, RunSummary, SlowCell, TelemetryEvent};
 use kc_experiments::Campaign;
 use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
 
 /// Slow cells kept in a trajectory's embedded summary.
@@ -52,6 +53,45 @@ impl BenchTrajectory {
         Self {
             name: name.to_string(),
             summary: summarize(&events, TOP_N),
+            cells,
+        }
+    }
+
+    /// Snapshot a workload measured outside a campaign — e.g. timed
+    /// reads against a warm cell store, where [`from_campaign`] would
+    /// see no `CellExecuted` telemetry because nothing executed.
+    /// `cells` carries each key's measured duration; the embedded
+    /// summary books every cell as a backend hit.
+    ///
+    /// [`from_campaign`]: BenchTrajectory::from_campaign
+    pub fn from_cells(name: &str, mut cells: Vec<SlowCell>) -> Self {
+        cells.sort_by(|a, b| a.key.cmp(&b.key));
+        let mut slowest = cells.clone();
+        slowest.sort_by(|a, b| {
+            b.duration_secs
+                .total_cmp(&a.duration_secs)
+                .then_with(|| a.key.cmp(&b.key))
+        });
+        slowest.truncate(TOP_N);
+        let n = cells.len() as u64;
+        let mut per_benchmark: BTreeMap<String, u64> = BTreeMap::new();
+        for cell in &cells {
+            let benchmark = cell.key.split('|').next().unwrap_or("").to_string();
+            *per_benchmark.entry(benchmark).or_insert(0) += 1;
+        }
+        let summary = RunSummary {
+            requests: n,
+            backend_hits: n,
+            unique_cells: n,
+            cache_hit_rate: if n > 0 { 1.0 } else { 0.0 },
+            per_benchmark,
+            serial_cell_secs: cells.iter().map(|c| c.duration_secs).sum(),
+            slowest,
+            ..RunSummary::default()
+        };
+        Self {
+            name: name.to_string(),
+            summary,
             cells,
         }
     }

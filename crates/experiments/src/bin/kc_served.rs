@@ -1,9 +1,9 @@
 //! `kc_served` — the long-running prediction daemon.
 //!
 //! ```text
-//! kc_served [--listen ADDR] [--store FILE] [--noise-free] [--reps N]
-//!          [--jobs N] [--max-inflight N] [--max-batch N]
-//!          [--trace FILE] [--metrics] [--history FILE]
+//! kc_served [--listen ADDR] [--store PATH] [--store-format FORMAT]
+//!          [--noise-free] [--reps N] [--jobs N] [--max-inflight N]
+//!          [--max-batch N] [--trace FILE] [--metrics] [--history FILE]
 //! ```
 //!
 //! Reads line-delimited JSON [`kc_serve::PredictRequest`]s — from
@@ -19,15 +19,19 @@
 //! execute exactly once and at most `--jobs` cells execute at any
 //! instant.  With `--store`, cells load from / save to a kc-prophesy
 //! cell store — a warm store answers every request with zero
-//! executions — and the run appends to the `FILE.history.jsonl`
-//! sidecar on shutdown.  `--trace` writes the canonical telemetry
+//! executions — and the run appends to the `PATH.history.jsonl`
+//! sidecar on shutdown.  The store format is auto-detected (JSON file
+//! or sharded binary directory); `--store-format {json,sharded}`
+//! picks the format for a fresh PATH.  The sharded format appends
+//! each measured cell immediately, so a second instance over the same
+//! store directory sees this one's cells as they land.  `--trace` writes the canonical telemetry
 //! stream (cell spans + `RequestServed` events); `--metrics` prints
 //! request-latency percentiles, batch shape and cache hit rate to
 //! stderr at shutdown.
 
 use kc_core::{HistoryRecord, JsonLinesSink, RunHistory};
 use kc_experiments::{Campaign, CampaignEngine, Runner, SummaryOpts};
-use kc_prophesy::{history_sidecar, CellStore};
+use kc_prophesy::{history_sidecar, open_store, CellBackend, StoreFormat};
 use kc_serve::{Server, ServerConfig};
 use std::path::PathBuf;
 use std::sync::Arc;
@@ -40,6 +44,7 @@ const SUMMARY_TOP_N: usize = 10;
 struct Options {
     listen: Option<String>,
     store: Option<PathBuf>,
+    store_format: Option<StoreFormat>,
     trace: Option<PathBuf>,
     history: Option<PathBuf>,
     metrics: bool,
@@ -68,7 +73,7 @@ fn parse_positive(name: &str, v: &str) -> Result<usize, String> {
     Ok(n)
 }
 
-const FLAGS: [Flag; 10] = [
+const FLAGS: [Flag; 11] = [
     Flag {
         name: "--listen",
         metavar: Some("ADDR"),
@@ -80,10 +85,20 @@ const FLAGS: [Flag; 10] = [
     },
     Flag {
         name: "--store",
-        metavar: Some("FILE"),
+        metavar: Some("PATH"),
         help: "load/save raw cell measurements in a kc-prophesy cell store",
         apply: |o, v| {
             o.store = Some(PathBuf::from(v));
+            Ok(())
+        },
+    },
+    Flag {
+        name: "--store-format",
+        metavar: Some("FORMAT"),
+        help: "cell-store format for a fresh --store PATH: 'json' or 'sharded' \
+               (existing stores are auto-detected)",
+        apply: |o, v| {
+            o.store_format = Some(v.parse()?);
             Ok(())
         },
     },
@@ -254,15 +269,11 @@ fn main() {
         runner.reps = reps;
     }
 
-    let store: Option<Arc<CellStore>> = opts.store.as_ref().map(|p| {
-        if p.exists() {
-            Arc::new(CellStore::load(p).unwrap_or_else(|e| {
-                eprintln!("error: cannot load cell store {}: {e}", p.display());
-                std::process::exit(2);
-            }))
-        } else {
-            Arc::new(CellStore::new())
-        }
+    let store: Option<Arc<dyn CellBackend>> = opts.store.as_ref().map(|p| {
+        open_store(p, opts.store_format).unwrap_or_else(|e| {
+            eprintln!("error: cannot open cell store {}: {e}", p.display());
+            std::process::exit(2);
+        })
     });
     let history_path: Option<PathBuf> = opts
         .history
@@ -355,12 +366,13 @@ fn main() {
         );
     }
     if let (Some(s), Some(p)) = (&store, &opts.store) {
-        s.save(p).expect("failed to save cell store");
+        s.flush().expect("failed to save cell store");
         let b = s.stats();
         eprintln!(
-            "[store] {} cells saved to {} ({} loads, {} hits, {} stores)",
+            "[store] {} cells saved to {} ({}, {} loads, {} hits, {} stores)",
             s.len(),
             p.display(),
+            s.format(),
             b.loads,
             b.load_hits,
             b.stores

@@ -1,9 +1,9 @@
 //! Regenerate the paper's tables from the command line.
 //!
 //! ```text
-//! paper_tables [EXPERIMENT ...] [--noise-free] [--out DIR] [--reps N] [--store FILE]
-//!              [--trace FILE] [--metrics] [--history FILE] [--cost-model MODEL]
-//!              [--jobs N]
+//! paper_tables [EXPERIMENT ...] [--noise-free] [--out DIR] [--reps N] [--store PATH]
+//!              [--store-format FORMAT] [--trace FILE] [--metrics] [--history FILE]
+//!              [--cost-model MODEL] [--jobs N]
 //!
 //! EXPERIMENT: classes | bt-s | bt-w | bt-a | sp-w | sp-a | sp-b |
 //!             lu-w | lu-a | lu-b | transitions | ablations | all
@@ -24,13 +24,16 @@
 //!
 //! With `--out DIR`, each experiment additionally writes `<id>.txt`
 //! and `<id>.json` artifacts into DIR (consumed by EXPERIMENTS.md).
-//! With `--store FILE`, raw cell measurements are loaded from and
+//! With `--store PATH`, raw cell measurements are loaded from and
 //! saved to a `kc-prophesy` cell store, so a re-run (or a run with
-//! more experiments) measures only what the file doesn't hold — and
+//! more experiments) measures only what the store doesn't hold — and
 //! each run appends its `RunSummary`, backend counters and measured
-//! cell durations to the run-history sidecar `FILE.history.jsonl`
+//! cell durations to the run-history sidecar `PATH.history.jsonl`
 //! (`--history` overrides the sidecar path, or enables it without a
-//! store).
+//! store).  The store's on-disk format is auto-detected (a JSON file
+//! or a sharded binary directory); `--store-format {json,sharded}`
+//! picks the format when PATH doesn't exist yet (default: json).
+//! Table values are byte-identical whichever format backs the run.
 //!
 //! With `--cost-model measured`, the execute phase is scheduled by the
 //! real cell durations recorded in the history sidecar (or a prior
@@ -53,7 +56,7 @@ use kc_experiments::{
 };
 use kc_machine::MachineConfig;
 use kc_npb::{Benchmark, Class};
-use kc_prophesy::{history_sidecar, CellStore};
+use kc_prophesy::{history_sidecar, open_store, CellBackend, StoreFormat};
 use std::path::PathBuf;
 use std::sync::Arc;
 
@@ -93,6 +96,7 @@ struct Options {
     experiments: Vec<String>,
     out: Option<PathBuf>,
     store: Option<PathBuf>,
+    store_format: Option<StoreFormat>,
     trace: Option<PathBuf>,
     history: Option<PathBuf>,
     measured_cost: bool,
@@ -113,7 +117,7 @@ struct Flag {
     apply: fn(&mut Options, &str) -> Result<(), String>,
 }
 
-const FLAGS: [Flag; 9] = [
+const FLAGS: [Flag; 10] = [
     Flag {
         name: "--noise-free",
         metavar: None,
@@ -143,10 +147,20 @@ const FLAGS: [Flag; 9] = [
     },
     Flag {
         name: "--store",
-        metavar: Some("FILE"),
+        metavar: Some("PATH"),
         help: "load/save raw cell measurements in a kc-prophesy cell store",
         apply: |o, v| {
             o.store = Some(PathBuf::from(v));
+            Ok(())
+        },
+    },
+    Flag {
+        name: "--store-format",
+        metavar: Some("FORMAT"),
+        help: "cell-store format for a fresh --store PATH: 'json' or 'sharded' \
+               (existing stores are auto-detected)",
+        apply: |o, v| {
+            o.store_format = Some(v.parse()?);
             Ok(())
         },
     },
@@ -542,15 +556,11 @@ fn main() {
         runner.reps = reps;
     }
 
-    let store: Option<Arc<CellStore>> = opts.store.as_ref().map(|p| {
-        if p.exists() {
-            Arc::new(CellStore::load(p).unwrap_or_else(|e| {
-                eprintln!("error: cannot load cell store {}: {e}", p.display());
-                std::process::exit(2);
-            }))
-        } else {
-            Arc::new(CellStore::new())
-        }
+    let store: Option<Arc<dyn CellBackend>> = opts.store.as_ref().map(|p| {
+        open_store(p, opts.store_format).unwrap_or_else(|e| {
+            eprintln!("error: cannot open cell store {}: {e}", p.display());
+            std::process::exit(2);
+        })
     });
     // the sidecar rides along with --store unless --history overrides
     let history_path: Option<PathBuf> = opts
@@ -656,12 +666,13 @@ fn main() {
         );
     }
     if let (Some(s), Some(p)) = (&store, &opts.store) {
-        s.save(p).expect("failed to save cell store");
+        s.flush().expect("failed to save cell store");
         let b = s.stats();
         eprintln!(
-            "[store] {} cells saved to {} ({} loads, {} hits, {} stores)",
+            "[store] {} cells saved to {} ({}, {} loads, {} hits, {} stores)",
             s.len(),
             p.display(),
+            s.format(),
             b.loads,
             b.load_hits,
             b.stores

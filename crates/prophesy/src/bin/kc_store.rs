@@ -1,0 +1,197 @@
+//! `kc_store` — cell-store maintenance from the command line.
+//!
+//! ```text
+//! kc_store convert SRC DST [--format {json,sharded}] [--shards N]
+//! kc_store inspect PATH
+//! kc_store compact PATH
+//! ```
+//!
+//! `convert` copies every cell from one store into a freshly created
+//! one (refusing to overwrite an existing DST).  The target format is
+//! taken from `--format`, or inferred as the opposite of SRC's —
+//! converting is almost always a json↔sharded move.  Samples travel
+//! as raw `f64` values through both formats, so convert is lossless:
+//! `json → sharded → json` reproduces the original file byte for
+//! byte.
+//!
+//! `inspect` prints a store's format, cell and sample counts, and
+//! per-shard layout for sharded stores.  `compact` rewrites a sharded
+//! store's segments with one record per live cell, dropping
+//! superseded appends.
+
+use kc_prophesy::{detect_format, open_store, CellBackend, ShardedStore, StoreFormat};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+fn usage_text() -> String {
+    "usage: kc_store COMMAND ...\n\
+     commands:\n\
+     \x20 convert SRC DST [--format FORMAT] [--shards N]\n\
+     \x20     copy every cell of the store at SRC into a new store at DST;\n\
+     \x20     FORMAT is 'json' or 'sharded' (default: the opposite of SRC's),\n\
+     \x20     --shards N sets the segment count of a sharded DST\n\
+     \x20 inspect PATH\n\
+     \x20     print format, cell/sample counts and shard layout\n\
+     \x20 compact PATH\n\
+     \x20     drop superseded records from a sharded store's segments\n"
+        .to_string()
+}
+
+fn die(msg: String) -> ! {
+    eprintln!("error: {msg}");
+    eprint!("{}", usage_text());
+    std::process::exit(2);
+}
+
+fn fail(msg: String) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(1);
+}
+
+/// Open an existing store or bail out (never creates).
+fn open_existing(path: &Path) -> Arc<dyn CellBackend> {
+    if detect_format(path).is_none() {
+        fail(format!("no cell store at {}", path.display()));
+    }
+    open_store(path, None).unwrap_or_else(|e| fail(format!("cannot open {}: {e}", path.display())))
+}
+
+fn convert(args: &[String]) {
+    let mut positional: Vec<&String> = Vec::new();
+    let mut format: Option<StoreFormat> = None;
+    let mut shards: u32 = ShardedStore::DEFAULT_SHARDS;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--format" => {
+                i += 1;
+                let v = args
+                    .get(i)
+                    .unwrap_or_else(|| die("--format needs a value".into()));
+                format = Some(v.parse().unwrap_or_else(|e: String| die(e)));
+            }
+            "--shards" => {
+                i += 1;
+                let v = args
+                    .get(i)
+                    .unwrap_or_else(|| die("--shards needs a value".into()));
+                shards = v
+                    .parse()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .unwrap_or_else(|| die(format!("bad --shards value '{v}'")));
+            }
+            flag if flag.starts_with('-') => die(format!("unknown flag '{flag}'")),
+            _ => positional.push(&args[i]),
+        }
+        i += 1;
+    }
+    let [src, dst] = positional[..] else {
+        die("convert needs SRC and DST".into());
+    };
+    let (src, dst) = (PathBuf::from(src), PathBuf::from(dst));
+    if detect_format(&dst).is_some() {
+        fail(format!(
+            "{} already holds a store; convert refuses to overwrite",
+            dst.display()
+        ));
+    }
+    let source = open_existing(&src);
+    let target_format = format.unwrap_or(match source.format() {
+        StoreFormat::Json => StoreFormat::Sharded,
+        StoreFormat::Sharded => StoreFormat::Json,
+    });
+    let target: Arc<dyn CellBackend> = match target_format {
+        StoreFormat::Sharded => Arc::new(
+            ShardedStore::create(&dst, shards)
+                .unwrap_or_else(|e| fail(format!("cannot create {}: {e}", dst.display()))),
+        ),
+        StoreFormat::Json => open_store(&dst, Some(StoreFormat::Json))
+            .unwrap_or_else(|e| fail(format!("cannot create {}: {e}", dst.display()))),
+    };
+    let entries = source.entries();
+    let cells = entries.len();
+    for (key, samples) in entries {
+        target
+            .append_raw(&key, &samples)
+            .unwrap_or_else(|e| fail(format!("append to {} failed: {e}", dst.display())));
+    }
+    target
+        .flush()
+        .unwrap_or_else(|e| fail(format!("flush of {} failed: {e}", dst.display())));
+    println!(
+        "converted {cells} cells: {} ({}) -> {} ({target_format})",
+        src.display(),
+        source.format(),
+        dst.display()
+    );
+}
+
+fn inspect(path: &Path) {
+    let store = open_existing(path);
+    let entries = store.entries();
+    let samples: usize = entries.iter().map(|(_, s)| s.len()).sum();
+    println!("path:    {}", path.display());
+    println!("format:  {}", store.format());
+    println!("cells:   {}", entries.len());
+    println!("samples: {samples}");
+    if store.format() == StoreFormat::Sharded {
+        let sharded = ShardedStore::open(path)
+            .unwrap_or_else(|e| fail(format!("cannot open {}: {e}", path.display())));
+        println!("shards:  {}", sharded.shards());
+        if sharded.repaired_bytes() > 0 {
+            println!(
+                "repaired: {} torn-tail bytes truncated",
+                sharded.repaired_bytes()
+            );
+        }
+        let mut per_shard = vec![0usize; sharded.shards() as usize];
+        for (key, _) in &entries {
+            let digest = kc_prophesy::sharded::fnv1a_digest(key);
+            per_shard[(digest % sharded.shards() as u64) as usize] += 1;
+        }
+        for (i, n) in per_shard.iter().enumerate() {
+            println!("  shard {i:3}: {n} cells");
+        }
+    }
+}
+
+fn compact(path: &Path) {
+    if detect_format(path) != Some(StoreFormat::Sharded) {
+        fail(format!(
+            "{} is not a sharded store (only sharded stores compact)",
+            path.display()
+        ));
+    }
+    let store = ShardedStore::open(path)
+        .unwrap_or_else(|e| fail(format!("cannot open {}: {e}", path.display())));
+    let report = store
+        .compact()
+        .unwrap_or_else(|e| fail(format!("compaction failed: {e}")));
+    println!(
+        "compacted {}: {} -> {} records, {} -> {} bytes",
+        path.display(),
+        report.records_before,
+        report.records_after,
+        report.bytes_before,
+        report.bytes_after
+    );
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("--help") | Some("-h") => print!("{}", usage_text()),
+        Some("convert") => convert(&args[1..]),
+        Some("inspect") => match &args[1..] {
+            [path] => inspect(Path::new(path)),
+            _ => die("inspect needs exactly one PATH".into()),
+        },
+        Some("compact") => match &args[1..] {
+            [path] => compact(Path::new(path)),
+            _ => die("compact needs exactly one PATH".into()),
+        },
+        Some(other) => die(format!("unknown command '{other}'")),
+        None => die("a command is required".into()),
+    }
+}

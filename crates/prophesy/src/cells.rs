@@ -17,11 +17,12 @@
 //! bit-exactly and a store-backed campaign reproduces an in-memory
 //! one to the last bit.
 
+use crate::backend::{CellBackend, StoreFormat};
 use kc_core::{Measurement, MeasurementBackend, MeasurementKey};
 use parking_lot::Mutex;
 use serde::Value;
 use std::collections::BTreeMap;
-use std::path::Path;
+use std::path::{Path, PathBuf};
 
 /// Traffic counters of one [`CellStore`]'s backend interface: how
 /// often the campaign consulted it and how often it answered.
@@ -61,12 +62,33 @@ pub fn history_sidecar(store_path: &Path) -> std::path::PathBuf {
 pub struct CellStore {
     cells: Mutex<BTreeMap<String, Vec<f64>>>,
     stats: Mutex<BackendStats>,
+    /// Where `CellBackend::flush` persists to, when the store was
+    /// opened against a path.
+    path: Mutex<Option<PathBuf>>,
 }
 
 impl CellStore {
     /// An empty store.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// A store bound to `path`: loaded from it if the file exists,
+    /// empty otherwise.  `CellBackend::flush` saves back to the same
+    /// path.
+    pub fn open(path: &Path) -> std::io::Result<Self> {
+        let store = if path.exists() {
+            Self::load(path)?
+        } else {
+            Self::new()
+        };
+        *store.path.lock() = Some(path.to_path_buf());
+        Ok(store)
+    }
+
+    /// The path `CellBackend::flush` saves to, if one is bound.
+    pub fn bound_path(&self) -> Option<PathBuf> {
+        self.path.lock().clone()
     }
 
     /// Backend traffic counters since construction (or load).
@@ -145,7 +167,58 @@ impl CellStore {
         Ok(Self {
             cells: Mutex::new(cells),
             stats: Mutex::new(BackendStats::default()),
+            path: Mutex::new(None),
         })
+    }
+}
+
+/// The trait view of the JSON store.  Counters live here (and in the
+/// direct [`MeasurementBackend`] impl below) such that each route
+/// into the store counts its traffic exactly once: the `dyn
+/// CellBackend` adapter calls `get_raw`/`append_raw`, never the
+/// concrete impl.
+impl CellBackend for CellStore {
+    fn get_raw(&self, key: &str) -> Option<Vec<f64>> {
+        let found = self.cells.lock().get(key).cloned();
+        let mut stats = self.stats.lock();
+        stats.loads += 1;
+        if found.as_ref().is_some_and(|s| !s.is_empty()) {
+            stats.load_hits += 1;
+        }
+        found
+    }
+
+    fn append_raw(&self, key: &str, samples: &[f64]) -> std::io::Result<()> {
+        self.cells.lock().insert(key.to_string(), samples.to_vec());
+        self.stats.lock().stores += 1;
+        Ok(())
+    }
+
+    fn entries(&self) -> Vec<(String, Vec<f64>)> {
+        self.cells
+            .lock()
+            .iter()
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect()
+    }
+
+    fn len(&self) -> usize {
+        CellStore::len(self)
+    }
+
+    fn stats(&self) -> BackendStats {
+        CellStore::stats(self)
+    }
+
+    fn flush(&self) -> std::io::Result<()> {
+        match self.bound_path() {
+            Some(path) => self.save(&path),
+            None => Ok(()),
+        }
+    }
+
+    fn format(&self) -> StoreFormat {
+        StoreFormat::Json
     }
 }
 

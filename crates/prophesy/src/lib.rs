@@ -14,6 +14,12 @@
 //! * [`cells`] — raw per-cell sample storage implementing
 //!   `kc_core::MeasurementBackend`, so a `CachedProvider` can persist
 //!   individual measurements across processes and campaigns;
+//! * [`backend`] — the [`CellBackend`] trait over cell stores, plus
+//!   format auto-detection ([`open_store`]) so binaries accept either
+//!   on-disk representation;
+//! * [`sharded`] — the binary [`ShardedStore`]: digest-sharded
+//!   append-only segments with checksummed frames and torn-tail
+//!   recovery, fronted by the lossy [`hot`] cache;
 //! * [`planner`] — incremental measurement planning: given what the
 //!   store already holds, which cluster runs does a new campaign
 //!   actually need?  (Isolated kernel times, the serial overhead and
@@ -46,13 +52,19 @@
 //! ```
 
 pub mod advisor;
+pub mod backend;
 pub mod cells;
+pub mod hot;
 pub mod planner;
 pub mod record;
+pub mod sharded;
 pub mod store;
 
 pub use advisor::{advise, transfer_predict, Advice};
+pub use backend::{detect_format, open_store, CellBackend, StoreFormat};
 pub use cells::{history_sidecar, BackendStats, CellStore};
+pub use hot::{HotTier, HotTierStats};
 pub use planner::{campaign_runs, MeasurementPlan};
 pub use record::{CampaignKey, CampaignRecord};
+pub use sharded::{CompactionReport, ShardedStore};
 pub use store::CampaignStore;

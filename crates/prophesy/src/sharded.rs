@@ -1,0 +1,712 @@
+//! The sharded binary cell store: append-only segment files sharded
+//! by key digest, fronted by the lossy [`HotTier`].
+//!
+//! # Layout
+//!
+//! A sharded store is a directory:
+//!
+//! ```text
+//! cells.kcs/
+//!   kcstore.json     manifest: {"format":"kc-cell-store/sharded","version":1,"shards":N}
+//!   shard-000.seg    segment of shard 0
+//!   ...
+//!   shard-N-1.seg
+//! ```
+//!
+//! A cell lives in shard `fnv1a(key) % N`, where `fnv1a` is the exact
+//! digest `kc_core::MeasurementKey::digest_u64` computes over the
+//! canonical key text — so a store and the scheduler agree on a
+//! cell's identity without ever re-parsing keys.
+//!
+//! # Record framing
+//!
+//! Each segment starts with a 12-byte header (`KCSHARD1` magic plus
+//! the shard index, little-endian u32) and then holds length-prefixed
+//! frames:
+//!
+//! ```text
+//! u32 LE payload_len | u64 LE fnv1a(payload) | payload
+//! payload = u32 LE key_len | key (utf-8) | u32 LE n_samples | n × f64 LE bits
+//! ```
+//!
+//! Appends are a single `write_all` of one frame, and re-appending a
+//! key supersedes earlier frames (last-wins on scan) — so writers
+//! never rewrite old bytes and a reader can always trust the frames
+//! it has already validated.  Samples travel as raw `f64` bits, so
+//! the binary format is bit-exact by construction.
+//!
+//! # Torn tails
+//!
+//! A crash (or a reader racing an in-flight append) can leave a
+//! partial frame at the end of a segment.  Scans validate each frame
+//! (length sanity, checksum) and simply stop at the first frame that
+//! does not check out: the intact prefix is the store.  [`ShardedStore::open`]
+//! additionally *truncates* such tails before accepting new appends —
+//! otherwise fresh frames would land behind the garbage and be
+//! invisible to every future scan.
+
+use crate::backend::{CellBackend, StoreFormat};
+use crate::cells::BackendStats;
+use crate::hot::{HotTier, HotTierStats};
+use parking_lot::Mutex;
+use serde::Value;
+use std::collections::BTreeMap;
+use std::fs::{File, OpenOptions};
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+
+/// Magic prefix of every segment file (the trailing `1` is the format
+/// version).
+const SEGMENT_MAGIC: &[u8; 8] = b"KCSHARD1";
+
+/// Segment header: magic + u32 LE shard index.
+const SEGMENT_HEADER_LEN: usize = SEGMENT_MAGIC.len() + 4;
+
+/// Frame header: u32 LE payload length + u64 LE payload checksum.
+const FRAME_HEADER_LEN: usize = 4 + 8;
+
+/// Upper bound on a single frame payload; anything larger is treated
+/// as garbage (a real cell is a key of a few hundred bytes plus a few
+/// dozen samples).
+const MAX_PAYLOAD_LEN: usize = 1 << 28;
+
+/// Manifest `format` field value.
+const MANIFEST_FORMAT: &str = "kc-cell-store/sharded";
+
+/// Manifest schema version.
+const MANIFEST_VERSION: u64 = 1;
+
+/// FNV-1a over arbitrary bytes — the same constants as
+/// `kc_core::MeasurementKey::digest_u64`, so `fnv1a(key.to_string())
+/// == key.digest_u64()` and shard placement matches key identity.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// The key digest used for shard placement — public so tools (e.g.
+/// `kc_store inspect`) can map canonical key text to shards without
+/// reconstructing a `MeasurementKey`.
+pub fn fnv1a_digest(key: &str) -> u64 {
+    fnv1a(key.as_bytes())
+}
+
+/// What one [`ShardedStore::compact`] pass did.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CompactionReport {
+    /// Frames on disk before compaction (including superseded ones).
+    pub records_before: u64,
+    /// Frames after compaction (one per live cell).
+    pub records_after: u64,
+    /// Total segment bytes before.
+    pub bytes_before: u64,
+    /// Total segment bytes after.
+    pub bytes_after: u64,
+}
+
+/// A sharded, append-only binary cell store with a lossy in-memory
+/// hot tier.
+///
+/// Reads probe the hot tier first; a miss scans the key's segment
+/// (last frame wins) and promotes the result.  Appends write one
+/// frame under the shard's lock and refresh the hot tier.  Because
+/// the tier overwrites on slot collision, residency is best-effort —
+/// but a miss only costs a shard re-read, never a wrong answer.
+pub struct ShardedStore {
+    dir: PathBuf,
+    shards: u32,
+    hot: HotTier,
+    /// Per-shard append handles; the mutex also serializes appends so
+    /// frames from concurrent writers never interleave.
+    appenders: Vec<Mutex<File>>,
+    stats: Mutex<BackendStats>,
+    /// First deferred append error, surfaced by `flush`.
+    write_error: Mutex<Option<io::Error>>,
+    /// Bytes of torn tail truncated at open, across all segments.
+    repaired_bytes: u64,
+}
+
+impl ShardedStore {
+    /// Shard count used when creating a store without an explicit
+    /// choice.
+    pub const DEFAULT_SHARDS: u32 = 16;
+
+    /// Hot-tier slots per store.
+    pub const DEFAULT_HOT_SLOTS: usize = 2048;
+
+    /// The manifest path inside a store directory (also the format
+    /// marker auto-detection looks for).
+    pub fn manifest_path(dir: &Path) -> PathBuf {
+        dir.join("kcstore.json")
+    }
+
+    /// The segment path of one shard.
+    fn segment_path(dir: &Path, shard: u32) -> PathBuf {
+        dir.join(format!("shard-{shard:03}.seg"))
+    }
+
+    /// Create a fresh empty store at `dir` with `shards` segments.
+    /// Fails if a store already lives there.
+    pub fn create(dir: &Path, shards: u32) -> io::Result<Self> {
+        let bad = |msg: String| io::Error::new(io::ErrorKind::InvalidInput, msg);
+        if shards == 0 {
+            return Err(bad("a sharded store needs at least one shard".into()));
+        }
+        if Self::manifest_path(dir).exists() {
+            return Err(bad(format!(
+                "a sharded store already exists at {}",
+                dir.display()
+            )));
+        }
+        std::fs::create_dir_all(dir)?;
+        let manifest = Value::Object(vec![
+            (
+                "format".to_string(),
+                Value::Str(MANIFEST_FORMAT.to_string()),
+            ),
+            ("version".to_string(), Value::UInt(MANIFEST_VERSION)),
+            ("shards".to_string(), Value::UInt(shards as u64)),
+        ]);
+        std::fs::write(
+            Self::manifest_path(dir),
+            serde_json::to_string_pretty(&manifest).expect("manifest serializes"),
+        )?;
+        for shard in 0..shards {
+            let mut f = File::create(Self::segment_path(dir, shard))?;
+            f.write_all(SEGMENT_MAGIC)?;
+            f.write_all(&shard.to_le_bytes())?;
+        }
+        Self::open(dir)
+    }
+
+    /// Open an existing store, validating the manifest and segment
+    /// headers and truncating any torn tail left by a crashed writer
+    /// (append-after-torn-tail would otherwise hide the new frames
+    /// behind the garbage).
+    pub fn open(dir: &Path) -> io::Result<Self> {
+        Self::open_with_hot_slots(dir, Self::DEFAULT_HOT_SLOTS)
+    }
+
+    /// [`ShardedStore::open`] with an explicit hot-tier size.  A tiny
+    /// tier maximizes lossy collisions, which is how the tests force
+    /// the shard-fallback path; a size of 1 makes every distinct key
+    /// evict the previous one.
+    pub fn open_with_hot_slots(dir: &Path, hot_slots: usize) -> io::Result<Self> {
+        let bad = |msg: String| io::Error::new(io::ErrorKind::InvalidData, msg);
+        let manifest_text = std::fs::read_to_string(Self::manifest_path(dir))?;
+        let manifest: Value =
+            serde_json::from_str(&manifest_text).map_err(|e| bad(format!("bad manifest: {e}")))?;
+        if manifest.get("format").and_then(Value::as_str) != Some(MANIFEST_FORMAT) {
+            return Err(bad(format!(
+                "{} is not a {MANIFEST_FORMAT} manifest",
+                Self::manifest_path(dir).display()
+            )));
+        }
+        let version = manifest
+            .get("version")
+            .and_then(Value::as_u64)
+            .ok_or_else(|| bad("manifest lacks a version".into()))?;
+        if version != MANIFEST_VERSION {
+            return Err(bad(format!(
+                "unsupported store version {version} (this build reads {MANIFEST_VERSION})"
+            )));
+        }
+        let shards = manifest
+            .get("shards")
+            .and_then(Value::as_u64)
+            .filter(|n| (1..=4096).contains(n))
+            .ok_or_else(|| bad("manifest lacks a sane shard count".into()))?
+            as u32;
+
+        let mut repaired_bytes = 0u64;
+        let mut appenders = Vec::with_capacity(shards as usize);
+        for shard in 0..shards {
+            let path = Self::segment_path(dir, shard);
+            if !path.exists() {
+                // a missing segment is an empty shard; recreate it so
+                // appends have somewhere to land
+                let mut f = File::create(&path)?;
+                f.write_all(SEGMENT_MAGIC)?;
+                f.write_all(&shard.to_le_bytes())?;
+            }
+            let bytes = std::fs::read(&path)?;
+            let (_, valid_len) =
+                scan_segment(&bytes, shard).map_err(|e| bad(format!("{}: {e}", path.display())))?;
+            if valid_len < bytes.len() {
+                repaired_bytes += (bytes.len() - valid_len) as u64;
+                let f = OpenOptions::new().write(true).open(&path)?;
+                f.set_len(valid_len as u64)?;
+            }
+            appenders.push(Mutex::new(OpenOptions::new().append(true).open(&path)?));
+        }
+        Ok(Self {
+            dir: dir.to_path_buf(),
+            shards,
+            hot: HotTier::new(hot_slots),
+            appenders,
+            stats: Mutex::new(BackendStats::default()),
+            write_error: Mutex::new(None),
+            repaired_bytes,
+        })
+    }
+
+    /// The store directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> u32 {
+        self.shards
+    }
+
+    /// Bytes of torn tail truncated when this store was opened.
+    pub fn repaired_bytes(&self) -> u64 {
+        self.repaired_bytes
+    }
+
+    /// Hot-tier traffic counters.
+    pub fn hot_stats(&self) -> HotTierStats {
+        self.hot.stats()
+    }
+
+    /// The shard a key lives in.
+    fn shard_of(&self, key: &str) -> u32 {
+        (fnv1a(key.as_bytes()) % self.shards as u64) as u32
+    }
+
+    /// Read a key straight from its segment, bypassing the hot tier
+    /// (last frame wins).
+    fn read_from_shard(&self, key: &str) -> io::Result<Option<Vec<f64>>> {
+        let shard = self.shard_of(key);
+        let bytes = std::fs::read(Self::segment_path(&self.dir, shard))?;
+        let (frames, _) = scan_segment(&bytes, shard)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+        Ok(frames
+            .into_iter()
+            .rev()
+            .find(|(k, _)| k == key)
+            .map(|(_, samples)| samples))
+    }
+
+    /// The samples stored under a canonical key, if any: hot-tier
+    /// probe first, shard scan (plus hot promotion) on a miss.
+    fn lookup(&self, key: &str) -> Option<Vec<f64>> {
+        let digest = fnv1a(key.as_bytes());
+        if let Some(samples) = self.hot.get(digest, key) {
+            return Some(samples);
+        }
+        match self.read_from_shard(key) {
+            Ok(Some(samples)) => {
+                self.hot.insert(digest, key, &samples);
+                Some(samples)
+            }
+            Ok(None) => None,
+            Err(e) => {
+                // a read error is not "absent", but the backend
+                // interface has no error channel; log and miss, the
+                // campaign will re-execute the cell
+                eprintln!("[store] shard read for '{key}' failed: {e}");
+                None
+            }
+        }
+    }
+
+    /// Append one frame for `key` and refresh the hot tier.
+    fn write(&self, key: &str, samples: &[f64]) -> io::Result<()> {
+        let digest = fnv1a(key.as_bytes());
+        let frame = encode_frame(key, samples);
+        let shard = self.shard_of(key);
+        {
+            let mut f = self.appenders[shard as usize].lock();
+            if let Err(e) = f.write_all(&frame).and_then(|()| f.flush()) {
+                let mut slot = self.write_error.lock();
+                if slot.is_none() {
+                    *slot = Some(io::Error::new(e.kind(), e.to_string()));
+                }
+                return Err(e);
+            }
+        }
+        self.hot.insert(digest, key, samples);
+        Ok(())
+    }
+
+    /// Scan every shard and return the live cells, sorted by key
+    /// (last frame per key wins).
+    fn scan_all(&self) -> io::Result<BTreeMap<String, Vec<f64>>> {
+        let mut cells = BTreeMap::new();
+        for shard in 0..self.shards {
+            let bytes = std::fs::read(Self::segment_path(&self.dir, shard))?;
+            let (frames, _) = scan_segment(&bytes, shard)
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+            for (key, samples) in frames {
+                cells.insert(key, samples);
+            }
+        }
+        Ok(cells)
+    }
+
+    /// Rewrite every segment with one frame per live cell, dropping
+    /// superseded frames.  Readers racing a compaction keep their old
+    /// file handle (the new segment lands by rename), writers are
+    /// held out by the shard locks.
+    pub fn compact(&self) -> io::Result<CompactionReport> {
+        let mut report = CompactionReport::default();
+        for shard in 0..self.shards {
+            let path = Self::segment_path(&self.dir, shard);
+            let mut guard = self.appenders[shard as usize].lock();
+            let bytes = std::fs::read(&path)?;
+            let (frames, _) = scan_segment(&bytes, shard)
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+            report.records_before += frames.len() as u64;
+            report.bytes_before += bytes.len() as u64;
+            let mut live = BTreeMap::new();
+            for (key, samples) in frames {
+                live.insert(key, samples);
+            }
+            report.records_after += live.len() as u64;
+
+            let tmp = path.with_extension("seg.tmp");
+            {
+                let mut f = File::create(&tmp)?;
+                f.write_all(SEGMENT_MAGIC)?;
+                f.write_all(&shard.to_le_bytes())?;
+                for (key, samples) in &live {
+                    f.write_all(&encode_frame(key, samples))?;
+                }
+                f.sync_all()?;
+            }
+            std::fs::rename(&tmp, &path)?;
+            report.bytes_after += std::fs::metadata(&path)?.len();
+            *guard = OpenOptions::new().append(true).open(&path)?;
+        }
+        Ok(report)
+    }
+}
+
+impl std::fmt::Debug for ShardedStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedStore")
+            .field("dir", &self.dir)
+            .field("shards", &self.shards)
+            .field("repaired_bytes", &self.repaired_bytes)
+            .finish_non_exhaustive()
+    }
+}
+
+impl CellBackend for ShardedStore {
+    fn get_raw(&self, key: &str) -> Option<Vec<f64>> {
+        let found = self.lookup(key);
+        let mut stats = self.stats.lock();
+        stats.loads += 1;
+        if found.as_ref().is_some_and(|s| !s.is_empty()) {
+            stats.load_hits += 1;
+        }
+        found
+    }
+
+    fn append_raw(&self, key: &str, samples: &[f64]) -> io::Result<()> {
+        self.write(key, samples)?;
+        self.stats.lock().stores += 1;
+        Ok(())
+    }
+
+    fn entries(&self) -> Vec<(String, Vec<f64>)> {
+        match self.scan_all() {
+            Ok(cells) => cells.into_iter().collect(),
+            Err(e) => {
+                eprintln!("[store] scan of {} failed: {e}", self.dir.display());
+                Vec::new()
+            }
+        }
+    }
+
+    fn stats(&self) -> BackendStats {
+        *self.stats.lock()
+    }
+
+    fn flush(&self) -> io::Result<()> {
+        if let Some(e) = self.write_error.lock().take() {
+            return Err(e);
+        }
+        for appender in &self.appenders {
+            appender.lock().sync_all()?;
+        }
+        Ok(())
+    }
+
+    fn format(&self) -> StoreFormat {
+        StoreFormat::Sharded
+    }
+}
+
+/// One encoded frame for `key` / `samples`.
+fn encode_frame(key: &str, samples: &[f64]) -> Vec<u8> {
+    let mut payload = Vec::with_capacity(8 + key.len() + samples.len() * 8);
+    payload.extend_from_slice(&(key.len() as u32).to_le_bytes());
+    payload.extend_from_slice(key.as_bytes());
+    payload.extend_from_slice(&(samples.len() as u32).to_le_bytes());
+    for s in samples {
+        payload.extend_from_slice(&s.to_bits().to_le_bytes());
+    }
+    let mut frame = Vec::with_capacity(FRAME_HEADER_LEN + payload.len());
+    frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    frame.extend_from_slice(&fnv1a(&payload).to_le_bytes());
+    frame.extend_from_slice(&payload);
+    frame
+}
+
+/// The frames of one segment in file order, plus the byte length of
+/// the validated prefix.
+type ScannedSegment = (Vec<(String, Vec<f64>)>, usize);
+
+/// Decode all intact frames of one segment.
+///
+/// Returns the frames **in file order** (callers apply last-wins) and
+/// the byte length of the validated prefix.  A torn or corrupt tail —
+/// short frame, implausible length, checksum mismatch, malformed
+/// payload — ends the scan rather than failing it; only a bad
+/// *header* makes the whole file invalid (it is not a segment at
+/// all).
+fn scan_segment(bytes: &[u8], shard: u32) -> Result<ScannedSegment, String> {
+    if bytes.len() < SEGMENT_HEADER_LEN
+        || &bytes[..SEGMENT_MAGIC.len()] != SEGMENT_MAGIC
+        || bytes[SEGMENT_MAGIC.len()..SEGMENT_HEADER_LEN] != shard.to_le_bytes()
+    {
+        return Err(format!("not a shard-{shard} segment (bad header)"));
+    }
+    let mut frames = Vec::new();
+    let mut pos = SEGMENT_HEADER_LEN;
+    while bytes.len() - pos >= FRAME_HEADER_LEN {
+        let payload_len =
+            u32::from_le_bytes(bytes[pos..pos + 4].try_into().expect("4 bytes")) as usize;
+        let checksum = u64::from_le_bytes(bytes[pos + 4..pos + 12].try_into().expect("8 bytes"));
+        let start = pos + FRAME_HEADER_LEN;
+        if payload_len > MAX_PAYLOAD_LEN || bytes.len() - start < payload_len {
+            break; // torn or garbage tail: keep the validated prefix
+        }
+        let payload = &bytes[start..start + payload_len];
+        if fnv1a(payload) != checksum {
+            break;
+        }
+        let Some(frame) = decode_payload(payload) else {
+            break;
+        };
+        frames.push(frame);
+        pos = start + payload_len;
+    }
+    Ok((frames, pos))
+}
+
+/// Decode one checksum-validated payload; `None` means the payload is
+/// internally inconsistent (which a checksum match makes vanishingly
+/// unlikely, but scans must not panic on hostile bytes).
+fn decode_payload(payload: &[u8]) -> Option<(String, Vec<f64>)> {
+    let key_len = u32::from_le_bytes(payload.get(..4)?.try_into().ok()?) as usize;
+    let key_end = 4usize.checked_add(key_len)?;
+    let key = std::str::from_utf8(payload.get(4..key_end)?).ok()?;
+    let n = u32::from_le_bytes(payload.get(key_end..key_end + 4)?.try_into().ok()?) as usize;
+    let data = payload.get(key_end + 4..)?;
+    if data.len() != n.checked_mul(8)? {
+        return None;
+    }
+    let samples = data
+        .chunks_exact(8)
+        .map(|c| f64::from_bits(u64::from_le_bytes(c.try_into().expect("8 bytes"))))
+        .collect();
+    Some((key.to_string(), samples))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        let p = std::env::temp_dir().join(format!("kc_sharded_{name}"));
+        let _ = std::fs::remove_dir_all(&p);
+        p
+    }
+
+    #[test]
+    fn digest_matches_measurement_key_digest() {
+        let key = kc_core::MeasurementKey {
+            benchmark: "BT".to_string(),
+            class: "W".to_string(),
+            procs: 9,
+            cell: kc_core::CellKind::Application,
+            reps: 1,
+            exec_digest: "w1t2".to_string(),
+            machine_fingerprint: "fp0".to_string(),
+        };
+        assert_eq!(fnv1a(key.to_string().as_bytes()), key.digest_u64());
+    }
+
+    #[test]
+    fn append_get_roundtrips_bit_exactly() {
+        let dir = tmp("roundtrip");
+        let store = ShardedStore::create(&dir, 4).unwrap();
+        let awkward = [0.1, 1.0 / 3.0, 6.02e-23, f64::MIN_POSITIVE, -0.0];
+        store.append_raw("k|1", &awkward).unwrap();
+        store.append_raw("k|2", &[]).unwrap();
+        let got = store.get_raw("k|1").unwrap();
+        let bits = |v: &[f64]| v.iter().map(|f| f.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&got), bits(&awkward));
+        assert_eq!(store.get_raw("k|2"), Some(vec![]));
+        assert_eq!(store.get_raw("missing"), None);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn reappend_supersedes_and_reopen_sees_the_latest() {
+        let dir = tmp("lastwins");
+        {
+            let store = ShardedStore::create(&dir, 2).unwrap();
+            store.append_raw("cell", &[1.0]).unwrap();
+            store.append_raw("cell", &[2.0, 3.0]).unwrap();
+            assert_eq!(store.get_raw("cell"), Some(vec![2.0, 3.0]));
+            assert_eq!(store.len(), 1);
+            store.flush().unwrap();
+        }
+        let reopened = ShardedStore::open(&dir).unwrap();
+        assert_eq!(reopened.get_raw("cell"), Some(vec![2.0, 3.0]));
+        assert_eq!(
+            reopened.entries(),
+            vec![("cell".to_string(), vec![2.0, 3.0])]
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn a_cold_get_misses_the_hot_tier_then_promotes() {
+        let dir = tmp("promote");
+        {
+            let store = ShardedStore::create(&dir, 2).unwrap();
+            store.append_raw("a", &[1.5]).unwrap();
+            store.flush().unwrap();
+        }
+        let store = ShardedStore::open(&dir).unwrap();
+        assert_eq!(store.hot_stats().hits, 0);
+        assert_eq!(store.get_raw("a"), Some(vec![1.5]));
+        let after_first = store.hot_stats();
+        assert_eq!(after_first.misses, 1, "cold read misses the tier");
+        assert_eq!(after_first.inserts, 1, "and promotes the cell");
+        assert_eq!(store.get_raw("a"), Some(vec![1.5]));
+        assert_eq!(store.hot_stats().hits, 1, "warm read is a tier hit");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_tail_is_tolerated_and_repaired_on_open() {
+        let dir = tmp("torn");
+        {
+            let store = ShardedStore::create(&dir, 1).unwrap();
+            store.append_raw("alpha", &[1.0, 2.0]).unwrap();
+            store.append_raw("beta", &[3.0]).unwrap();
+            store.flush().unwrap();
+        }
+        // tear the segment mid-frame: drop the last 5 bytes
+        let seg = ShardedStore::segment_path(&dir, 0);
+        let len = std::fs::metadata(&seg).unwrap().len();
+        OpenOptions::new()
+            .write(true)
+            .open(&seg)
+            .unwrap()
+            .set_len(len - 5)
+            .unwrap();
+
+        let store = ShardedStore::open(&dir).unwrap();
+        assert!(store.repaired_bytes() > 0, "the torn tail was truncated");
+        assert_eq!(store.get_raw("alpha"), Some(vec![1.0, 2.0]));
+        assert_eq!(store.get_raw("beta"), None, "the torn frame is gone");
+        // appends after repair are visible (not hidden behind garbage)
+        store.append_raw("gamma", &[4.0]).unwrap();
+        store.flush().unwrap();
+        let reopened = ShardedStore::open(&dir).unwrap();
+        assert_eq!(reopened.repaired_bytes(), 0);
+        assert_eq!(reopened.get_raw("gamma"), Some(vec![4.0]));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_checksum_ends_the_scan_at_the_clean_prefix() {
+        let dir = tmp("checksum");
+        {
+            let store = ShardedStore::create(&dir, 1).unwrap();
+            store.append_raw("first", &[1.0]).unwrap();
+            store.append_raw("second", &[2.0]).unwrap();
+            store.flush().unwrap();
+        }
+        let seg = ShardedStore::segment_path(&dir, 0);
+        let mut bytes = std::fs::read(&seg).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xff; // flip a bit inside the second payload
+        std::fs::write(&seg, &bytes).unwrap();
+        let store = ShardedStore::open(&dir).unwrap();
+        assert_eq!(store.get_raw("first"), Some(vec![1.0]));
+        assert_eq!(store.get_raw("second"), None);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn a_non_segment_file_is_rejected_not_misread() {
+        let dir = tmp("badheader");
+        ShardedStore::create(&dir, 1).unwrap();
+        std::fs::write(ShardedStore::segment_path(&dir, 0), b"not a segment").unwrap();
+        assert!(ShardedStore::open(&dir).is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn create_refuses_to_clobber_and_open_refuses_garbage_manifests() {
+        let dir = tmp("guard");
+        ShardedStore::create(&dir, 2).unwrap();
+        assert!(ShardedStore::create(&dir, 2).is_err());
+        std::fs::write(ShardedStore::manifest_path(&dir), "{\"format\":\"other\"}").unwrap();
+        assert!(ShardedStore::open(&dir).is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn compaction_drops_superseded_frames_and_keeps_the_data() {
+        let dir = tmp("compact");
+        let store = ShardedStore::create(&dir, 3).unwrap();
+        for round in 0..4 {
+            for i in 0..6 {
+                store
+                    .append_raw(&format!("cell-{i}"), &[round as f64, i as f64])
+                    .unwrap();
+            }
+        }
+        let before = store.entries();
+        let report = store.compact().unwrap();
+        assert_eq!(report.records_before, 24);
+        assert_eq!(report.records_after, 6);
+        assert!(report.bytes_after < report.bytes_before);
+        assert_eq!(store.entries(), before, "compaction preserves live cells");
+        // the store still accepts appends after its handles were reset
+        store.append_raw("cell-0", &[9.0]).unwrap();
+        assert_eq!(store.get_raw("cell-0"), Some(vec![9.0]));
+        let reopened = ShardedStore::open(&dir).unwrap();
+        assert_eq!(reopened.get_raw("cell-0"), Some(vec![9.0]));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn backend_stats_count_loads_hits_and_stores() {
+        let dir = tmp("stats");
+        let store = ShardedStore::create(&dir, 2).unwrap();
+        assert_eq!(store.stats(), BackendStats::default());
+        assert_eq!(store.get_raw("k"), None);
+        store.append_raw("k", &[0.5]).unwrap();
+        assert!(store.get_raw("k").is_some());
+        let s = CellBackend::stats(&store);
+        assert_eq!(s.loads, 2);
+        assert_eq!(s.load_hits, 1);
+        assert_eq!(s.stores, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -70,10 +70,9 @@ impl CampaignStore {
         if let Some(parent) = path.parent() {
             std::fs::create_dir_all(parent)?;
         }
-        std::fs::write(
-            path,
-            serde_json::to_string_pretty(self).expect("serializable store"),
-        )
+        let json = serde_json::to_string_pretty(self)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+        std::fs::write(path, json)
     }
 
     /// Load from a JSON file written by [`CampaignStore::save`].

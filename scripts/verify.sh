@@ -10,15 +10,16 @@ cargo fmt --check
 echo "== lints (clippy, warnings are errors) =="
 cargo clippy --workspace -- -D warnings
 
-echo "== build (release) =="
-cargo build --release
+echo "== build (release, all workspace binaries) =="
+cargo build --release --workspace
 
 echo "== tests (workspace) =="
 cargo test -q --workspace
 
-echo "== tests (scheduler + concurrency + history sidecar + serve, release) =="
+echo "== tests (scheduler + concurrency + history sidecar + serve + stores, release) =="
 cargo test -q --release --test scheduler --test cache_concurrency \
-    --test history_sidecar --test serve_concurrency --test golden_tables
+    --test history_sidecar --test serve_concurrency --test golden_tables \
+    --test store_backend
 
 echo "== byte-identity: full tables under --jobs 1 vs --jobs 8 =="
 j1=$(mktemp) && j8=$(mktemp) && smoke=$(mktemp -d)
@@ -31,6 +32,43 @@ if ! cmp -s "$j1" "$j8"; then
     exit 1
 fi
 echo "tables byte-identical across scheduler pool sizes"
+
+echo "== byte-identity: tables under the json vs sharded store backend =="
+bj=$(mktemp) && bs=$(mktemp)
+trap 'rm -f "$j1" "$j8" "$bj" "$bs"; rm -rf "$smoke"' EXIT
+./target/release/paper_tables bt-s transitions --noise-free \
+    --store "$smoke/cells.json" --store-format json > "$bj" 2>/dev/null
+./target/release/paper_tables bt-s transitions --noise-free \
+    --store "$smoke/cells.kcs" --store-format sharded > "$bs" 2>/dev/null
+if ! cmp -s "$bj" "$bs"; then
+    echo "verify: tables differ between json and sharded store backends"
+    diff "$bj" "$bs" | head -20
+    exit 1
+fi
+[ -f "$smoke/cells.json" ] || { echo "verify: json store not written"; exit 1; }
+[ -f "$smoke/cells.kcs/kcstore.json" ] || { echo "verify: sharded store not written"; exit 1; }
+echo "tables byte-identical across store backends"
+
+echo "== kc_store: json -> sharded -> json round-trips the golden store =="
+./target/release/kc_store convert artifacts/golden/cells_extended.json \
+    "$smoke/golden.kcs" > /dev/null
+./target/release/kc_store convert "$smoke/golden.kcs" \
+    "$smoke/golden_roundtrip.json" > /dev/null
+if ! cmp -s artifacts/golden/cells_extended.json "$smoke/golden_roundtrip.json"; then
+    echo "verify: kc_store convert round-trip is lossy"
+    exit 1
+fi
+./target/release/kc_store compact "$smoke/golden.kcs" > /dev/null
+./target/release/kc_store inspect "$smoke/golden.kcs" > /dev/null
+echo "golden store round-trips losslessly through the sharded format"
+
+echo "== kc-bench: store-read trajectory diffs cleanly against itself =="
+KC_BENCH_TRAJECTORY="$smoke/traj" cargo bench -q -p kc-bench \
+    --bench store_read > /dev/null 2>&1
+[ -f "$smoke/traj/BENCH_store_read.json" ] || {
+    echo "verify: store_read bench left no trajectory"; exit 1; }
+./target/release/kc-bench diff "$smoke/traj" "$smoke/traj"
+echo "store-read trajectory recorded and diffable"
 
 echo "== serve: scripted batch vs golden transcript (pipe mode) =="
 ./target/release/kc_served --noise-free --store "$smoke/cells.json" \

@@ -20,7 +20,8 @@
 
 use kernel_couplings::experiments::render::Artifact;
 use kernel_couplings::experiments::{
-    analytic, bt, lu, machines, sp, transitions, Campaign, MeasuredCost, Runner,
+    ablations, analytic, bt, granularity, lu, machines, reuse, sp, transitions, Campaign,
+    MeasuredCost, Runner,
 };
 use kernel_couplings::npb::{Benchmark, Class};
 use kernel_couplings::prophesy::CellStore;
@@ -34,6 +35,12 @@ const REL_TOL: f64 = 1e-6;
 /// Transition-study shape (mirrors the `paper_tables` binary).
 const TRANSITION_CLASSES: [Class; 3] = [Class::S, Class::W, Class::A];
 const TRANSITION_PROCS: [usize; 4] = [4, 9, 16, 25];
+
+/// Ablation/reuse/granularity shapes (also mirroring the binary).
+const L2_CAPS: [usize; 5] = [1 << 20, 2 << 20, 4 << 20, 8 << 20, 16 << 20];
+const CONTENTIONS: [f64; 5] = [0.0, 0.01, 0.02, 0.05, 0.1];
+const NOISE_MULTS: [f64; 4] = [0.0, 1.0, 4.0, 16.0];
+const GRANULARITY_PROCS: [usize; 3] = [4, 9, 16];
 
 fn golden_dir() -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("artifacts/golden")
@@ -294,6 +301,96 @@ fn extended_golden_tables_match_store_backed_assembly() {
     assert!(
         diffs.is_empty(),
         "{} value(s) drifted from the extended golden tables:\n  {}",
+        diffs.len(),
+        diffs.join("\n  ")
+    );
+}
+
+/// The remaining study tables — ablation sweeps, coefficient-reuse
+/// transfers and the granularity comparison — with the same
+/// `paper_tables` shapes.  Their cells (machine-variant fingerprints
+/// for the sweeps, fine-grained kernels for granularity) overlap
+/// neither committed store, so they carry `cells_studies.json`.
+fn studies_artifacts(campaign: &Campaign) -> Vec<Artifact> {
+    let ablations_art = Artifact::from_couplings(
+        "ablations",
+        vec![
+            ablations::chain_length_sweep(campaign, Benchmark::Bt, Class::W, 9).unwrap(),
+            ablations::cache_capacity_sweep(campaign, &L2_CAPS).unwrap(),
+            ablations::contention_sweep(campaign, &CONTENTIONS).unwrap(),
+            ablations::noise_sweep(campaign, &NOISE_MULTS).unwrap(),
+        ],
+    );
+    let (t1, _) =
+        reuse::proc_transfer_table(campaign, Benchmark::Bt, Class::W, &[4, 9, 16, 25], 3).unwrap();
+    let (t2, _) = reuse::class_transfer_table(
+        campaign,
+        Benchmark::Bt,
+        &[Class::S, Class::W, Class::A],
+        16,
+        3,
+    )
+    .unwrap();
+    let (t3, _) =
+        reuse::proc_transfer_table(campaign, Benchmark::Lu, Class::A, &[4, 8, 16, 32], 3).unwrap();
+    let reuse_art = Artifact::from_couplings("reuse", vec![t1, t2, t3]);
+    let (c, p) = granularity::granularity_tables(campaign, Class::W, &GRANULARITY_PROCS).unwrap();
+    let mut granularity_art = Artifact::from_couplings("granularity", vec![c]);
+    granularity_art.predictions = vec![p];
+    vec![ablations_art, reuse_art, granularity_art]
+}
+
+/// Same harness again for the study tables: committed cells only
+/// (`executed == 0`), every value within tolerance.  Together with
+/// the main and extended tests this closes golden coverage over every
+/// experiment id the `paper_tables` binary knows.
+#[test]
+fn studies_golden_tables_match_store_backed_assembly() {
+    let dir = golden_dir();
+    let cells_path = dir.join("cells_studies.json");
+
+    if updating() {
+        let store = Arc::new(CellStore::new());
+        let campaign = Campaign::builder(Runner::noise_free())
+            .backend(Box::new(Arc::clone(&store)))
+            .build();
+        std::fs::create_dir_all(&dir).unwrap();
+        for artifact in studies_artifacts(&campaign) {
+            let json = artifact.render_json();
+            std::fs::write(dir.join(format!("{}.json", artifact.id)), json).unwrap();
+        }
+        store.save(&cells_path).unwrap();
+        eprintln!(
+            "regenerated {} studies golden cells into {}",
+            store.len(),
+            dir.display()
+        );
+        return;
+    }
+
+    let store = Arc::new(
+        CellStore::load(&cells_path)
+            .unwrap_or_else(|e| panic!("missing golden cell store {}: {e}", cells_path.display())),
+    );
+    let campaign = Campaign::builder(Runner::noise_free())
+        .backend(Box::new(Arc::clone(&store)))
+        .build();
+    let artifacts = studies_artifacts(&campaign);
+
+    let cache = campaign.cache_stats();
+    assert_eq!(
+        cache.executed, 0,
+        "cells missing from the studies golden store were re-simulated"
+    );
+    assert!(cache.backend_hits > 0);
+
+    let mut diffs = Vec::new();
+    for artifact in &artifacts {
+        check_artifact(artifact, &mut diffs);
+    }
+    assert!(
+        diffs.is_empty(),
+        "{} value(s) drifted from the studies golden tables:\n  {}",
         diffs.len(),
         diffs.join("\n  ")
     );

@@ -1,0 +1,362 @@
+//! Contracts of the cell-store backends: the JSON and sharded
+//! formats hold bit-identical samples (property-tested over random
+//! keys and awkward floats), concurrent readers and appenders over
+//! one sharded store still execute each unique cell exactly once, a
+//! torn segment tail recovers to its intact prefix, and the lossy hot
+//! tier may evict whatever it wants without ever changing an answer.
+
+use kernel_couplings::coupling::{CellKind, KernelId, MeasurementKey};
+use kernel_couplings::experiments::{Campaign, CampaignEngine, Runner};
+use kernel_couplings::prophesy::{open_store, CellBackend, CellStore, ShardedStore, StoreFormat};
+use kernel_couplings::serve::{status, PredictRequest, Server, ServerConfig};
+use proptest::prelude::*;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Unique scratch directory per call (proptest reuses the process, so
+/// a fixed name would bleed state between cases).
+fn scratch(tag: &str) -> PathBuf {
+    static COUNTER: AtomicUsize = AtomicUsize::new(0);
+    let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+    let p = std::env::temp_dir().join(format!("kc_store_backend_{}_{tag}_{n}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&p);
+    std::fs::create_dir_all(&p).unwrap();
+    p
+}
+
+fn build_key(
+    benchmark: &str,
+    class: &str,
+    procs: usize,
+    chain: &[usize],
+    reps: u32,
+) -> MeasurementKey {
+    let cell = match chain.len() {
+        0 => CellKind::Application,
+        1 if chain[0] == 7 => CellKind::SerialOverhead,
+        _ => CellKind::Chain(chain.iter().map(|&i| KernelId(i as u32)).collect()),
+    };
+    MeasurementKey {
+        benchmark: benchmark.to_string(),
+        class: class.to_string(),
+        procs,
+        cell,
+        reps,
+        exec_digest: "w1t2mpb1ci".to_string(),
+        machine_fingerprint: "00ff00ff00ff00ff".to_string(),
+    }
+}
+
+const BENCHMARKS: [&str; 4] = ["BT", "SP", "LU", "BT#fine"];
+const CLASSES: [&str; 4] = ["S", "W", "A", "B"];
+
+/// Sample values that stress float fidelity: subnormals, negative
+/// zero, huge magnitudes, non-terminating decimals.
+#[derive(Clone, Debug)]
+struct AwkwardFloat;
+
+impl Strategy for AwkwardFloat {
+    type Value = f64;
+    fn generate(&self, rng: &mut proptest::test_runner::TestRng) -> f64 {
+        const FIXED: [f64; 6] = [
+            0.1,
+            1.0 / 3.0,
+            6.02e-23,
+            f64::MIN_POSITIVE,
+            -0.0,
+            1.7976931348623157e308,
+        ];
+        match rng.below(FIXED.len() * 2) {
+            i if i < FIXED.len() => FIXED[i],
+            _ => -1.0e6 + rng.next_f64() * 2.0e6,
+        }
+    }
+}
+
+fn sample_strategy() -> impl Strategy<Value = f64> {
+    AwkwardFloat
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Random cell populations land bit-identically in both formats:
+    /// write through a JSON store and a sharded store, persist both,
+    /// reload, and compare every sample's bits — plus a json→sharded
+    /// convert-style copy through `entries()`.
+    #[test]
+    fn json_and_sharded_stores_roundtrip_identically(
+        cells in prop::collection::vec(
+            (
+                (
+                    0usize..4,  // benchmark
+                    0usize..4,  // class
+                    1usize..64, // procs
+                    1u32..10,   // reps
+                ),
+                (
+                    prop::collection::vec(0usize..8, 0..4), // chain
+                    prop::collection::vec(sample_strategy(), 0..12),
+                ),
+            ),
+            1..24,
+        ),
+    ) {
+        let dir = scratch("prop");
+        let json_path = dir.join("cells.json");
+        let sharded_dir = dir.join("cells.kcs");
+        let json = CellStore::open(&json_path).unwrap();
+        let sharded = ShardedStore::create(&sharded_dir, 4).unwrap();
+
+        for ((b, c, procs, reps), (chain, samples)) in &cells {
+            let key = build_key(BENCHMARKS[*b], CLASSES[*c], *procs, chain, *reps);
+            CellBackend::append(&json, &key, samples).unwrap();
+            CellBackend::append(&sharded, &key, samples).unwrap();
+        }
+        CellBackend::flush(&json).unwrap();
+        CellBackend::flush(&sharded).unwrap();
+
+        // reload both from disk and compare entry-by-entry, bit-exact
+        let json2 = CellStore::open(&json_path).unwrap();
+        let sharded2 = ShardedStore::open(&sharded_dir).unwrap();
+        let bits = |entries: Vec<(String, Vec<f64>)>| -> Vec<(String, Vec<u64>)> {
+            entries
+                .into_iter()
+                .map(|(k, s)| (k, s.iter().map(|f| f.to_bits()).collect()))
+                .collect()
+        };
+        let json_entries = bits(CellBackend::entries(&json2));
+        let sharded_entries = bits(CellBackend::entries(&sharded2));
+        prop_assert_eq!(&json_entries, &sharded_entries);
+
+        // a convert-style copy (sharded → fresh json) reproduces the
+        // original file byte for byte
+        let copy_path = dir.join("copy.json");
+        let copy = CellStore::open(&copy_path).unwrap();
+        for (k, s) in CellBackend::entries(&sharded2) {
+            copy.append_raw(&k, &s).unwrap();
+        }
+        CellBackend::flush(&copy).unwrap();
+        prop_assert_eq!(
+            std::fs::read(&json_path).unwrap(),
+            std::fs::read(&copy_path).unwrap(),
+            "sharded→json copy must reproduce the JSON file exactly"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+fn quick_runner() -> Runner {
+    let mut runner = Runner::noise_free();
+    runner.reps = 2;
+    runner
+}
+
+fn request(id: u64, benchmark: &str, procs: usize) -> PredictRequest {
+    PredictRequest {
+        id,
+        benchmark: benchmark.to_string(),
+        class: "S".to_string(),
+        procs,
+        chain_len: 2,
+        fine: false,
+    }
+}
+
+/// The serve-concurrency warm-store contract, over the sharded
+/// backend: a cold server fills the store through concurrent
+/// requests, then a fresh server over the warm directory answers a
+/// 100-request burst with zero executions — each unique cell executed
+/// exactly once, ever.
+#[test]
+fn sharded_warm_store_answers_concurrent_requests_with_zero_executions() {
+    let dir = scratch("serve");
+    let store_dir = dir.join("cells.kcs");
+    let store: Arc<dyn CellBackend> = open_store(&store_dir, Some(StoreFormat::Sharded)).unwrap();
+
+    // phase 1: concurrent clients fill the store
+    {
+        let campaign = Arc::new(
+            Campaign::builder(quick_runner())
+                .backend(Box::new(Arc::clone(&store)))
+                .jobs(4)
+                .build(),
+        );
+        let engine = Arc::new(CampaignEngine::new(Arc::clone(&campaign)));
+        let server = Server::new(engine, ServerConfig::default());
+        std::thread::scope(|scope| {
+            for client in 0..8u64 {
+                let server = &server;
+                scope.spawn(move || {
+                    let (benchmark, procs) = if client % 2 == 0 {
+                        ("bt", 4)
+                    } else {
+                        ("lu", 8)
+                    };
+                    let response = server.submit(request(client, benchmark, procs)).wait();
+                    assert_eq!(response.status, status::OK, "{:?}", response.error);
+                });
+            }
+        });
+        server.shutdown();
+        assert!(campaign.cache_stats().executed > 0);
+        store.flush().unwrap();
+    }
+    assert!(!store.is_empty());
+
+    // phase 2: a fresh process image (new store handle, cold hot
+    // tier) over the same directory serves everything from disk
+    let store2: Arc<dyn CellBackend> = open_store(&store_dir, None).unwrap();
+    assert_eq!(store2.format(), StoreFormat::Sharded);
+    let campaign = Arc::new(
+        Campaign::builder(quick_runner())
+            .backend(Box::new(Arc::clone(&store2)))
+            .jobs(4)
+            .build(),
+    );
+    let engine = Arc::new(CampaignEngine::new(Arc::clone(&campaign)));
+    let server = Server::new(engine, ServerConfig::default());
+    let tickets: Vec<_> = (0..100u64)
+        .map(|i| {
+            let (benchmark, procs) = if i % 2 == 0 { ("bt", 4) } else { ("lu", 8) };
+            server.submit(request(i, benchmark, procs))
+        })
+        .collect();
+    for ticket in tickets {
+        let response = ticket.wait();
+        assert_eq!(response.status, status::OK, "{:?}", response.error);
+    }
+    server.shutdown();
+
+    let stats = campaign.cache_stats();
+    assert_eq!(stats.executed, 0, "warm sharded store must execute nothing");
+    assert!(stats.backend_hits > 0, "cells should come from the store");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Raw concurrent appenders and readers on one sharded store: every
+/// appended cell is readable afterwards, and appends from different
+/// threads never corrupt each other's frames (the per-shard lock
+/// keeps frames atomic).
+#[test]
+fn concurrent_appenders_and_readers_lose_nothing() {
+    let dir = scratch("raw");
+    let store = Arc::new(ShardedStore::create(&dir.join("cells.kcs"), 4).unwrap());
+    let writers = 8usize;
+    let per_writer = 25usize;
+    std::thread::scope(|scope| {
+        for w in 0..writers {
+            let store = Arc::clone(&store);
+            scope.spawn(move || {
+                for i in 0..per_writer {
+                    let key = format!("writer{w}|cell{i}");
+                    store.append_raw(&key, &[w as f64, i as f64]).unwrap();
+                    // read-your-writes while others are appending
+                    assert_eq!(
+                        store.get_raw(&key),
+                        Some(vec![w as f64, i as f64]),
+                        "{key} must be readable immediately"
+                    );
+                }
+            });
+        }
+    });
+    assert_eq!(CellBackend::len(&*store), writers * per_writer);
+    // a fresh open (no hot tier, pure disk) sees every frame intact
+    let reopened = ShardedStore::open(&dir.join("cells.kcs")).unwrap();
+    assert_eq!(reopened.repaired_bytes(), 0, "no torn frames were written");
+    for w in 0..writers {
+        for i in 0..per_writer {
+            assert_eq!(
+                reopened.get_raw(&format!("writer{w}|cell{i}")),
+                Some(vec![w as f64, i as f64])
+            );
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Torn-write recovery end to end: truncate a segment mid-record and
+/// assert the intact prefix survives, the torn cell is gone, and the
+/// store accepts (and persists) appends after the repair.
+#[test]
+fn truncated_segment_recovers_the_intact_prefix() {
+    let dir = scratch("torn");
+    let store_dir = dir.join("cells.kcs");
+    {
+        let store = ShardedStore::create(&store_dir, 1).unwrap();
+        for i in 0..10 {
+            store.append_raw(&format!("cell{i}"), &[i as f64]).unwrap();
+        }
+        store.flush().unwrap();
+    }
+    let segment = std::fs::read_dir(&store_dir)
+        .unwrap()
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .find(|p| p.extension().is_some_and(|e| e == "seg"))
+        .expect("one segment file");
+    // cut into the middle of the last record
+    let len = std::fs::metadata(&segment).unwrap().len();
+    std::fs::OpenOptions::new()
+        .write(true)
+        .open(&segment)
+        .unwrap()
+        .set_len(len - 7)
+        .unwrap();
+
+    let store = ShardedStore::open(&store_dir).unwrap();
+    assert!(store.repaired_bytes() > 0);
+    for i in 0..9 {
+        assert_eq!(
+            store.get_raw(&format!("cell{i}")),
+            Some(vec![i as f64]),
+            "intact prefix cell{i} must survive"
+        );
+    }
+    assert_eq!(store.get_raw("cell9"), None, "the torn record is dropped");
+    store.append_raw("cell9", &[99.0]).unwrap();
+    store.flush().unwrap();
+    let reopened = ShardedStore::open(&store_dir).unwrap();
+    assert_eq!(reopened.get_raw("cell9"), Some(vec![99.0]));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The lossy-tier correctness contract: with a single hot slot every
+/// distinct key evicts the previous one, so almost every read is a
+/// tier miss — and every answer must still be exactly right (served
+/// from the shard files).
+#[test]
+fn single_slot_hot_tier_still_answers_every_key_correctly() {
+    let dir = scratch("lossy");
+    let store_dir = dir.join("cells.kcs");
+    {
+        let store = ShardedStore::create(&store_dir, 4).unwrap();
+        for i in 0..50 {
+            store
+                .append_raw(&format!("cell{i}"), &[i as f64, 0.5])
+                .unwrap();
+        }
+        store.flush().unwrap();
+    }
+    let store = ShardedStore::open_with_hot_slots(&store_dir, 1).unwrap();
+    // interleaved repeats: every get collides with its predecessor
+    for round in 0..3 {
+        for i in 0..50 {
+            assert_eq!(
+                store.get_raw(&format!("cell{i}")),
+                Some(vec![i as f64, 0.5]),
+                "round {round}: eviction must never change an answer"
+            );
+        }
+    }
+    let hot = store.hot_stats();
+    assert!(
+        hot.evictions >= 100,
+        "a single slot under 50 keys must evict constantly (saw {})",
+        hot.evictions
+    );
+    assert!(hot.misses >= hot.hits, "most probes collide away");
+    let _ = std::fs::remove_dir_all(&dir);
+}
