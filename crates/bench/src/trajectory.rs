@@ -247,8 +247,14 @@ impl DirDiff {
 fn read_dir_trajectories(
     dir: &Path,
 ) -> std::io::Result<std::collections::BTreeMap<String, BenchTrajectory>> {
+    let entries = std::fs::read_dir(dir).map_err(|e| {
+        std::io::Error::new(
+            e.kind(),
+            format!("trajectory directory {}: {e}", dir.display()),
+        )
+    })?;
     let mut out = std::collections::BTreeMap::new();
-    for entry in std::fs::read_dir(dir)? {
+    for entry in entries {
         let path = entry?.path();
         let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
             continue;
@@ -260,11 +266,27 @@ fn read_dir_trajectories(
             out.insert(bench.to_string(), BenchTrajectory::read(&path)?);
         }
     }
+    // An empty side would make every diff trivially clean — a typo'd
+    // path or a bench run that never wrote its trajectory must fail
+    // the gate loudly, not pass it silently.
+    if out.is_empty() {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidInput,
+            format!(
+                "no BENCH_*.json trajectories in {} (wrong directory, or the \
+                 bench run wrote nothing?)",
+                dir.display()
+            ),
+        ));
+    }
     Ok(out)
 }
 
 /// Diff every `BENCH_*.json` pair between two trajectory directories
 /// (matched by file name).
+///
+/// A side that is missing or holds no `BENCH_*.json` files is a hard
+/// error, never an empty (and therefore trivially clean) comparison.
 pub fn diff_dirs(
     before_dir: &Path,
     after_dir: &Path,
@@ -372,6 +394,34 @@ mod tests {
         let d = diff_trajectories(&before, &after, 10.0, 0.0);
         let keys: Vec<&str> = d.regressions.iter().map(|r| r.key.as_str()).collect();
         assert_eq!(keys, ["m", "a", "x"], "worst first, then key order");
+    }
+
+    #[test]
+    fn diff_dirs_hard_errors_on_missing_or_empty_sides() {
+        let base = std::env::temp_dir().join("kc_bench_diff_dirs_missing_test");
+        let _ = std::fs::remove_dir_all(&base);
+        let full = base.join("full");
+        trajectory("t", &[("k", 1.0)]).write_to(&full).unwrap();
+
+        let missing = base.join("does_not_exist");
+        let err = diff_dirs(&missing, &full, 10.0, 0.0).unwrap_err();
+        assert!(
+            err.to_string().contains("does_not_exist"),
+            "missing dir names itself: {err}"
+        );
+        let err = diff_dirs(&full, &missing, 10.0, 0.0).unwrap_err();
+        assert!(err.to_string().contains("does_not_exist"));
+
+        let empty = base.join("empty");
+        std::fs::create_dir_all(&empty).unwrap();
+        for (before, after) in [(&empty, &full), (&full, &empty)] {
+            let err = diff_dirs(before, after, 10.0, 0.0).unwrap_err();
+            assert!(
+                err.to_string().contains("no BENCH_*.json"),
+                "an empty side is an error, not a clean diff: {err}"
+            );
+        }
+        let _ = std::fs::remove_dir_all(&base);
     }
 
     #[test]

@@ -126,18 +126,23 @@ pub enum TelemetryEvent {
     /// (`kc_serve`): which request it was, how it resolved, how many
     /// requests shared its batch and how long it waited end-to-end.
     /// Not a cell event — cell work the request triggered is reported
-    /// separately through the usual cell events.  `batch_size` and
-    /// `duration_secs` are schedule-dependent and zeroed by
-    /// [`TelemetryEvent::redacted`].
+    /// separately through the usual cell events.  `batch_size`,
+    /// `duration_secs` and `deadline_slack_secs` are
+    /// schedule-dependent and zeroed by [`TelemetryEvent::redacted`].
     RequestServed {
         /// Compact request descriptor (e.g. `bt/W/p9/len3`).
         request: String,
-        /// Terminal status: `ok`, `error` or `overloaded`.
+        /// Terminal status: `ok`, `error`, `overloaded` or `deadline`.
         status: String,
         /// Number of requests resolved in the same engine batch.
         batch_size: u64,
         /// Wall-clock seconds from admission to response.
         duration_secs: f64,
+        /// Seconds of deadline budget left when the response landed
+        /// (negative: the deadline was missed).  0 for requests
+        /// without a deadline.
+        #[serde(default)]
+        deadline_slack_secs: f64,
     },
     /// End-of-run aggregates (normally the last trace line).
     RunSummary(RunSummary),
@@ -208,6 +213,7 @@ impl TelemetryEvent {
                 status: status.clone(),
                 batch_size: 0,
                 duration_secs: 0.0,
+                deadline_slack_secs: 0.0,
             },
             TelemetryEvent::RunSummary(s) => TelemetryEvent::RunSummary(s.redacted()),
         }
@@ -912,6 +918,7 @@ mod tests {
             status: "ok".into(),
             batch_size: 7,
             duration_secs: 0.42,
+            deadline_slack_secs: 0.08,
         };
         assert!(!e.is_cell_event(), "requests are not cell events");
         assert_eq!(e.cell_key(), None);
@@ -922,8 +929,9 @@ mod tests {
                 status: "ok".into(),
                 batch_size: 0,
                 duration_secs: 0.0,
+                deadline_slack_secs: 0.0,
             },
-            "batch size and latency vary with the schedule"
+            "batch size, latency and slack vary with the schedule"
         );
         // schema round-trip, like every other variant
         let line = serde_json::to_string(&e).unwrap();

@@ -457,6 +457,19 @@ impl Campaign {
     /// specs measure nothing.  The call blocks only on *these* specs'
     /// cells, so concurrent prefetches overlap freely.
     pub fn prefetch(&self, specs: &[AnalysisSpec]) -> KcResult<CampaignStats> {
+        self.prefetch_with_deadline(specs, None)
+    }
+
+    /// [`Campaign::prefetch`] carrying a serving deadline: the
+    /// uncached cells are submitted through
+    /// [`CellScheduler::drain_with_deadline`], so an urgent serve
+    /// batch's cells jump every deadline-free cell already queued by
+    /// table campaigns.  `None` is exactly [`Campaign::prefetch`].
+    pub fn prefetch_with_deadline(
+        &self,
+        specs: &[AnalysisSpec],
+        deadline_ms: Option<f64>,
+    ) -> KcResult<CampaignStats> {
         let enumerate_started = Instant::now();
         let mut stats = CampaignStats::default();
         let mut unique: BTreeSet<MeasurementKey> = BTreeSet::new();
@@ -486,7 +499,7 @@ impl Campaign {
 
         let execute_started = Instant::now();
         let drained = self.phase(phases::EXECUTE, || {
-            let drained = self.scheduler.drain(todo)?;
+            let drained = self.scheduler.drain_with_deadline(todo, deadline_ms)?;
             // one drain event per prefetch, emitted after every cell
             // event of this drain has reached the sinks — the stream
             // stays canonical under any jobs value (the fields are

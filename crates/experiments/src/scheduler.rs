@@ -13,13 +13,17 @@
 //! [`CellScheduler`] replaces that with one global priority queue
 //! drained by a fixed pool of `jobs` worker threads:
 //!
-//! * **Priority** — highest [`CostModel`](crate::CostModel) cost pops
-//!   first (longest first, so the tail of the execute phase is not one
-//!   straggler), ties broken by canonical key order.  Ordering uses
-//!   `f64::total_cmp`, so a poisoned cost model that yields NaN skews
-//!   the schedule instead of panicking — and since cells are
-//!   bit-identical under any schedule, a skewed schedule is merely
-//!   slower, never wrong.
+//! * **Priority** — earliest deadline pops first (cells submitted via
+//!   [`CellScheduler::drain_with_deadline`] by an urgent serve batch
+//!   jump every deadline-free cell), then highest
+//!   [`CostModel`](crate::CostModel) cost (longest first, so the tail
+//!   of the execute phase is not one straggler), ties broken by
+//!   canonical key order.  Deadline-free drains all carry the same
+//!   infinite deadline, so their schedule is the original pure cost
+//!   order.  Ordering uses `f64::total_cmp`, so a poisoned cost model
+//!   that yields NaN skews the schedule instead of panicking — and
+//!   since cells are bit-identical under any schedule, a skewed
+//!   schedule is merely slower, never wrong.
 //! * **Dedup at the queue** — each distinct cell owns one completion
 //!   slot; a drain that wants an already-queued cell shares
 //!   the slot instead of enqueueing a duplicate, so cross-experiment
@@ -106,10 +110,16 @@ impl CellSlot {
     }
 }
 
-/// A queued cell, ordered so the `BinaryHeap` pops the most expensive
-/// cell first and breaks cost ties by canonical key order (smallest
-/// key first) — the schedule is deterministic for a given cost model.
+/// A queued cell, ordered so the `BinaryHeap` pops the most urgent
+/// deadline first, then the most expensive cell, then canonical key
+/// order (smallest key first) — the schedule is deterministic for a
+/// given cost model and deadline assignment.
 struct Queued {
+    /// Caller-supplied urgency, `f64::INFINITY` when the drain carries
+    /// no deadline.  Smaller pops first; all-infinite (the
+    /// deadline-free case) makes this field a no-op and the ordering
+    /// collapses to the original pure cost order.
+    deadline: f64,
     cost: f64,
     key: MeasurementKey,
     slot: Arc<CellSlot>,
@@ -117,7 +127,9 @@ struct Queued {
 
 impl PartialEq for Queued {
     fn eq(&self, other: &Self) -> bool {
-        self.cost.total_cmp(&other.cost).is_eq() && self.key == other.key
+        self.deadline.total_cmp(&other.deadline).is_eq()
+            && self.cost.total_cmp(&other.cost).is_eq()
+            && self.key == other.key
     }
 }
 
@@ -131,12 +143,17 @@ impl PartialOrd for Queued {
 
 impl Ord for Queued {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        // max-heap: greater = popped first.  Highest cost wins;
-        // total_cmp (not partial_cmp) so NaN costs order instead of
-        // panicking.  Ties: the *smallest* key should pop first, so
-        // reverse the key comparison.
-        self.cost
-            .total_cmp(&other.cost)
+        // max-heap: greater = popped first.  Earliest deadline wins
+        // (reversed comparison: smaller deadline = greater priority),
+        // then highest cost, then the *smallest* key (reversed again).
+        // Every stage is total_cmp or Ord, so NaN deadlines or costs
+        // order deterministically instead of panicking — and since
+        // cells are bit-identical under any schedule, a skewed
+        // schedule is merely slower, never wrong.
+        other
+            .deadline
+            .total_cmp(&self.deadline)
+            .then_with(|| self.cost.total_cmp(&other.cost))
             .then_with(|| other.key.cmp(&self.key))
     }
 }
@@ -208,10 +225,31 @@ impl CellScheduler {
     /// first failure among *this* drain's cells is propagated after
     /// all of them settle.
     pub fn drain(&self, cells: Vec<(MeasurementKey, f64)>) -> KcResult<DrainStats> {
+        self.drain_with_deadline(cells, None)
+    }
+
+    /// [`CellScheduler::drain`] with an urgency: cells submitted with
+    /// a deadline (milliseconds of client budget; smaller = more
+    /// urgent) pop ahead of every deadline-free cell in the queue,
+    /// regardless of cost.  `None` (and NaN, which is not a budget) is
+    /// treated as infinitely patient, making this identical to
+    /// [`CellScheduler::drain`] — the pure cost order.  A cell already
+    /// queued by a concurrent drain keeps its original priority; the
+    /// urgent drain shares the slot rather than re-prioritising it.
+    pub fn drain_with_deadline(
+        &self,
+        cells: Vec<(MeasurementKey, f64)>,
+        deadline_ms: Option<f64>,
+    ) -> KcResult<DrainStats> {
+        let deadline = match deadline_ms {
+            Some(d) if !d.is_nan() => d,
+            _ => f64::INFINITY,
+        };
         let mut stats = DrainStats::default();
         // Submit everything under one lock acquisition: a jobs=1
         // worker cannot start draining mid-submission, so the pop
-        // order over this batch is exactly the cost order.
+        // order over this batch is exactly the deadline-then-cost
+        // order.
         let tickets: Vec<(Arc<CellSlot>, bool)> = {
             let mut state = relock(self.shared.state.lock());
             let tickets = cells
@@ -223,6 +261,7 @@ impl CellScheduler {
                     let slot = CellSlot::new();
                     state.slots.insert(key.clone(), slot.clone());
                     state.queue.push(Queued {
+                        deadline,
                         cost,
                         key,
                         slot: slot.clone(),
@@ -340,6 +379,69 @@ mod tests {
             *order.lock().unwrap(),
             vec![key(3), k12[0].clone(), k12[1].clone(), key(0)],
             "NaN first (total_cmp), then the 5.0 tie in key order, then 2.0"
+        );
+    }
+
+    #[test]
+    fn deadlined_cells_jump_deadline_free_ones_regardless_of_cost() {
+        let order = Arc::new(Mutex::new(Vec::new()));
+        let gate = Arc::new((Mutex::new(false), Condvar::new()));
+        let (seen, g) = (order.clone(), gate.clone());
+        // the decoy cell (key 99) holds the single worker at the gate
+        // so later submissions pile up in the heap and pop in priority
+        // order once the gate opens
+        let sched = CellScheduler::new(
+            1,
+            Box::new(move |k| {
+                if k == &key(99) {
+                    let mut open = relock(g.0.lock());
+                    while !*open {
+                        open = relock(g.1.wait(open));
+                    }
+                }
+                seen.lock().unwrap().push(k.clone());
+                Ok(Disposition::Executed)
+            }),
+        );
+        std::thread::scope(|s| {
+            let decoy = s.spawn(|| sched.drain(vec![(key(99), 100.0)]));
+            std::thread::sleep(std::time::Duration::from_millis(30));
+            let patient = s.spawn(|| sched.drain(vec![(key(0), 9.0), (key(1), 8.0)]));
+            std::thread::sleep(std::time::Duration::from_millis(30));
+            let urgent = s.spawn(|| sched.drain_with_deadline(vec![(key(2), 0.5)], Some(250.0)));
+            std::thread::sleep(std::time::Duration::from_millis(30));
+            *gate.0.lock().unwrap() = true;
+            gate.1.notify_all();
+            decoy.join().unwrap().unwrap();
+            patient.join().unwrap().unwrap();
+            urgent.join().unwrap().unwrap();
+        });
+        assert_eq!(
+            order.lock().unwrap()[1..],
+            [key(2), key(0), key(1)],
+            "the cheap-but-urgent cell pops ahead of expensive patient cells"
+        );
+    }
+
+    #[test]
+    fn nan_deadline_is_treated_as_no_deadline() {
+        let order = Arc::new(Mutex::new(Vec::new()));
+        let seen = order.clone();
+        let sched = CellScheduler::new(
+            1,
+            Box::new(move |k| {
+                seen.lock().unwrap().push(k.clone());
+                Ok(Disposition::Executed)
+            }),
+        );
+        let stats = sched
+            .drain_with_deadline(vec![(key(0), 2.0), (key(1), 5.0)], Some(f64::NAN))
+            .unwrap();
+        assert_eq!(stats.executed, 2);
+        assert_eq!(
+            *order.lock().unwrap(),
+            vec![key(1), key(0)],
+            "NaN is not a budget: pure cost order, no panic"
         );
     }
 

@@ -160,8 +160,16 @@ impl PredictionEngine for CampaignEngine {
             // one batch-wide prefetch: every valid request's cells
             // dedupe against each other at the shared scheduler queue;
             // a prefetch failure surfaces per request during assembly,
-            // which repeats the (then mostly cached) prefetch
-            let _ = self.campaign.prefetch(&specs);
+            // which repeats the (then mostly cached) prefetch.  The
+            // batch's tightest deadline rides into the scheduler so
+            // urgent cells jump queued deadline-free table work; a
+            // batch with no deadlines takes the pure-cost path.
+            let deadline_ms = batch
+                .iter()
+                .filter_map(|r| r.deadline_ms)
+                .filter(|d| !d.is_nan())
+                .min_by(f64::total_cmp);
+            let _ = self.campaign.prefetch_with_deadline(&specs, deadline_ms);
         }
         validated
             .into_iter()
@@ -187,6 +195,7 @@ mod tests {
             procs,
             chain_len,
             fine: false,
+            deadline_ms: None,
         }
     }
 

@@ -1,0 +1,589 @@
+//! `kc-loadgen` — deadline-aware load generation with an SLO gate.
+//!
+//! ```text
+//! kc-loadgen [--rps F] [--duration-ms N] [--seed N] [--hot-fraction F]
+//!            [--deadline-ms F] [--burst N] [--burst-every-ms N]
+//!            [--malformed-every N] [--fault-disconnects N]
+//!            [--fault-stalls N] [--fault-stall-ms N]
+//!            [--connect ADDR | --store PATH [--store-format F]]
+//!            [--noise-free] [--reps N] [--jobs N] [--max-inflight N]
+//!            [--max-batch N] [--warm] [--slo SPEC] [--trajectory NAME]
+//! ```
+//!
+//! Generates a deterministic open-loop request schedule (hot/cold mix,
+//! optional bursts, deadlines and malformed fault frames — see
+//! `kc_loadgen::workload`) and drives it at the configured RPS into
+//! either a server it hosts **in-process** (default; the same
+//! campaign-backed engine `kc_served` runs, so server-side executions
+//! and the exactly-once contract are auditable) or a remote
+//! `kc_served --listen` instance via `--connect ADDR` (server
+//! internals opaque; executions report as 0).
+//!
+//! `--warm` resolves every distinct spec in the schedule once before
+//! the timed window, so the measured run exercises pure cache-hit
+//! serving — the regime where an SLO on executions (`executions<=0`)
+//! is meaningful.  Transport faults (`--fault-disconnects`,
+//! `--fault-stalls`) run *concurrently* with the measured load over
+//! TCP; in-process runs with faults configured automatically host the
+//! server on an ephemeral local port so the fault clients have a wire
+//! to cut.
+//!
+//! The run's [`LoadReport`] is printed as JSON on stdout (a summary on
+//! stderr).  With `--slo SPEC` — comma-separated `metric<=value` /
+//! `metric>=value` bounds, e.g.
+//! `p99_ms<=50,overload_rate<=0.05,exactly_once_violations<=0` — the
+//! process exits 1 if any bound is violated, making a load run a CI
+//! gate.  With `--trajectory NAME` and `KC_BENCH_TRAJECTORY` set, the
+//! report's metrics are also written as a `BENCH_NAME.json` trajectory
+//! entry for `kc-bench diff`.
+
+use kc_bench::{trajectory_dir, BenchTrajectory};
+use kc_experiments::{Campaign, CampaignEngine, Runner};
+use kc_loadgen::{
+    drive_server, drive_tcp, exactly_once_violations, schedule, spawn_faults, unique_requests,
+    DriveResult, FaultConfig, LoadReport, SloSpec, WorkloadConfig,
+};
+use kc_prophesy::{open_store, CellBackend, StoreFormat};
+use kc_serve::{Server, ServerConfig};
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Everything the command line configures.
+struct Options {
+    workload: WorkloadConfig,
+    faults: FaultConfig,
+    connect: Option<String>,
+    store: Option<PathBuf>,
+    store_format: Option<StoreFormat>,
+    noise_free: bool,
+    reps: Option<u32>,
+    jobs: Option<usize>,
+    max_inflight: Option<usize>,
+    max_batch: Option<usize>,
+    warm: bool,
+    slo: Option<SloSpec>,
+    trajectory: Option<String>,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Self {
+            workload: WorkloadConfig::default(),
+            faults: FaultConfig {
+                stall: Duration::from_millis(200),
+                ..FaultConfig::default()
+            },
+            connect: None,
+            store: None,
+            store_format: None,
+            noise_free: false,
+            reps: None,
+            jobs: None,
+            max_inflight: None,
+            max_batch: None,
+            warm: false,
+            slo: None,
+            trajectory: None,
+        }
+    }
+}
+
+/// One command-line flag (the same declarative table as `kc_served`):
+/// name, value placeholder, help line, and how it lands in
+/// [`Options`].
+struct Flag {
+    name: &'static str,
+    metavar: Option<&'static str>,
+    help: &'static str,
+    apply: fn(&mut Options, &str) -> Result<(), String>,
+}
+
+fn parse_positive(name: &str, v: &str) -> Result<usize, String> {
+    let n: usize = v.parse().map_err(|_| format!("bad {name} value '{v}'"))?;
+    if n == 0 {
+        return Err(format!("{name} must be at least 1"));
+    }
+    Ok(n)
+}
+
+fn parse_count(name: &str, v: &str) -> Result<usize, String> {
+    v.parse().map_err(|_| format!("bad {name} value '{v}'"))
+}
+
+fn parse_f64(name: &str, v: &str) -> Result<f64, String> {
+    let x: f64 = v.parse().map_err(|_| format!("bad {name} value '{v}'"))?;
+    if !x.is_finite() {
+        return Err(format!("{name} must be finite, got '{v}'"));
+    }
+    Ok(x)
+}
+
+const FLAGS: [Flag; 22] = [
+    Flag {
+        name: "--rps",
+        metavar: Some("F"),
+        help: "target arrival rate, requests/second (default 200)",
+        apply: |o, v| {
+            let rps = parse_f64("--rps", v)?;
+            if rps <= 0.0 {
+                return Err("--rps must be positive".to_string());
+            }
+            o.workload.rps = rps;
+            Ok(())
+        },
+    },
+    Flag {
+        name: "--duration-ms",
+        metavar: Some("N"),
+        help: "paced window length, milliseconds (default 2000)",
+        apply: |o, v| {
+            o.workload.duration = Duration::from_millis(parse_positive("--duration-ms", v)? as u64);
+            Ok(())
+        },
+    },
+    Flag {
+        name: "--seed",
+        metavar: Some("N"),
+        help: "workload seed: same seed, same request stream (default 42)",
+        apply: |o, v| {
+            o.workload.seed = v.parse().map_err(|_| format!("bad --seed value '{v}'"))?;
+            Ok(())
+        },
+    },
+    Flag {
+        name: "--hot-fraction",
+        metavar: Some("F"),
+        help: "share of requests drawn from the hot key set, 0..=1 (default 0.9)",
+        apply: |o, v| {
+            let f = parse_f64("--hot-fraction", v)?;
+            if !(0.0..=1.0).contains(&f) {
+                return Err("--hot-fraction must be in 0..=1".to_string());
+            }
+            o.workload.hot_fraction = f;
+            Ok(())
+        },
+    },
+    Flag {
+        name: "--deadline-ms",
+        metavar: Some("F"),
+        help: "attach this deadline to every request (default: none — \
+               a deadline-free, strictly FIFO-batched stream)",
+        apply: |o, v| {
+            let d = parse_f64("--deadline-ms", v)?;
+            if d <= 0.0 {
+                return Err("--deadline-ms must be positive".to_string());
+            }
+            o.workload.deadline_ms = Some(d);
+            Ok(())
+        },
+    },
+    Flag {
+        name: "--burst",
+        metavar: Some("N"),
+        help: "extra back-to-back requests at each burst boundary (default 0)",
+        apply: |o, v| {
+            o.workload.burst_size = parse_count("--burst", v)?;
+            Ok(())
+        },
+    },
+    Flag {
+        name: "--burst-every-ms",
+        metavar: Some("N"),
+        help: "burst period, milliseconds (default: bursts disabled)",
+        apply: |o, v| {
+            o.workload.burst_every = Some(Duration::from_millis(parse_positive(
+                "--burst-every-ms",
+                v,
+            )? as u64));
+            Ok(())
+        },
+    },
+    Flag {
+        name: "--malformed-every",
+        metavar: Some("N"),
+        help: "replace every Nth frame with truncated JSON (default 0: off)",
+        apply: |o, v| {
+            o.workload.malformed_every = parse_count("--malformed-every", v)?;
+            Ok(())
+        },
+    },
+    Flag {
+        name: "--fault-disconnects",
+        metavar: Some("N"),
+        help: "concurrent clients that send 1.5 requests then vanish (default 0)",
+        apply: |o, v| {
+            o.faults.disconnects = parse_count("--fault-disconnects", v)?;
+            Ok(())
+        },
+    },
+    Flag {
+        name: "--fault-stalls",
+        metavar: Some("N"),
+        help: "concurrent clients that send half a line then go silent (default 0)",
+        apply: |o, v| {
+            o.faults.stalls = parse_count("--fault-stalls", v)?;
+            Ok(())
+        },
+    },
+    Flag {
+        name: "--fault-stall-ms",
+        metavar: Some("N"),
+        help: "how long a stalling client squats, milliseconds (default 200)",
+        apply: |o, v| {
+            o.faults.stall = Duration::from_millis(parse_positive("--fault-stall-ms", v)? as u64);
+            Ok(())
+        },
+    },
+    Flag {
+        name: "--connect",
+        metavar: Some("ADDR"),
+        help: "drive a remote kc_served --listen instance instead of an \
+               in-process server (executions report as 0)",
+        apply: |o, v| {
+            o.connect = Some(v.to_string());
+            Ok(())
+        },
+    },
+    Flag {
+        name: "--store",
+        metavar: Some("PATH"),
+        help: "back the in-process server with a kc-prophesy cell store",
+        apply: |o, v| {
+            o.store = Some(PathBuf::from(v));
+            Ok(())
+        },
+    },
+    Flag {
+        name: "--store-format",
+        metavar: Some("FORMAT"),
+        help: "cell-store format for a fresh --store PATH: 'json' or 'sharded'",
+        apply: |o, v| {
+            o.store_format = Some(v.parse()?);
+            Ok(())
+        },
+    },
+    Flag {
+        name: "--noise-free",
+        metavar: None,
+        help: "disable the in-process machine's timer noise",
+        apply: |o, _| {
+            o.noise_free = true;
+            Ok(())
+        },
+    },
+    Flag {
+        name: "--reps",
+        metavar: Some("N"),
+        help: "timing repetitions per chain cell (in-process server)",
+        apply: |o, v| {
+            o.reps = Some(v.parse().map_err(|_| format!("bad --reps value '{v}'"))?);
+            Ok(())
+        },
+    },
+    Flag {
+        name: "--jobs",
+        metavar: Some("N"),
+        help: "in-process scheduler worker-pool size, >= 1",
+        apply: |o, v| {
+            o.jobs = Some(parse_positive("--jobs", v)?);
+            Ok(())
+        },
+    },
+    Flag {
+        name: "--max-inflight",
+        metavar: Some("N"),
+        help: "in-process admission bound before overload responses (default 256)",
+        apply: |o, v| {
+            o.max_inflight = Some(parse_positive("--max-inflight", v)?);
+            Ok(())
+        },
+    },
+    Flag {
+        name: "--max-batch",
+        metavar: Some("N"),
+        help: "in-process max requests per engine batch (default 64)",
+        apply: |o, v| {
+            o.max_batch = Some(parse_positive("--max-batch", v)?);
+            Ok(())
+        },
+    },
+    Flag {
+        name: "--warm",
+        metavar: None,
+        help: "resolve every distinct spec once before the timed window, \
+               so the measured run is pure cache-hit serving",
+        apply: |o, _| {
+            o.warm = true;
+            Ok(())
+        },
+    },
+    Flag {
+        name: "--slo",
+        metavar: Some("SPEC"),
+        help: "exit 1 unless every bound holds, e.g. \
+               'p99_ms<=50,overload_rate<=0.05,exactly_once_violations<=0'",
+        apply: |o, v| {
+            o.slo = Some(v.parse()?);
+            Ok(())
+        },
+    },
+    Flag {
+        name: "--trajectory",
+        metavar: Some("NAME"),
+        help: "with KC_BENCH_TRAJECTORY set, write the report's metrics \
+               as a BENCH_NAME.json entry for kc-bench diff",
+        apply: |o, v| {
+            o.trajectory = Some(v.to_string());
+            Ok(())
+        },
+    },
+];
+
+fn usage_text() -> String {
+    let mut flags = String::new();
+    for f in &FLAGS {
+        let head = match f.metavar {
+            Some(m) => format!("{} {m}", f.name),
+            None => f.name.to_string(),
+        };
+        flags.push_str(&format!("  {head:<22} {}\n", f.help));
+    }
+    format!(
+        "usage: kc-loadgen [FLAG ...]\n\
+         paces a deterministic open-loop request schedule into an \
+         in-process campaign-backed server (default) or a remote \
+         kc_served --listen instance (--connect), prints the run's \
+         LoadReport as JSON on stdout, and exits 1 if an --slo bound \
+         is violated\n{flags}"
+    )
+}
+
+fn die(msg: String) -> ! {
+    eprintln!("error: {msg}");
+    eprint!("{}", usage_text());
+    std::process::exit(2);
+}
+
+fn parse_args(args: &[String]) -> Options {
+    let mut o = Options::default();
+    let mut i = 0;
+    while i < args.len() {
+        let arg = args[i].as_str();
+        if arg == "--help" || arg == "-h" {
+            print!("{}", usage_text());
+            std::process::exit(0);
+        }
+        let Some(flag) = FLAGS.iter().find(|f| f.name == arg) else {
+            die(format!("unknown argument '{arg}'"));
+        };
+        let value = match flag.metavar {
+            Some(_) => {
+                i += 1;
+                match args.get(i) {
+                    Some(v) => v.as_str(),
+                    None => die(format!("{arg} needs a value")),
+                }
+            }
+            None => "",
+        };
+        if let Err(e) = (flag.apply)(&mut o, value) {
+            die(e);
+        }
+        i += 1;
+    }
+    if o.connect.is_some() {
+        if o.store.is_some() {
+            die("--connect and --store are mutually exclusive (the store \
+                 belongs to the remote server)"
+                .to_string());
+        }
+        if o.faults.is_active() {
+            // the fault clients would hit a server whose recovery we
+            // cannot audit; keep fault injection to hosted runs
+            die("--fault-* needs the in-process server (drop --connect)".to_string());
+        }
+    }
+    o
+}
+
+/// Drive the schedule against a remote server: plain TCP, no
+/// server-side telemetry.
+fn run_remote(opts: &Options) -> DriveResult {
+    let addr = opts.connect.as_deref().expect("remote mode");
+    if opts.warm {
+        let warm_slots: Vec<kc_loadgen::Slot> = unique_requests(&schedule(&opts.workload))
+            .into_iter()
+            .map(|r| kc_loadgen::Slot {
+                offset: Duration::ZERO,
+                frame: kc_loadgen::Frame::Request(r),
+            })
+            .collect();
+        if let Err(e) = drive_tcp(addr, &warm_slots) {
+            die(format!("warmup against {addr} failed: {e}"));
+        }
+    }
+    match drive_tcp(addr, &schedule(&opts.workload)) {
+        Ok(result) => result,
+        Err(e) => die(format!("load run against {addr} failed: {e}")),
+    }
+}
+
+/// Host the campaign-backed server in-process and drive the schedule
+/// at it; returns the drive plus `(executions, exactly-once
+/// violations)` audited from campaign telemetry.
+fn run_hosted(opts: &Options) -> (DriveResult, u64, u64) {
+    let mut runner = Runner::default();
+    if opts.noise_free {
+        runner.machine = runner.machine.without_noise();
+    }
+    if let Some(reps) = opts.reps {
+        runner.reps = reps;
+    }
+    let store: Option<Arc<dyn CellBackend>> = opts.store.as_ref().map(|p| {
+        open_store(p, opts.store_format).unwrap_or_else(|e| {
+            eprintln!("error: cannot open cell store {}: {e}", p.display());
+            std::process::exit(2);
+        })
+    });
+    let mut builder = Campaign::builder(runner);
+    if let Some(s) = &store {
+        builder = builder.backend(Box::new(Arc::clone(s)));
+    }
+    if let Some(jobs) = opts.jobs {
+        builder = builder.jobs(jobs);
+    }
+    let campaign = Arc::new(builder.build());
+    let mut config = ServerConfig::default();
+    if let Some(n) = opts.max_inflight {
+        config.max_inflight = n;
+    }
+    if let Some(n) = opts.max_batch {
+        config.max_batch = n;
+    }
+    let engine = Arc::new(CampaignEngine::new(campaign.clone()));
+    let server = Arc::new(Server::new(engine, config));
+
+    let slots = schedule(&opts.workload);
+    if opts.warm {
+        let tickets: Vec<_> = unique_requests(&slots)
+            .into_iter()
+            .map(|r| server.submit(r))
+            .collect();
+        for t in &tickets {
+            let response = t.wait();
+            if response.status != kc_serve::status::OK {
+                eprintln!(
+                    "warning: warmup request drew status '{}': {}",
+                    response.status,
+                    response.error.as_deref().unwrap_or("")
+                );
+            }
+        }
+        eprintln!(
+            "[warm] {} distinct spec(s) resolved ({} cells executed)",
+            tickets.len(),
+            campaign.cache_stats().executed
+        );
+    }
+
+    let executed_before = campaign.cache_stats().executed;
+    let result = if opts.faults.is_active() {
+        // fault clients need a wire to cut: host the server on an
+        // ephemeral local port and drive the measured load over TCP
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap_or_else(|e| {
+            die(format!("cannot bind fault-injection listener: {e}"));
+        });
+        let addr = listener
+            .local_addr()
+            .map(|a| a.to_string())
+            .unwrap_or_else(|e| die(format!("cannot resolve listener address: {e}")));
+        let acceptor = {
+            let server = server.clone();
+            std::thread::spawn(move || server.serve_tcp(listener))
+        };
+        let fault_handles = spawn_faults(&addr, &opts.faults);
+        let result = match drive_tcp(&addr, &slots) {
+            Ok(r) => r,
+            Err(e) => die(format!("load run against {addr} failed: {e}")),
+        };
+        for h in fault_handles {
+            let _ = h.join();
+        }
+        server.request_shutdown();
+        if let Err(e) = acceptor.join().expect("acceptor thread") {
+            eprintln!("warning: accept loop ended with: {e}");
+        }
+        result
+    } else {
+        drive_server(&server, &slots)
+    };
+    server.shutdown();
+    let executions = campaign.cache_stats().executed - executed_before;
+    let violations = exactly_once_violations(&campaign.telemetry_events());
+
+    if let Some(s) = &store {
+        if let Err(e) = s.flush() {
+            eprintln!("warning: cell store flush failed: {e}");
+        }
+    }
+    (result, executions, violations)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = parse_args(&args);
+
+    let (result, executions, violations) = match &opts.connect {
+        Some(_) => (run_remote(&opts), 0, 0),
+        None => run_hosted(&opts),
+    };
+    let report = LoadReport::from_outcomes(
+        &result.outcomes,
+        result.elapsed_secs,
+        executions,
+        violations,
+    );
+    if opts.connect.is_some() {
+        eprintln!(
+            "[note] remote run: executions and exactly-once violations are \
+             not observable over the wire and report as 0"
+        );
+    }
+    eprint!("{report}");
+    println!(
+        "{}",
+        serde_json::to_string_pretty(&report).expect("report serializes")
+    );
+
+    if let (Some(name), Some(dir)) = (&opts.trajectory, trajectory_dir()) {
+        // each SLO metric rides as one pseudo-cell so kc-bench diff
+        // can compare load runs the same way it compares bench runs
+        let cells = LoadReport::METRICS
+            .iter()
+            .map(|m| kc_core::SlowCell {
+                key: format!("load|{m}"),
+                duration_secs: report.metric(m).expect("advertised metric resolves"),
+            })
+            .collect();
+        match BenchTrajectory::from_cells(name, cells).write_to(&dir) {
+            Ok(path) => eprintln!("[trajectory] load metrics written to {}", path.display()),
+            Err(e) => {
+                eprintln!("error: cannot write trajectory entry: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    if let Some(slo) = &opts.slo {
+        let failures = slo.check(&report);
+        if !failures.is_empty() {
+            for line in &failures {
+                eprintln!("{line}");
+            }
+            eprintln!("[slo] FAIL: {} bound(s) violated", failures.len());
+            std::process::exit(1);
+        }
+        eprintln!("[slo] PASS: {} bound(s) hold", slo.bounds.len());
+    }
+}

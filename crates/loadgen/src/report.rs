@@ -1,0 +1,250 @@
+//! The [`LoadReport`]: client-side aggregates of one load run.
+//!
+//! Every number is measured from the *client's* side of the wire —
+//! latency is submit-to-response, throughput is answered requests
+//! over elapsed wall clock — because that is what an SLO is about.
+//! Server-side numbers (executions, exactly-once violations) come
+//! from campaign telemetry and are only available in-process.
+
+use kc_core::quantile;
+use serde::Serialize;
+use std::fmt;
+
+/// One answered frame, as the client saw it.
+#[derive(Clone, Debug)]
+pub struct Outcome {
+    /// The response's terminal status (`ok`, `error`, `overloaded`,
+    /// `deadline`), or `garbled` if the response line did not parse.
+    pub status: String,
+    /// Submit-to-response seconds.
+    pub latency_secs: f64,
+}
+
+/// Aggregates of one load run, serialized as the run's JSON artifact
+/// and checked against an [`SloSpec`](crate::slo::SloSpec).
+#[derive(Clone, Debug, PartialEq, Serialize)]
+pub struct LoadReport {
+    /// Frames answered (every status).
+    pub requests: u64,
+    /// `ok` responses.
+    pub ok: u64,
+    /// `error` responses (including fault frames, which *should*
+    /// draw errors).
+    pub errors: u64,
+    /// `overloaded` rejections.
+    pub overloaded: u64,
+    /// `deadline` sheds.
+    pub deadline_expired: u64,
+    /// Wall-clock seconds from first send to last response.
+    pub elapsed_secs: f64,
+    /// Answered requests per elapsed second.
+    pub throughput_rps: f64,
+    /// Median client-side latency, milliseconds.
+    pub latency_p50_ms: f64,
+    /// 95th-percentile latency, milliseconds.
+    pub latency_p95_ms: f64,
+    /// 99th-percentile latency, milliseconds.
+    pub latency_p99_ms: f64,
+    /// Worst latency, milliseconds.
+    pub latency_max_ms: f64,
+    /// `overloaded / requests` (0 when nothing was sent).
+    pub overload_rate: f64,
+    /// `errors / requests`.
+    pub error_rate: f64,
+    /// `deadline_expired / requests`.
+    pub deadline_miss_rate: f64,
+    /// Cells executed server-side during the timed window
+    /// (in-process runs only; 0 over TCP, where the server is
+    /// opaque).
+    pub executions: u64,
+    /// Cells executed more than once over the run — the
+    /// exactly-once contract's violation count (in-process only).
+    pub exactly_once_violations: u64,
+}
+
+impl LoadReport {
+    /// Aggregate a run's outcomes.
+    pub fn from_outcomes(
+        outcomes: &[Outcome],
+        elapsed_secs: f64,
+        executions: u64,
+        exactly_once_violations: u64,
+    ) -> Self {
+        let mut latencies: Vec<f64> = outcomes.iter().map(|o| o.latency_secs).collect();
+        latencies.sort_by(f64::total_cmp);
+        let count = |status: &str| outcomes.iter().filter(|o| o.status == status).count() as u64;
+        let requests = outcomes.len() as u64;
+        let ok = count(kc_serve::status::OK);
+        let overloaded = count(kc_serve::status::OVERLOADED);
+        let deadline_expired = count(kc_serve::status::DEADLINE);
+        let errors = requests - ok - overloaded - deadline_expired;
+        let rate = |n: u64| {
+            if requests > 0 {
+                n as f64 / requests as f64
+            } else {
+                0.0
+            }
+        };
+        Self {
+            requests,
+            ok,
+            errors,
+            overloaded,
+            deadline_expired,
+            elapsed_secs,
+            throughput_rps: if elapsed_secs > 0.0 {
+                requests as f64 / elapsed_secs
+            } else {
+                0.0
+            },
+            latency_p50_ms: 1e3 * quantile(&latencies, 0.50),
+            latency_p95_ms: 1e3 * quantile(&latencies, 0.95),
+            latency_p99_ms: 1e3 * quantile(&latencies, 0.99),
+            latency_max_ms: 1e3 * latencies.last().copied().unwrap_or(0.0),
+            overload_rate: rate(overloaded),
+            error_rate: rate(errors),
+            deadline_miss_rate: rate(deadline_expired),
+            executions,
+            exactly_once_violations,
+        }
+    }
+
+    /// Look up one SLO metric by name (the names an
+    /// [`SloSpec`](crate::slo::SloSpec) may bound).
+    pub fn metric(&self, name: &str) -> Option<f64> {
+        Some(match name {
+            "requests" => self.requests as f64,
+            "ok" => self.ok as f64,
+            "errors" => self.errors as f64,
+            "overloaded" => self.overloaded as f64,
+            "deadline_expired" => self.deadline_expired as f64,
+            "throughput_rps" => self.throughput_rps,
+            "p50_ms" => self.latency_p50_ms,
+            "p95_ms" => self.latency_p95_ms,
+            "p99_ms" => self.latency_p99_ms,
+            "max_ms" => self.latency_max_ms,
+            "overload_rate" => self.overload_rate,
+            "error_rate" => self.error_rate,
+            "deadline_miss_rate" => self.deadline_miss_rate,
+            "executions" => self.executions as f64,
+            "exactly_once_violations" => self.exactly_once_violations as f64,
+            _ => return None,
+        })
+    }
+
+    /// Every name [`LoadReport::metric`] answers — the vocabulary an
+    /// SLO spec may use.
+    pub const METRICS: &'static [&'static str] = &[
+        "requests",
+        "ok",
+        "errors",
+        "overloaded",
+        "deadline_expired",
+        "throughput_rps",
+        "p50_ms",
+        "p95_ms",
+        "p99_ms",
+        "max_ms",
+        "overload_rate",
+        "error_rate",
+        "deadline_miss_rate",
+        "executions",
+        "exactly_once_violations",
+    ];
+}
+
+impl fmt::Display for LoadReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "requests   {} answered in {:.2}s ({:.0} rps): ok {}, error {}, \
+             overloaded {}, deadline {}",
+            self.requests,
+            self.elapsed_secs,
+            self.throughput_rps,
+            self.ok,
+            self.errors,
+            self.overloaded,
+            self.deadline_expired,
+        )?;
+        writeln!(
+            f,
+            "latency    p50 {:.2} ms, p95 {:.2} ms, p99 {:.2} ms, max {:.2} ms",
+            self.latency_p50_ms, self.latency_p95_ms, self.latency_p99_ms, self.latency_max_ms,
+        )?;
+        writeln!(
+            f,
+            "contract   {} executions, {} exactly-once violations, \
+             overload rate {:.4}",
+            self.executions, self.exactly_once_violations, self.overload_rate,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn outcome(status: &str, latency_ms: f64) -> Outcome {
+        Outcome {
+            status: status.to_string(),
+            latency_secs: latency_ms / 1e3,
+        }
+    }
+
+    #[test]
+    fn aggregates_statuses_rates_and_quantiles() {
+        let outcomes: Vec<Outcome> = (1..=96)
+            .map(|i| outcome("ok", i as f64))
+            .chain([
+                outcome("error", 1.0),
+                outcome("overloaded", 0.5),
+                outcome("overloaded", 0.5),
+                outcome("deadline", 2.0),
+            ])
+            .collect();
+        let r = LoadReport::from_outcomes(&outcomes, 2.0, 3, 0);
+        assert_eq!(r.requests, 100);
+        assert_eq!(r.ok, 96);
+        assert_eq!(r.errors, 1);
+        assert_eq!(r.overloaded, 2);
+        assert_eq!(r.deadline_expired, 1);
+        assert_eq!(r.throughput_rps, 50.0);
+        assert!((r.overload_rate - 0.02).abs() < 1e-12);
+        assert!((r.error_rate - 0.01).abs() < 1e-12);
+        assert!((r.deadline_miss_rate - 0.01).abs() < 1e-12);
+        assert!(r.latency_p50_ms > 40.0 && r.latency_p50_ms < 55.0);
+        assert!(r.latency_p99_ms > r.latency_p50_ms);
+        assert_eq!(r.latency_max_ms, 96.0);
+        assert_eq!(r.executions, 3);
+        let text = r.to_string();
+        assert!(text.contains("100 answered"));
+        assert!(text.contains("0 exactly-once violations"));
+    }
+
+    #[test]
+    fn empty_run_reports_zeroes_not_nan() {
+        let r = LoadReport::from_outcomes(&[], 0.0, 0, 0);
+        assert_eq!(r.requests, 0);
+        assert_eq!(r.throughput_rps, 0.0);
+        assert_eq!(r.overload_rate, 0.0);
+        assert_eq!(r.latency_p99_ms, 0.0);
+    }
+
+    #[test]
+    fn every_advertised_metric_resolves() {
+        let r = LoadReport::from_outcomes(&[outcome("ok", 1.0)], 1.0, 0, 0);
+        for name in LoadReport::METRICS {
+            assert!(r.metric(name).is_some(), "metric {name} must resolve");
+        }
+        assert!(r.metric("nope").is_none());
+    }
+
+    #[test]
+    fn report_serializes_for_the_json_artifact() {
+        let r = LoadReport::from_outcomes(&[outcome("ok", 1.0)], 1.0, 0, 0);
+        let json = serde_json::to_string(&r).unwrap();
+        assert!(json.contains("\"latency_p99_ms\""));
+        assert!(json.contains("\"exactly_once_violations\""));
+    }
+}

@@ -1,0 +1,180 @@
+//! SLO specs: machine-checked bounds over a [`LoadReport`].
+//!
+//! The spec format is a comma-separated list of `metric<=value` /
+//! `metric>=value` bounds, e.g.
+//!
+//! ```text
+//! p99_ms<=50,overload_rate<=0.05,exactly_once_violations<=0,throughput_rps>=100
+//! ```
+//!
+//! Metric names are validated at parse time against
+//! [`LoadReport::METRICS`] — a typo'd metric is a usage error, never
+//! a silently-passing gate.
+
+use crate::report::LoadReport;
+use std::fmt;
+use std::str::FromStr;
+
+/// The direction of one bound.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Direction {
+    /// The metric must not exceed the value (`<=`).
+    AtMost,
+    /// The metric must reach the value (`>=`).
+    AtLeast,
+}
+
+/// One `metric<=value` / `metric>=value` bound.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SloBound {
+    /// A [`LoadReport::METRICS`] name.
+    pub metric: String,
+    /// `<=` or `>=`.
+    pub direction: Direction,
+    /// The threshold.
+    pub value: f64,
+}
+
+impl fmt::Display for SloBound {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let op = match self.direction {
+            Direction::AtMost => "<=",
+            Direction::AtLeast => ">=",
+        };
+        write!(f, "{}{op}{}", self.metric, self.value)
+    }
+}
+
+/// A full SLO: every bound must hold for the run to pass.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct SloSpec {
+    /// The bounds, in spec order.
+    pub bounds: Vec<SloBound>,
+}
+
+impl FromStr for SloSpec {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, String> {
+        let mut bounds = Vec::new();
+        for part in s.split(',') {
+            let part = part.trim();
+            if part.is_empty() {
+                continue;
+            }
+            let (metric, direction, value) = if let Some((m, v)) = part.split_once("<=") {
+                (m, Direction::AtMost, v)
+            } else if let Some((m, v)) = part.split_once(">=") {
+                (m, Direction::AtLeast, v)
+            } else {
+                return Err(format!(
+                    "bad SLO bound '{part}' (expected metric<=value or metric>=value)"
+                ));
+            };
+            let metric = metric.trim();
+            if !LoadReport::METRICS.contains(&metric) {
+                return Err(format!(
+                    "unknown SLO metric '{metric}' (known: {})",
+                    LoadReport::METRICS.join(", ")
+                ));
+            }
+            let value: f64 = value
+                .trim()
+                .parse()
+                .map_err(|_| format!("bad SLO value in '{part}'"))?;
+            if value.is_nan() {
+                return Err(format!("SLO value in '{part}' is NaN"));
+            }
+            bounds.push(SloBound {
+                metric: metric.to_string(),
+                direction,
+                value,
+            });
+        }
+        if bounds.is_empty() {
+            return Err("empty SLO spec".to_string());
+        }
+        Ok(Self { bounds })
+    }
+}
+
+impl SloSpec {
+    /// Check every bound against `report`; the returned list holds
+    /// one human-readable line per violated bound (empty = pass).
+    pub fn check(&self, report: &LoadReport) -> Vec<String> {
+        self.bounds
+            .iter()
+            .filter_map(|b| {
+                let measured = report
+                    .metric(&b.metric)
+                    .expect("metric validated at parse time");
+                let holds = match b.direction {
+                    Direction::AtMost => measured <= b.value,
+                    Direction::AtLeast => measured >= b.value,
+                };
+                (!holds).then(|| format!("SLO violated: {b} (measured {measured})"))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::Outcome;
+
+    fn report() -> LoadReport {
+        let outcomes: Vec<Outcome> = (0..99)
+            .map(|_| Outcome {
+                status: "ok".to_string(),
+                latency_secs: 0.010,
+            })
+            .chain([Outcome {
+                status: "overloaded".to_string(),
+                latency_secs: 0.001,
+            }])
+            .collect();
+        LoadReport::from_outcomes(&outcomes, 1.0, 0, 0)
+    }
+
+    #[test]
+    fn spec_parses_both_directions_and_round_trips() {
+        let spec: SloSpec = "p99_ms<=50, overload_rate<=0.05,throughput_rps>=10"
+            .parse()
+            .unwrap();
+        assert_eq!(spec.bounds.len(), 3);
+        assert_eq!(spec.bounds[0].metric, "p99_ms");
+        assert_eq!(spec.bounds[0].direction, Direction::AtMost);
+        assert_eq!(spec.bounds[2].direction, Direction::AtLeast);
+        assert_eq!(spec.bounds[2].to_string(), "throughput_rps>=10");
+    }
+
+    #[test]
+    fn unknown_metrics_and_garbage_fail_to_parse() {
+        assert!("p99_sm<=5".parse::<SloSpec>().is_err(), "typo'd metric");
+        assert!("p99_ms=5".parse::<SloSpec>().is_err(), "bad operator");
+        assert!("p99_ms<=abc".parse::<SloSpec>().is_err(), "bad value");
+        assert!("p99_ms<=NaN".parse::<SloSpec>().is_err(), "NaN bound");
+        assert!("".parse::<SloSpec>().is_err(), "empty spec");
+    }
+
+    #[test]
+    fn check_passes_generous_and_fails_tight_bounds() {
+        let r = report();
+        let pass: SloSpec = "p99_ms<=1000,overload_rate<=0.05,exactly_once_violations<=0"
+            .parse()
+            .unwrap();
+        assert!(pass.check(&r).is_empty(), "generous bounds hold");
+        let tight: SloSpec = "p99_ms<=0.0001,overload_rate<=0.001,throughput_rps>=1e9"
+            .parse()
+            .unwrap();
+        let violations = tight.check(&r);
+        assert_eq!(
+            violations.len(),
+            3,
+            "every tight bound trips: {violations:?}"
+        );
+        assert!(violations[0].contains("p99_ms<=0.0001"));
+        assert!(violations[0].contains("measured"));
+    }
+}

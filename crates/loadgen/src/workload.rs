@@ -1,0 +1,315 @@
+//! Deterministic open-loop workload construction.
+//!
+//! A workload is built **up front** from a [`WorkloadConfig`]: a
+//! sorted list of [`Slot`]s, each a send offset from the run's start
+//! plus the frame to send.  Generating the whole schedule before the
+//! run starts keeps the generator *open-loop* — send times never
+//! depend on response times, so a slow server faces the full arrival
+//! rate instead of a politely backing-off client — and makes the
+//! request mix a pure function of the seed: two runs with the same
+//! config submit byte-identical request streams.
+
+use kc_serve::PredictRequest;
+use std::time::Duration;
+
+/// The hot key set: the spec(s) a `--hot-fraction` share of requests
+/// repeat, modelling the skewed popularity real prediction traffic
+/// has (everyone asks about the same headline configuration).
+pub const HOT_SPECS: &[(&str, &str, usize, usize)] = &[("bt", "S", 4, 2)];
+
+/// The cold pool: the long tail of distinct specs the remaining
+/// requests spread over.  Every entry is valid (square processor
+/// grids for BT/SP, powers of two for LU, chain lengths within each
+/// decomposition) so a cold request exercises the measurement path,
+/// not the validation path.
+pub const COLD_SPECS: &[(&str, &str, usize, usize)] = &[
+    ("bt", "S", 9, 2),
+    ("bt", "S", 4, 3),
+    ("bt", "S", 9, 3),
+    ("sp", "S", 4, 2),
+    ("sp", "S", 9, 2),
+    ("lu", "S", 4, 2),
+    ("lu", "S", 8, 2),
+];
+
+/// A tiny deterministic generator (xorshift64*), so the workload mix
+/// reproduces exactly from `--seed` with no external RNG dependency.
+pub struct Rng(u64);
+
+impl Rng {
+    /// Seeded generator.  The seed is scrambled (splitmix-style)
+    /// before use so nearby seeds diverge immediately and the
+    /// all-zero state — which xorshift fixes — is unreachable.
+    pub fn new(seed: u64) -> Self {
+        let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        Self(z | 1)
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Uniform in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Uniform in `[0, bound)`; `bound` must be non-zero.
+    pub fn below(&mut self, bound: usize) -> usize {
+        (self.next_u64() % bound as u64) as usize
+    }
+}
+
+/// Everything that shapes the generated request stream.
+#[derive(Clone, Debug)]
+pub struct WorkloadConfig {
+    /// Target arrival rate, requests per second.
+    pub rps: f64,
+    /// Length of the paced window.
+    pub duration: Duration,
+    /// Share of requests drawn from [`HOT_SPECS`] (the rest spread
+    /// over [`COLD_SPECS`]).
+    pub hot_fraction: f64,
+    /// Deadline attached to every request, milliseconds; `None`
+    /// sends a deadline-free (strictly FIFO-batched) stream.
+    pub deadline_ms: Option<f64>,
+    /// Extra back-to-back requests injected at each burst boundary.
+    pub burst_size: usize,
+    /// Burst period; `None` disables bursts.
+    pub burst_every: Option<Duration>,
+    /// Replace every Nth frame with a malformed (truncated JSON)
+    /// line; 0 disables fault frames.
+    pub malformed_every: usize,
+    /// Workload seed: same seed, same stream.
+    pub seed: u64,
+}
+
+impl Default for WorkloadConfig {
+    fn default() -> Self {
+        Self {
+            rps: 200.0,
+            duration: Duration::from_secs(2),
+            hot_fraction: 0.9,
+            deadline_ms: None,
+            burst_size: 0,
+            burst_every: None,
+            malformed_every: 0,
+            seed: 42,
+        }
+    }
+}
+
+/// One wire frame: a well-formed request, or an intentionally broken
+/// line for fault injection.
+#[derive(Clone, Debug)]
+pub enum Frame {
+    /// A valid request.
+    Request(PredictRequest),
+    /// A line that must draw an `error` response, never a crash.
+    Malformed(String),
+}
+
+/// One scheduled send: *when* (offset from run start) and *what*.
+#[derive(Clone, Debug)]
+pub struct Slot {
+    /// Send time, relative to the run's first send.
+    pub offset: Duration,
+    /// The frame to send.
+    pub frame: Frame,
+}
+
+/// Build the full schedule for one run: `rps × duration` evenly paced
+/// slots, plus `burst_size` extra back-to-back slots at every
+/// `burst_every` boundary, sorted by offset.  Request ids are
+/// sequential in send order (1-based), so a response stream can be
+/// audited against the schedule.
+pub fn schedule(cfg: &WorkloadConfig) -> Vec<Slot> {
+    let mut rng = Rng::new(cfg.seed);
+    let n = (cfg.rps * cfg.duration.as_secs_f64()).ceil().max(1.0) as usize;
+    let mut offsets: Vec<Duration> = (0..n)
+        .map(|k| Duration::from_secs_f64(k as f64 / cfg.rps))
+        .collect();
+    if let Some(every) = cfg.burst_every {
+        if cfg.burst_size > 0 && !every.is_zero() {
+            let mut t = every;
+            while t < cfg.duration {
+                offsets.extend(std::iter::repeat_n(t, cfg.burst_size));
+                t += every;
+            }
+        }
+    }
+    offsets.sort();
+    offsets
+        .into_iter()
+        .enumerate()
+        .map(|(i, offset)| {
+            let frame = if cfg.malformed_every > 0 && (i + 1) % cfg.malformed_every == 0 {
+                // a truncated JSON object: parse must fail, the
+                // stream must keep flowing
+                Frame::Malformed(format!(
+                    "{{\"benchmark\":\"bt\",\"class\":\"S\",\"truncated\":{i}"
+                ))
+            } else {
+                let pool = if rng.next_f64() < cfg.hot_fraction {
+                    HOT_SPECS
+                } else {
+                    COLD_SPECS
+                };
+                let (benchmark, class, procs, chain_len) = pool[rng.below(pool.len())];
+                Frame::Request(PredictRequest {
+                    id: (i + 1) as u64,
+                    benchmark: benchmark.to_string(),
+                    class: class.to_string(),
+                    procs,
+                    chain_len,
+                    fine: false,
+                    deadline_ms: cfg.deadline_ms,
+                })
+            };
+            Slot { offset, frame }
+        })
+        .collect()
+}
+
+/// The distinct valid specs a schedule touches, deadline-free and
+/// id 0 — the warmup pass resolves each once so a timed run against
+/// the same schedule measures pure cache-hit serving.
+pub fn unique_requests(slots: &[Slot]) -> Vec<PredictRequest> {
+    let mut seen = std::collections::BTreeSet::new();
+    let mut unique = Vec::new();
+    for slot in slots {
+        if let Frame::Request(r) = &slot.frame {
+            if seen.insert((r.benchmark.clone(), r.class.clone(), r.procs, r.chain_len)) {
+                unique.push(PredictRequest {
+                    id: 0,
+                    deadline_ms: None,
+                    ..r.clone()
+                });
+            }
+        }
+    }
+    unique
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> WorkloadConfig {
+        WorkloadConfig {
+            rps: 100.0,
+            duration: Duration::from_millis(500),
+            hot_fraction: 0.8,
+            malformed_every: 10,
+            ..WorkloadConfig::default()
+        }
+    }
+
+    #[test]
+    fn same_seed_same_schedule() {
+        let (a, b) = (schedule(&cfg()), schedule(&cfg()));
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.offset, y.offset);
+            match (&x.frame, &y.frame) {
+                (Frame::Request(p), Frame::Request(q)) => assert_eq!(p, q),
+                (Frame::Malformed(p), Frame::Malformed(q)) => assert_eq!(p, q),
+                _ => panic!("frame kinds diverged"),
+            }
+        }
+        let different = schedule(&WorkloadConfig { seed: 43, ..cfg() });
+        let mixes_differ = a.iter().zip(&different).any(|(x, y)| {
+            matches!(
+                (&x.frame, &y.frame),
+                (Frame::Request(p), Frame::Request(q)) if p.benchmark != q.benchmark
+                    || p.procs != q.procs || p.chain_len != q.chain_len
+            )
+        });
+        assert!(mixes_differ, "a different seed draws a different mix");
+    }
+
+    #[test]
+    fn schedule_is_paced_sorted_and_counted() {
+        let slots = schedule(&cfg());
+        assert_eq!(slots.len(), 50, "100 rps over 500 ms");
+        assert!(slots.windows(2).all(|w| w[0].offset <= w[1].offset));
+        assert_eq!(slots[0].offset, Duration::ZERO);
+        let malformed = slots
+            .iter()
+            .filter(|s| matches!(s.frame, Frame::Malformed(_)))
+            .count();
+        assert_eq!(malformed, 5, "every 10th frame is a fault frame");
+    }
+
+    #[test]
+    fn bursts_add_back_to_back_slots() {
+        let base = schedule(&cfg()).len();
+        let burst = schedule(&WorkloadConfig {
+            burst_size: 7,
+            burst_every: Some(Duration::from_millis(200)),
+            ..cfg()
+        });
+        // boundaries inside (0, 500): 200 ms and 400 ms
+        assert_eq!(burst.len(), base + 14);
+        let at_200 = burst
+            .iter()
+            .filter(|s| s.offset == Duration::from_millis(200))
+            .count();
+        assert!(at_200 >= 7, "burst slots share one offset, got {at_200}");
+    }
+
+    #[test]
+    fn hot_fraction_skews_the_mix() {
+        let slots = schedule(&WorkloadConfig {
+            rps: 1000.0,
+            duration: Duration::from_secs(1),
+            hot_fraction: 0.9,
+            malformed_every: 0,
+            ..WorkloadConfig::default()
+        });
+        let hot = slots
+            .iter()
+            .filter(|s| {
+                matches!(&s.frame, Frame::Request(r)
+                    if (r.benchmark.as_str(), r.class.as_str(), r.procs, r.chain_len)
+                        == HOT_SPECS[0])
+            })
+            .count();
+        let share = hot as f64 / slots.len() as f64;
+        assert!(
+            (0.85..=0.95).contains(&share),
+            "~90% of 1000 draws should be hot, got {share:.3}"
+        );
+    }
+
+    #[test]
+    fn unique_requests_dedupe_and_strip_deadlines() {
+        let slots = schedule(&WorkloadConfig {
+            rps: 2000.0,
+            duration: Duration::from_secs(1),
+            hot_fraction: 0.5,
+            deadline_ms: Some(50.0),
+            ..WorkloadConfig::default()
+        });
+        let unique = unique_requests(&slots);
+        assert!(unique.len() <= HOT_SPECS.len() + COLD_SPECS.len());
+        assert!(unique.len() >= 2, "a 50/50 mix touches hot and cold");
+        assert!(unique.iter().all(|r| r.deadline_ms.is_none() && r.id == 0));
+        let mut keys: Vec<_> = unique
+            .iter()
+            .map(|r| (r.benchmark.clone(), r.class.clone(), r.procs, r.chain_len))
+            .collect();
+        keys.sort();
+        keys.dedup();
+        assert_eq!(keys.len(), unique.len(), "no duplicates");
+    }
+}

@@ -25,6 +25,7 @@ struct Inner {
     ok: u64,
     errors: u64,
     overloaded: u64,
+    deadline_expired: u64,
 }
 
 impl ServeMetrics {
@@ -40,6 +41,7 @@ impl ServeMetrics {
         match status {
             crate::protocol::status::OK => m.ok += 1,
             crate::protocol::status::OVERLOADED => m.overloaded += 1,
+            crate::protocol::status::DEADLINE => m.deadline_expired += 1,
             _ => m.errors += 1,
         }
         m.latencies.push(latency_secs);
@@ -68,10 +70,11 @@ impl ServeMetrics {
             0.0
         };
         MetricsReport {
-            requests: m.ok + m.errors + m.overloaded,
+            requests: m.ok + m.errors + m.overloaded + m.deadline_expired,
             ok: m.ok,
             errors: m.errors,
             overloaded: m.overloaded,
+            deadline_expired: m.deadline_expired,
             latency_p50_secs: quantile(&sorted, 0.50),
             latency_p90_secs: quantile(&sorted, 0.90),
             latency_p99_secs: quantile(&sorted, 0.99),
@@ -95,6 +98,8 @@ pub struct MetricsReport {
     pub errors: u64,
     /// Requests rejected `overloaded`.
     pub overloaded: u64,
+    /// Requests shed `deadline` (expired in the queue).
+    pub deadline_expired: u64,
     /// Median end-to-end request latency, seconds.
     pub latency_p50_secs: f64,
     /// 90th-percentile latency, seconds.
@@ -117,8 +122,8 @@ impl fmt::Display for MetricsReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(
             f,
-            "requests   {} total (ok {}, error {}, overloaded {})",
-            self.requests, self.ok, self.errors, self.overloaded,
+            "requests   {} total (ok {}, error {}, overloaded {}, deadline {})",
+            self.requests, self.ok, self.errors, self.overloaded, self.deadline_expired,
         )?;
         writeln!(
             f,
@@ -154,9 +159,15 @@ mod tests {
     #[test]
     fn statuses_and_latencies_aggregate() {
         let m = ServeMetrics::new();
-        for (i, s) in [status::OK, status::OK, status::ERROR, status::OVERLOADED]
-            .iter()
-            .enumerate()
+        for (i, s) in [
+            status::OK,
+            status::OK,
+            status::ERROR,
+            status::OVERLOADED,
+            status::DEADLINE,
+        ]
+        .iter()
+        .enumerate()
         {
             m.record_request(s, (i + 1) as f64 * 0.010);
         }
@@ -165,18 +176,20 @@ mod tests {
         m.observe_queue_depth(2);
         m.observe_queue_depth(1);
         let r = m.report();
-        assert_eq!(r.requests, 4);
+        assert_eq!(r.requests, 5);
         assert_eq!(r.ok, 2);
         assert_eq!(r.errors, 1);
         assert_eq!(r.overloaded, 1);
-        assert!((r.latency_p50_secs - 0.025).abs() < 1e-12);
-        assert!((r.latency_max_secs - 0.040).abs() < 1e-12);
+        assert_eq!(r.deadline_expired, 1);
+        assert!((r.latency_p50_secs - 0.030).abs() < 1e-12);
+        assert!((r.latency_max_secs - 0.050).abs() < 1e-12);
         assert_eq!(r.batches, 2);
         assert!((r.batch_mean - 2.0).abs() < 1e-12);
         assert_eq!(r.batch_max, 3);
         assert_eq!(r.peak_queue_depth, 2, "peak, not last");
         let text = r.to_string();
-        assert!(text.contains("4 total"));
+        assert!(text.contains("5 total"));
+        assert!(text.contains("deadline 1"));
         assert!(text.contains("peak queue depth 2"));
     }
 }

@@ -21,6 +21,10 @@ pub mod status {
     pub const ERROR: &str = "error";
     /// Rejected by admission control (queue full or draining).
     pub const OVERLOADED: &str = "overloaded";
+    /// The request's deadline passed before the engine picked it up;
+    /// the server shed it unanswered rather than spend batch capacity
+    /// on a response the client has already given up on.
+    pub const DEADLINE: &str = "deadline";
 }
 
 /// One prediction request: which benchmark × class × processor-count
@@ -42,6 +46,17 @@ pub struct PredictRequest {
     /// Use the loop-level (fine) BT decomposition.
     #[serde(default)]
     pub fine: bool,
+    /// Optional deadline, milliseconds from admission.  A request
+    /// still queued when its deadline passes is shed with a
+    /// [`status::DEADLINE`] response instead of occupying batch
+    /// capacity, and queued requests with earlier deadlines are
+    /// batched first (the deadline also rides into the cell
+    /// scheduler, where an urgent batch's cells jump the cost-ordered
+    /// queue).  Absent (`null`) by default — deadline-free streams
+    /// batch strictly FIFO and their responses stay byte-identical
+    /// across `--jobs` values and batch splits.
+    #[serde(default)]
+    pub deadline_ms: Option<f64>,
 }
 
 impl PredictRequest {
@@ -150,6 +165,16 @@ impl PredictResponse {
             result: None,
         }
     }
+
+    /// A deadline-shed response: the request expired in the queue.
+    pub fn deadline_expired(id: u64, message: impl Into<String>) -> Self {
+        Self {
+            id,
+            status: status::DEADLINE.to_string(),
+            error: Some(message.into()),
+            result: None,
+        }
+    }
 }
 
 /// Parse one request line.
@@ -172,6 +197,7 @@ mod tests {
         let req = parse_request(line).unwrap();
         assert_eq!(req.id, 0, "id defaults");
         assert!(!req.fine, "fine defaults");
+        assert_eq!(req.deadline_ms, None, "deadline defaults to none");
         assert_eq!(req.describe(), "bt/W/p9/len3");
         let encoded = serde_json::to_string(&req).unwrap();
         let back = parse_request(&encoded).unwrap();
@@ -196,8 +222,21 @@ mod tests {
             procs: 4,
             chain_len: 2,
             fine: true,
+            deadline_ms: None,
         };
         assert_eq!(req.describe(), "bt/S/p4/len2/fine");
+    }
+
+    #[test]
+    fn deadline_parses_and_roundtrips() {
+        let line = r#"{"benchmark":"bt","class":"S","procs":4,"chain_len":2,"deadline_ms":250.0}"#;
+        let req = parse_request(line).unwrap();
+        assert_eq!(req.deadline_ms, Some(250.0));
+        let back = parse_request(&serde_json::to_string(&req).unwrap()).unwrap();
+        assert_eq!(back, req);
+        // explicit null is the same as absent
+        let line = r#"{"benchmark":"bt","class":"S","procs":4,"chain_len":2,"deadline_ms":null}"#;
+        assert_eq!(parse_request(line).unwrap().deadline_ms, None);
     }
 
     #[test]
@@ -235,8 +274,12 @@ mod tests {
         let over = PredictResponse::overloaded(9, "queue full");
         assert_eq!(over.status, status::OVERLOADED);
 
+        let dead = PredictResponse::deadline_expired(4, "deadline expired in queue");
+        assert_eq!(dead.status, status::DEADLINE);
+        assert!(dead.result.is_none());
+
         // every shape round-trips through the wire encoding
-        for r in [ok, err, over] {
+        for r in [ok, err, over, dead] {
             let line = encode_response(&r);
             let back: PredictResponse = serde_json::from_str(&line).unwrap();
             assert_eq!(back, r);

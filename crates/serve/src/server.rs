@@ -113,12 +113,18 @@ struct Pending {
     request: PredictRequest,
     ticket: Ticket,
     admitted: Instant,
+    /// Admission sequence number: the FIFO tie-break for batch
+    /// formation (and the whole order when no deadlines are present).
+    seq: u64,
+    /// When the request's deadline passes, if it has one.
+    expires_at: Option<Instant>,
 }
 
 struct Queue {
     pending: VecDeque<Pending>,
     /// Submitted but not yet answered (queued + resolving).
     inflight: usize,
+    next_seq: u64,
     draining: bool,
 }
 
@@ -132,13 +138,21 @@ struct Shared {
 }
 
 impl Shared {
-    fn emit(&self, request: &PredictRequest, status: &str, batch_size: u64, duration_secs: f64) {
+    fn emit(
+        &self,
+        request: &PredictRequest,
+        status: &str,
+        batch_size: u64,
+        duration_secs: f64,
+        deadline_slack_secs: f64,
+    ) {
         if let Some(sink) = self.sink.lock().unwrap().clone() {
             sink.record(TelemetryEvent::RequestServed {
                 request: request.describe(),
                 status: status.to_string(),
                 batch_size,
                 duration_secs,
+                deadline_slack_secs,
             });
         }
     }
@@ -146,8 +160,20 @@ impl Shared {
     /// Answer one admitted request: metrics, telemetry, ticket.
     fn finish(&self, pending: &Pending, response: PredictResponse, batch_size: u64) {
         let latency = pending.admitted.elapsed().as_secs_f64();
+        // budget left when the response landed; negative = missed
+        let slack = pending
+            .request
+            .deadline_ms
+            .map(|ms| ms / 1e3 - latency)
+            .unwrap_or(0.0);
         self.metrics.record_request(&response.status, latency);
-        self.emit(&pending.request, &response.status, batch_size, latency);
+        self.emit(
+            &pending.request,
+            &response.status,
+            batch_size,
+            latency,
+            slack,
+        );
         pending.ticket.fill(response);
         self.queue.lock().unwrap().inflight -= 1;
     }
@@ -166,8 +192,40 @@ fn batcher_loop(shared: &Shared) {
                 return;
             }
             let n = q.pending.len().min(shared.config.max_batch);
+            // Earliest-deadline-first batch formation: requests with
+            // deadlines sort ahead of deadline-free ones, the
+            // admission sequence breaks every tie.  A stream with no
+            // deadlines therefore batches strictly FIFO — bit-for-bit
+            // the pre-deadline behaviour.
+            q.pending
+                .make_contiguous()
+                .sort_by(|a, b| match (a.expires_at, b.expires_at) {
+                    (Some(x), Some(y)) => x.cmp(&y).then(a.seq.cmp(&b.seq)),
+                    (Some(_), None) => std::cmp::Ordering::Less,
+                    (None, Some(_)) => std::cmp::Ordering::Greater,
+                    (None, None) => a.seq.cmp(&b.seq),
+                });
             q.pending.drain(..n).collect()
         };
+        // Shed requests whose deadline already passed in the queue:
+        // the client has given up, so answering `deadline` immediately
+        // costs nothing, while resolving them would burn engine batch
+        // capacity urgent requests are waiting for.
+        let now = Instant::now();
+        let (expired, batch): (Vec<Pending>, Vec<Pending>) = batch
+            .into_iter()
+            .partition(|p| p.expires_at.is_some_and(|t| t <= now));
+        for pending in &expired {
+            let ms = pending.request.deadline_ms.unwrap_or(0.0);
+            let response = PredictResponse::deadline_expired(
+                pending.request.id,
+                format!("deadline of {ms} ms expired in queue"),
+            );
+            shared.finish(pending, response, 0);
+        }
+        if batch.is_empty() {
+            continue;
+        }
         let requests: Vec<PredictRequest> = batch.iter().map(|p| p.request.clone()).collect();
         shared.metrics.record_batch(batch.len());
         let results = catch_unwind(AssertUnwindSafe(|| shared.engine.predict_batch(&requests)))
@@ -208,6 +266,7 @@ impl Server {
             queue: Mutex::new(Queue {
                 pending: VecDeque::new(),
                 inflight: 0,
+                next_seq: 0,
                 draining: false,
             }),
             work: Condvar::new(),
@@ -268,10 +327,25 @@ impl Server {
                 return self.reject(&request, format!("queue full ({limit} in flight)"));
             }
             q.inflight += 1;
+            let admitted = Instant::now();
+            // clamp hostile deadline values so admission never panics:
+            // NaN and non-positive budgets expire immediately, huge or
+            // infinite ones saturate at a year
+            let expires_at = request.deadline_ms.map(|ms| {
+                if ms > 0.0 {
+                    admitted + Duration::from_secs_f64((ms / 1e3).min(365.0 * 86_400.0))
+                } else {
+                    admitted
+                }
+            });
+            let seq = q.next_seq;
+            q.next_seq += 1;
             q.pending.push_back(Pending {
                 request,
                 ticket: ticket.clone(),
-                admitted: Instant::now(),
+                admitted,
+                seq,
+                expires_at,
             });
             self.shared.metrics.observe_queue_depth(q.pending.len());
         }
@@ -282,7 +356,7 @@ impl Server {
     fn reject(&self, request: &PredictRequest, message: impl Into<String>) -> Ticket {
         let response = PredictResponse::overloaded(request.id, message);
         self.shared.metrics.record_request(&response.status, 0.0);
-        self.shared.emit(request, &response.status, 0, 0.0);
+        self.shared.emit(request, &response.status, 0, 0.0, 0.0);
         Ticket::filled(response)
     }
 
@@ -398,7 +472,7 @@ mod tests {
     /// batch boundaries deterministically.
     struct MockEngine {
         gate: Option<Arc<(Mutex<bool>, Condvar)>>,
-        calls: Mutex<Vec<usize>>,
+        calls: Mutex<Vec<Vec<u64>>>,
     }
 
     impl MockEngine {
@@ -421,7 +495,17 @@ mod tests {
         }
 
         fn batch_sizes(&self) -> Vec<usize> {
-            self.calls.lock().unwrap().clone()
+            self.calls.lock().unwrap().iter().map(Vec::len).collect()
+        }
+
+        fn seen_ids(&self) -> Vec<u64> {
+            self.calls
+                .lock()
+                .unwrap()
+                .iter()
+                .flatten()
+                .copied()
+                .collect()
         }
     }
 
@@ -455,7 +539,10 @@ mod tests {
                     open = gate.1.wait(open).unwrap();
                 }
             }
-            self.calls.lock().unwrap().push(batch.len());
+            self.calls
+                .lock()
+                .unwrap()
+                .push(batch.iter().map(|r| r.id).collect());
             batch
                 .iter()
                 .map(|r| {
@@ -477,6 +564,14 @@ mod tests {
             procs: 4,
             chain_len: 2,
             fine: false,
+            deadline_ms: None,
+        }
+    }
+
+    fn deadline_request(id: u64, deadline_ms: f64) -> PredictRequest {
+        PredictRequest {
+            deadline_ms: Some(deadline_ms),
+            ..request(id, "bt")
         }
     }
 
@@ -661,5 +756,145 @@ mod tests {
             served,
             vec![("bt/S/p4/len2".to_string(), "ok".to_string(), 1)]
         );
+    }
+
+    #[test]
+    fn deadline_requests_jump_deadline_free_ones_in_the_queue() {
+        let (engine, gate) = MockEngine::gated();
+        let engine = Arc::new(engine);
+        let server = Server::new(
+            engine.clone(),
+            ServerConfig {
+                max_inflight: 256,
+                max_batch: 1,
+            },
+        );
+        // first submission occupies the batcher at the closed gate;
+        // the rest queue behind it
+        let first = server.submit(request(0, "bt"));
+        std::thread::sleep(Duration::from_millis(30));
+        let slow: Vec<Ticket> = (1..=2).map(|i| server.submit(request(i, "bt"))).collect();
+        let urgent = server.submit(deadline_request(9, 60_000.0));
+        open_gate(&gate);
+        first.wait();
+        urgent.wait();
+        for t in &slow {
+            t.wait();
+        }
+        server.shutdown();
+        assert_eq!(
+            engine.seen_ids(),
+            vec![0, 9, 1, 2],
+            "the deadlined request is batched ahead of earlier deadline-free ones"
+        );
+    }
+
+    #[test]
+    fn deadline_free_streams_resolve_strictly_fifo() {
+        let (engine, gate) = MockEngine::gated();
+        let engine = Arc::new(engine);
+        let server = Server::new(
+            engine.clone(),
+            ServerConfig {
+                max_inflight: 256,
+                max_batch: 1,
+            },
+        );
+        let first = server.submit(request(0, "bt"));
+        std::thread::sleep(Duration::from_millis(30));
+        let rest: Vec<Ticket> = (1..=4).map(|i| server.submit(request(i, "bt"))).collect();
+        open_gate(&gate);
+        first.wait();
+        for t in &rest {
+            t.wait();
+        }
+        server.shutdown();
+        assert_eq!(
+            engine.seen_ids(),
+            vec![0, 1, 2, 3, 4],
+            "no deadlines: admission order is batch order"
+        );
+    }
+
+    #[test]
+    fn expired_deadlines_are_shed_without_reaching_the_engine() {
+        let (engine, gate) = MockEngine::gated();
+        let engine = Arc::new(engine);
+        let server = Server::new(engine.clone(), ServerConfig::default());
+        let first = server.submit(request(0, "bt"));
+        std::thread::sleep(Duration::from_millis(30));
+        // a 5 ms budget that is guaranteed to lapse while the gate
+        // holds the batcher
+        let doomed = server.submit(deadline_request(7, 5.0));
+        std::thread::sleep(Duration::from_millis(30));
+        open_gate(&gate);
+        assert_eq!(first.wait().status, status::OK);
+        let shed = doomed.wait();
+        assert_eq!(shed.status, status::DEADLINE);
+        assert_eq!(shed.id, 7);
+        assert!(shed.error.unwrap().contains("expired"));
+        server.shutdown();
+        assert_eq!(
+            engine.seen_ids(),
+            vec![0],
+            "the expired request never reached the engine"
+        );
+        let report = server.metrics().report();
+        assert_eq!(report.deadline_expired, 1);
+        assert_eq!(report.requests, 2);
+    }
+
+    #[test]
+    fn hostile_deadline_values_shed_immediately_without_panicking() {
+        let (engine, gate) = MockEngine::gated();
+        let server = Server::new(Arc::new(engine), ServerConfig::default());
+        let first = server.submit(request(0, "bt"));
+        std::thread::sleep(Duration::from_millis(30));
+        let tickets: Vec<Ticket> = [f64::NAN, f64::NEG_INFINITY, -5.0, 0.0, f64::INFINITY]
+            .into_iter()
+            .enumerate()
+            .map(|(i, ms)| server.submit(deadline_request(i as u64 + 1, ms)))
+            .collect();
+        std::thread::sleep(Duration::from_millis(10));
+        open_gate(&gate);
+        assert_eq!(first.wait().status, status::OK);
+        for (i, t) in tickets.iter().enumerate() {
+            let r = t.wait();
+            if i + 1 == 5 {
+                // +inf is a real (unbounded-but-clamped) budget
+                assert_eq!(r.status, status::OK, "infinite deadline still resolves");
+            } else {
+                assert_eq!(r.status, status::DEADLINE, "non-budget value {i} sheds");
+            }
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn deadline_slack_rides_into_request_served_telemetry() {
+        let server = Server::new(Arc::new(MockEngine::new()), ServerConfig::default());
+        let sink = Arc::new(MemorySink::new());
+        server.attach_sink(sink.clone());
+        server.submit(deadline_request(1, 60_000.0)).wait();
+        server.submit(request(2, "bt")).wait();
+        server.shutdown();
+        let slacks: Vec<f64> = sink
+            .events()
+            .iter()
+            .filter_map(|e| match e {
+                TelemetryEvent::RequestServed {
+                    deadline_slack_secs,
+                    ..
+                } => Some(*deadline_slack_secs),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(slacks.len(), 2);
+        assert!(
+            slacks[0] > 0.0 && slacks[0] <= 60.0,
+            "a met deadline leaves positive slack, got {}",
+            slacks[0]
+        );
+        assert_eq!(slacks[1], 0.0, "no deadline reports zero slack");
     }
 }

@@ -16,10 +16,10 @@ cargo build --release --workspace
 echo "== tests (workspace) =="
 cargo test -q --workspace
 
-echo "== tests (scheduler + concurrency + history sidecar + serve + stores, release) =="
+echo "== tests (scheduler + concurrency + history sidecar + serve + stores + load/faults, release) =="
 cargo test -q --release --test scheduler --test cache_concurrency \
     --test history_sidecar --test serve_concurrency --test golden_tables \
-    --test store_backend
+    --test store_backend --test loadgen_slo --test serve_faults
 
 echo "== byte-identity: full tables under --jobs 1 vs --jobs 8 =="
 j1=$(mktemp) && j8=$(mktemp) && smoke=$(mktemp -d)
@@ -92,6 +92,27 @@ grep -q ", 0 executed" "$smoke/warm.log" || {
 cmp -s artifacts/golden/serve_smoke.jsonl "$smoke/warm.jsonl" || {
     echo "verify: warm serve responses differ from the cold run"; exit 1; }
 echo "warm store: 0 executions, byte-identical responses"
+
+echo "== loadgen: warm SLO gate, impossible-bound detection, load trajectory =="
+# Deadline-free byte-identity is covered above: the jobs-1-vs-8 and
+# golden-transcript gates push deadline-free streams through the
+# deadline-aware scheduler and batcher and demand identical bytes.
+KC_BENCH_TRAJECTORY="$smoke/loadtraj" ./target/release/kc-loadgen \
+    --noise-free --store "$smoke/cells.json" --warm \
+    --rps 400 --duration-ms 1500 --seed 7 --deadline-ms 5000 \
+    --malformed-every 50 \
+    --slo "p99_ms<=2000,overload_rate<=0.01,error_rate<=0.05,executions<=0,exactly_once_violations<=0" \
+    --trajectory load_smoke > "$smoke/load_report.json" 2> "$smoke/load.log" || {
+    echo "verify: loadgen SLO gate failed"; cat "$smoke/load.log"; exit 1; }
+[ -f "$smoke/loadtraj/BENCH_load_smoke.json" ] || {
+    echo "verify: loadgen left no trajectory entry"; exit 1; }
+./target/release/kc-bench diff "$smoke/loadtraj" "$smoke/loadtraj" > /dev/null
+if ./target/release/kc-loadgen --noise-free --store "$smoke/cells.json" --warm \
+    --rps 200 --duration-ms 500 --seed 7 --slo "p99_ms<=0.00001" \
+    > /dev/null 2> /dev/null; then
+    echo "verify: an impossible SLO bound was not detected"; exit 1
+fi
+echo "loadgen: SLO pass on warm serving, impossible bound exits 1, trajectory diffable"
 
 echo "== docs (no rustdoc warnings) =="
 doc_log=$(cargo doc --no-deps --workspace 2>&1) || { echo "$doc_log"; exit 1; }

@@ -19,6 +19,7 @@
 //! | [`experiments`] | `kc-experiments` | regenerators for every paper table |
 //! | [`prophesy`] | `kc-prophesy` | measurement database, planner, reuse advisor |
 //! | [`serve`] | `kc-serve` | online batched prediction service (wire protocol, server, metrics) |
+//! | [`loadgen`] | `kc-loadgen` | open-loop load generator and fault-injecting SLO harness |
 //!
 //! ## Quickstart
 //!
@@ -81,4 +82,9 @@ pub mod prophesy {
 /// The online prediction service (re-export of `kc-serve`).
 pub mod serve {
     pub use kc_serve::*;
+}
+
+/// Load generation and SLO checking (re-export of `kc-loadgen`).
+pub mod loadgen {
+    pub use kc_loadgen::*;
 }

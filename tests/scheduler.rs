@@ -18,14 +18,26 @@
 //!    shared cache attribute every cell to exactly one disposition:
 //!    their `cells_executed` / `backend_hits` sums equal the
 //!    `CacheStats` counters exactly (the ISSUE 4 accounting fix).
+//! 5. **Deadline ordering is safe and conservative** (property-based)
+//!    — arbitrary cost/deadline mixes, NaN and infinities included,
+//!    never panic and never lose a cell; and a deadline-free drain
+//!    (`drain`, `drain_with_deadline(None)`, or a NaN deadline) pops
+//!    in *exactly* the pure cost order the scheduler had before
+//!    deadlines existed.
 
-use kernel_couplings::coupling::{CacheStats, MemorySink, TelemetryEvent, TelemetrySink};
+use kernel_couplings::coupling::{
+    CacheStats, CellContext, CellKind, Disposition, KernelId, MeasurementKey, MemorySink,
+    TelemetryEvent, TelemetrySink,
+};
 use kernel_couplings::experiments::render::Artifact;
-use kernel_couplings::experiments::{bt, AnalysisSpec, Campaign, MeasuredCost, Runner};
+use kernel_couplings::experiments::{
+    bt, AnalysisSpec, Campaign, CellScheduler, MeasuredCost, Runner,
+};
 use kernel_couplings::npb::{Benchmark, Class};
 use kernel_couplings::prophesy::CellStore;
+use proptest::prelude::*;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 /// `CellExecuted` keys in emission order — the execution schedule when
 /// the scheduler drains on one worker.
@@ -217,4 +229,139 @@ fn cost_model_permutes_the_schedule_but_not_the_tables() {
         measured_table.render_json(),
         "tables must be bit-identical under any cost model or pool size"
     );
+}
+
+/// A distinct, deterministic cell key per index.
+fn cell_key(i: usize) -> MeasurementKey {
+    CellContext {
+        benchmark: "BT".into(),
+        class: "S".into(),
+        procs: 4,
+        exec_digest: "w1t2".into(),
+        machine_fingerprint: "fp".into(),
+    }
+    .key(CellKind::Chain(vec![KernelId(i as u32)]), 5)
+}
+
+/// A jobs=1 scheduler whose execute closure records pop order.
+fn recording_scheduler(jobs: usize) -> (CellScheduler, Arc<Mutex<Vec<MeasurementKey>>>) {
+    let order = Arc::new(Mutex::new(Vec::new()));
+    let seen = order.clone();
+    let scheduler = CellScheduler::new(
+        jobs,
+        Box::new(move |k| {
+            seen.lock().unwrap().push(k.clone());
+            Ok(Disposition::Executed)
+        }),
+    );
+    (scheduler, order)
+}
+
+/// Any f64 a cost model (or a poisoned one) could produce.
+fn any_cost() -> impl Strategy<Value = f64> {
+    prop_oneof![
+        5 => -1e9f64..1e9,
+        1 => Just(f64::NAN),
+        1 => Just(f64::INFINITY),
+        1 => Just(f64::NEG_INFINITY),
+        1 => Just(0.0),
+    ]
+}
+
+/// Any deadline a serve batch (or a hostile client) could carry.
+fn any_deadline() -> impl Strategy<Value = Option<f64>> {
+    prop_oneof![
+        3 => Just(None),
+        3 => (0.001f64..1e6).prop_map(Some),
+        1 => Just(Some(f64::NAN)),
+        1 => Just(Some(f64::INFINITY)),
+        1 => Just(Some(50.0)), // a value groups can share: equal deadlines
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Property 5a: the deadline-then-cost-then-key ordering is total.
+    /// Concurrent drains with arbitrary deadlines over overlapping,
+    /// duplicated key sets — NaN costs, NaN deadlines, infinities —
+    /// all settle: no panic, no deadlock, and every drain accounts
+    /// for every cell it submitted (enqueued + shared, with each
+    /// enqueued cell in exactly one disposition).
+    #[test]
+    fn arbitrary_deadline_mixes_never_panic_or_lose_cells(
+        costs in prop::collection::vec(any_cost(), 1..10),
+        deadlines in prop::collection::vec(any_deadline(), 1..4),
+    ) {
+        let (scheduler, order) = recording_scheduler(2);
+        let results: Vec<_> = std::thread::scope(|s| {
+            let handles: Vec<_> = deadlines
+                .iter()
+                .map(|deadline| {
+                    // overlapping keys across groups (i % 5) plus
+                    // in-group duplicates exercise slot sharing
+                    let cells: Vec<_> = costs
+                        .iter()
+                        .enumerate()
+                        .map(|(i, &c)| (cell_key(i % 5), c))
+                        .collect();
+                    let scheduler = &scheduler;
+                    let deadline = *deadline;
+                    s.spawn(move || scheduler.drain_with_deadline(cells, deadline))
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for stats in results {
+            let stats = stats.expect("a drain never fails on healthy cells");
+            prop_assert_eq!(stats.enqueued + stats.shared, costs.len());
+            prop_assert_eq!(
+                stats.executed + stats.backend_hits + stats.hits,
+                stats.enqueued
+            );
+        }
+        let executed = order.lock().unwrap().len();
+        let unique = costs.len().min(5);
+        prop_assert!(
+            executed >= unique,
+            "every distinct key executes at least once ({executed} < {unique})"
+        );
+    }
+
+    /// Property 5b: without a deadline the scheduler is bit-identical
+    /// to its pre-deadline self.  For any cost vector, `drain`,
+    /// `drain_with_deadline(None)` and a NaN deadline all pop in
+    /// exactly the pure cost order (highest cost first under
+    /// `total_cmp`, ties by canonical key order).
+    #[test]
+    fn deadline_free_drains_pop_in_the_original_pure_cost_order(
+        costs in prop::collection::vec(any_cost(), 1..12),
+    ) {
+        let cells: Vec<(MeasurementKey, f64)> = costs
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| (cell_key(i), c))
+            .collect();
+        let mut expected = cells.clone();
+        expected.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        let expected: Vec<MeasurementKey> =
+            expected.into_iter().map(|(k, _)| k).collect();
+
+        for variant in 0..3u8 {
+            let (scheduler, order) = recording_scheduler(1);
+            let stats = match variant {
+                0 => scheduler.drain(cells.clone()),
+                1 => scheduler.drain_with_deadline(cells.clone(), None),
+                _ => scheduler.drain_with_deadline(cells.clone(), Some(f64::NAN)),
+            }
+            .expect("drain succeeds");
+            prop_assert_eq!(stats.executed, cells.len());
+            prop_assert_eq!(
+                &*order.lock().unwrap(),
+                &expected,
+                "variant {} diverged from the pure cost order",
+                variant
+            );
+        }
+    }
 }

@@ -31,6 +31,7 @@ fn request(
         procs,
         chain_len,
         fine: false,
+        deadline_ms: None,
     }
 }
 

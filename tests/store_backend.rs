@@ -161,6 +161,7 @@ fn request(id: u64, benchmark: &str, procs: usize) -> PredictRequest {
         procs,
         chain_len: 2,
         fine: false,
+        deadline_ms: None,
     }
 }
 

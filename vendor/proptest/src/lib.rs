@@ -101,6 +101,60 @@ pub mod strategy {
         type Value;
         /// Draw one value.
         fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Transform generated values with `f`
+        /// (upstream's `Strategy::prop_map`).
+        fn prop_map<T, F: Fn(Self::Value) -> T>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    /// The result of [`Strategy::prop_map`].
+    #[derive(Clone, Debug)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, T, F: Fn(S::Value) -> T> Strategy for Map<S, F> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// A weighted choice among boxed strategies of one value type —
+    /// what the [`prop_oneof!`](crate::prop_oneof) macro builds.
+    pub struct Union<T> {
+        options: Vec<(u32, Box<dyn Strategy<Value = T>>)>,
+        total: u32,
+    }
+
+    impl<T> Union<T> {
+        /// A union over `(weight, strategy)` options; at least one
+        /// option with a non-zero total weight is required.
+        pub fn new(options: Vec<(u32, Box<dyn Strategy<Value = T>>)>) -> Self {
+            let total = options.iter().map(|(w, _)| *w).sum();
+            assert!(total > 0, "prop_oneof! needs a non-zero total weight");
+            Self { options, total }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let mut pick = rng.below(self.total as usize) as u32;
+            for (weight, strategy) in &self.options {
+                if pick < *weight {
+                    return strategy.generate(rng);
+                }
+                pick -= weight;
+            }
+            unreachable!("weights sum to total")
+        }
     }
 
     impl Strategy for Range<f64> {
@@ -240,7 +294,9 @@ pub mod prelude {
     pub use crate::strategy::{Just, Strategy};
     pub use crate::test_runner::Config as ProptestConfig;
     pub use crate::test_runner::TestCaseError;
-    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
 }
 
 /// Fail the current case unless `cond` holds.
@@ -299,6 +355,25 @@ macro_rules! prop_assert_ne {
             ));
         }
     }};
+}
+
+/// A weighted (or unweighted) choice among strategies producing one
+/// value type: `prop_oneof![3 => a, 1 => b]` draws from `a` three
+/// times as often as from `b`; without weights every option is
+/// equally likely.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strategy:expr),+ $(,)?) => {{
+        let mut __options: ::std::vec::Vec<(
+            u32,
+            ::std::boxed::Box<dyn $crate::strategy::Strategy<Value = _>>,
+        )> = ::std::vec::Vec::new();
+        $(__options.push(($weight as u32, ::std::boxed::Box::new($strategy)));)+
+        $crate::strategy::Union::new(__options)
+    }};
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::prop_oneof![$(1 => $strategy),+]
+    };
 }
 
 /// Skip the current case unless `cond` holds (this simplified runner
@@ -403,6 +478,39 @@ mod tests {
             prop_assert!(pair.1 >= -0.5 && pair.1 < 0.5);
             prop_assert_ne!(k, 0);
         }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn oneof_draws_every_option_and_maps(
+            v in prop::collection::vec(
+                prop_oneof![
+                    3 => (0.0f64..1.0).prop_map(Some),
+                    1 => Just(None),
+                ],
+                8..16,
+            ),
+        ) {
+            for x in &v {
+                if let Some(x) = x {
+                    prop_assert!((0.0..1.0).contains(x));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn oneof_respects_weights_roughly() {
+        use crate::strategy::Strategy;
+        let mut rng = crate::test_runner::TestRng::deterministic("oneof_weights");
+        let s = prop_oneof![9 => Just(true), 1 => Just(false)];
+        let hits = (0..1000).filter(|_| s.generate(&mut rng)).count();
+        assert!(
+            (800..=1000).contains(&hits),
+            "~90% of draws should take the weight-9 arm, got {hits}"
+        );
     }
 
     #[test]
