@@ -1,0 +1,197 @@
+//! Benches the hot execution path of a single campaign cell — the
+//! simulated cluster run behind every `CellExecuted` event — under
+//! the executor speed pass's two axes:
+//!
+//! * **cold vs pooled**: rank pooling disabled (every run spawns and
+//!   joins fresh rank threads, the pre-pool behaviour and the
+//!   `KC_RANK_POOL=0` escape hatch) against the default persistent
+//!   [`RankPool`](kc_machine::RankPool), where parked workers are
+//!   re-dispatched without thread churn;
+//! * **traced vs untraced**: a fresh one-spec campaign with and
+//!   without a buffered `JsonLinesSink` attached, bracketing what
+//!   event framing costs on the campaign hot path.
+//!
+//! With `KC_BENCH_TRAJECTORY=<dir>` the bench leaves a
+//! `BENCH_cell_exec.json` breakdown behind whose cells carry each
+//! variant's best-of-rounds duration (`dispatch|p8|cold` vs
+//! `dispatch|p8|pooled`, chain runs, traced/untraced campaigns), so
+//! `kc-bench diff` gates the pooled-vs-cold trajectory across commits
+//! and `scripts/verify.sh` can assert the pooled dispatch actually
+//! beats thread spawning.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use kc_bench::{trajectory_dir, BenchTrajectory};
+use kc_core::{JsonLinesSink, SlowCell};
+use kc_experiments::{AnalysisSpec, Campaign, Runner};
+use kc_machine::{set_rank_pooling, Cluster, MachineConfig};
+use kc_npb::{Benchmark, Class, NpbApp, NpbExecutor};
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Ranks for the bare-dispatch cells: big enough that thread spawn
+/// cost is unmistakable, small enough for any CI box.
+const DISPATCH_RANKS: usize = 8;
+
+/// One bare cluster dispatch: the smallest unit the rank pool
+/// accelerates.  A ring exchange keeps every rank honest without
+/// adding numeric work that would drown the dispatch cost.
+fn dispatch(cluster: &Cluster, ranks: usize) -> f64 {
+    cluster
+        .run(ranks, |ctx| {
+            let right = (ctx.rank() + 1) % ctx.size();
+            let left = (ctx.rank() + ctx.size() - 1) % ctx.size();
+            ctx.send(right, 0, vec![1.0]);
+            let m = ctx.recv(left, 0);
+            black_box(m.data.len());
+            ctx.now()
+        })
+        .elapsed()
+}
+
+/// One profile-mode chain window — the realistic per-cell workload.
+fn chain(exec: &NpbExecutor, ids: &[kc_core::KernelId]) -> f64 {
+    exec.run_chain_raw(ids)
+}
+
+/// One full single-spec campaign, optionally tracing into `sink_dir`.
+fn campaign_run(runner: &Runner, traced: Option<&std::path::Path>) {
+    let mut builder = Campaign::builder(runner.clone());
+    if let Some(dir) = traced {
+        let sink = JsonLinesSink::new(dir.join("cell_exec_trace.jsonl"));
+        builder = builder.sink(Arc::new(sink));
+    }
+    let campaign = builder.build();
+    let spec = AnalysisSpec::new(Benchmark::Bt, Class::S, 4, 2);
+    campaign
+        .prefetch(std::slice::from_ref(&spec))
+        .expect("campaign failed");
+    campaign.flush_sinks().expect("trace flush failed");
+}
+
+fn bench_cell_exec(c: &mut Criterion) {
+    let machine = MachineConfig::test_tiny();
+    let app = NpbApp::new(Benchmark::Bt, Class::S, 4);
+    let ids: Vec<_> = app.benchmark.spec().kernel_set().ids().collect();
+    let exec = NpbExecutor::new(app, machine.clone(), Default::default());
+    let runner = Runner::noise_free();
+    let scratch = std::env::temp_dir().join(format!("kc_bench_cell_exec_{}", std::process::id()));
+    std::fs::create_dir_all(&scratch).expect("scratch dir");
+
+    let mut g = c.benchmark_group("cell_exec");
+    g.sample_size(10);
+    g.warm_up_time(Duration::from_secs(1));
+    g.measurement_time(Duration::from_secs(3));
+
+    // bare dispatch: thread spawn+join per run vs parked-pool reuse
+    let cluster = Cluster::new(machine.clone());
+    set_rank_pooling(false);
+    g.bench_function("dispatch_p8_cold", |b| {
+        b.iter(|| black_box(dispatch(&cluster, DISPATCH_RANKS)))
+    });
+    set_rank_pooling(true);
+    g.bench_function("dispatch_p8_pooled", |b| {
+        b.iter(|| black_box(dispatch(&cluster, DISPATCH_RANKS)))
+    });
+
+    // realistic cell: one BT/S profile chain window
+    set_rank_pooling(false);
+    g.bench_function("chain_bt_s_p4_cold", |b| {
+        b.iter(|| black_box(chain(&exec, &ids)))
+    });
+    set_rank_pooling(true);
+    g.bench_function("chain_bt_s_p4_pooled", |b| {
+        b.iter(|| black_box(chain(&exec, &ids)))
+    });
+
+    // event framing: full single-spec campaign with and without a
+    // buffered JSON-lines sink attached
+    g.bench_function("campaign_bt_s_p4_untraced", |b| {
+        b.iter(|| campaign_run(&runner, None))
+    });
+    g.bench_function("campaign_bt_s_p4_traced", |b| {
+        b.iter(|| campaign_run(&runner, Some(&scratch)))
+    });
+    g.finish();
+
+    emit_trajectory(&cluster, &exec, &ids, &runner, &scratch);
+    set_rank_pooling(true);
+    let _ = std::fs::remove_dir_all(&scratch);
+}
+
+/// Best-of-rounds wall time of `f`.
+fn best_of(rounds: usize, mut f: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..rounds {
+        let start = Instant::now();
+        f();
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    best
+}
+
+/// With `KC_BENCH_TRAJECTORY=<dir>`, record each variant's
+/// best-of-rounds duration as a trajectory cell, and print the
+/// pooled-vs-cold dispatch ratio so verification scripts can assert
+/// the pool earns its keep.
+fn emit_trajectory(
+    cluster: &Cluster,
+    exec: &NpbExecutor,
+    ids: &[kc_core::KernelId],
+    runner: &Runner,
+    scratch: &std::path::Path,
+) {
+    let Some(out) = trajectory_dir() else {
+        return;
+    };
+    const ROUNDS: usize = 20;
+    let mut cells = Vec::new();
+    let mut measure = |key: &str, pooled: Option<bool>, f: &mut dyn FnMut()| {
+        if let Some(on) = pooled {
+            set_rank_pooling(on);
+        }
+        f(); // warm once so thread-local pools and caches exist
+        cells.push(SlowCell {
+            key: key.to_string(),
+            duration_secs: best_of(ROUNDS, f),
+        });
+    };
+    measure("dispatch|p8|cold", Some(false), &mut || {
+        black_box(dispatch(cluster, DISPATCH_RANKS));
+    });
+    measure("dispatch|p8|pooled", Some(true), &mut || {
+        black_box(dispatch(cluster, DISPATCH_RANKS));
+    });
+    measure("chain|BT|S|p4|cold", Some(false), &mut || {
+        black_box(chain(exec, ids));
+    });
+    measure("chain|BT|S|p4|pooled", Some(true), &mut || {
+        black_box(chain(exec, ids));
+    });
+    measure("campaign|BT|S|p4|untraced", None, &mut || {
+        campaign_run(runner, None);
+    });
+    measure("campaign|BT|S|p4|traced", None, &mut || {
+        campaign_run(runner, Some(scratch));
+    });
+    let secs = |key: &str| {
+        cells
+            .iter()
+            .find(|c| c.key == key)
+            .map(|c| c.duration_secs)
+            .unwrap_or(f64::NAN)
+    };
+    eprintln!(
+        "[cell_exec] dispatch p8: cold {:.6}s pooled {:.6}s ({:.1}x)",
+        secs("dispatch|p8|cold"),
+        secs("dispatch|p8|pooled"),
+        secs("dispatch|p8|cold") / secs("dispatch|p8|pooled"),
+    );
+    let path = BenchTrajectory::from_cells("cell_exec", cells)
+        .write_to(&out)
+        .expect("failed to write bench trajectory");
+    eprintln!("[trajectory] {}", path.display());
+}
+
+criterion_group!(benches, bench_cell_exec);
+criterion_main!(benches);

@@ -1,5 +1,5 @@
 //! Benches the sharded store's warm read path — the hot loop behind
-//! `--store-format sharded` once a campaign directory is populated.
+//! `--store sharded:PATH` once a campaign directory is populated.
 //!
 //! Two shapes matter: a cold open followed by a first sweep (every
 //! `get` falls through the hot tier to a shard scan) and a warm sweep

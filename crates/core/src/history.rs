@@ -162,15 +162,26 @@ impl RunHistory {
                 Ok(last[0] != b'\n')
             })
             .unwrap_or(false);
-        let line = serde_json::to_string(record).expect("history records serialize");
-        let mut f = std::fs::OpenOptions::new()
+        // serialize before touching the file so an unencodable record
+        // cannot leave a partial line behind
+        let line = serde_json::to_string(record).map_err(|e| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("history record: {e}"),
+            )
+        })?;
+        let f = std::fs::OpenOptions::new()
             .create(true)
             .append(true)
             .open(path)?;
+        let mut w = std::io::BufWriter::new(f);
         if unterminated {
-            writeln!(f)?;
+            writeln!(w)?;
         }
-        writeln!(f, "{line}")
+        writeln!(w, "{line}")?;
+        // the record is durable only past this point; a writer that
+        // dies before the flush loses at most this buffered line
+        w.flush()
     }
 
     /// The loaded records, in append (run) order.

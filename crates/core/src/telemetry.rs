@@ -508,6 +508,17 @@ pub fn worker_label() -> String {
 pub trait TelemetrySink: Send + Sync {
     /// Record one event.
     fn record(&self, event: TelemetryEvent);
+
+    /// Drain any buffered events to their destination.
+    ///
+    /// Purely in-memory sinks have nothing to drain, so the default is
+    /// a no-op; buffered sinks like [`JsonLinesSink`] override this to
+    /// write their trace out.  Callers with an explicit lifecycle point
+    /// (scheduler drain, SIGTERM, end-of-run summary) call this instead
+    /// of downcasting to a concrete sink type.
+    fn flush(&self) -> std::io::Result<()> {
+        Ok(())
+    }
 }
 
 /// Collects events in memory, in emission order.
@@ -598,6 +609,10 @@ impl TelemetrySink for JsonLinesSink {
     fn record(&self, event: TelemetryEvent) {
         self.buffer.record(event);
     }
+
+    fn flush(&self) -> std::io::Result<()> {
+        JsonLinesSink::flush(self)
+    }
 }
 
 /// Broadcasts every event to a set of sinks; sinks can attach at any
@@ -636,6 +651,22 @@ impl TelemetrySink for FanoutSink {
             s.record(event.clone());
         }
     }
+
+    fn flush(&self) -> std::io::Result<()> {
+        let sinks = self.sinks.lock().clone();
+        let mut first_err = None;
+        for s in &sinks {
+            // keep draining the rest even if one sink fails, so a bad
+            // disk path can't strand another sink's buffered events
+            if let Err(e) = s.flush() {
+                first_err.get_or_insert(e);
+            }
+        }
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
 }
 
 /// Write events as JSON lines (one event per line).
@@ -645,7 +676,9 @@ pub fn write_jsonl(path: &Path, events: &[TelemetryEvent]) -> std::io::Result<()
     }
     let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
     for e in events {
-        let line = serde_json::to_string(e).expect("telemetry events serialize");
+        let line = serde_json::to_string(e).map_err(|e| {
+            std::io::Error::new(std::io::ErrorKind::InvalidData, format!("trace event: {e}"))
+        })?;
         writeln!(f, "{line}")?;
     }
     f.flush()
@@ -866,6 +899,38 @@ mod tests {
         memory.clear();
         assert!(memory.is_empty());
         let _ = std::fs::remove_dir_all(jsonl.path().parent().unwrap());
+    }
+
+    #[test]
+    fn trait_flush_drains_buffered_sinks_through_a_fanout() {
+        let jsonl = Arc::new(JsonLinesSink::new(
+            std::env::temp_dir().join("kc_telemetry_trait_flush/trace.jsonl"),
+        ));
+        let fanout = FanoutSink::new();
+        fanout.add(Arc::new(MemorySink::new())); // default no-op flush
+        fanout.add(jsonl.clone());
+        fanout.record(started("cell", "w"));
+        TelemetrySink::flush(&fanout).unwrap();
+        assert_eq!(read_jsonl(jsonl.path()).unwrap().len(), 1);
+        let _ = std::fs::remove_dir_all(jsonl.path().parent().unwrap());
+    }
+
+    #[test]
+    fn crashed_buffered_sink_loses_only_the_unflushed_tail() {
+        let path = std::env::temp_dir().join("kc_telemetry_crash/trace.jsonl");
+        let _ = std::fs::remove_dir_all(path.parent().unwrap());
+        let jsonl = JsonLinesSink::new(&path);
+        jsonl.record(started("flushed", "w"));
+        jsonl.flush().unwrap();
+        jsonl.record(started("buffered-tail", "w"));
+        // simulate the process dying before the next flush point
+        drop(jsonl);
+        // the on-disk trace still parses and holds exactly the events
+        // flushed before the crash — the tail was never half-written
+        let back = read_jsonl(&path).unwrap();
+        assert_eq!(back.len(), 1);
+        assert_eq!(back[0].cell_key(), Some("flushed"));
+        let _ = std::fs::remove_dir_all(path.parent().unwrap());
     }
 
     #[test]

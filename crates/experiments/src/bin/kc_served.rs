@@ -1,7 +1,7 @@
 //! `kc_served` — the long-running prediction daemon.
 //!
 //! ```text
-//! kc_served [--listen ADDR] [--store PATH] [--store-format FORMAT]
+//! kc_served [--listen ADDR] [--store SPEC]
 //!          [--noise-free] [--reps N] [--jobs N] [--max-inflight N]
 //!          [--max-batch N] [--trace FILE] [--metrics] [--history FILE]
 //! ```
@@ -20,9 +20,11 @@
 //! instant.  With `--store`, cells load from / save to a kc-prophesy
 //! cell store — a warm store answers every request with zero
 //! executions — and the run appends to the `PATH.history.jsonl`
-//! sidecar on shutdown.  The store format is auto-detected (JSON file
-//! or sharded binary directory); `--store-format {json,sharded}`
-//! picks the format for a fresh PATH.  The sharded format appends
+//! sidecar on shutdown.  The store spec is a bare PATH — the format is
+//! auto-detected (JSON file or sharded binary directory) — or
+//! `sharded:PATH` / `json:PATH` to force the format for a fresh store
+//! (the old `--store-format` flag is a deprecated alias).  The
+//! sharded format appends
 //! each measured cell immediately, so a second instance over the same
 //! store directory sees this one's cells as they land.  `--trace` writes the canonical telemetry
 //! stream (cell spans + `RequestServed` events); `--metrics` prints
@@ -31,7 +33,7 @@
 
 use kc_core::{HistoryRecord, JsonLinesSink, RunHistory};
 use kc_experiments::{Campaign, CampaignEngine, Runner, SummaryOpts};
-use kc_prophesy::{history_sidecar, open_store, CellBackend, StoreFormat};
+use kc_prophesy::{history_sidecar, CellBackend, StoreFormat, StoreSpec};
 use kc_serve::{Server, ServerConfig};
 use std::path::PathBuf;
 use std::sync::Arc;
@@ -43,7 +45,7 @@ const SUMMARY_TOP_N: usize = 10;
 #[derive(Default)]
 struct Options {
     listen: Option<String>,
-    store: Option<PathBuf>,
+    store: Option<StoreSpec>,
     store_format: Option<StoreFormat>,
     trace: Option<PathBuf>,
     history: Option<PathBuf>,
@@ -85,18 +87,19 @@ const FLAGS: [Flag; 11] = [
     },
     Flag {
         name: "--store",
-        metavar: Some("PATH"),
-        help: "load/save raw cell measurements in a kc-prophesy cell store",
+        metavar: Some("SPEC"),
+        help: "load/save raw cell measurements in a kc-prophesy cell store; \
+               SPEC is PATH (format auto-detected) or 'sharded:PATH' / \
+               'json:PATH' to force a format for a fresh store",
         apply: |o, v| {
-            o.store = Some(PathBuf::from(v));
+            o.store = Some(v.parse()?);
             Ok(())
         },
     },
     Flag {
         name: "--store-format",
         metavar: Some("FORMAT"),
-        help: "cell-store format for a fresh --store PATH: 'json' or 'sharded' \
-               (existing stores are auto-detected)",
+        help: "deprecated alias for a 'FORMAT:PATH' --store spec ('json' or 'sharded')",
         apply: |o, v| {
             o.store_format = Some(v.parse()?);
             Ok(())
@@ -227,6 +230,13 @@ fn parse_args(args: &[String]) -> Options {
         }
         i += 1;
     }
+    if let Some(format) = o.store_format.take() {
+        eprintln!("warning: --store-format is deprecated; spell the spec as --store {format}:PATH");
+        o.store = match o.store.take() {
+            Some(spec) => Some(spec.with_legacy_format(format).unwrap_or_else(|e| die(e))),
+            None => die("--store-format needs --store".to_string()),
+        };
+    }
     o
 }
 
@@ -269,16 +279,16 @@ fn main() {
         runner.reps = reps;
     }
 
-    let store: Option<Arc<dyn CellBackend>> = opts.store.as_ref().map(|p| {
-        open_store(p, opts.store_format).unwrap_or_else(|e| {
-            eprintln!("error: cannot open cell store {}: {e}", p.display());
+    let store: Option<Arc<dyn CellBackend>> = opts.store.as_ref().map(|spec| {
+        spec.open().unwrap_or_else(|e| {
+            eprintln!("error: cannot open cell store {}: {e}", spec.path.display());
             std::process::exit(2);
         })
     });
     let history_path: Option<PathBuf> = opts
         .history
         .clone()
-        .or_else(|| opts.store.as_ref().map(|p| history_sidecar(p)));
+        .or_else(|| opts.store.as_ref().map(|spec| history_sidecar(&spec.path)));
 
     let mut builder = Campaign::builder(runner);
     if let Some(s) = &store {
@@ -358,20 +368,22 @@ fn main() {
         eprint!("{}", summary.as_ref().expect("summary computed"));
     }
     if let Some(sink) = &trace_sink {
-        sink.flush().expect("failed to write telemetry trace");
+        campaign
+            .flush_sinks()
+            .expect("failed to write telemetry trace");
         eprintln!(
             "[trace] {} events written to {}",
             sink.len(),
             sink.path().display()
         );
     }
-    if let (Some(s), Some(p)) = (&store, &opts.store) {
+    if let (Some(s), Some(spec)) = (&store, &opts.store) {
         s.flush().expect("failed to save cell store");
         let b = s.stats();
         eprintln!(
             "[store] {} cells saved to {} ({}, {} loads, {} hits, {} stores)",
             s.len(),
-            p.display(),
+            spec.path.display(),
             s.format(),
             b.loads,
             b.load_hits,

@@ -1,8 +1,8 @@
 //! Regenerate the paper's tables from the command line.
 //!
 //! ```text
-//! paper_tables [EXPERIMENT ...] [--noise-free] [--out DIR] [--reps N] [--store PATH]
-//!              [--store-format FORMAT] [--trace FILE] [--metrics] [--history FILE]
+//! paper_tables [EXPERIMENT ...] [--noise-free] [--out DIR] [--reps N] [--store SPEC]
+//!              [--trace FILE] [--metrics] [--history FILE]
 //!              [--cost-model MODEL] [--jobs N]
 //!
 //! EXPERIMENT: classes | bt-s | bt-w | bt-a | sp-w | sp-a | sp-b |
@@ -24,16 +24,18 @@
 //!
 //! With `--out DIR`, each experiment additionally writes `<id>.txt`
 //! and `<id>.json` artifacts into DIR (consumed by EXPERIMENTS.md).
-//! With `--store PATH`, raw cell measurements are loaded from and
+//! With `--store SPEC`, raw cell measurements are loaded from and
 //! saved to a `kc-prophesy` cell store, so a re-run (or a run with
 //! more experiments) measures only what the store doesn't hold — and
 //! each run appends its `RunSummary`, backend counters and measured
 //! cell durations to the run-history sidecar `PATH.history.jsonl`
 //! (`--history` overrides the sidecar path, or enables it without a
-//! store).  The store's on-disk format is auto-detected (a JSON file
-//! or a sharded binary directory); `--store-format {json,sharded}`
-//! picks the format when PATH doesn't exist yet (default: json).
-//! Table values are byte-identical whichever format backs the run.
+//! store).  SPEC is a bare PATH — the on-disk format is auto-detected
+//! (a JSON file or a sharded binary directory) and a fresh store is
+//! created as JSON — or `sharded:PATH` / `json:PATH` to force the
+//! format (`kc_prophesy::StoreSpec`; the old `--store-format` flag is
+//! a deprecated alias).  Table values are byte-identical whichever
+//! format backs the run.
 //!
 //! With `--cost-model measured`, the execute phase is scheduled by the
 //! real cell durations recorded in the history sidecar (or a prior
@@ -56,7 +58,7 @@ use kc_experiments::{
 };
 use kc_machine::MachineConfig;
 use kc_npb::{Benchmark, Class};
-use kc_prophesy::{history_sidecar, open_store, CellBackend, StoreFormat};
+use kc_prophesy::{history_sidecar, CellBackend, StoreFormat, StoreSpec};
 use std::path::PathBuf;
 use std::sync::Arc;
 
@@ -95,7 +97,7 @@ const EXPERIMENTS: [&str; 16] = [
 struct Options {
     experiments: Vec<String>,
     out: Option<PathBuf>,
-    store: Option<PathBuf>,
+    store: Option<StoreSpec>,
     store_format: Option<StoreFormat>,
     trace: Option<PathBuf>,
     history: Option<PathBuf>,
@@ -147,18 +149,19 @@ const FLAGS: [Flag; 10] = [
     },
     Flag {
         name: "--store",
-        metavar: Some("PATH"),
-        help: "load/save raw cell measurements in a kc-prophesy cell store",
+        metavar: Some("SPEC"),
+        help: "load/save raw cell measurements in a kc-prophesy cell store; \
+               SPEC is PATH (format auto-detected) or 'sharded:PATH' / \
+               'json:PATH' to force a format for a fresh store",
         apply: |o, v| {
-            o.store = Some(PathBuf::from(v));
+            o.store = Some(v.parse()?);
             Ok(())
         },
     },
     Flag {
         name: "--store-format",
         metavar: Some("FORMAT"),
-        help: "cell-store format for a fresh --store PATH: 'json' or 'sharded' \
-               (existing stores are auto-detected)",
+        help: "deprecated alias for a 'FORMAT:PATH' --store spec ('json' or 'sharded')",
         apply: |o, v| {
             o.store_format = Some(v.parse()?);
             Ok(())
@@ -283,6 +286,13 @@ fn parse_args(args: &[String]) -> Options {
     // print the table twice: drop repeats, keep first-occurrence order
     let mut seen = std::collections::BTreeSet::new();
     o.experiments.retain(|e| seen.insert(e.clone()));
+    if let Some(format) = o.store_format.take() {
+        eprintln!("warning: --store-format is deprecated; spell the spec as --store {format}:PATH");
+        o.store = match o.store.take() {
+            Some(spec) => Some(spec.with_legacy_format(format).unwrap_or_else(|e| die(e))),
+            None => die("--store-format needs --store".to_string()),
+        };
+    }
     o
 }
 
@@ -556,9 +566,9 @@ fn main() {
         runner.reps = reps;
     }
 
-    let store: Option<Arc<dyn CellBackend>> = opts.store.as_ref().map(|p| {
-        open_store(p, opts.store_format).unwrap_or_else(|e| {
-            eprintln!("error: cannot open cell store {}: {e}", p.display());
+    let store: Option<Arc<dyn CellBackend>> = opts.store.as_ref().map(|spec| {
+        spec.open().unwrap_or_else(|e| {
+            eprintln!("error: cannot open cell store {}: {e}", spec.path.display());
             std::process::exit(2);
         })
     });
@@ -566,7 +576,7 @@ fn main() {
     let history_path: Option<PathBuf> = opts
         .history
         .clone()
-        .or_else(|| opts.store.as_ref().map(|p| history_sidecar(p)));
+        .or_else(|| opts.store.as_ref().map(|spec| history_sidecar(&spec.path)));
     let cost_model = build_cost_model(
         opts.measured_cost,
         history_path.as_ref(),
@@ -658,20 +668,22 @@ fn main() {
         eprint!("[metrics]\n{}", summary.as_ref().expect("summary computed"));
     }
     if let Some(sink) = &trace_sink {
-        sink.flush().expect("failed to write telemetry trace");
+        campaign
+            .flush_sinks()
+            .expect("failed to write telemetry trace");
         eprintln!(
             "[trace] {} events written to {}",
             sink.len(),
             sink.path().display()
         );
     }
-    if let (Some(s), Some(p)) = (&store, &opts.store) {
+    if let (Some(s), Some(spec)) = (&store, &opts.store) {
         s.flush().expect("failed to save cell store");
         let b = s.stats();
         eprintln!(
             "[store] {} cells saved to {} ({}, {} loads, {} hits, {} stores)",
             s.len(),
-            p.display(),
+            spec.path.display(),
             s.format(),
             b.loads,
             b.load_hits,

@@ -378,6 +378,14 @@ impl Campaign {
         self.telemetry.canonical_events()
     }
 
+    /// Drain every attached sink (see `TelemetrySink::flush`).  The
+    /// explicit lifecycle point for buffered sinks: call after the
+    /// end-of-run summary (or on SIGTERM) so trace files on disk are
+    /// complete before the process exits.
+    pub fn flush_sinks(&self) -> std::io::Result<()> {
+        self.fanout.flush()
+    }
+
     /// End-of-run aggregates over the events so far.  With
     /// [`SummaryOpts::recorded`], the computed `RunSummary` is also
     /// appended to the event stream (so attached sinks — and the

@@ -127,6 +127,27 @@ impl<const NC: usize> Field3<NC> {
         }
     }
 
+    /// Create a zero-filled field of the given cell extents, reusing
+    /// `buf`'s allocation (cleared, zeroed and resized to fit).  The
+    /// recycling counterpart of [`Field3::zeros`]: pair with
+    /// [`Field3::into_vec`] to keep one backing allocation alive
+    /// across fields of varying shape.
+    pub fn zeros_in(nx: usize, ny: usize, nz: usize, mut buf: Vec<f64>) -> Self {
+        buf.clear();
+        buf.resize(nx * ny * nz * NC, 0.0);
+        Self {
+            nx,
+            ny,
+            nz,
+            data: buf,
+        }
+    }
+
+    /// Consume the field, returning its backing storage for reuse.
+    pub fn into_vec(self) -> Vec<f64> {
+        self.data
+    }
+
     /// Cell extents as `(nx, ny, nz)`.
     #[inline]
     pub fn dims(&self) -> (usize, usize, usize) {
@@ -312,6 +333,22 @@ mod tests {
         a.add_assign(&b);
         assert_eq!(a.get(0, 0, 0, 0), 3.0);
         assert_eq!(a.max_abs_diff(&b), 1.0);
+    }
+
+    #[test]
+    fn field3_zeros_in_reuses_and_rezeroes_the_allocation() {
+        let mut f = Field3::<5>::zeros(3, 3, 3);
+        f.fill(7.0);
+        let buf = f.into_vec();
+        let cap = buf.capacity();
+        // smaller shape: same allocation, fully zeroed
+        let g = Field3::<5>::zeros_in(2, 2, 2, buf);
+        assert_eq!(g.dims(), (2, 2, 2));
+        assert!(g.as_slice().iter().all(|&v| v == 0.0));
+        assert_eq!(g.into_vec().capacity(), cap);
+        // a fresh (empty) buffer works too
+        let h = Field3::<2>::zeros_in(2, 1, 1, Vec::new());
+        assert_eq!(h.as_slice(), &[0.0; 4]);
     }
 
     #[test]

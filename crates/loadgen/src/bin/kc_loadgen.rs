@@ -5,7 +5,7 @@
 //!            [--deadline-ms F] [--burst N] [--burst-every-ms N]
 //!            [--malformed-every N] [--fault-disconnects N]
 //!            [--fault-stalls N] [--fault-stall-ms N]
-//!            [--connect ADDR | --store PATH [--store-format F]]
+//!            [--connect ADDR | --store SPEC]
 //!            [--noise-free] [--reps N] [--jobs N] [--max-inflight N]
 //!            [--max-batch N] [--warm] [--slo SPEC] [--trajectory NAME]
 //! ```
@@ -43,9 +43,8 @@ use kc_loadgen::{
     drive_server, drive_tcp, exactly_once_violations, schedule, spawn_faults, unique_requests,
     DriveResult, FaultConfig, LoadReport, SloSpec, WorkloadConfig,
 };
-use kc_prophesy::{open_store, CellBackend, StoreFormat};
+use kc_prophesy::{CellBackend, StoreFormat, StoreSpec};
 use kc_serve::{Server, ServerConfig};
-use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -54,7 +53,7 @@ struct Options {
     workload: WorkloadConfig,
     faults: FaultConfig,
     connect: Option<String>,
-    store: Option<PathBuf>,
+    store: Option<StoreSpec>,
     store_format: Option<StoreFormat>,
     noise_free: bool,
     reps: Option<u32>,
@@ -247,17 +246,19 @@ const FLAGS: [Flag; 22] = [
     },
     Flag {
         name: "--store",
-        metavar: Some("PATH"),
-        help: "back the in-process server with a kc-prophesy cell store",
+        metavar: Some("SPEC"),
+        help: "back the in-process server with a kc-prophesy cell store; \
+               SPEC is PATH (format auto-detected) or 'sharded:PATH' / \
+               'json:PATH' to force a format for a fresh store",
         apply: |o, v| {
-            o.store = Some(PathBuf::from(v));
+            o.store = Some(v.parse()?);
             Ok(())
         },
     },
     Flag {
         name: "--store-format",
         metavar: Some("FORMAT"),
-        help: "cell-store format for a fresh --store PATH: 'json' or 'sharded'",
+        help: "deprecated alias for a 'FORMAT:PATH' --store spec ('json' or 'sharded')",
         apply: |o, v| {
             o.store_format = Some(v.parse()?);
             Ok(())
@@ -404,6 +405,13 @@ fn parse_args(args: &[String]) -> Options {
             die("--fault-* needs the in-process server (drop --connect)".to_string());
         }
     }
+    if let Some(format) = o.store_format.take() {
+        eprintln!("warning: --store-format is deprecated; spell the spec as --store {format}:PATH");
+        o.store = match o.store.take() {
+            Some(spec) => Some(spec.with_legacy_format(format).unwrap_or_else(|e| die(e))),
+            None => die("--store-format needs --store".to_string()),
+        };
+    }
     o
 }
 
@@ -440,9 +448,9 @@ fn run_hosted(opts: &Options) -> (DriveResult, u64, u64) {
     if let Some(reps) = opts.reps {
         runner.reps = reps;
     }
-    let store: Option<Arc<dyn CellBackend>> = opts.store.as_ref().map(|p| {
-        open_store(p, opts.store_format).unwrap_or_else(|e| {
-            eprintln!("error: cannot open cell store {}: {e}", p.display());
+    let store: Option<Arc<dyn CellBackend>> = opts.store.as_ref().map(|spec| {
+        spec.open().unwrap_or_else(|e| {
+            eprintln!("error: cannot open cell store {}: {e}", spec.path.display());
             std::process::exit(2);
         })
     });
@@ -472,7 +480,7 @@ fn run_hosted(opts: &Options) -> (DriveResult, u64, u64) {
             .collect();
         for t in &tickets {
             let response = t.wait();
-            if response.status != kc_serve::status::OK {
+            if response.status != kc_serve::Status::Ok {
                 eprintln!(
                     "warning: warmup request drew status '{}': {}",
                     response.status,

@@ -48,7 +48,7 @@ pub fn drive_server(server: &Server, slots: &[Slot]) -> DriveResult {
         for (sent, ticket) in rx {
             let response = ticket.wait();
             outcomes.push(Outcome {
-                status: response.status,
+                status: response.status.to_string(),
                 latency_secs: sent.elapsed().as_secs_f64(),
             });
         }
@@ -91,7 +91,7 @@ pub fn drive_tcp(addr: &str, slots: &[Slot]) -> std::io::Result<DriveResult> {
                 .map(|t| t.elapsed().as_secs_f64())
                 .unwrap_or(0.0);
             let status = serde_json::from_str::<PredictResponse>(&line)
-                .map(|r| r.status)
+                .map(|r| r.status.to_string())
                 .unwrap_or_else(|_| "garbled".to_string());
             outcomes.push(Outcome {
                 status,

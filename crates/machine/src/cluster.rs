@@ -1,22 +1,29 @@
-//! The cluster runner: spawns one OS thread per simulated rank and
-//! collects per-rank virtual times and results.
+//! The cluster runner: executes one program closure per simulated
+//! rank — on pooled worker threads by default (see [`crate::pool`]),
+//! or on freshly spawned scoped threads — and collects per-rank
+//! virtual times and results.
 
 use crate::comm::{CommEndpoint, CommEvent, CommStats, Message};
 use crate::config::MachineConfig;
 use crate::perf::PerfContext;
-use crossbeam::channel::unbounded;
+use crate::pool::{self, RankPool};
+use crossbeam::channel::{unbounded, Receiver, Sender};
 use kc_cachesim::{AccessCounts, RegionId};
 use parking_lot::Mutex;
 use std::sync::Barrier;
 
 /// Shared state backing the collectives (barrier / allreduce).
-struct CollectiveState {
+///
+/// Reused across pooled runs: `exchange` deposits before it folds, so
+/// every slot is overwritten before it is read, and `std::sync::Barrier`
+/// resets itself after each wait.
+pub(crate) struct CollectiveState {
     slots: Vec<Mutex<f64>>,
     gate: Barrier,
 }
 
 impl CollectiveState {
-    fn new(n: usize) -> Self {
+    pub(crate) fn new(n: usize) -> Self {
         Self {
             slots: (0..n).map(|_| Mutex::new(0.0)).collect(),
             gate: Barrier::new(n),
@@ -233,9 +240,46 @@ impl Cluster {
         &self.config
     }
 
-    /// Run `program` on `p` ranks (one OS thread each) and collect the
-    /// per-rank outcomes.  Panics in any rank propagate.
+    /// Run `program` on `p` ranks and collect the per-rank outcomes.
+    /// Panics in any rank propagate.
+    ///
+    /// By default this is a thin wrapper over [`Cluster::run_on`] with
+    /// the calling thread's persistent [`RankPool`], so consecutive
+    /// cells executed by the same scheduler worker reuse the same `p`
+    /// parked rank threads instead of paying spawn + join per cell.
+    /// With pooling disabled (`KC_RANK_POOL=0` or
+    /// [`pool::set_rank_pooling`]) it falls back to
+    /// [`Cluster::run_spawned`].  The virtual timeline is a pure
+    /// function of the program and machine config either way, so the
+    /// two paths produce identical outcomes.
     pub fn run<T, F>(&self, p: usize, program: F) -> RunOutcome<T>
+    where
+        T: Send,
+        F: Fn(&mut RankCtx) -> T + Sync,
+    {
+        if pool::rank_pooling_enabled() {
+            pool::with_local_pool(|local| self.run_on(local, p, &program))
+        } else {
+            self.run_spawned(p, program)
+        }
+    }
+
+    /// Run `program` on `p` ranks drawn from `pool`'s parked workers
+    /// (building them on first use).  See [`crate::pool`] for the rig
+    /// lifecycle: keying, reset between runs, and poisoning.
+    pub fn run_on<T, F>(&self, rank_pool: &RankPool, p: usize, program: F) -> RunOutcome<T>
+    where
+        T: Send,
+        F: Fn(&mut RankCtx) -> T + Sync,
+    {
+        pool::run_on(self, rank_pool, p, &program)
+    }
+
+    /// Run `program` on `p` freshly spawned scoped threads (the cold
+    /// path: one spawn + join per rank per run).  Kept public as the
+    /// baseline the pooled path is benchmarked and byte-compared
+    /// against.
+    pub fn run_spawned<T, F>(&self, p: usize, program: F) -> RunOutcome<T>
     where
         T: Send,
         F: Fn(&mut RankCtx) -> T + Sync,
@@ -259,21 +303,7 @@ impl Cluster {
                 let config = &self.config;
                 let program = &program;
                 handles.push(scope.spawn(move || {
-                    let perf = PerfContext::new(config.clone());
-                    let mut comm = CommEndpoint::new(rank, p, config.net, senders, receiver);
-                    if config.trace_comm {
-                        comm.enable_trace();
-                    }
-                    let mut ctx = RankCtx { perf, comm, coll };
-                    let result = program(&mut ctx);
-                    let report = RankReport {
-                        time: ctx.perf.now(),
-                        comm: ctx.comm.stats(),
-                        cache: ctx.perf.cache_totals(),
-                        flops: ctx.perf.flops_total(),
-                        comm_trace: ctx.comm.take_trace(),
-                    };
-                    (report, result)
+                    execute_rank(config, p, rank, senders, receiver, coll, program)
                 }));
             }
             for (rank, h) in handles.into_iter().enumerate() {
@@ -290,6 +320,39 @@ impl Cluster {
         }
         RunOutcome { reports, results }
     }
+}
+
+/// Execute one rank's program against fresh per-run contexts (perf
+/// clock, comm endpoint) over the given channels and collective state.
+/// Shared by the spawned and pooled paths so their virtual timelines
+/// are computed by literally the same code.
+pub(crate) fn execute_rank<T, F>(
+    config: &MachineConfig,
+    p: usize,
+    rank: usize,
+    senders: Vec<Sender<Message>>,
+    receiver: Receiver<Message>,
+    coll: &CollectiveState,
+    program: &F,
+) -> (RankReport, T)
+where
+    F: Fn(&mut RankCtx) -> T,
+{
+    let perf = PerfContext::new(config.clone());
+    let mut comm = CommEndpoint::new(rank, p, config.net, senders, receiver);
+    if config.trace_comm {
+        comm.enable_trace();
+    }
+    let mut ctx = RankCtx { perf, comm, coll };
+    let result = program(&mut ctx);
+    let report = RankReport {
+        time: ctx.perf.now(),
+        comm: ctx.comm.stats(),
+        cache: ctx.perf.cache_totals(),
+        flops: ctx.perf.flops_total(),
+        comm_trace: ctx.comm.take_trace(),
+    };
+    (report, result)
 }
 
 #[cfg(test)]

@@ -50,10 +50,12 @@ pub mod cluster;
 pub mod comm;
 pub mod config;
 pub mod perf;
+pub mod pool;
 pub mod timer;
 
 pub use cluster::{Cluster, RankCtx, RunOutcome};
 pub use comm::{CommEvent, Message};
 pub use config::{CpuModel, MachineConfig, MemTiming, NetModel, TimerModel};
 pub use perf::PerfContext;
+pub use pool::{rank_pooling_enabled, set_rank_pooling, RankPool};
 pub use timer::NoisyTimer;

@@ -222,7 +222,9 @@ impl NpbExecutor {
                 }
             }
             ctx.barrier();
-            ctx.now() - t0
+            let elapsed = ctx.now() - t0;
+            st.recycle();
+            elapsed
         });
         out.results[0]
     }
@@ -237,7 +239,9 @@ impl NpbExecutor {
                 (k.run)(&mut st, ctx, cfg.mode);
             }
             ctx.barrier();
-            ctx.now()
+            let elapsed = ctx.now();
+            st.recycle();
+            elapsed
         });
         out.results[0]
     }
@@ -279,6 +283,7 @@ impl NpbExecutor {
             let loop_total = per_iter * iterations as f64;
             let warm_start = t0 - per_iter * cfg.warmup_iters as f64;
             let serial = warm_start + (ctx.now() - t1);
+            st.recycle();
             serial + loop_total
         });
         out.results[0]
@@ -304,7 +309,13 @@ impl NpbExecutor {
                 (k.run)(&mut st, ctx, Mode::Numeric);
             }
             ctx.barrier();
-            (ctx.now(), st.verify.unwrap_or_default(), st.iters_run)
+            let out = (
+                ctx.now(),
+                st.verify.take().unwrap_or_default(),
+                st.iters_run,
+            );
+            st.recycle();
+            out
         });
         let (t, verify, iters_executed) = out.results[0];
         AppRunSummary {

@@ -48,6 +48,7 @@
 #![allow(clippy::needless_range_loop)] // indexed loops mirror the Fortran stencils
 
 pub mod app;
+pub(crate) mod arena;
 pub mod blocks;
 pub mod bt;
 pub mod classes;

@@ -2,6 +2,7 @@
 //! memory regions the performance model charges against.
 
 use crate::app::Benchmark;
+use crate::arena;
 use crate::blocks::{Block, Vec5};
 use crate::physics::Physics;
 use kc_cachesim::RegionId;
@@ -32,10 +33,10 @@ pub struct HaloSet {
 impl HaloSet {
     fn sized(nx: usize, ny: usize, nz: usize) -> Self {
         Self {
-            west: vec![0.0; ny * nz * 5],
-            east: vec![0.0; ny * nz * 5],
-            south: vec![0.0; nx * nz * 5],
-            north: vec![0.0; nx * nz * 5],
+            west: arena::zeroed_f64(ny * nz * 5),
+            east: arena::zeroed_f64(ny * nz * 5),
+            south: arena::zeroed_f64(nx * nz * 5),
+            north: arena::zeroed_f64(nx * nz * 5),
         }
     }
 
@@ -144,18 +145,20 @@ impl RankState {
         };
         let (u, rhs, forcing, halo, ctil, dtil, etil);
         if numeric {
-            u = Field3::zeros(nx, ny, nz);
-            rhs = Field3::zeros(nx, ny, nz);
-            forcing = Field3::zeros(nx, ny, nz);
+            // draw the big scratch arrays from this thread's arena so
+            // consecutive cells on a pooled rank thread reuse them
+            u = Field3::zeros_in(nx, ny, nz, arena::raw_f64());
+            rhs = Field3::zeros_in(nx, ny, nz, arena::raw_f64());
+            forcing = Field3::zeros_in(nx, ny, nz, arena::raw_f64());
             halo = HaloSet::sized(nx, ny, nz);
             ctil = if benchmark == Benchmark::Bt {
-                vec![[[0.0; 5]; 5]; cells]
+                arena::zeroed_blocks(cells)
             } else {
                 Vec::new()
             };
             if benchmark == Benchmark::Sp {
-                dtil = vec![0.0; cells];
-                etil = vec![0.0; cells];
+                dtil = arena::zeroed_f64(cells);
+                etil = arena::zeroed_f64(cells);
             } else {
                 dtil = Vec::new();
                 etil = Vec::new();
@@ -188,6 +191,23 @@ impl RankState {
             pintgr: None,
             error_norm: None,
         }
+    }
+
+    /// Hand the numeric scratch back to this thread's arena (see
+    /// `crate::arena`); the next `RankState::new` on the same thread
+    /// reuses the allocations.  Call once the state's outputs
+    /// (`verify`, `iters_run`, ...) have been read out.
+    pub fn recycle(self) {
+        arena::recycle_f64(self.u.into_vec());
+        arena::recycle_f64(self.rhs.into_vec());
+        arena::recycle_f64(self.forcing.into_vec());
+        arena::recycle_f64(self.halo.west);
+        arena::recycle_f64(self.halo.east);
+        arena::recycle_f64(self.halo.south);
+        arena::recycle_f64(self.halo.north);
+        arena::recycle_blocks(self.ctil);
+        arena::recycle_f64(self.dtil);
+        arena::recycle_f64(self.etil);
     }
 
     /// Local extents.

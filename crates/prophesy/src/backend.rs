@@ -141,6 +141,89 @@ impl MeasurementBackend for dyn CellBackend {
     }
 }
 
+/// A parsed `--store` argument: where the cell store lives, plus an
+/// optional forced format.
+///
+/// The one store spec every binary shares.  Spelling:
+///
+/// * `PATH` — auto-detect the format on disk (a fresh store is
+///   created as JSON, the pre-sharding default);
+/// * `sharded:PATH` — force the sharded binary format;
+/// * `json:PATH` — force the single-file JSON format.
+///
+/// The old two-flag spelling (`--store PATH --store-format FMT`) is
+/// a deprecated alias: binaries fold the flag in through
+/// [`StoreSpec::with_legacy_format`] and warn.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StoreSpec {
+    /// Store location.
+    pub path: std::path::PathBuf,
+    /// Forced format; `None` auto-detects (see [`open_store`]).
+    pub format: Option<StoreFormat>,
+}
+
+impl StoreSpec {
+    /// A spec that auto-detects the format at `path`.
+    pub fn new(path: impl Into<std::path::PathBuf>) -> Self {
+        Self {
+            path: path.into(),
+            format: None,
+        }
+    }
+
+    /// Open (or create) the store this spec names.
+    pub fn open(&self) -> io::Result<Arc<dyn CellBackend>> {
+        open_store(&self.path, self.format)
+    }
+
+    /// Fold in a deprecated `--store-format` flag.  The flag only
+    /// fills an unforced spec; clashing with a `FMT:PATH` prefix is an
+    /// error rather than a silent override.
+    pub fn with_legacy_format(mut self, format: StoreFormat) -> Result<Self, String> {
+        match self.format {
+            None => {
+                self.format = Some(format);
+                Ok(self)
+            }
+            Some(forced) if forced == format => Ok(self),
+            Some(forced) => Err(format!(
+                "--store spec forces '{forced}' but --store-format says '{format}'"
+            )),
+        }
+    }
+}
+
+impl std::fmt::Display for StoreSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.format {
+            Some(fmt) => write!(f, "{fmt}:{}", self.path.display()),
+            None => write!(f, "{}", self.path.display()),
+        }
+    }
+}
+
+impl std::str::FromStr for StoreSpec {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        if s.is_empty() {
+            return Err("empty store spec (expected PATH or FORMAT:PATH)".to_string());
+        }
+        for format in [StoreFormat::Json, StoreFormat::Sharded] {
+            if let Some(path) = s.strip_prefix(&format!("{format}:")) {
+                if path.is_empty() {
+                    return Err(format!("store spec '{s}' names no path"));
+                }
+                return Ok(Self {
+                    path: path.into(),
+                    format: Some(format),
+                });
+            }
+        }
+        Ok(Self::new(s))
+    }
+}
+
 /// The format stored at `path`, if a store exists there.
 ///
 /// A directory holding a [`ShardedStore`] manifest is sharded; a
@@ -233,6 +316,65 @@ mod tests {
         assert!("csv".parse::<StoreFormat>().is_err());
         assert_eq!(StoreFormat::Json.to_string(), "json");
         assert_eq!(StoreFormat::Sharded.to_string(), "sharded");
+    }
+
+    #[test]
+    fn store_spec_parses_prefixes_and_bare_paths() {
+        use std::str::FromStr;
+        let bare = StoreSpec::from_str("out/cells.json").unwrap();
+        assert_eq!(bare, StoreSpec::new("out/cells.json"));
+        assert_eq!(bare.to_string(), "out/cells.json");
+
+        let sharded = StoreSpec::from_str("sharded:out/cells.kcs").unwrap();
+        assert_eq!(sharded.path, std::path::PathBuf::from("out/cells.kcs"));
+        assert_eq!(sharded.format, Some(StoreFormat::Sharded));
+        assert_eq!(sharded.to_string(), "sharded:out/cells.kcs");
+
+        let json = StoreSpec::from_str("json:cells").unwrap();
+        assert_eq!(json.format, Some(StoreFormat::Json));
+
+        assert!(StoreSpec::from_str("").is_err());
+        assert!(StoreSpec::from_str("sharded:").is_err());
+        // an unknown prefix is just a path with a colon in it
+        let odd = StoreSpec::from_str("weird:path").unwrap();
+        assert_eq!(odd.path, std::path::PathBuf::from("weird:path"));
+    }
+
+    #[test]
+    fn store_spec_legacy_format_fills_but_never_overrides() {
+        use std::str::FromStr;
+        let filled = StoreSpec::new("x")
+            .with_legacy_format(StoreFormat::Sharded)
+            .unwrap();
+        assert_eq!(filled.format, Some(StoreFormat::Sharded));
+
+        let agreeing = StoreSpec::from_str("sharded:x")
+            .unwrap()
+            .with_legacy_format(StoreFormat::Sharded)
+            .unwrap();
+        assert_eq!(agreeing.format, Some(StoreFormat::Sharded));
+
+        assert!(StoreSpec::from_str("json:x")
+            .unwrap()
+            .with_legacy_format(StoreFormat::Sharded)
+            .is_err());
+    }
+
+    #[test]
+    fn store_spec_open_round_trips() {
+        use std::str::FromStr;
+        let root = tmp("spec_open");
+        std::fs::create_dir_all(&root).unwrap();
+        let spec =
+            StoreSpec::from_str(&format!("sharded:{}", root.join("cells.kcs").display())).unwrap();
+        let store = spec.open().unwrap();
+        assert_eq!(store.format(), StoreFormat::Sharded);
+        store.append(&key(9), &[4.5]).unwrap();
+        store.flush().unwrap();
+        // bare-path spec auto-detects the sharded store
+        let again = StoreSpec::new(root.join("cells.kcs")).open().unwrap();
+        assert_eq!(again.get(&key(9)), Some(vec![4.5]));
+        let _ = std::fs::remove_dir_all(&root);
     }
 
     #[test]

@@ -2,13 +2,16 @@
 //!
 //! ```text
 //! kc_store convert SRC DST [--format {json,sharded}] [--shards N]
-//! kc_store inspect PATH
+//! kc_store inspect SPEC
 //! kc_store compact PATH
 //! ```
 //!
-//! `convert` copies every cell from one store into a freshly created
-//! one (refusing to overwrite an existing DST).  The target format is
-//! taken from `--format`, or inferred as the opposite of SRC's —
+//! Store arguments are `kc_prophesy::StoreSpec`s: a bare PATH
+//! (format auto-detected) or `sharded:PATH` / `json:PATH` to force
+//! one.  `convert` copies every cell from one store into a freshly
+//! created one (refusing to overwrite an existing DST).  The target
+//! format is taken from DST's spec prefix or `--format` (a deprecated
+//! alias for the prefix), or inferred as the opposite of SRC's —
 //! converting is almost always a json↔sharded move.  Samples travel
 //! as raw `f64` values through both formats, so convert is lossless:
 //! `json → sharded → json` reproduces the original file byte for
@@ -19,8 +22,8 @@
 //! store's segments with one record per live cell, dropping
 //! superseded appends.
 
-use kc_prophesy::{detect_format, open_store, CellBackend, ShardedStore, StoreFormat};
-use std::path::{Path, PathBuf};
+use kc_prophesy::{detect_format, open_store, CellBackend, ShardedStore, StoreFormat, StoreSpec};
+use std::path::Path;
 use std::sync::Arc;
 
 fn usage_text() -> String {
@@ -28,9 +31,11 @@ fn usage_text() -> String {
      commands:\n\
      \x20 convert SRC DST [--format FORMAT] [--shards N]\n\
      \x20     copy every cell of the store at SRC into a new store at DST;\n\
-     \x20     FORMAT is 'json' or 'sharded' (default: the opposite of SRC's),\n\
+     \x20     SRC/DST are PATH or 'sharded:PATH' / 'json:PATH' specs;\n\
+     \x20     --format is a deprecated alias for DST's spec prefix\n\
+     \x20     (default: the opposite of SRC's format),\n\
      \x20     --shards N sets the segment count of a sharded DST\n\
-     \x20 inspect PATH\n\
+     \x20 inspect SPEC\n\
      \x20     print format, cell/sample counts and shard layout\n\
      \x20 compact PATH\n\
      \x20     drop superseded records from a sharded store's segments\n"
@@ -48,12 +53,14 @@ fn fail(msg: String) -> ! {
     std::process::exit(1);
 }
 
-/// Open an existing store or bail out (never creates).
-fn open_existing(path: &Path) -> Arc<dyn CellBackend> {
-    if detect_format(path).is_none() {
-        fail(format!("no cell store at {}", path.display()));
+/// Open an existing store or bail out (never creates).  A spec that
+/// forces a format acts as an assertion against what is on disk.
+fn open_existing(spec: &StoreSpec) -> Arc<dyn CellBackend> {
+    if detect_format(&spec.path).is_none() {
+        fail(format!("no cell store at {}", spec.path.display()));
     }
-    open_store(path, None).unwrap_or_else(|e| fail(format!("cannot open {}: {e}", path.display())))
+    spec.open()
+        .unwrap_or_else(|e| fail(format!("cannot open {}: {e}", spec.path.display())))
 }
 
 fn convert(args: &[String]) {
@@ -89,18 +96,24 @@ fn convert(args: &[String]) {
     let [src, dst] = positional[..] else {
         die("convert needs SRC and DST".into());
     };
-    let (src, dst) = (PathBuf::from(src), PathBuf::from(dst));
-    if detect_format(&dst).is_some() {
+    let src: StoreSpec = src.parse().unwrap_or_else(|e: String| die(e));
+    let mut dst: StoreSpec = dst.parse().unwrap_or_else(|e: String| die(e));
+    if let Some(f) = format {
+        eprintln!("warning: --format is deprecated; spell the spec as {f}:PATH");
+        dst = dst.with_legacy_format(f).unwrap_or_else(|e| die(e));
+    }
+    if detect_format(&dst.path).is_some() {
         fail(format!(
             "{} already holds a store; convert refuses to overwrite",
-            dst.display()
+            dst.path.display()
         ));
     }
     let source = open_existing(&src);
-    let target_format = format.unwrap_or(match source.format() {
+    let target_format = dst.format.unwrap_or(match source.format() {
         StoreFormat::Json => StoreFormat::Sharded,
         StoreFormat::Sharded => StoreFormat::Json,
     });
+    let dst = dst.path;
     let target: Arc<dyn CellBackend> = match target_format {
         StoreFormat::Sharded => Arc::new(
             ShardedStore::create(&dst, shards)
@@ -121,14 +134,15 @@ fn convert(args: &[String]) {
         .unwrap_or_else(|e| fail(format!("flush of {} failed: {e}", dst.display())));
     println!(
         "converted {cells} cells: {} ({}) -> {} ({target_format})",
-        src.display(),
+        src.path.display(),
         source.format(),
         dst.display()
     );
 }
 
-fn inspect(path: &Path) {
-    let store = open_existing(path);
+fn inspect(spec: &StoreSpec) {
+    let store = open_existing(spec);
+    let path = spec.path.as_path();
     let entries = store.entries();
     let samples: usize = entries.iter().map(|(_, s)| s.len()).sum();
     println!("path:    {}", path.display());
@@ -184,8 +198,8 @@ fn main() {
         Some("--help") | Some("-h") => print!("{}", usage_text()),
         Some("convert") => convert(&args[1..]),
         Some("inspect") => match &args[1..] {
-            [path] => inspect(Path::new(path)),
-            _ => die("inspect needs exactly one PATH".into()),
+            [spec] => inspect(&spec.parse().unwrap_or_else(|e: String| die(e))),
+            _ => die("inspect needs exactly one store spec".into()),
         },
         Some("compact") => match &args[1..] {
             [path] => compact(Path::new(path)),

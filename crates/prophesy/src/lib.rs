@@ -61,7 +61,7 @@ pub mod sharded;
 pub mod store;
 
 pub use advisor::{advise, transfer_predict, Advice};
-pub use backend::{detect_format, open_store, CellBackend, StoreFormat};
+pub use backend::{detect_format, open_store, CellBackend, StoreFormat, StoreSpec};
 pub use cells::{history_sidecar, BackendStats, CellStore};
 pub use hot::{HotTier, HotTierStats};
 pub use planner::{campaign_runs, MeasurementPlan};

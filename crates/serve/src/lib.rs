@@ -39,5 +39,7 @@ pub mod protocol;
 pub mod server;
 
 pub use metrics::{MetricsReport, ServeMetrics};
-pub use protocol::{status, KernelContribution, PredictRequest, PredictResponse, PredictionReport};
+pub use protocol::{
+    status, KernelContribution, PredictRequest, PredictResponse, PredictionReport, Status,
+};
 pub use server::{PredictionEngine, Server, ServerConfig, Ticket};

@@ -4,7 +4,8 @@
 //! output line, **in input order** — a client can pipeline requests
 //! and match responses positionally or by `id` (echoed verbatim).
 //!
-//! A response's `status` is one of the [`status`] constants: `ok`
+//! A response's `status` is a [`Status`] variant, on the wire one of
+//! the [`status`] strings: `ok`
 //! (with a [`PredictionReport`] in `result`), `error` (malformed line
 //! or invalid spec, with `error` text) or `overloaded` (admission
 //! control rejected the request; retry later).  Responses carry no
@@ -13,7 +14,9 @@
 
 use serde::{Deserialize, Serialize};
 
-/// Terminal response statuses.
+/// The wire strings of the terminal response statuses (what
+/// [`Status`] serializes to; kept for callers that compare or store
+/// raw status strings).
 pub mod status {
     /// Prediction computed; `result` is populated.
     pub const OK: &str = "ok";
@@ -25,6 +28,63 @@ pub mod status {
     /// the server shed it unanswered rather than spend batch capacity
     /// on a response the client has already given up on.
     pub const DEADLINE: &str = "deadline";
+}
+
+/// Terminal status of a [`PredictResponse`].
+///
+/// Serializes as the lowercase wire strings in [`status`] (`"ok"`,
+/// `"error"`, `"overloaded"`, `"deadline"`), so replacing the old
+/// stringly-typed field with this enum left the wire format
+/// byte-identical.  The impls are hand-written (not derived) to pin
+/// that encoding independently of derive-macro naming conventions.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Status {
+    /// Prediction computed; `result` is populated.
+    Ok,
+    /// Malformed request or invalid spec; `error` says why.
+    Error,
+    /// Rejected by admission control (queue full or draining).
+    Overloaded,
+    /// Shed because the request's deadline passed while queued.
+    Deadline,
+}
+
+impl Status {
+    /// The wire string (see [`status`]).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Status::Ok => status::OK,
+            Status::Error => status::ERROR,
+            Status::Overloaded => status::OVERLOADED,
+            Status::Deadline => status::DEADLINE,
+        }
+    }
+}
+
+impl std::fmt::Display for Status {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl Serialize for Status {
+    fn to_value(&self) -> serde_json::Value {
+        serde_json::Value::Str(self.as_str().to_string())
+    }
+}
+
+impl Deserialize for Status {
+    fn from_value(v: &serde_json::Value) -> Result<Self, serde::DeError> {
+        match v {
+            serde_json::Value::Str(s) if s == status::OK => Ok(Status::Ok),
+            serde_json::Value::Str(s) if s == status::ERROR => Ok(Status::Error),
+            serde_json::Value::Str(s) if s == status::OVERLOADED => Ok(Status::Overloaded),
+            serde_json::Value::Str(s) if s == status::DEADLINE => Ok(Status::Deadline),
+            other => Err(serde::DeError::new(format!(
+                "unknown response status: {other:?}"
+            ))),
+        }
+    }
 }
 
 /// One prediction request: which benchmark × class × processor-count
@@ -125,9 +185,9 @@ pub struct PredictionReport {
 pub struct PredictResponse {
     /// The request's correlation id (0 when the line did not parse).
     pub id: u64,
-    /// Terminal status (see [`status`]).
-    pub status: String,
-    /// Failure detail for `error` / `overloaded`.
+    /// Terminal status.
+    pub status: Status,
+    /// Failure detail for non-`ok` statuses.
     #[serde(default)]
     pub error: Option<String>,
     /// The prediction, for `ok`.
@@ -136,43 +196,21 @@ pub struct PredictResponse {
 }
 
 impl PredictResponse {
-    /// A successful response.
-    pub fn ok(id: u64, result: PredictionReport) -> Self {
+    /// The one response constructor: a `status` plus its payload —
+    /// `Ok(report)` populates `result`, `Err(message)` populates
+    /// `error`.  The old per-status constructors are expressible as
+    /// `new(id, Status::Ok, Ok(report))`,
+    /// `new(id, Status::Overloaded, Err(msg))`, and so on.
+    pub fn new(id: u64, status: Status, body: Result<PredictionReport, String>) -> Self {
+        let (result, error) = match body {
+            Ok(report) => (Some(report), None),
+            Err(message) => (None, Some(message)),
+        };
         Self {
             id,
-            status: status::OK.to_string(),
-            error: None,
-            result: Some(result),
-        }
-    }
-
-    /// A failed response.
-    pub fn error(id: u64, message: impl Into<String>) -> Self {
-        Self {
-            id,
-            status: status::ERROR.to_string(),
-            error: Some(message.into()),
-            result: None,
-        }
-    }
-
-    /// An admission-control rejection.
-    pub fn overloaded(id: u64, message: impl Into<String>) -> Self {
-        Self {
-            id,
-            status: status::OVERLOADED.to_string(),
-            error: Some(message.into()),
-            result: None,
-        }
-    }
-
-    /// A deadline-shed response: the request expired in the queue.
-    pub fn deadline_expired(id: u64, message: impl Into<String>) -> Self {
-        Self {
-            id,
-            status: status::DEADLINE.to_string(),
-            error: Some(message.into()),
-            result: None,
+            status,
+            error,
+            result,
         }
     }
 }
@@ -240,10 +278,27 @@ mod tests {
     }
 
     #[test]
-    fn response_constructors_set_status_and_payload() {
-        let ok = PredictResponse::ok(
+    fn status_enum_round_trips_as_the_wire_strings() {
+        for (s, wire) in [
+            (Status::Ok, "\"ok\""),
+            (Status::Error, "\"error\""),
+            (Status::Overloaded, "\"overloaded\""),
+            (Status::Deadline, "\"deadline\""),
+        ] {
+            assert_eq!(serde_json::to_string(&s).unwrap(), wire);
+            assert_eq!(serde_json::from_str::<Status>(wire).unwrap(), s);
+            assert_eq!(format!("\"{s}\""), wire);
+        }
+        assert!(serde_json::from_str::<Status>("\"shrug\"").is_err());
+        assert!(serde_json::from_str::<Status>("7").is_err());
+    }
+
+    #[test]
+    fn response_constructor_sets_status_and_payload() {
+        let ok = PredictResponse::new(
             3,
-            PredictionReport {
+            Status::Ok,
+            Ok(PredictionReport {
                 benchmark: "bt".into(),
                 class: "W".into(),
                 procs: 9,
@@ -261,26 +316,28 @@ mod tests {
                     isolated_secs: 0.02,
                     coupled_total_secs: 4.2,
                 }],
-            },
+            }),
         );
-        assert_eq!(ok.status, status::OK);
+        assert_eq!(ok.status, Status::Ok);
         assert!(ok.error.is_none());
         assert_eq!(ok.result.as_ref().unwrap().kernels.len(), 1);
 
-        let err = PredictResponse::error(0, "bad request: not json");
-        assert_eq!(err.status, status::ERROR);
+        let err = PredictResponse::new(0, Status::Error, Err("bad request: not json".into()));
+        assert_eq!(err.status, Status::Error);
         assert!(err.result.is_none());
 
-        let over = PredictResponse::overloaded(9, "queue full");
-        assert_eq!(over.status, status::OVERLOADED);
+        let over = PredictResponse::new(9, Status::Overloaded, Err("queue full".into()));
+        assert_eq!(over.status, Status::Overloaded);
 
-        let dead = PredictResponse::deadline_expired(4, "deadline expired in queue");
-        assert_eq!(dead.status, status::DEADLINE);
+        let dead = PredictResponse::new(4, Status::Deadline, Err("deadline expired".into()));
+        assert_eq!(dead.status, Status::Deadline);
         assert!(dead.result.is_none());
 
-        // every shape round-trips through the wire encoding
+        // every shape round-trips through the wire encoding, and the
+        // status field serializes exactly as the old string did
         for r in [ok, err, over, dead] {
             let line = encode_response(&r);
+            assert!(line.contains(&format!("\"status\":\"{}\"", r.status.as_str())));
             let back: PredictResponse = serde_json::from_str(&line).unwrap();
             assert_eq!(back, r);
         }

@@ -30,7 +30,7 @@
 
 use crate::metrics::ServeMetrics;
 use crate::protocol::{
-    encode_response, parse_request, PredictRequest, PredictResponse, PredictionReport,
+    encode_response, parse_request, PredictRequest, PredictResponse, PredictionReport, Status,
 };
 use kc_core::{TelemetryEvent, TelemetrySink};
 use std::collections::VecDeque;
@@ -166,10 +166,11 @@ impl Shared {
             .deadline_ms
             .map(|ms| ms / 1e3 - latency)
             .unwrap_or(0.0);
-        self.metrics.record_request(&response.status, latency);
+        self.metrics
+            .record_request(response.status.as_str(), latency);
         self.emit(
             &pending.request,
-            &response.status,
+            response.status.as_str(),
             batch_size,
             latency,
             slack,
@@ -217,9 +218,10 @@ fn batcher_loop(shared: &Shared) {
             .partition(|p| p.expires_at.is_some_and(|t| t <= now));
         for pending in &expired {
             let ms = pending.request.deadline_ms.unwrap_or(0.0);
-            let response = PredictResponse::deadline_expired(
+            let response = PredictResponse::new(
                 pending.request.id,
-                format!("deadline of {ms} ms expired in queue"),
+                Status::Deadline,
+                Err(format!("deadline of {ms} ms expired in queue")),
             );
             shared.finish(pending, response, 0);
         }
@@ -239,11 +241,15 @@ fn batcher_loop(shared: &Shared) {
         for (i, pending) in batch.iter().enumerate() {
             let id = pending.request.id;
             let response = match results.get(i) {
-                Some(Ok(report)) => PredictResponse::ok(id, report.clone()),
-                Some(Err(message)) => PredictResponse::error(id, message.clone()),
+                Some(Ok(report)) => PredictResponse::new(id, Status::Ok, Ok(report.clone())),
+                Some(Err(message)) => PredictResponse::new(id, Status::Error, Err(message.clone())),
                 // an engine that returned too few results is a bug;
                 // answer rather than hang the ticket
-                None => PredictResponse::error(id, "engine returned too few results"),
+                None => PredictResponse::new(
+                    id,
+                    Status::Error,
+                    Err("engine returned too few results".to_string()),
+                ),
             };
             shared.finish(pending, response, batch_size);
         }
@@ -354,9 +360,12 @@ impl Server {
     }
 
     fn reject(&self, request: &PredictRequest, message: impl Into<String>) -> Ticket {
-        let response = PredictResponse::overloaded(request.id, message);
-        self.shared.metrics.record_request(&response.status, 0.0);
-        self.shared.emit(request, &response.status, 0, 0.0, 0.0);
+        let response = PredictResponse::new(request.id, Status::Overloaded, Err(message.into()));
+        self.shared
+            .metrics
+            .record_request(response.status.as_str(), 0.0);
+        self.shared
+            .emit(request, response.status.as_str(), 0, 0.0, 0.0);
         Ticket::filled(response)
     }
 
@@ -367,8 +376,10 @@ impl Server {
         match parse_request(line) {
             Ok(request) => self.submit(request),
             Err(message) => {
-                let response = PredictResponse::error(0, message);
-                self.shared.metrics.record_request(&response.status, 0.0);
+                let response = PredictResponse::new(0, Status::Error, Err(message));
+                self.shared
+                    .metrics
+                    .record_request(response.status.as_str(), 0.0);
                 Ticket::filled(response)
             }
         }
@@ -464,7 +475,6 @@ impl Drop for Server {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::protocol::status;
     use kc_core::MemorySink;
 
     /// Answers every request from the request's own fields; optional
@@ -587,10 +597,10 @@ mod tests {
         let r1 = t1.wait();
         let r2 = t2.wait();
         assert_eq!(r1.id, 7);
-        assert_eq!(r1.status, status::OK);
+        assert_eq!(r1.status, Status::Ok);
         assert_eq!(r1.result.unwrap().benchmark, "bt");
         assert_eq!(r2.id, 8);
-        assert_eq!(r2.status, status::ERROR, "engine errors are responses");
+        assert_eq!(r2.status, Status::Error, "engine errors are responses");
         assert!(r2.error.unwrap().contains("nope"));
         server.shutdown();
         let report = server.metrics().report();
@@ -603,7 +613,7 @@ mod tests {
     fn malformed_lines_get_error_responses_without_reaching_the_engine() {
         let server = Server::new(Arc::new(MockEngine::new()), ServerConfig::default());
         let r = server.submit_line("this is not json").wait();
-        assert_eq!(r.status, status::ERROR);
+        assert_eq!(r.status, Status::Error);
         assert_eq!(r.id, 0, "no id could be parsed");
         assert!(r.error.unwrap().contains("bad request"));
         server.shutdown();
@@ -646,12 +656,12 @@ mod tests {
         );
         let admitted: Vec<Ticket> = (0..2).map(|i| server.submit(request(i, "bt"))).collect();
         let rejected = server.submit(request(99, "bt")).wait();
-        assert_eq!(rejected.status, status::OVERLOADED);
+        assert_eq!(rejected.status, Status::Overloaded);
         assert_eq!(rejected.id, 99, "rejections still echo the id");
         assert!(rejected.error.unwrap().contains("queue full"));
         open_gate(&gate);
         for t in &admitted {
-            assert_eq!(t.wait().status, status::OK, "admitted requests complete");
+            assert_eq!(t.wait().status, Status::Ok, "admitted requests complete");
         }
         server.shutdown();
         assert_eq!(server.metrics().report().overloaded, 1);
@@ -664,9 +674,9 @@ mod tests {
         let admitted = server.submit(request(1, "bt"));
         open_gate(&gate);
         server.shutdown();
-        assert_eq!(admitted.wait().status, status::OK, "drained before exit");
+        assert_eq!(admitted.wait().status, Status::Ok, "drained before exit");
         let after = server.submit(request(2, "bt")).wait();
-        assert_eq!(after.status, status::OVERLOADED);
+        assert_eq!(after.status, Status::Overloaded);
         assert!(after.error.unwrap().contains("draining"));
         server.shutdown(); // idempotent
     }
@@ -724,7 +734,7 @@ mod tests {
             assert_eq!(responses.len(), 2);
             assert_eq!(responses[0].id, 5);
             assert_eq!(responses[1].id, 6);
-            assert!(responses.iter().all(|r| r.status == status::OK));
+            assert!(responses.iter().all(|r| r.status == Status::Ok));
         }
         server.request_shutdown();
         acceptor.join().unwrap().unwrap();
@@ -828,9 +838,9 @@ mod tests {
         let doomed = server.submit(deadline_request(7, 5.0));
         std::thread::sleep(Duration::from_millis(30));
         open_gate(&gate);
-        assert_eq!(first.wait().status, status::OK);
+        assert_eq!(first.wait().status, Status::Ok);
         let shed = doomed.wait();
-        assert_eq!(shed.status, status::DEADLINE);
+        assert_eq!(shed.status, Status::Deadline);
         assert_eq!(shed.id, 7);
         assert!(shed.error.unwrap().contains("expired"));
         server.shutdown();
@@ -857,14 +867,14 @@ mod tests {
             .collect();
         std::thread::sleep(Duration::from_millis(10));
         open_gate(&gate);
-        assert_eq!(first.wait().status, status::OK);
+        assert_eq!(first.wait().status, Status::Ok);
         for (i, t) in tickets.iter().enumerate() {
             let r = t.wait();
             if i + 1 == 5 {
                 // +inf is a real (unbounded-but-clamped) budget
-                assert_eq!(r.status, status::OK, "infinite deadline still resolves");
+                assert_eq!(r.status, Status::Ok, "infinite deadline still resolves");
             } else {
-                assert_eq!(r.status, status::DEADLINE, "non-budget value {i} sheds");
+                assert_eq!(r.status, Status::Deadline, "non-budget value {i} sheds");
             }
         }
         server.shutdown();

@@ -33,13 +33,24 @@ if ! cmp -s "$j1" "$j8"; then
 fi
 echo "tables byte-identical across scheduler pool sizes"
 
+echo "== byte-identity: full tables with the rank pool on vs off =="
+pc=$(mktemp)
+trap 'rm -f "$j1" "$j8" "$pc"; rm -rf "$smoke"' EXIT
+KC_RANK_POOL=0 ./target/release/paper_tables all --noise-free --jobs 8 > "$pc" 2>/dev/null
+if ! cmp -s "$j8" "$pc"; then
+    echo "verify: tables differ between pooled and spawned rank execution"
+    diff "$j8" "$pc" | head -20
+    exit 1
+fi
+echo "tables byte-identical with rank pooling disabled (KC_RANK_POOL=0)"
+
 echo "== byte-identity: tables under the json vs sharded store backend =="
 bj=$(mktemp) && bs=$(mktemp)
-trap 'rm -f "$j1" "$j8" "$bj" "$bs"; rm -rf "$smoke"' EXIT
+trap 'rm -f "$j1" "$j8" "$pc" "$bj" "$bs"; rm -rf "$smoke"' EXIT
 ./target/release/paper_tables bt-s transitions --noise-free \
-    --store "$smoke/cells.json" --store-format json > "$bj" 2>/dev/null
+    --store "json:$smoke/cells.json" > "$bj" 2>/dev/null
 ./target/release/paper_tables bt-s transitions --noise-free \
-    --store "$smoke/cells.kcs" --store-format sharded > "$bs" 2>/dev/null
+    --store "sharded:$smoke/cells.kcs" > "$bs" 2>/dev/null
 if ! cmp -s "$bj" "$bs"; then
     echo "verify: tables differ between json and sharded store backends"
     diff "$bj" "$bs" | head -20
@@ -49,9 +60,19 @@ fi
 [ -f "$smoke/cells.kcs/kcstore.json" ] || { echo "verify: sharded store not written"; exit 1; }
 echo "tables byte-identical across store backends"
 
+echo "== deprecated --store-format alias still works and warns =="
+alias_log=$(mktemp)
+trap 'rm -f "$j1" "$j8" "$pc" "$bj" "$bs" "$alias_log"; rm -rf "$smoke"' EXIT
+./target/release/paper_tables bt-s --noise-free \
+    --store "$smoke/alias.json" --store-format json > /dev/null 2> "$alias_log"
+grep -q "store-format is deprecated" "$alias_log" || {
+    echo "verify: deprecated --store-format did not warn"; cat "$alias_log"; exit 1; }
+[ -f "$smoke/alias.json" ] || { echo "verify: alias store not written"; exit 1; }
+echo "--store-format alias accepted with a deprecation warning"
+
 echo "== kc_store: json -> sharded -> json round-trips the golden store =="
 ./target/release/kc_store convert artifacts/golden/cells_extended.json \
-    "$smoke/golden.kcs" > /dev/null
+    "sharded:$smoke/golden.kcs" > /dev/null
 ./target/release/kc_store convert "$smoke/golden.kcs" \
     "$smoke/golden_roundtrip.json" > /dev/null
 if ! cmp -s artifacts/golden/cells_extended.json "$smoke/golden_roundtrip.json"; then
@@ -70,8 +91,25 @@ KC_BENCH_TRAJECTORY="$smoke/traj" cargo bench -q -p kc-bench \
 ./target/release/kc-bench diff "$smoke/traj" "$smoke/traj"
 echo "store-read trajectory recorded and diffable"
 
+echo "== kc-bench: cell_exec trajectory — pooled dispatch beats thread spawn =="
+KC_BENCH_TRAJECTORY="$smoke/traj" cargo bench -q -p kc-bench \
+    --bench cell_exec -- --test > /dev/null 2>&1
+[ -f "$smoke/traj/BENCH_cell_exec.json" ] || {
+    echo "verify: cell_exec bench left no trajectory"; exit 1; }
+./target/release/kc-bench diff "$smoke/traj" "$smoke/traj" > /dev/null
+cold=$(jq -r '.cells[] | select(.key=="dispatch|p8|cold") | .duration_secs' \
+    "$smoke/traj/BENCH_cell_exec.json")
+pooled=$(jq -r '.cells[] | select(.key=="dispatch|p8|pooled") | .duration_secs' \
+    "$smoke/traj/BENCH_cell_exec.json")
+awk -v c="$cold" -v p="$pooled" 'BEGIN { exit !(p > 0 && p < c) }' || {
+    echo "verify: pooled dispatch (${pooled}s) not faster than cold spawn (${cold}s)"
+    exit 1
+}
+echo "cell_exec trajectory recorded; pooled dispatch ${pooled}s < cold ${cold}s"
+
 echo "== serve: scripted batch vs golden transcript (pipe mode) =="
 ./target/release/kc_served --noise-free --store "$smoke/cells.json" \
+    --trace "$smoke/serve_trace.jsonl" \
     < scripts/serve_smoke_requests.jsonl \
     > "$smoke/responses.jsonl" 2> "$smoke/cold.log"
 if ! cmp -s artifacts/golden/serve_smoke.jsonl "$smoke/responses.jsonl"; then
@@ -92,6 +130,17 @@ grep -q ", 0 executed" "$smoke/warm.log" || {
 cmp -s artifacts/golden/serve_smoke.jsonl "$smoke/warm.jsonl" || {
     echo "verify: warm serve responses differ from the cold run"; exit 1; }
 echo "warm store: 0 executions, byte-identical responses"
+
+echo "== kc_trace: serve-smoke trace renders to a self-contained SVG =="
+./target/release/kc_trace render "$smoke/serve_trace.jsonl" \
+    -o "$smoke/serve_trace.svg" 2> /dev/null
+grep -q "<svg" "$smoke/serve_trace.svg" && grep -q "</svg>" "$smoke/serve_trace.svg" || {
+    echo "verify: kc_trace did not produce an SVG"; exit 1; }
+grep -q "<rect" "$smoke/serve_trace.svg" || {
+    echo "verify: kc_trace SVG has no spans"; exit 1; }
+grep -q ">serve<" "$smoke/serve_trace.svg" || {
+    echo "verify: kc_trace SVG has no serve lane"; exit 1; }
+echo "kc_trace rendered the serve trace as an SVG timeline"
 
 echo "== loadgen: warm SLO gate, impossible-bound detection, load trajectory =="
 # Deadline-free byte-identity is covered above: the jobs-1-vs-8 and

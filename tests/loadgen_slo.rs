@@ -25,7 +25,7 @@ use kernel_couplings::loadgen::{
     WorkloadConfig,
 };
 use kernel_couplings::serve::{
-    status, PredictRequest, PredictionEngine, PredictionReport, Server, ServerConfig,
+    PredictRequest, PredictionEngine, PredictionReport, Server, ServerConfig, Status,
 };
 use std::sync::Arc;
 use std::time::Duration;
@@ -43,7 +43,7 @@ fn warm_stack(cfg: &WorkloadConfig) -> (Arc<Campaign>, Server) {
         .map(|r| server.submit(r))
         .collect();
     for t in &tickets {
-        assert_eq!(t.wait().status, status::OK, "warmup must resolve cleanly");
+        assert_eq!(t.wait().status, Status::Ok, "warmup must resolve cleanly");
     }
     (campaign, server)
 }

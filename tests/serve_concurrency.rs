@@ -7,7 +7,7 @@
 use kernel_couplings::experiments::{AnalysisSpec, Campaign, CampaignEngine, Runner};
 use kernel_couplings::npb::{Benchmark, Class};
 use kernel_couplings::prophesy::CellStore;
-use kernel_couplings::serve::{status, PredictRequest, Server, ServerConfig};
+use kernel_couplings::serve::{PredictRequest, Server, ServerConfig, Status};
 use std::sync::Arc;
 use std::thread;
 
@@ -64,7 +64,7 @@ fn concurrent_overlapping_clients_execute_cells_exactly_once() {
                     let ticket =
                         server.submit(request(client * 10 + round, "bt", "S", 4, chain_len));
                     let response = ticket.wait();
-                    assert_eq!(response.status, status::OK, "{:?}", response.error);
+                    assert_eq!(response.status, Status::Ok, "{:?}", response.error);
                     assert!(response.result.is_some());
                 }
             });
@@ -149,7 +149,7 @@ fn warm_store_answers_hundred_requests_with_zero_executions() {
             let response = server
                 .submit(request(id as u64, benchmark, "S", *procs, 2))
                 .wait();
-            assert_eq!(response.status, status::OK, "{:?}", response.error);
+            assert_eq!(response.status, Status::Ok, "{:?}", response.error);
         }
         server.shutdown();
         assert!(campaign.cache_stats().executed > 0);
@@ -174,7 +174,7 @@ fn warm_store_answers_hundred_requests_with_zero_executions() {
         .collect();
     for ticket in tickets {
         let response = ticket.wait();
-        assert_eq!(response.status, status::OK, "{:?}", response.error);
+        assert_eq!(response.status, Status::Ok, "{:?}", response.error);
     }
     server.shutdown();
 

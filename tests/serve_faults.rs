@@ -17,7 +17,9 @@
 use kernel_couplings::experiments::{Campaign, CampaignEngine, Runner};
 use kernel_couplings::loadgen::{drive_tcp, spawn_faults, FaultConfig, Frame, Slot};
 use kernel_couplings::prophesy::{open_store, StoreFormat};
-use kernel_couplings::serve::{status, PredictRequest, PredictResponse, Server, ServerConfig};
+use kernel_couplings::serve::{
+    status, PredictRequest, PredictResponse, Server, ServerConfig, Status,
+};
 use std::io::{BufRead, BufReader, Write};
 use std::net::{Shutdown, TcpListener, TcpStream};
 use std::path::PathBuf;
@@ -95,7 +97,7 @@ fn assert_store_serves_warm(dir: &std::path::Path, specs: &[(usize, usize)]) {
     );
     for (i, &(procs, chain_len)) in specs.iter().enumerate() {
         let response = server.submit(request(i as u64, procs, chain_len)).wait();
-        assert_eq!(response.status, status::OK, "{:?}", response.error);
+        assert_eq!(response.status, Status::Ok, "{:?}", response.error);
     }
     server.shutdown();
     assert_eq!(
@@ -171,7 +173,7 @@ fn malformed_frame_draws_an_error_and_the_same_connection_keeps_serving() {
     let broken = read_response();
     assert_eq!(
         broken.status,
-        status::ERROR,
+        Status::Error,
         "truncated JSON draws an error"
     );
 
@@ -184,7 +186,7 @@ fn malformed_frame_draws_an_error_and_the_same_connection_keeps_serving() {
     let healthy = read_response();
     assert_eq!(
         healthy.status,
-        status::OK,
+        Status::Ok,
         "the connection survives its own bad frame: {:?}",
         healthy.error
     );
@@ -220,7 +222,7 @@ fn shutdown_mid_stream_drains_every_admitted_request() {
     let mut first = String::new();
     reader.read_line(&mut first).unwrap();
     let first: PredictResponse = serde_json::from_str(&first).unwrap();
-    assert_eq!(first.status, status::OK, "{:?}", first.error);
+    assert_eq!(first.status, Status::Ok, "{:?}", first.error);
     server.request_shutdown();
 
     stream.shutdown(Shutdown::Write).unwrap();
@@ -234,7 +236,7 @@ fn shutdown_mid_stream_drains_every_admitted_request() {
         "every admitted request is answered before exit"
     );
     for r in &rest {
-        assert_eq!(r.status, status::OK, "{:?}", r.error);
+        assert_eq!(r.status, Status::Ok, "{:?}", r.error);
     }
 
     acceptor.join().unwrap().unwrap();

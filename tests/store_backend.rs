@@ -8,7 +8,7 @@
 use kernel_couplings::coupling::{CellKind, KernelId, MeasurementKey};
 use kernel_couplings::experiments::{Campaign, CampaignEngine, Runner};
 use kernel_couplings::prophesy::{open_store, CellBackend, CellStore, ShardedStore, StoreFormat};
-use kernel_couplings::serve::{status, PredictRequest, Server, ServerConfig};
+use kernel_couplings::serve::{PredictRequest, Server, ServerConfig, Status};
 use proptest::prelude::*;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -196,7 +196,7 @@ fn sharded_warm_store_answers_concurrent_requests_with_zero_executions() {
                         ("lu", 8)
                     };
                     let response = server.submit(request(client, benchmark, procs)).wait();
-                    assert_eq!(response.status, status::OK, "{:?}", response.error);
+                    assert_eq!(response.status, Status::Ok, "{:?}", response.error);
                 });
             }
         });
@@ -226,7 +226,7 @@ fn sharded_warm_store_answers_concurrent_requests_with_zero_executions() {
         .collect();
     for ticket in tickets {
         let response = ticket.wait();
-        assert_eq!(response.status, status::OK, "{:?}", response.error);
+        assert_eq!(response.status, Status::Ok, "{:?}", response.error);
     }
     server.shutdown();
 

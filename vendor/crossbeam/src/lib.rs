@@ -1,20 +1,21 @@
 //! Workspace-local, offline stand-in for `crossbeam`.
 //!
-//! Only the `channel` module is provided — an unbounded channel with a
-//! cloneable `Sender` and a `Receiver` that supports `recv`, `try_recv`
-//! and `is_empty`, which is the surface the simulated cluster uses.
+//! Only the `channel` module is provided — an unbounded channel with
+//! cloneable `Sender`/`Receiver` halves where the `Receiver` supports
+//! `recv`, `try_recv` and `is_empty`, which is the surface the
+//! simulated cluster and its persistent rank pools use.
 
 pub mod channel {
     use std::collections::VecDeque;
     use std::fmt;
-    use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+    use std::sync::atomic::{AtomicUsize, Ordering};
     use std::sync::{Arc, Condvar, Mutex};
 
     struct Shared<T> {
         queue: Mutex<VecDeque<T>>,
         ready: Condvar,
         senders: AtomicUsize,
-        receiver_alive: AtomicBool,
+        receivers: AtomicUsize,
     }
 
     /// Sending half of an unbounded channel.
@@ -77,7 +78,7 @@ pub mod channel {
             queue: Mutex::new(VecDeque::new()),
             ready: Condvar::new(),
             senders: AtomicUsize::new(1),
-            receiver_alive: AtomicBool::new(true),
+            receivers: AtomicUsize::new(1),
         });
         (
             Sender {
@@ -90,7 +91,7 @@ pub mod channel {
     impl<T> Sender<T> {
         /// Enqueue `value`; fails only if the receiver is gone.
         pub fn send(&self, value: T) -> Result<(), SendError<T>> {
-            if !self.shared.receiver_alive.load(Ordering::Acquire) {
+            if self.shared.receivers.load(Ordering::Acquire) == 0 {
                 return Err(SendError(value));
             }
             let mut q = self.shared.queue.lock().unwrap_or_else(|p| p.into_inner());
@@ -168,9 +169,18 @@ pub mod channel {
         }
     }
 
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            self.shared.receivers.fetch_add(1, Ordering::AcqRel);
+            Receiver {
+                shared: self.shared.clone(),
+            }
+        }
+    }
+
     impl<T> Drop for Receiver<T> {
         fn drop(&mut self) {
-            self.shared.receiver_alive.store(false, Ordering::Release);
+            self.shared.receivers.fetch_sub(1, Ordering::AcqRel);
         }
     }
 
@@ -206,6 +216,20 @@ pub mod channel {
             std::thread::sleep(std::time::Duration::from_millis(10));
             s.send(42u64).unwrap();
             assert_eq!(t.join().unwrap(), 42);
+        }
+
+        #[test]
+        fn cloned_receivers_share_the_queue_and_keep_the_channel_alive() {
+            let (s, r) = unbounded::<u8>();
+            let r2 = r.clone();
+            s.send(1).unwrap();
+            assert_eq!(r2.recv().unwrap(), 1);
+            // dropping one receiver clone must not disconnect senders
+            drop(r2);
+            s.send(2).unwrap();
+            assert_eq!(r.recv().unwrap(), 2);
+            drop(r);
+            assert_eq!(s.send(3), Err(SendError(3)));
         }
 
         #[test]
