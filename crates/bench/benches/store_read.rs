@@ -1,13 +1,19 @@
 //! Benches the sharded store's warm read path — the hot loop behind
 //! `--store sharded:PATH` once a campaign directory is populated.
 //!
-//! Two shapes matter: a cold open followed by a first sweep (every
-//! `get` falls through the hot tier to a shard scan) and a warm sweep
-//! over a populated hot tier (every `get` is a single-probe cache
-//! hit).  With `KC_BENCH_TRAJECTORY=<dir>` the bench also leaves a
+//! Four shapes matter: a cold open followed by a first sweep (every
+//! `get` falls through the hot tier to the shard's frame index), a
+//! warm sweep over a populated hot tier (every `get` is a
+//! single-probe cache hit), a pinned-cold sweep comparing the indexed
+//! miss path against the pre-index full-segment-scan baseline
+//! (`full_scan_lookup`), and an absent-key sweep (answered by the
+//! existence filter with zero segment I/O).  With
+//! `KC_BENCH_TRAJECTORY=<dir>` the bench also leaves a
 //! `BENCH_store_read.json` breakdown behind with each key's measured
-//! read latency, so `kc-bench diff` covers the store read path cell
-//! by cell like it does the campaign benches.
+//! read latency plus `miss|indexed|sweep` / `miss|fullscan|sweep` /
+//! `absent|indexed|sweep` summary cells, so `kc-bench diff` covers
+//! the store read path cell by cell and verify.sh can assert the
+//! indexed miss beats the full scan.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use kc_bench::{trajectory_dir, BenchTrajectory};
@@ -71,6 +77,36 @@ fn bench_store_read(c: &mut Criterion) {
             }
         })
     });
+
+    // pinned cold-miss path: a one-slot hot tier makes every distinct
+    // key a tier miss, so each get is one indexed positioned read
+    let cold = ShardedStore::open_with_hot_slots(&dir, 1).expect("open");
+    g.bench_function("sharded_miss_indexed_sweep", |bench| {
+        bench.iter(|| {
+            for i in 0..CELLS {
+                black_box(cold.get_raw(&key(i)));
+            }
+        })
+    });
+
+    // the pre-index baseline: every get re-reads and re-scans the
+    // key's whole segment
+    g.bench_function("sharded_miss_fullscan_sweep", |bench| {
+        bench.iter(|| {
+            for i in 0..CELLS {
+                black_box(cold.full_scan_lookup(&key(i)).expect("scan"));
+            }
+        })
+    });
+
+    // absent keys: the existence filter answers without touching disk
+    g.bench_function("sharded_absent_sweep", |bench| {
+        bench.iter(|| {
+            for i in 0..CELLS {
+                black_box(cold.get_raw(&format!("QQ|absent|{i}")));
+            }
+        })
+    });
     g.finish();
 
     emit_trajectory(&dir);
@@ -99,6 +135,45 @@ fn emit_trajectory(store_dir: &Path) {
         cells.push(SlowCell {
             key: k,
             duration_secs: best,
+        });
+    }
+    // Miss-path summary cells: one cold-tier sweep per read path,
+    // best of a few rounds.  A one-slot hot tier pins every get to a
+    // tier miss, so `miss|indexed` times the positioned-read path and
+    // `miss|fullscan` times the pre-index whole-segment rescan over
+    // the same keys; `absent|indexed` sweeps keys the store does not
+    // hold (answered by the existence filter with no segment I/O).
+    let cold = ShardedStore::open_with_hot_slots(store_dir, 1).expect("open");
+    let mut indexed = f64::INFINITY;
+    let mut fullscan = f64::INFINITY;
+    let mut absent = f64::INFINITY;
+    for _ in 0..ROUNDS {
+        let start = Instant::now();
+        for i in 0..CELLS {
+            black_box(cold.get_raw(&key(i)));
+        }
+        indexed = indexed.min(start.elapsed().as_secs_f64());
+
+        let start = Instant::now();
+        for i in 0..CELLS {
+            black_box(cold.full_scan_lookup(&key(i)).expect("scan"));
+        }
+        fullscan = fullscan.min(start.elapsed().as_secs_f64());
+
+        let start = Instant::now();
+        for i in 0..CELLS {
+            black_box(cold.get_raw(&format!("QQ|absent|{i}")));
+        }
+        absent = absent.min(start.elapsed().as_secs_f64());
+    }
+    for (k, duration_secs) in [
+        ("miss|indexed|sweep", indexed),
+        ("miss|fullscan|sweep", fullscan),
+        ("absent|indexed|sweep", absent),
+    ] {
+        cells.push(SlowCell {
+            key: k.to_string(),
+            duration_secs,
         });
     }
     let path = BenchTrajectory::from_cells("store_read", cells)

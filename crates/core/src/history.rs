@@ -39,6 +39,11 @@ pub struct BackendCounters {
     pub load_hits: u64,
     /// `store` calls (fresh executions written back).
     pub stores: u64,
+    /// `load` calls that failed with an I/O error and were answered
+    /// as misses; absent (0) on records from before the counter
+    /// existed.
+    #[serde(default)]
+    pub read_errors: u64,
 }
 
 /// One campaign run's durable record: the end-of-run aggregates plus
@@ -255,6 +260,7 @@ mod tests {
                 loads: 4,
                 load_hits: 2,
                 stores: 2,
+                read_errors: 0,
             }),
             cell_durations: cells.iter().map(|(k, d)| (k.to_string(), *d)).collect(),
             jobs: 4,

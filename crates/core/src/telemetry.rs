@@ -144,6 +144,17 @@ pub enum TelemetryEvent {
         #[serde(default)]
         deadline_slack_secs: f64,
     },
+    /// A persistent-store read failed with an I/O error and the
+    /// lookup was answered as a miss (the campaign will re-execute the
+    /// cell).  The error text is environment-dependent and blanked by
+    /// [`TelemetryEvent::redacted`]; the count also lands in
+    /// [`RunSummary::store_read_errors`].
+    StoreReadError {
+        /// Canonical cell key whose read failed.
+        key: String,
+        /// The I/O error's display text.
+        error: String,
+    },
     /// End-of-run aggregates (normally the last trace line).
     RunSummary(RunSummary),
 }
@@ -214,6 +225,10 @@ impl TelemetryEvent {
                 batch_size: 0,
                 duration_secs: 0.0,
                 deadline_slack_secs: 0.0,
+            },
+            TelemetryEvent::StoreReadError { key, .. } => TelemetryEvent::StoreReadError {
+                key: key.clone(),
+                error: String::new(),
             },
             TelemetryEvent::RunSummary(s) => TelemetryEvent::RunSummary(s.redacted()),
         }
@@ -286,6 +301,10 @@ pub struct RunSummary {
     /// the worker pool was.
     #[serde(default)]
     pub scheduler_peak_queue_depth: u64,
+    /// Persistent-store reads that failed with an I/O error and were
+    /// answered as misses (each one forced a re-execution).
+    #[serde(default)]
+    pub store_read_errors: u64,
 }
 
 impl RunSummary {
@@ -347,6 +366,13 @@ impl fmt::Display for RunSummary {
                 self.scheduler_jobs,
             )?;
         }
+        if self.store_read_errors > 0 {
+            writeln!(
+                f,
+                "store      {} read error(s) answered as misses",
+                self.store_read_errors,
+            )?;
+        }
         writeln!(f, "slowest cells")?;
         for s in &self.slowest {
             writeln!(f, "  {:>9.4}s  {}", s.duration_secs, s.key)?;
@@ -399,6 +425,9 @@ pub fn summarize(events: &[TelemetryEvent], top_n: usize) -> RunSummary {
                 s.scheduler_shared += shared;
                 s.scheduler_peak_queue_depth = s.scheduler_peak_queue_depth.max(*queue_depth);
                 s.scheduler_jobs = s.scheduler_jobs.max(*jobs);
+            }
+            TelemetryEvent::StoreReadError { .. } => {
+                s.store_read_errors += 1;
             }
             _ => {}
         }

@@ -33,7 +33,7 @@
 
 use kc_core::{HistoryRecord, JsonLinesSink, RunHistory};
 use kc_experiments::{Campaign, CampaignEngine, Runner, SummaryOpts};
-use kc_prophesy::{history_sidecar, CellBackend, StoreFormat, StoreSpec};
+use kc_prophesy::{history_sidecar, CellBackend, StoreFormat, StoreOptions, StoreSpec};
 use kc_serve::{Server, ServerConfig};
 use std::path::PathBuf;
 use std::sync::Arc;
@@ -47,6 +47,7 @@ struct Options {
     listen: Option<String>,
     store: Option<StoreSpec>,
     store_format: Option<StoreFormat>,
+    compact_ratio: Option<f64>,
     trace: Option<PathBuf>,
     history: Option<PathBuf>,
     metrics: bool,
@@ -75,7 +76,7 @@ fn parse_positive(name: &str, v: &str) -> Result<usize, String> {
     Ok(n)
 }
 
-const FLAGS: [Flag; 11] = [
+const FLAGS: [Flag; 12] = [
     Flag {
         name: "--listen",
         metavar: Some("ADDR"),
@@ -102,6 +103,24 @@ const FLAGS: [Flag; 11] = [
         help: "deprecated alias for a 'FORMAT:PATH' --store spec ('json' or 'sharded')",
         apply: |o, v| {
             o.store_format = Some(v.parse()?);
+            Ok(())
+        },
+    },
+    Flag {
+        name: "--compact-ratio",
+        metavar: Some("RATIO"),
+        help: "auto-compact a sharded-store shard once more than RATIO of its \
+               frames are superseded (0 < RATIO < 1; ignored by JSON stores)",
+        apply: |o, v| {
+            let ratio: f64 = v
+                .parse()
+                .map_err(|_| format!("bad --compact-ratio value '{v}'"))?;
+            if !(ratio > 0.0 && ratio < 1.0) {
+                return Err(format!(
+                    "--compact-ratio must be strictly between 0 and 1, got {v}"
+                ));
+            }
+            o.compact_ratio = Some(ratio);
             Ok(())
         },
     },
@@ -280,7 +299,10 @@ fn main() {
     }
 
     let store: Option<Arc<dyn CellBackend>> = opts.store.as_ref().map(|spec| {
-        spec.open().unwrap_or_else(|e| {
+        let options = StoreOptions {
+            compact_ratio: opts.compact_ratio,
+        };
+        spec.open_with(options).unwrap_or_else(|e| {
             eprintln!("error: cannot open cell store {}: {e}", spec.path.display());
             std::process::exit(2);
         })
@@ -298,6 +320,11 @@ fn main() {
         builder = builder.jobs(jobs);
     }
     let campaign = Arc::new(builder.build());
+    if let Some(s) = &store {
+        // store diagnostics (read errors answered as misses) land in
+        // the campaign's event stream instead of stderr
+        s.attach_sink(campaign.sink());
+    }
     let trace_sink: Option<Arc<JsonLinesSink>> = opts.trace.as_ref().map(|p| {
         let sink = Arc::new(JsonLinesSink::new(p.clone()));
         campaign.attach_sink(sink.clone());
@@ -380,8 +407,13 @@ fn main() {
     if let (Some(s), Some(spec)) = (&store, &opts.store) {
         s.flush().expect("failed to save cell store");
         let b = s.stats();
+        let errors = if b.read_errors > 0 {
+            format!(", {} read errors", b.read_errors)
+        } else {
+            String::new()
+        };
         eprintln!(
-            "[store] {} cells saved to {} ({}, {} loads, {} hits, {} stores)",
+            "[store] {} cells saved to {} ({}, {} loads, {} hits, {} stores{errors})",
             s.len(),
             spec.path.display(),
             s.format(),

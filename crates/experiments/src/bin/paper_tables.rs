@@ -58,7 +58,7 @@ use kc_experiments::{
 };
 use kc_machine::MachineConfig;
 use kc_npb::{Benchmark, Class};
-use kc_prophesy::{history_sidecar, CellBackend, StoreFormat, StoreSpec};
+use kc_prophesy::{history_sidecar, CellBackend, StoreFormat, StoreOptions, StoreSpec};
 use std::path::PathBuf;
 use std::sync::Arc;
 
@@ -99,6 +99,7 @@ struct Options {
     out: Option<PathBuf>,
     store: Option<StoreSpec>,
     store_format: Option<StoreFormat>,
+    compact_ratio: Option<f64>,
     trace: Option<PathBuf>,
     history: Option<PathBuf>,
     measured_cost: bool,
@@ -119,7 +120,7 @@ struct Flag {
     apply: fn(&mut Options, &str) -> Result<(), String>,
 }
 
-const FLAGS: [Flag; 10] = [
+const FLAGS: [Flag; 11] = [
     Flag {
         name: "--noise-free",
         metavar: None,
@@ -164,6 +165,24 @@ const FLAGS: [Flag; 10] = [
         help: "deprecated alias for a 'FORMAT:PATH' --store spec ('json' or 'sharded')",
         apply: |o, v| {
             o.store_format = Some(v.parse()?);
+            Ok(())
+        },
+    },
+    Flag {
+        name: "--compact-ratio",
+        metavar: Some("RATIO"),
+        help: "auto-compact a sharded-store shard once more than RATIO of its \
+               frames are superseded (0 < RATIO < 1; ignored by JSON stores)",
+        apply: |o, v| {
+            let ratio: f64 = v
+                .parse()
+                .map_err(|_| format!("bad --compact-ratio value '{v}'"))?;
+            if !(ratio > 0.0 && ratio < 1.0) {
+                return Err(format!(
+                    "--compact-ratio must be strictly between 0 and 1, got {v}"
+                ));
+            }
+            o.compact_ratio = Some(ratio);
             Ok(())
         },
     },
@@ -567,7 +586,10 @@ fn main() {
     }
 
     let store: Option<Arc<dyn CellBackend>> = opts.store.as_ref().map(|spec| {
-        spec.open().unwrap_or_else(|e| {
+        let options = StoreOptions {
+            compact_ratio: opts.compact_ratio,
+        };
+        spec.open_with(options).unwrap_or_else(|e| {
             eprintln!("error: cannot open cell store {}: {e}", spec.path.display());
             std::process::exit(2);
         })
@@ -591,6 +613,11 @@ fn main() {
         builder = builder.jobs(jobs);
     }
     let campaign = builder.build();
+    if let Some(s) = &store {
+        // store diagnostics (read errors answered as misses) land in
+        // the campaign's event stream instead of stderr
+        s.attach_sink(campaign.sink());
+    }
     let trace_sink: Option<Arc<JsonLinesSink>> = opts.trace.as_ref().map(|p| {
         let sink = Arc::new(JsonLinesSink::new(p.clone()));
         campaign.attach_sink(sink.clone());
@@ -680,8 +707,13 @@ fn main() {
     if let (Some(s), Some(spec)) = (&store, &opts.store) {
         s.flush().expect("failed to save cell store");
         let b = s.stats();
+        let errors = if b.read_errors > 0 {
+            format!(", {} read errors", b.read_errors)
+        } else {
+            String::new()
+        };
         eprintln!(
-            "[store] {} cells saved to {} ({}, {} loads, {} hits, {} stores)",
+            "[store] {} cells saved to {} ({}, {} loads, {} hits, {} stores{errors})",
             s.len(),
             spec.path.display(),
             s.format(),

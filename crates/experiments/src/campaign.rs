@@ -372,6 +372,14 @@ impl Campaign {
         self.fanout.add(sink);
     }
 
+    /// The campaign's own fanout as a sink handle, so components
+    /// *outside* the campaign (e.g. the persistent store's read-error
+    /// reporting) can emit into the same event stream the campaign
+    /// aggregates and traces.
+    pub fn sink(&self) -> Arc<dyn TelemetrySink> {
+        self.fanout.clone()
+    }
+
     /// This campaign's event stream so far, in canonical order (see
     /// `kc_core::canonicalize`).
     pub fn telemetry_events(&self) -> Vec<TelemetryEvent> {

@@ -462,6 +462,11 @@ fn run_hosted(opts: &Options) -> (DriveResult, u64, u64) {
         builder = builder.jobs(jobs);
     }
     let campaign = Arc::new(builder.build());
+    if let Some(s) = &store {
+        // store read errors surface through the campaign's telemetry
+        // instead of interleaving with the load report on stderr
+        s.attach_sink(campaign.sink());
+    }
     let mut config = ServerConfig::default();
     if let Some(n) = opts.max_inflight {
         config.max_inflight = n;

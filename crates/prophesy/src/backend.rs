@@ -27,9 +27,9 @@
 //! whichever backend produced them.
 
 use crate::cells::BackendStats;
-use crate::sharded::ShardedStore;
+use crate::sharded::{ShardOpenOptions, ShardedStore};
 use crate::CellStore;
-use kc_core::{Measurement, MeasurementBackend, MeasurementKey};
+use kc_core::{Measurement, MeasurementBackend, MeasurementKey, TelemetrySink};
 use std::io;
 use std::path::Path;
 use std::sync::Arc;
@@ -120,6 +120,13 @@ pub trait CellBackend: Send + Sync {
 
     /// Which on-disk format this backend is.
     fn format(&self) -> StoreFormat;
+
+    /// Route the backend's own diagnostics (e.g. read errors answered
+    /// as misses) into a telemetry sink instead of stderr.  Backends
+    /// with nothing to report ignore the sink.
+    fn attach_sink(&self, sink: Arc<dyn TelemetrySink>) {
+        let _ = sink;
+    }
 }
 
 /// Every cell backend is a measurement backend: load filters out
@@ -174,6 +181,11 @@ impl StoreSpec {
     /// Open (or create) the store this spec names.
     pub fn open(&self) -> io::Result<Arc<dyn CellBackend>> {
         open_store(&self.path, self.format)
+    }
+
+    /// [`StoreSpec::open`] with explicit backend tunables.
+    pub fn open_with(&self, options: StoreOptions) -> io::Result<Arc<dyn CellBackend>> {
+        open_store_with(&self.path, self.format, options)
     }
 
     /// Fold in a deprecated `--store-format` flag.  The flag only
@@ -243,6 +255,17 @@ pub fn detect_format(path: &Path) -> Option<StoreFormat> {
     }
 }
 
+/// Backend tunables a binary can thread through [`open_store_with`].
+/// Formats ignore what does not apply to them (the JSON store has no
+/// compaction).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct StoreOptions {
+    /// Superseded-frame ratio past which a sharded store compacts a
+    /// shard automatically (`--compact-ratio`); `None` keeps
+    /// compaction manual.
+    pub compact_ratio: Option<f64>,
+}
+
 /// Open the cell store at `path`, creating it if absent.
 ///
 /// * existing store → auto-detect its format; if `requested` is given
@@ -252,7 +275,25 @@ pub fn detect_format(path: &Path) -> Option<StoreFormat> {
 ///   (default [`StoreFormat::Json`], matching the pre-sharding
 ///   behaviour of the binaries).
 pub fn open_store(path: &Path, requested: Option<StoreFormat>) -> io::Result<Arc<dyn CellBackend>> {
+    open_store_with(path, requested, StoreOptions::default())
+}
+
+/// [`open_store`] with explicit backend tunables.
+pub fn open_store_with(
+    path: &Path,
+    requested: Option<StoreFormat>,
+    options: StoreOptions,
+) -> io::Result<Arc<dyn CellBackend>> {
     let invalid = |msg: String| io::Error::new(io::ErrorKind::InvalidInput, msg);
+    let open_sharded = |path: &Path| -> io::Result<ShardedStore> {
+        ShardedStore::open_with(
+            path,
+            ShardOpenOptions {
+                compact_ratio: options.compact_ratio,
+                ..Default::default()
+            },
+        )
+    };
     match detect_format(path) {
         Some(found) => {
             if let Some(req) = requested {
@@ -265,7 +306,7 @@ pub fn open_store(path: &Path, requested: Option<StoreFormat>) -> io::Result<Arc
             }
             match found {
                 StoreFormat::Json => Ok(Arc::new(CellStore::open(path)?)),
-                StoreFormat::Sharded => Ok(Arc::new(ShardedStore::open(path)?)),
+                StoreFormat::Sharded => Ok(Arc::new(open_sharded(path)?)),
             }
         }
         None if path.is_dir() => Err(invalid(format!(
@@ -274,10 +315,12 @@ pub fn open_store(path: &Path, requested: Option<StoreFormat>) -> io::Result<Arc
         ))),
         None => match requested.unwrap_or(StoreFormat::Json) {
             StoreFormat::Json => Ok(Arc::new(CellStore::open(path)?)),
-            StoreFormat::Sharded => Ok(Arc::new(ShardedStore::create(
-                path,
-                ShardedStore::DEFAULT_SHARDS,
-            )?)),
+            StoreFormat::Sharded => {
+                // create() leaves a fresh (empty) store behind; reopen
+                // it with the requested tunables
+                drop(ShardedStore::create(path, ShardedStore::DEFAULT_SHARDS)?);
+                Ok(Arc::new(open_sharded(path)?))
+            }
         },
     }
 }

@@ -3,6 +3,7 @@
 //! ```text
 //! kc_store convert SRC DST [--format {json,sharded}] [--shards N]
 //! kc_store inspect SPEC
+//! kc_store stat PATH
 //! kc_store compact PATH
 //! ```
 //!
@@ -18,9 +19,11 @@
 //! byte.
 //!
 //! `inspect` prints a store's format, cell and sample counts, and
-//! per-shard layout for sharded stores.  `compact` rewrites a sharded
-//! store's segments with one record per live cell, dropping
-//! superseded appends.
+//! per-shard layout for sharded stores.  `stat` (alias `index`)
+//! prints a sharded store's read-path view: per-shard frame counts,
+//! live cells, superseded ratios and index-sidecar freshness.
+//! `compact` rewrites a sharded store's segments with one record per
+//! live cell, dropping superseded appends.
 
 use kc_prophesy::{detect_format, open_store, CellBackend, ShardedStore, StoreFormat, StoreSpec};
 use std::path::Path;
@@ -37,6 +40,9 @@ fn usage_text() -> String {
      \x20     --shards N sets the segment count of a sharded DST\n\
      \x20 inspect SPEC\n\
      \x20     print format, cell/sample counts and shard layout\n\
+     \x20 stat PATH        (alias: index)\n\
+     \x20     print a sharded store's per-shard frame counts, superseded\n\
+     \x20     ratios and index-sidecar freshness\n\
      \x20 compact PATH\n\
      \x20     drop superseded records from a sharded store's segments\n"
         .to_string()
@@ -170,6 +176,55 @@ fn inspect(spec: &StoreSpec) {
     }
 }
 
+fn stat(path: &Path) {
+    if detect_format(path) != Some(StoreFormat::Sharded) {
+        fail(format!(
+            "{} is not a sharded store (stat reads segment indexes)",
+            path.display()
+        ));
+    }
+    let store = ShardedStore::open(path)
+        .unwrap_or_else(|e| fail(format!("cannot open {}: {e}", path.display())));
+    let stats = store.segment_stats();
+    let reads = store.read_stats();
+    println!("path:    {}", path.display());
+    println!("shards:  {}", store.shards());
+    println!(
+        "indexes: {} loaded from sidecars, {} rebuilt by scan",
+        reads.sidecar_loads, reads.index_rebuilds
+    );
+    println!("  shard   bytes  frames    live  superseded  sidecar");
+    let mut frames = 0u64;
+    let mut live = 0u64;
+    let mut bytes = 0u64;
+    for s in &stats {
+        println!(
+            "  {:5} {:7} {:7} {:7}  {:4} ({:4.0}%)  {}",
+            s.shard,
+            s.bytes,
+            s.frames,
+            s.live,
+            s.superseded(),
+            100.0 * s.superseded_ratio(),
+            s.sidecar
+        );
+        frames += s.frames;
+        live += s.live;
+        bytes += s.bytes;
+    }
+    let superseded = frames.saturating_sub(live);
+    let ratio = if frames == 0 {
+        0.0
+    } else {
+        superseded as f64 / frames as f64
+    };
+    println!(
+        "total:   {bytes} bytes, {frames} frames, {live} live, \
+         {superseded} superseded ({:.0}% superseded ratio)",
+        100.0 * ratio
+    );
+}
+
 fn compact(path: &Path) {
     if detect_format(path) != Some(StoreFormat::Sharded) {
         fail(format!(
@@ -200,6 +255,10 @@ fn main() {
         Some("inspect") => match &args[1..] {
             [spec] => inspect(&spec.parse().unwrap_or_else(|e: String| die(e))),
             _ => die("inspect needs exactly one store spec".into()),
+        },
+        Some("stat") | Some("index") => match &args[1..] {
+            [path] => stat(Path::new(path)),
+            _ => die("stat needs exactly one PATH".into()),
         },
         Some("compact") => match &args[1..] {
             [path] => compact(Path::new(path)),

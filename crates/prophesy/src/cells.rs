@@ -34,6 +34,9 @@ pub struct BackendStats {
     pub load_hits: u64,
     /// `store` calls (fresh executions written back).
     pub stores: u64,
+    /// `load` calls that failed with an I/O error and were answered
+    /// as misses (always 0 for the in-memory JSON store).
+    pub read_errors: u64,
 }
 
 impl From<BackendStats> for kc_core::BackendCounters {
@@ -42,6 +45,7 @@ impl From<BackendStats> for kc_core::BackendCounters {
             loads: s.loads,
             load_hits: s.load_hits,
             stores: s.stores,
+            read_errors: s.read_errors,
         }
     }
 }
@@ -182,9 +186,13 @@ impl CellBackend for CellStore {
         let found = self.cells.lock().get(key).cloned();
         let mut stats = self.stats.lock();
         stats.loads += 1;
-        if found.as_ref().is_some_and(|s| !s.is_empty()) {
+        if found.is_some() {
+            // any stored cell is a hit — including a legal empty
+            // sample set; "empty means measured nothing" is the
+            // measurement layer's call, not the store's
             stats.load_hits += 1;
         }
+        drop(stats);
         found
     }
 
@@ -224,16 +232,18 @@ impl CellBackend for CellStore {
 
 impl MeasurementBackend for CellStore {
     fn load(&self, key: &MeasurementKey) -> Option<Measurement> {
-        let m = self
-            .get(key)
-            .filter(|s| !s.is_empty())
-            .map(Measurement::from_samples);
+        let found = self.get(key);
         let mut stats = self.stats.lock();
         stats.loads += 1;
-        if m.is_some() {
+        if found.is_some() {
+            // hit accounting matches get_raw: a stored empty sample
+            // set is a hit even though it loads as None below
             stats.load_hits += 1;
         }
-        m
+        drop(stats);
+        found
+            .filter(|s| !s.is_empty())
+            .map(Measurement::from_samples)
     }
 
     fn store(&self, key: &MeasurementKey, m: &Measurement) {
@@ -265,11 +275,13 @@ mod tests {
             loads: 5,
             load_hits: 3,
             stores: 2,
+            read_errors: 1,
         }
         .into();
         assert_eq!(counters.loads, 5);
         assert_eq!(counters.load_hits, 3);
         assert_eq!(counters.stores, 2);
+        assert_eq!(counters.read_errors, 1);
     }
 
     fn key(cell: CellKind, reps: u32) -> MeasurementKey {

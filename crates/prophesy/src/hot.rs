@@ -8,8 +8,9 @@
 //! metadata per probe.  The price is that two keys whose digests land
 //! in the same slot evict each other — which is *safe* here, because
 //! [`crate::ShardedStore`] treats the tier as a cache only: a miss
-//! falls back to re-reading the key's shard segment, so correctness
-//! never depends on residency.
+//! falls back to the shard's frame index (one positioned read of the
+//! key's latest frame, or a filtered "absent" with no I/O at all), so
+//! correctness never depends on residency.
 //!
 //! Probing is deliberately single-slot (no chains, no Robin Hood):
 //! the whole point of the lossy design is that a lookup costs one

@@ -61,10 +61,15 @@ pub mod sharded;
 pub mod store;
 
 pub use advisor::{advise, transfer_predict, Advice};
-pub use backend::{detect_format, open_store, CellBackend, StoreFormat, StoreSpec};
+pub use backend::{
+    detect_format, open_store, open_store_with, CellBackend, StoreFormat, StoreOptions, StoreSpec,
+};
 pub use cells::{history_sidecar, BackendStats, CellStore};
 pub use hot::{HotTier, HotTierStats};
 pub use planner::{campaign_runs, MeasurementPlan};
 pub use record::{CampaignKey, CampaignRecord};
-pub use sharded::{CompactionReport, ShardedStore};
+pub use sharded::{
+    fnv1a_digest, CompactionReport, ReadPathStats, SegmentStat, ShardOpenOptions, ShardedStore,
+    SidecarState,
+};
 pub use store::CampaignStore;

@@ -1,5 +1,6 @@
 //! The sharded binary cell store: append-only segment files sharded
-//! by key digest, fronted by the lossy [`HotTier`].
+//! by key digest, fronted by the lossy [`HotTier`] and indexed by an
+//! in-memory per-shard frame map.
 //!
 //! # Layout
 //!
@@ -9,6 +10,7 @@
 //! cells.kcs/
 //!   kcstore.json     manifest: {"format":"kc-cell-store/sharded","version":1,"shards":N}
 //!   shard-000.seg    segment of shard 0
+//!   shard-000.idx    optional index sidecar of shard 0 (advisory)
 //!   ...
 //!   shard-N-1.seg
 //! ```
@@ -35,6 +37,26 @@
 //! it has already validated.  Samples travel as raw `f64` bits, so
 //! the binary format is bit-exact by construction.
 //!
+//! # The read path: index, existence filter, positioned reads
+//!
+//! Each shard keeps an in-memory map from key digest to the offset
+//! and length of the key's **latest** frame.  A lookup probes the hot
+//! tier, then the index: an absent digest answers "no such cell" with
+//! zero segment I/O (the map doubles as the existence filter), a
+//! present one costs a single positioned read of exactly that frame.
+//! The frame re-validates on read (length, checksum, key text), so a
+//! wrong or stale index entry — a digest collision, a sidecar raced
+//! by another writer — degrades to a full segment scan that also
+//! rebuilds the shard's index, never to a wrong answer.
+//!
+//! The index persists as an optional `shard-NNN.idx` sidecar
+//! (checksummed, written on flush and after compaction) so reopening
+//! a large store skips the segment scan.  Sidecars are **advisory**:
+//! one is loaded only if its checksum matches and its recorded
+//! segment length equals the file's, and every entry still
+//! re-validates against segment bytes on use.  Deleting every `.idx`
+//! file merely makes the next open scan segments again.
+//!
 //! # Torn tails
 //!
 //! A crash (or a reader racing an in-flight append) can leave a
@@ -44,20 +66,34 @@
 //! additionally *truncates* such tails before accepting new appends —
 //! otherwise fresh frames would land behind the garbage and be
 //! invisible to every future scan.
+//!
+//! # Compaction
+//!
+//! Re-appends leave superseded frames behind; [`ShardedStore::compact`]
+//! rewrites each segment with one frame per live cell (tmp + fsync +
+//! rename).  With [`ShardedStore::set_compact_ratio`] the store also
+//! compacts a shard automatically, right after an append leaves more
+//! than the given fraction of its frames superseded.
 
 use crate::backend::{CellBackend, StoreFormat};
 use crate::cells::BackendStats;
 use crate::hot::{HotTier, HotTierStats};
+use kc_core::{TelemetryEvent, TelemetrySink};
 use parking_lot::Mutex;
 use serde::Value;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
 use std::fs::{File, OpenOptions};
-use std::io::{self, Write};
+use std::io::{self, Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// Magic prefix of every segment file (the trailing `1` is the format
 /// version).
 const SEGMENT_MAGIC: &[u8; 8] = b"KCSHARD1";
+
+/// Magic prefix of every index sidecar.
+const INDEX_MAGIC: &[u8; 8] = b"KCSIDX01";
 
 /// Segment header: magic + u32 LE shard index.
 const SEGMENT_HEADER_LEN: usize = SEGMENT_MAGIC.len() + 4;
@@ -108,24 +144,196 @@ pub struct CompactionReport {
     pub bytes_after: u64,
 }
 
+impl CompactionReport {
+    fn absorb(&mut self, other: CompactionReport) {
+        self.records_before += other.records_before;
+        self.records_after += other.records_after;
+        self.bytes_before += other.bytes_before;
+        self.bytes_after += other.bytes_after;
+    }
+}
+
+/// Where one live frame sits inside its segment.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct FrameLoc {
+    /// Byte offset of the frame header from the start of the file.
+    offset: u64,
+    /// Whole frame length: header plus payload.
+    len: u32,
+}
+
+/// Freshness of one shard's on-disk index sidecar.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SidecarState {
+    /// The sidecar on disk describes the segment exactly.
+    Fresh,
+    /// A sidecar exists on disk but no longer matches the segment
+    /// (appends since it was written, or a failed checksum).
+    Stale,
+    /// No sidecar on disk.
+    Missing,
+}
+
+impl std::fmt::Display for SidecarState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            SidecarState::Fresh => "fresh",
+            SidecarState::Stale => "stale",
+            SidecarState::Missing => "missing",
+        })
+    }
+}
+
+/// A point-in-time view of one shard, as reported by
+/// [`ShardedStore::segment_stats`] (and `kc_store stat`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SegmentStat {
+    /// Shard index.
+    pub shard: u32,
+    /// Validated segment bytes.
+    pub bytes: u64,
+    /// Frames on disk, including superseded ones.
+    pub frames: u64,
+    /// Live cells (distinct indexed digests).
+    pub live: u64,
+    /// Sidecar freshness.
+    pub sidecar: SidecarState,
+}
+
+impl SegmentStat {
+    /// Frames a compaction would drop.
+    pub fn superseded(&self) -> u64 {
+        self.frames.saturating_sub(self.live)
+    }
+
+    /// `superseded / frames`, `0` for an empty shard.
+    pub fn superseded_ratio(&self) -> f64 {
+        if self.frames == 0 {
+            0.0
+        } else {
+            self.superseded() as f64 / self.frames as f64
+        }
+    }
+}
+
+/// Read-path traffic counters of a [`ShardedStore`], all monotonic
+/// since open.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ReadPathStats {
+    /// Lookups answered "absent" by the in-memory existence filter,
+    /// with zero segment I/O.
+    pub filtered_absent: u64,
+    /// Lookups answered by a single positioned frame read.
+    pub positioned_reads: u64,
+    /// Lookups that fell back to a full segment scan (digest
+    /// collision or an index entry that no longer validates); each
+    /// fallback also rebuilds that shard's index.
+    pub fallback_scans: u64,
+    /// Shards whose index was loaded from a fresh sidecar at open.
+    pub sidecar_loads: u64,
+    /// Shards whose index was rebuilt by scanning the segment (at
+    /// open, or by a fallback scan).
+    pub index_rebuilds: u64,
+    /// Shard compactions triggered by the superseded-frame ratio.
+    pub auto_compactions: u64,
+}
+
+#[derive(Default)]
+struct ReadPathCounters {
+    filtered_absent: AtomicU64,
+    positioned_reads: AtomicU64,
+    fallback_scans: AtomicU64,
+    sidecar_loads: AtomicU64,
+    index_rebuilds: AtomicU64,
+    auto_compactions: AtomicU64,
+}
+
+impl ReadPathCounters {
+    fn snapshot(&self) -> ReadPathStats {
+        ReadPathStats {
+            filtered_absent: self.filtered_absent.load(Ordering::Relaxed),
+            positioned_reads: self.positioned_reads.load(Ordering::Relaxed),
+            fallback_scans: self.fallback_scans.load(Ordering::Relaxed),
+            sidecar_loads: self.sidecar_loads.load(Ordering::Relaxed),
+            index_rebuilds: self.index_rebuilds.load(Ordering::Relaxed),
+            auto_compactions: self.auto_compactions.load(Ordering::Relaxed),
+        }
+    }
+
+    fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// Tunables for [`ShardedStore::open_with`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ShardOpenOptions {
+    /// Hot-tier slots.  A tiny tier maximizes lossy collisions, which
+    /// is how tests force the segment read path; a size of 1 makes
+    /// every distinct key evict the previous one.
+    pub hot_slots: usize,
+    /// Superseded-frame ratio past which a shard compacts itself
+    /// right after an append; `None` keeps compaction manual.
+    pub compact_ratio: Option<f64>,
+}
+
+impl Default for ShardOpenOptions {
+    fn default() -> Self {
+        Self {
+            hot_slots: ShardedStore::DEFAULT_HOT_SLOTS,
+            compact_ratio: None,
+        }
+    }
+}
+
+/// One shard's mutable state.  Everything that must stay mutually
+/// consistent — the append handle and its write offset, the read
+/// handle, the frame index — lives under one mutex, so appends,
+/// positioned reads and compactions of the same shard serialize while
+/// different shards proceed in parallel.
+struct Shard {
+    /// Append handle; also used for truncation repairs.
+    appender: File,
+    /// Positioned-read handle (its cursor is only touched under the
+    /// shard lock).
+    reader: File,
+    /// digest → latest frame.  Doubles as the existence filter: a
+    /// digest missing here is a key the shard does not hold.
+    index: HashMap<u64, FrameLoc>,
+    /// Frames on disk, including superseded ones.
+    frames: u64,
+    /// Validated segment length in bytes (the append offset).
+    len: u64,
+    /// What the on-disk sidecar currently describes.
+    sidecar: SidecarState,
+}
+
 /// A sharded, append-only binary cell store with a lossy in-memory
-/// hot tier.
+/// hot tier and per-shard frame indexes.
 ///
-/// Reads probe the hot tier first; a miss scans the key's segment
-/// (last frame wins) and promotes the result.  Appends write one
-/// frame under the shard's lock and refresh the hot tier.  Because
-/// the tier overwrites on slot collision, residency is best-effort —
-/// but a miss only costs a shard re-read, never a wrong answer.
+/// Reads probe the hot tier first; a miss consults the shard's index
+/// — absent keys answer without touching disk, present ones cost one
+/// positioned frame read (plus hot promotion).  Appends write one
+/// frame under the shard's lock, update the index and refresh the hot
+/// tier.  Because the tier overwrites on slot collision, residency is
+/// best-effort — but a miss only costs an indexed read, never a wrong
+/// answer.
 pub struct ShardedStore {
     dir: PathBuf,
     shards: u32,
     hot: HotTier,
-    /// Per-shard append handles; the mutex also serializes appends so
-    /// frames from concurrent writers never interleave.
-    appenders: Vec<Mutex<File>>,
+    /// Per-shard state; the mutex also serializes appends so frames
+    /// from concurrent writers never interleave.
+    state: Vec<Mutex<Shard>>,
     stats: Mutex<BackendStats>,
-    /// First deferred append error, surfaced by `flush`.
-    write_error: Mutex<Option<io::Error>>,
+    /// First deferred append error, surfaced by **every** `flush`
+    /// until [`ShardedStore::clear_write_error`] acknowledges it.
+    write_error: Mutex<Option<(io::ErrorKind, String)>>,
+    /// Ratio-triggered compaction threshold.
+    compact_ratio: Mutex<Option<f64>>,
+    /// Sink for store-emitted telemetry (read errors).
+    sink: Mutex<Option<Arc<dyn TelemetrySink>>>,
+    read_path: ReadPathCounters,
     /// Bytes of torn tail truncated at open, across all segments.
     repaired_bytes: u64,
 }
@@ -138,6 +346,11 @@ impl ShardedStore {
     /// Hot-tier slots per store.
     pub const DEFAULT_HOT_SLOTS: usize = 2048;
 
+    /// Frames a shard must hold before the superseded ratio can
+    /// trigger an automatic compaction (rewriting a near-empty
+    /// segment for its first superseded frame would thrash).
+    pub const AUTO_COMPACT_MIN_FRAMES: u64 = 16;
+
     /// The manifest path inside a store directory (also the format
     /// marker auto-detection looks for).
     pub fn manifest_path(dir: &Path) -> PathBuf {
@@ -147,6 +360,11 @@ impl ShardedStore {
     /// The segment path of one shard.
     fn segment_path(dir: &Path, shard: u32) -> PathBuf {
         dir.join(format!("shard-{shard:03}.seg"))
+    }
+
+    /// The index-sidecar path of one shard.
+    fn index_path(dir: &Path, shard: u32) -> PathBuf {
+        dir.join(format!("shard-{shard:03}.idx"))
     }
 
     /// Create a fresh empty store at `dir` with `shards` segments.
@@ -188,14 +406,27 @@ impl ShardedStore {
     /// (append-after-torn-tail would otherwise hide the new frames
     /// behind the garbage).
     pub fn open(dir: &Path) -> io::Result<Self> {
-        Self::open_with_hot_slots(dir, Self::DEFAULT_HOT_SLOTS)
+        Self::open_with(dir, ShardOpenOptions::default())
     }
 
-    /// [`ShardedStore::open`] with an explicit hot-tier size.  A tiny
-    /// tier maximizes lossy collisions, which is how the tests force
-    /// the shard-fallback path; a size of 1 makes every distinct key
-    /// evict the previous one.
+    /// [`ShardedStore::open`] with an explicit hot-tier size.
     pub fn open_with_hot_slots(dir: &Path, hot_slots: usize) -> io::Result<Self> {
+        Self::open_with(
+            dir,
+            ShardOpenOptions {
+                hot_slots,
+                ..Default::default()
+            },
+        )
+    }
+
+    /// [`ShardedStore::open`] with explicit tunables.
+    ///
+    /// Each shard's index loads from a fresh sidecar when one exists
+    /// (checksum intact, recorded segment length equal to the file's);
+    /// otherwise the segment is scanned — which is also when torn
+    /// tails are repaired — and the index rebuilt from the scan.
+    pub fn open_with(dir: &Path, options: ShardOpenOptions) -> io::Result<Self> {
         let bad = |msg: String| io::Error::new(io::ErrorKind::InvalidData, msg);
         let manifest_text = std::fs::read_to_string(Self::manifest_path(dir))?;
         let manifest: Value =
@@ -223,7 +454,9 @@ impl ShardedStore {
             as u32;
 
         let mut repaired_bytes = 0u64;
-        let mut appenders = Vec::with_capacity(shards as usize);
+        let mut sidecar_loads = 0u64;
+        let mut index_rebuilds = 0u64;
+        let mut state = Vec::with_capacity(shards as usize);
         for shard in 0..shards {
             let path = Self::segment_path(dir, shard);
             if !path.exists() {
@@ -233,23 +466,62 @@ impl ShardedStore {
                 f.write_all(SEGMENT_MAGIC)?;
                 f.write_all(&shard.to_le_bytes())?;
             }
-            let bytes = std::fs::read(&path)?;
-            let (_, valid_len) =
-                scan_segment(&bytes, shard).map_err(|e| bad(format!("{}: {e}", path.display())))?;
-            if valid_len < bytes.len() {
-                repaired_bytes += (bytes.len() - valid_len) as u64;
-                let f = OpenOptions::new().write(true).open(&path)?;
-                f.set_len(valid_len as u64)?;
-            }
-            appenders.push(Mutex::new(OpenOptions::new().append(true).open(&path)?));
+            let file_len = std::fs::metadata(&path)?.len();
+            let (index, frames, len, sidecar) =
+                match load_sidecar(&Self::index_path(dir, shard), shard, file_len) {
+                    Some((index, frames)) => {
+                        sidecar_loads += 1;
+                        (index, frames, file_len, SidecarState::Fresh)
+                    }
+                    None => {
+                        let bytes = std::fs::read(&path)?;
+                        let (scanned, valid_len) = scan_segment(&bytes, shard)
+                            .map_err(|e| bad(format!("{}: {e}", path.display())))?;
+                        if valid_len < bytes.len() {
+                            repaired_bytes += (bytes.len() - valid_len) as u64;
+                            let f = OpenOptions::new().write(true).open(&path)?;
+                            f.set_len(valid_len as u64)?;
+                        }
+                        index_rebuilds += 1;
+                        let sidecar = if Self::index_path(dir, shard).exists() {
+                            SidecarState::Stale
+                        } else {
+                            SidecarState::Missing
+                        };
+                        (
+                            index_of(&scanned),
+                            scanned.len() as u64,
+                            valid_len as u64,
+                            sidecar,
+                        )
+                    }
+                };
+            state.push(Mutex::new(Shard {
+                appender: OpenOptions::new().append(true).open(&path)?,
+                reader: File::open(&path)?,
+                index,
+                frames,
+                len,
+                sidecar,
+            }));
         }
+        let read_path = ReadPathCounters::default();
+        read_path
+            .sidecar_loads
+            .store(sidecar_loads, Ordering::Relaxed);
+        read_path
+            .index_rebuilds
+            .store(index_rebuilds, Ordering::Relaxed);
         Ok(Self {
             dir: dir.to_path_buf(),
             shards,
-            hot: HotTier::new(hot_slots),
-            appenders,
+            hot: HotTier::new(options.hot_slots),
+            state,
             stats: Mutex::new(BackendStats::default()),
             write_error: Mutex::new(None),
+            compact_ratio: Mutex::new(options.compact_ratio),
+            sink: Mutex::new(None),
+            read_path,
             repaired_bytes,
         })
     }
@@ -274,33 +546,123 @@ impl ShardedStore {
         self.hot.stats()
     }
 
+    /// Read-path traffic counters.
+    pub fn read_stats(&self) -> ReadPathStats {
+        self.read_path.snapshot()
+    }
+
+    /// The ratio-triggered compaction threshold, if enabled.
+    pub fn compact_ratio(&self) -> Option<f64> {
+        *self.compact_ratio.lock()
+    }
+
+    /// Enable (or disable) ratio-triggered compaction: after an
+    /// append leaves a shard of at least
+    /// [`ShardedStore::AUTO_COMPACT_MIN_FRAMES`] frames with more
+    /// than `ratio` of them superseded, the shard compacts in place
+    /// under its lock.  Values outside `(0, 1)` effectively disable
+    /// (`>= 1`) or constantly re-trigger (`<= 0`) the check; CLI
+    /// callers validate the range.
+    pub fn set_compact_ratio(&self, ratio: Option<f64>) {
+        *self.compact_ratio.lock() = ratio;
+    }
+
+    /// Attach a telemetry sink; subsequent read errors are recorded
+    /// as [`TelemetryEvent::StoreReadError`] instead of logged to
+    /// stderr.
+    pub fn attach_sink(&self, sink: Arc<dyn TelemetrySink>) {
+        *self.sink.lock() = Some(sink);
+    }
+
+    /// Per-shard frame/byte/sidecar statistics (the `kc_store stat`
+    /// view).
+    pub fn segment_stats(&self) -> Vec<SegmentStat> {
+        (0..self.shards)
+            .map(|shard| {
+                let s = self.state[shard as usize].lock();
+                SegmentStat {
+                    shard,
+                    bytes: s.len,
+                    frames: s.frames,
+                    live: s.index.len() as u64,
+                    sidecar: s.sidecar,
+                }
+            })
+            .collect()
+    }
+
+    /// Drop a sticky append failure recorded by an earlier write,
+    /// returning it.  Until this is called, every
+    /// [`CellBackend::flush`] re-reports the failure — a store that
+    /// lost a write must not quietly report success once the first
+    /// flush was seen.
+    pub fn clear_write_error(&self) -> Option<io::Error> {
+        self.write_error
+            .lock()
+            .take()
+            .map(|(kind, msg)| io::Error::new(kind, msg))
+    }
+
     /// The shard a key lives in.
     fn shard_of(&self, key: &str) -> u32 {
         (fnv1a(key.as_bytes()) % self.shards as u64) as u32
     }
 
-    /// Read a key straight from its segment, bypassing the hot tier
-    /// (last frame wins).
-    fn read_from_shard(&self, key: &str) -> io::Result<Option<Vec<f64>>> {
+    /// Record an append failure for `flush` to keep reporting.
+    fn poison(&self, e: &io::Error) {
+        let mut slot = self.write_error.lock();
+        if slot.is_none() {
+            *slot = Some((e.kind(), e.to_string()));
+        }
+    }
+
+    /// Count a shard read error and surface it: through the attached
+    /// telemetry sink as a [`TelemetryEvent::StoreReadError`] when one
+    /// is attached, to stderr otherwise.
+    fn report_read_error(&self, key: &str, e: &io::Error) {
+        self.stats.lock().read_errors += 1;
+        let sink = self.sink.lock().clone();
+        match sink {
+            Some(sink) => sink.record(TelemetryEvent::StoreReadError {
+                key: key.to_string(),
+                error: e.to_string(),
+            }),
+            None => eprintln!("[store] shard read for '{key}' failed: {e}"),
+        }
+    }
+
+    /// Look `key` up by scanning its whole segment, bypassing the hot
+    /// tier and the index.  This is the pre-index read path, kept as
+    /// the benchmark baseline (`benches/store_read.rs` measures it
+    /// against indexed misses) and as a correctness oracle in tests;
+    /// real reads go through [`CellBackend::get_raw`].
+    pub fn full_scan_lookup(&self, key: &str) -> io::Result<Option<Vec<f64>>> {
         let shard = self.shard_of(key);
+        let _guard = self.state[shard as usize].lock();
         let bytes = std::fs::read(Self::segment_path(&self.dir, shard))?;
         let (frames, _) = scan_segment(&bytes, shard)
             .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
         Ok(frames
             .into_iter()
             .rev()
-            .find(|(k, _)| k == key)
-            .map(|(_, samples)| samples))
+            .find(|f| f.key == key)
+            .map(|f| f.samples))
     }
 
     /// The samples stored under a canonical key, if any: hot-tier
-    /// probe first, shard scan (plus hot promotion) on a miss.
+    /// probe first, indexed segment read (plus hot promotion) on a
+    /// miss.
     fn lookup(&self, key: &str) -> Option<Vec<f64>> {
         let digest = fnv1a(key.as_bytes());
         if let Some(samples) = self.hot.get(digest, key) {
             return Some(samples);
         }
-        match self.read_from_shard(key) {
+        let shard = (digest % self.shards as u64) as u32;
+        let found = {
+            let mut s = self.state[shard as usize].lock();
+            self.read_locked(shard, &mut s, digest, key)
+        };
+        match found {
             Ok(Some(samples)) => {
                 self.hot.insert(digest, key, &samples);
                 Some(samples)
@@ -308,31 +670,194 @@ impl ShardedStore {
             Ok(None) => None,
             Err(e) => {
                 // a read error is not "absent", but the backend
-                // interface has no error channel; log and miss, the
-                // campaign will re-execute the cell
-                eprintln!("[store] shard read for '{key}' failed: {e}");
+                // interface has no error channel; count + report it
+                // and miss, the campaign will re-execute the cell
+                self.report_read_error(key, &e);
                 None
             }
         }
     }
 
-    /// Append one frame for `key` and refresh the hot tier.
+    /// The indexed read: existence filter, then one positioned frame
+    /// read, falling back to a full scan (which rebuilds the index)
+    /// if the indexed frame does not validate or holds a
+    /// digest-colliding key.
+    fn read_locked(
+        &self,
+        shard: u32,
+        s: &mut Shard,
+        digest: u64,
+        key: &str,
+    ) -> io::Result<Option<Vec<f64>>> {
+        let Some(loc) = s.index.get(&digest).copied() else {
+            ReadPathCounters::bump(&self.read_path.filtered_absent);
+            return Ok(None);
+        };
+        if let Some((frame_key, samples)) = read_frame_at(&s.reader, loc)? {
+            if frame_key == key {
+                ReadPathCounters::bump(&self.read_path.positioned_reads);
+                return Ok(Some(samples));
+            }
+            // digest collision: the indexed frame belongs to another
+            // key with the same digest; the scan below still finds
+            // ours if the shard holds it
+        }
+        ReadPathCounters::bump(&self.read_path.fallback_scans);
+        self.rescan_locked(shard, s, key)
+    }
+
+    /// Re-derive one shard's state from its segment bytes — the
+    /// correctness path; the in-memory index and any sidecar are pure
+    /// accelerators over it.  Returns the samples stored under `key`,
+    /// if any.
+    fn rescan_locked(&self, shard: u32, s: &mut Shard, key: &str) -> io::Result<Option<Vec<f64>>> {
+        let path = Self::segment_path(&self.dir, shard);
+        let bytes = std::fs::read(&path)?;
+        let (scanned, valid_len) = scan_segment(&bytes, shard)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+        if valid_len < bytes.len() {
+            // mid-segment corruption: drop the invalid tail exactly
+            // like open does, so future appends stay visible
+            s.appender.set_len(valid_len as u64)?;
+        }
+        if (valid_len as u64, scanned.len() as u64) != (s.len, s.frames)
+            && s.sidecar == SidecarState::Fresh
+        {
+            s.sidecar = SidecarState::Stale;
+        }
+        s.index = index_of(&scanned);
+        s.frames = scanned.len() as u64;
+        s.len = valid_len as u64;
+        ReadPathCounters::bump(&self.read_path.index_rebuilds);
+        Ok(scanned
+            .into_iter()
+            .rev()
+            .find(|f| f.key == key)
+            .map(|f| f.samples))
+    }
+
+    /// Append one frame for `key`, update the shard index and refresh
+    /// the hot tier; then compact the shard if the superseded ratio
+    /// crossed the configured threshold.
     fn write(&self, key: &str, samples: &[f64]) -> io::Result<()> {
         let digest = fnv1a(key.as_bytes());
         let frame = encode_frame(key, samples);
-        let shard = self.shard_of(key);
+        let shard = (digest % self.shards as u64) as u32;
         {
-            let mut f = self.appenders[shard as usize].lock();
-            if let Err(e) = f.write_all(&frame).and_then(|()| f.flush()) {
-                let mut slot = self.write_error.lock();
-                if slot.is_none() {
-                    *slot = Some(io::Error::new(e.kind(), e.to_string()));
-                }
+            let mut s = self.state[shard as usize].lock();
+            let offset = s.len;
+            if let Err(e) = s
+                .appender
+                .write_all(&frame)
+                .and_then(|()| s.appender.flush())
+            {
+                // drop any partially-written frame so the segment
+                // stays a clean validated prefix, then poison the
+                // store for flush()
+                let _ = s.appender.set_len(offset);
+                self.poison(&e);
                 return Err(e);
             }
+            s.len += frame.len() as u64;
+            s.frames += 1;
+            s.index.insert(
+                digest,
+                FrameLoc {
+                    offset,
+                    len: frame.len() as u32,
+                },
+            );
+            if s.sidecar == SidecarState::Fresh {
+                s.sidecar = SidecarState::Stale;
+            }
+            self.maybe_compact_locked(shard, &mut s);
         }
         self.hot.insert(digest, key, samples);
         Ok(())
+    }
+
+    /// Compact `shard` if ratio-triggered compaction is enabled and
+    /// the shard crossed the threshold.  A failed automatic
+    /// compaction poisons the store (the segment itself is intact —
+    /// replacement is by rename — but the shard handles may not be).
+    fn maybe_compact_locked(&self, shard: u32, s: &mut Shard) {
+        let Some(ratio) = *self.compact_ratio.lock() else {
+            return;
+        };
+        if s.frames < Self::AUTO_COMPACT_MIN_FRAMES {
+            return;
+        }
+        let superseded = s.frames.saturating_sub(s.index.len() as u64);
+        if (superseded as f64) <= ratio * (s.frames as f64) {
+            return;
+        }
+        match self.compact_shard_locked(shard, s) {
+            Ok(_) => ReadPathCounters::bump(&self.read_path.auto_compactions),
+            Err(e) => self.poison(&e),
+        }
+    }
+
+    /// Rewrite one shard's segment with one frame per live cell and
+    /// swap it in by rename, refreshing the handles, the index and
+    /// the sidecar.
+    fn compact_shard_locked(&self, shard: u32, s: &mut Shard) -> io::Result<CompactionReport> {
+        let path = Self::segment_path(&self.dir, shard);
+        let bytes = std::fs::read(&path)?;
+        let (scanned, _) = scan_segment(&bytes, shard)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+        let mut report = CompactionReport {
+            records_before: scanned.len() as u64,
+            bytes_before: bytes.len() as u64,
+            ..Default::default()
+        };
+        let mut live = BTreeMap::new();
+        for f in scanned {
+            live.insert(f.key, f.samples);
+        }
+        report.records_after = live.len() as u64;
+
+        let tmp = path.with_extension("seg.tmp");
+        let mut index = HashMap::with_capacity(live.len());
+        {
+            let mut f = File::create(&tmp)?;
+            f.write_all(SEGMENT_MAGIC)?;
+            f.write_all(&shard.to_le_bytes())?;
+            let mut offset = SEGMENT_HEADER_LEN as u64;
+            for (key, samples) in &live {
+                let frame = encode_frame(key, samples);
+                f.write_all(&frame)?;
+                index.insert(
+                    fnv1a(key.as_bytes()),
+                    FrameLoc {
+                        offset,
+                        len: frame.len() as u32,
+                    },
+                );
+                offset += frame.len() as u64;
+            }
+            f.sync_all()?;
+        }
+        std::fs::rename(&tmp, &path)?;
+        report.bytes_after = std::fs::metadata(&path)?.len();
+        s.appender = OpenOptions::new().append(true).open(&path)?;
+        s.reader = File::open(&path)?;
+        s.index = index;
+        s.frames = report.records_after;
+        s.len = report.bytes_after;
+        // the old sidecar describes the pre-compaction segment;
+        // refresh it now (best-effort: a stale sidecar is detected
+        // and rebuilt, never believed)
+        s.sidecar = match write_sidecar(
+            &Self::index_path(&self.dir, shard),
+            shard,
+            s.len,
+            s.frames,
+            &s.index,
+        ) {
+            Ok(()) => SidecarState::Fresh,
+            Err(_) => SidecarState::Stale,
+        };
+        Ok(report)
     }
 
     /// Scan every shard and return the live cells, sorted by key
@@ -343,8 +868,8 @@ impl ShardedStore {
             let bytes = std::fs::read(Self::segment_path(&self.dir, shard))?;
             let (frames, _) = scan_segment(&bytes, shard)
                 .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
-            for (key, samples) in frames {
-                cells.insert(key, samples);
+            for f in frames {
+                cells.insert(f.key, f.samples);
             }
         }
         Ok(cells)
@@ -357,32 +882,8 @@ impl ShardedStore {
     pub fn compact(&self) -> io::Result<CompactionReport> {
         let mut report = CompactionReport::default();
         for shard in 0..self.shards {
-            let path = Self::segment_path(&self.dir, shard);
-            let mut guard = self.appenders[shard as usize].lock();
-            let bytes = std::fs::read(&path)?;
-            let (frames, _) = scan_segment(&bytes, shard)
-                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
-            report.records_before += frames.len() as u64;
-            report.bytes_before += bytes.len() as u64;
-            let mut live = BTreeMap::new();
-            for (key, samples) in frames {
-                live.insert(key, samples);
-            }
-            report.records_after += live.len() as u64;
-
-            let tmp = path.with_extension("seg.tmp");
-            {
-                let mut f = File::create(&tmp)?;
-                f.write_all(SEGMENT_MAGIC)?;
-                f.write_all(&shard.to_le_bytes())?;
-                for (key, samples) in &live {
-                    f.write_all(&encode_frame(key, samples))?;
-                }
-                f.sync_all()?;
-            }
-            std::fs::rename(&tmp, &path)?;
-            report.bytes_after += std::fs::metadata(&path)?.len();
-            *guard = OpenOptions::new().append(true).open(&path)?;
+            let mut s = self.state[shard as usize].lock();
+            report.absorb(self.compact_shard_locked(shard, &mut s)?);
         }
         Ok(report)
     }
@@ -403,9 +904,13 @@ impl CellBackend for ShardedStore {
         let found = self.lookup(key);
         let mut stats = self.stats.lock();
         stats.loads += 1;
-        if found.as_ref().is_some_and(|s| !s.is_empty()) {
+        if found.is_some() {
+            // any stored frame is a hit — including a legal empty
+            // sample set (the measurement layer above separately
+            // treats empty as "measured nothing")
             stats.load_hits += 1;
         }
+        drop(stats);
         found
     }
 
@@ -430,17 +935,36 @@ impl CellBackend for ShardedStore {
     }
 
     fn flush(&self) -> io::Result<()> {
-        if let Some(e) = self.write_error.lock().take() {
-            return Err(e);
+        if let Some((kind, msg)) = &*self.write_error.lock() {
+            // sticky: a store that lost a write keeps failing until
+            // clear_write_error acknowledges the loss
+            return Err(io::Error::new(*kind, msg.clone()));
         }
-        for appender in &self.appenders {
-            appender.lock().sync_all()?;
+        for (shard, state) in self.state.iter().enumerate() {
+            let mut s = state.lock();
+            s.appender.sync_all()?;
+            if s.sidecar != SidecarState::Fresh
+                && write_sidecar(
+                    &Self::index_path(&self.dir, shard as u32),
+                    shard as u32,
+                    s.len,
+                    s.frames,
+                    &s.index,
+                )
+                .is_ok()
+            {
+                s.sidecar = SidecarState::Fresh;
+            }
         }
         Ok(())
     }
 
     fn format(&self) -> StoreFormat {
         StoreFormat::Sharded
+    }
+
+    fn attach_sink(&self, sink: Arc<dyn TelemetrySink>) {
+        ShardedStore::attach_sink(self, sink);
     }
 }
 
@@ -460,9 +984,34 @@ fn encode_frame(key: &str, samples: &[f64]) -> Vec<u8> {
     frame
 }
 
+/// One validated frame, as located by a segment scan.
+struct ScannedFrame {
+    key: String,
+    samples: Vec<f64>,
+    /// Byte offset of the frame header from the start of the file.
+    offset: u64,
+    /// Whole frame length: header plus payload.
+    len: u32,
+}
+
 /// The frames of one segment in file order, plus the byte length of
 /// the validated prefix.
-type ScannedSegment = (Vec<(String, Vec<f64>)>, usize);
+type ScannedSegment = (Vec<ScannedFrame>, usize);
+
+/// The last-wins index over a scan's frames.
+fn index_of(scanned: &[ScannedFrame]) -> HashMap<u64, FrameLoc> {
+    let mut index = HashMap::with_capacity(scanned.len());
+    for f in scanned {
+        index.insert(
+            fnv1a(f.key.as_bytes()),
+            FrameLoc {
+                offset: f.offset,
+                len: f.len,
+            },
+        );
+    }
+    index
+}
 
 /// Decode all intact frames of one segment.
 ///
@@ -493,13 +1042,146 @@ fn scan_segment(bytes: &[u8], shard: u32) -> Result<ScannedSegment, String> {
         if fnv1a(payload) != checksum {
             break;
         }
-        let Some(frame) = decode_payload(payload) else {
+        let Some((key, samples)) = decode_payload(payload) else {
             break;
         };
-        frames.push(frame);
+        frames.push(ScannedFrame {
+            key,
+            samples,
+            offset: pos as u64,
+            len: (FRAME_HEADER_LEN + payload_len) as u32,
+        });
         pos = start + payload_len;
     }
     Ok((frames, pos))
+}
+
+/// Read and re-validate one frame at a known location.  `Ok(None)`
+/// means the bytes there no longer decode as a well-formed frame (a
+/// stale or digest-colliding index entry) — callers fall back to a
+/// full scan; `Err` is a real I/O failure.
+fn read_frame_at(reader: &File, loc: FrameLoc) -> io::Result<Option<(String, Vec<f64>)>> {
+    if (loc.len as usize) < FRAME_HEADER_LEN {
+        return Ok(None);
+    }
+    let mut r = reader;
+    r.seek(SeekFrom::Start(loc.offset))?;
+    let mut buf = vec![0u8; loc.len as usize];
+    match r.read_exact(&mut buf) {
+        Ok(()) => {}
+        Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(e),
+    }
+    let payload_len = u32::from_le_bytes(buf[..4].try_into().expect("4 bytes")) as usize;
+    if payload_len != loc.len as usize - FRAME_HEADER_LEN {
+        return Ok(None);
+    }
+    let checksum = u64::from_le_bytes(buf[4..12].try_into().expect("8 bytes"));
+    let payload = &buf[FRAME_HEADER_LEN..];
+    if fnv1a(payload) != checksum {
+        return Ok(None);
+    }
+    Ok(decode_payload(payload))
+}
+
+/// Serialize one shard's index sidecar:
+///
+/// ```text
+/// KCSIDX01 | u64 LE fnv1a(body) | body
+/// body = u32 LE shard | u64 LE segment_len | u64 LE frames
+///      | u32 LE entries | entries × (u64 LE digest | u64 LE offset | u32 LE len)
+/// ```
+///
+/// `segment_len` is the freshness check: a sidecar is believed only
+/// when it equals the segment file's length at open, so any append or
+/// truncation since the write makes the sidecar invisible (and the
+/// open rescans).  Entries are digest-sorted so the bytes are
+/// deterministic.
+fn encode_sidecar(
+    shard: u32,
+    segment_len: u64,
+    frames: u64,
+    index: &HashMap<u64, FrameLoc>,
+) -> Vec<u8> {
+    let mut body = Vec::with_capacity(24 + index.len() * 20);
+    body.extend_from_slice(&shard.to_le_bytes());
+    body.extend_from_slice(&segment_len.to_le_bytes());
+    body.extend_from_slice(&frames.to_le_bytes());
+    body.extend_from_slice(&(index.len() as u32).to_le_bytes());
+    let mut entries: Vec<(&u64, &FrameLoc)> = index.iter().collect();
+    entries.sort_by_key(|(digest, _)| **digest);
+    for (digest, loc) in entries {
+        body.extend_from_slice(&digest.to_le_bytes());
+        body.extend_from_slice(&loc.offset.to_le_bytes());
+        body.extend_from_slice(&loc.len.to_le_bytes());
+    }
+    let mut out = Vec::with_capacity(INDEX_MAGIC.len() + 8 + body.len());
+    out.extend_from_slice(INDEX_MAGIC);
+    out.extend_from_slice(&fnv1a(&body).to_le_bytes());
+    out.extend_from_slice(&body);
+    out
+}
+
+/// Atomically (tmp + rename) write one shard's index sidecar.
+fn write_sidecar(
+    path: &Path,
+    shard: u32,
+    segment_len: u64,
+    frames: u64,
+    index: &HashMap<u64, FrameLoc>,
+) -> io::Result<()> {
+    let tmp = path.with_extension("idx.tmp");
+    std::fs::write(&tmp, encode_sidecar(shard, segment_len, frames, index))?;
+    std::fs::rename(&tmp, path)
+}
+
+/// Load one shard's sidecar, returning `(index, frames)` only when it
+/// is *believable*: magic and checksum intact, shard matching, its
+/// recorded segment length equal to the file's current length, and
+/// every entry inside the segment's bounds.  Anything else — missing
+/// file, torn write, appends since the sidecar — returns `None` and
+/// the caller rescans the segment.
+fn load_sidecar(
+    path: &Path,
+    shard: u32,
+    segment_len: u64,
+) -> Option<(HashMap<u64, FrameLoc>, u64)> {
+    let bytes = std::fs::read(path).ok()?;
+    let header = INDEX_MAGIC.len() + 8;
+    if bytes.len() < header + 24 || &bytes[..INDEX_MAGIC.len()] != INDEX_MAGIC {
+        return None;
+    }
+    let checksum = u64::from_le_bytes(bytes[INDEX_MAGIC.len()..header].try_into().ok()?);
+    let body = &bytes[header..];
+    if fnv1a(body) != checksum {
+        return None;
+    }
+    if u32::from_le_bytes(body[..4].try_into().ok()?) != shard {
+        return None;
+    }
+    if u64::from_le_bytes(body[4..12].try_into().ok()?) != segment_len {
+        return None; // the segment moved on: the sidecar is stale
+    }
+    let frames = u64::from_le_bytes(body[12..20].try_into().ok()?);
+    let entries = u32::from_le_bytes(body[20..24].try_into().ok()?) as usize;
+    let rest = &body[24..];
+    if rest.len() != entries.checked_mul(20)? || (entries as u64) > frames {
+        return None;
+    }
+    let mut index = HashMap::with_capacity(entries);
+    for chunk in rest.chunks_exact(20) {
+        let digest = u64::from_le_bytes(chunk[..8].try_into().ok()?);
+        let offset = u64::from_le_bytes(chunk[8..16].try_into().ok()?);
+        let len = u32::from_le_bytes(chunk[16..20].try_into().ok()?);
+        if offset < SEGMENT_HEADER_LEN as u64
+            || (len as usize) < FRAME_HEADER_LEN
+            || offset.checked_add(len as u64)? > segment_len
+        {
+            return None;
+        }
+        index.insert(digest, FrameLoc { offset, len });
+    }
+    Some((index, frames))
 }
 
 /// Decode one checksum-validated payload; `None` means the payload is
@@ -596,6 +1278,22 @@ mod tests {
         assert_eq!(after_first.inserts, 1, "and promotes the cell");
         assert_eq!(store.get_raw("a"), Some(vec![1.5]));
         assert_eq!(store.hot_stats().hits, 1, "warm read is a tier hit");
+        let reads = store.read_stats();
+        assert_eq!(reads.positioned_reads, 1, "the cold read was indexed");
+        assert_eq!(reads.fallback_scans, 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn an_empty_sample_set_counts_as_a_load_hit() {
+        let dir = tmp("emptyhit");
+        let store = ShardedStore::create(&dir, 2).unwrap();
+        store.append_raw("empty", &[]).unwrap();
+        assert_eq!(store.get_raw("empty"), Some(vec![]));
+        assert_eq!(store.get_raw("absent"), None);
+        let s = CellBackend::stats(&store);
+        assert_eq!(s.loads, 2);
+        assert_eq!(s.load_hits, 1, "a stored empty frame is a hit");
         let _ = std::fs::remove_dir_all(&dir);
     }
 
@@ -620,6 +1318,11 @@ mod tests {
 
         let store = ShardedStore::open(&dir).unwrap();
         assert!(store.repaired_bytes() > 0, "the torn tail was truncated");
+        assert_eq!(
+            store.read_stats().sidecar_loads,
+            0,
+            "the flushed sidecar no longer matches the torn segment"
+        );
         assert_eq!(store.get_raw("alpha"), Some(vec![1.0, 2.0]));
         assert_eq!(store.get_raw("beta"), None, "the torn frame is gone");
         // appends after repair are visible (not hidden behind garbage)
@@ -707,6 +1410,248 @@ mod tests {
         assert_eq!(s.loads, 2);
         assert_eq!(s.load_hits, 1);
         assert_eq!(s.stores, 1);
+        assert_eq!(s.read_errors, 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn absent_keys_answer_from_the_existence_filter() {
+        let dir = tmp("absent");
+        let store = ShardedStore::create(&dir, 2).unwrap();
+        store.append_raw("present", &[1.0]).unwrap();
+        for i in 0..10 {
+            assert_eq!(store.get_raw(&format!("absent-{i}")), None);
+        }
+        let reads = store.read_stats();
+        assert_eq!(reads.filtered_absent, 10, "absent keys never touch disk");
+        assert_eq!(reads.positioned_reads, 0);
+        assert_eq!(reads.fallback_scans, 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn a_fresh_sidecar_skips_the_open_time_scan() {
+        let dir = tmp("sidecar");
+        {
+            let store = ShardedStore::create(&dir, 2).unwrap();
+            store.append_raw("a", &[1.0]).unwrap();
+            store.append_raw("b", &[2.0]).unwrap();
+            store.flush().unwrap();
+        }
+        for shard in 0..2 {
+            assert!(
+                ShardedStore::index_path(&dir, shard).is_file(),
+                "flush writes each shard's sidecar"
+            );
+        }
+        let store = ShardedStore::open(&dir).unwrap();
+        let reads = store.read_stats();
+        assert_eq!(reads.sidecar_loads, 2, "both indexes loaded from sidecars");
+        assert_eq!(reads.index_rebuilds, 0);
+        assert_eq!(store.get_raw("a"), Some(vec![1.0]));
+        assert_eq!(store.get_raw("b"), Some(vec![2.0]));
+        for stat in store.segment_stats() {
+            assert_eq!(stat.sidecar, SidecarState::Fresh);
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn deleted_sidecars_rebuild_without_changing_answers() {
+        let dir = tmp("sidecar_gone");
+        {
+            let store = ShardedStore::create(&dir, 2).unwrap();
+            store.append_raw("a", &[1.0]).unwrap();
+            store.flush().unwrap();
+        }
+        for shard in 0..2 {
+            std::fs::remove_file(ShardedStore::index_path(&dir, shard)).unwrap();
+        }
+        let store = ShardedStore::open(&dir).unwrap();
+        let reads = store.read_stats();
+        assert_eq!(reads.sidecar_loads, 0);
+        assert_eq!(reads.index_rebuilds, 2, "missing sidecars mean a rescan");
+        assert_eq!(store.get_raw("a"), Some(vec![1.0]));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn a_corrupt_index_entry_falls_back_to_the_scan() {
+        let dir = tmp("badindex");
+        let store = ShardedStore::create(&dir, 1).unwrap();
+        store.append_raw("victim", &[7.0]).unwrap();
+        store.append_raw("other", &[8.0]).unwrap();
+        // sabotage the in-memory index: point the victim's entry at a
+        // nonsense location — the read must self-heal, not mis-answer
+        {
+            let mut s = store.state[0].lock();
+            let digest = fnv1a(b"victim");
+            s.index.insert(
+                digest,
+                FrameLoc {
+                    offset: 99_999,
+                    len: 40,
+                },
+            );
+        }
+        store.hot.clear();
+        assert_eq!(store.get_raw("victim"), Some(vec![7.0]));
+        let reads = store.read_stats();
+        assert_eq!(reads.fallback_scans, 1, "the bad entry forced a scan");
+        store.hot.clear();
+        assert_eq!(
+            store.get_raw("victim"),
+            Some(vec![7.0]),
+            "the scan rebuilt the index"
+        );
+        assert_eq!(store.read_stats().fallback_scans, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn ratio_triggered_compaction_bounds_segment_growth() {
+        let dir = tmp("autocompact");
+        drop(ShardedStore::create(&dir, 1).unwrap());
+        let store = ShardedStore::open_with(
+            &dir,
+            ShardOpenOptions {
+                compact_ratio: Some(0.5),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(store.compact_ratio(), Some(0.5));
+        store.append_raw("stable", &[0.5]).unwrap();
+        for round in 0..50 {
+            store.append_raw("churner", &[round as f64]).unwrap();
+        }
+        let reads = store.read_stats();
+        assert!(
+            reads.auto_compactions >= 1,
+            "50 supersedes past ratio 0.5 must compact (got {reads:?})"
+        );
+        let stat = &store.segment_stats()[0];
+        assert!(
+            stat.frames < 40,
+            "compaction bounds frame growth (got {} frames)",
+            stat.frames
+        );
+        assert_eq!(store.get_raw("churner"), Some(vec![49.0]));
+        assert_eq!(store.get_raw("stable"), Some(vec![0.5]));
+        store.flush().unwrap();
+        let reopened = ShardedStore::open(&dir).unwrap();
+        assert_eq!(reopened.get_raw("churner"), Some(vec![49.0]));
+        assert_eq!(reopened.get_raw("stable"), Some(vec![0.5]));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn flush_stays_poisoned_after_a_failed_write_until_cleared() {
+        let dir = tmp("poison");
+        let store = ShardedStore::create(&dir, 1).unwrap();
+        store.append_raw("ok", &[1.0]).unwrap();
+        // swap the appender for a handle that cannot take bytes
+        let Ok(full) = OpenOptions::new().write(true).open("/dev/full") else {
+            eprintln!("skipping: /dev/full unavailable on this platform");
+            return;
+        };
+        {
+            let mut s = store.state[0].lock();
+            s.appender = full;
+        }
+        assert!(store.append_raw("doomed", &[2.0]).is_err());
+        assert!(store.flush().is_err(), "first flush reports the loss");
+        assert!(
+            store.flush().is_err(),
+            "the store stays poisoned: every flush keeps reporting"
+        );
+        let err = store.clear_write_error().expect("the error is returned");
+        assert!(!err.to_string().is_empty());
+        // after explicit repair (and restoring a real handle) the
+        // store flushes again
+        {
+            let mut s = store.state[0].lock();
+            s.appender = OpenOptions::new()
+                .append(true)
+                .open(ShardedStore::segment_path(&dir, 0))
+                .unwrap();
+        }
+        store.flush().unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn read_errors_are_counted_and_reported_to_the_sink() {
+        let dir = tmp("readerr");
+        drop(ShardedStore::create(&dir, 1).unwrap());
+        let store = ShardedStore::open_with_hot_slots(&dir, 1).unwrap();
+        let sink = Arc::new(kc_core::MemorySink::new());
+        ShardedStore::attach_sink(&store, sink.clone());
+        store.append_raw("key", &[1.0]).unwrap();
+        store.hot.clear();
+        // break the read path: replace the segment with a directory
+        // so the fallback scan's fs::read errors
+        {
+            let mut s = store.state[0].lock();
+            s.index.insert(
+                fnv1a(b"key"),
+                FrameLoc {
+                    offset: 50_000,
+                    len: 40,
+                },
+            );
+        }
+        let seg = ShardedStore::segment_path(&dir, 0);
+        std::fs::remove_file(&seg).unwrap();
+        std::fs::create_dir(&seg).unwrap();
+        assert_eq!(store.get_raw("key"), None, "a read error degrades to miss");
+        assert_eq!(CellBackend::stats(&store).read_errors, 1);
+        let events = sink.events();
+        assert!(
+            events
+                .iter()
+                .any(|e| matches!(e, TelemetryEvent::StoreReadError { key, .. } if key == "key")),
+            "the error surfaced as telemetry, got {events:?}"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn sidecars_are_deterministic_and_round_trip() {
+        let mut index = HashMap::new();
+        index.insert(
+            7u64,
+            FrameLoc {
+                offset: 12,
+                len: 40,
+            },
+        );
+        index.insert(
+            3u64,
+            FrameLoc {
+                offset: 52,
+                len: 24,
+            },
+        );
+        let a = encode_sidecar(1, 100, 5, &index);
+        let b = encode_sidecar(1, 100, 5, &index);
+        assert_eq!(a, b, "sidecar bytes are deterministic");
+        let dir = tmp("sidecar_rt");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("shard-001.idx");
+        std::fs::write(&path, &a).unwrap();
+        let (loaded, frames) = load_sidecar(&path, 1, 100).expect("fresh sidecar loads");
+        assert_eq!(frames, 5);
+        assert_eq!(loaded, index);
+        assert!(
+            load_sidecar(&path, 1, 101).is_none(),
+            "a length mismatch means stale"
+        );
+        assert!(load_sidecar(&path, 2, 100).is_none(), "wrong shard");
+        let mut torn = a.clone();
+        torn[20] ^= 0xff;
+        std::fs::write(&path, &torn).unwrap();
+        assert!(load_sidecar(&path, 1, 100).is_none(), "checksum catches it");
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

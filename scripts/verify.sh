@@ -58,7 +58,39 @@ if ! cmp -s "$bj" "$bs"; then
 fi
 [ -f "$smoke/cells.json" ] || { echo "verify: json store not written"; exit 1; }
 [ -f "$smoke/cells.kcs/kcstore.json" ] || { echo "verify: sharded store not written"; exit 1; }
+ls "$smoke"/cells.kcs/shard-*.idx > /dev/null 2>&1 || {
+    echo "verify: sharded flush left no index sidecars"; exit 1; }
 echo "tables byte-identical across store backends"
+
+echo "== byte-identity: warm sharded re-runs with sidecars present, then deleted =="
+bw=$(mktemp) && bn=$(mktemp)
+trap 'rm -f "$j1" "$j8" "$pc" "$bj" "$bs" "$bw" "$bn"; rm -rf "$smoke"' EXIT
+# warm re-run: indexes come from the sidecars written by the first run
+./target/release/paper_tables bt-s transitions --noise-free \
+    --store "sharded:$smoke/cells.kcs" > "$bw" 2>/dev/null
+if ! cmp -s "$bj" "$bw"; then
+    echo "verify: warm sharded run (sidecar-loaded indexes) drifted"
+    diff "$bj" "$bw" | head -20
+    exit 1
+fi
+# delete every sidecar: indexes must rebuild by scan, answers identical
+rm -f "$smoke"/cells.kcs/shard-*.idx
+./target/release/paper_tables bt-s transitions --noise-free \
+    --store "sharded:$smoke/cells.kcs" > "$bn" 2>/dev/null
+if ! cmp -s "$bj" "$bn"; then
+    echo "verify: sharded run with deleted sidecars drifted"
+    diff "$bj" "$bn" | head -20
+    exit 1
+fi
+# ratio-triggered auto-compaction enabled: still byte-identical
+./target/release/paper_tables bt-s transitions --noise-free --compact-ratio 0.5 \
+    --store "sharded:$smoke/cells_ratio.kcs" > "$bn" 2>/dev/null
+if ! cmp -s "$bj" "$bn"; then
+    echo "verify: tables drifted with --compact-ratio 0.5"
+    diff "$bj" "$bn" | head -20
+    exit 1
+fi
+echo "tables byte-identical with sidecars loaded, deleted, and auto-compaction on"
 
 echo "== deprecated --store-format alias still works and warns =="
 alias_log=$(mktemp)
@@ -79,6 +111,8 @@ if ! cmp -s artifacts/golden/cells_extended.json "$smoke/golden_roundtrip.json";
     echo "verify: kc_store convert round-trip is lossy"
     exit 1
 fi
+./target/release/kc_store stat "$smoke/golden.kcs" | grep -q "superseded ratio" || {
+    echo "verify: kc_store stat did not report the superseded ratio"; exit 1; }
 ./target/release/kc_store compact "$smoke/golden.kcs" > /dev/null
 ./target/release/kc_store inspect "$smoke/golden.kcs" > /dev/null
 echo "golden store round-trips losslessly through the sharded format"
@@ -89,7 +123,19 @@ KC_BENCH_TRAJECTORY="$smoke/traj" cargo bench -q -p kc-bench \
 [ -f "$smoke/traj/BENCH_store_read.json" ] || {
     echo "verify: store_read bench left no trajectory"; exit 1; }
 ./target/release/kc-bench diff "$smoke/traj" "$smoke/traj"
-echo "store-read trajectory recorded and diffable"
+indexed=$(jq -r '.cells[] | select(.key=="miss|indexed|sweep") | .duration_secs' \
+    "$smoke/traj/BENCH_store_read.json")
+fullscan=$(jq -r '.cells[] | select(.key=="miss|fullscan|sweep") | .duration_secs' \
+    "$smoke/traj/BENCH_store_read.json")
+absent=$(jq -r '.cells[] | select(.key=="absent|indexed|sweep") | .duration_secs' \
+    "$smoke/traj/BENCH_store_read.json")
+[ -n "$indexed" ] && [ -n "$fullscan" ] && [ -n "$absent" ] || {
+    echo "verify: store_read trajectory is missing a miss-path cell"; exit 1; }
+awk -v i="$indexed" -v f="$fullscan" 'BEGIN { exit !(i > 0 && i < f) }' || {
+    echo "verify: indexed miss (${indexed}s) not faster than full scan (${fullscan}s)"
+    exit 1
+}
+echo "store-read trajectory recorded; indexed miss ${indexed}s < full scan ${fullscan}s"
 
 echo "== kc-bench: cell_exec trajectory — pooled dispatch beats thread spawn =="
 KC_BENCH_TRAJECTORY="$smoke/traj" cargo bench -q -p kc-bench \

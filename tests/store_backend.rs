@@ -324,6 +324,202 @@ fn truncated_segment_recovers_the_intact_prefix() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// An empty sample set is a real cell, not a miss: it round-trips
+/// through both formats, and both backends count loading it as a hit,
+/// so the hit/miss accounting of the JSON and sharded stores stays in
+/// lockstep over the same request sequence.
+#[test]
+fn empty_frames_roundtrip_and_count_as_hits_in_both_backends() {
+    let dir = scratch("empty");
+    let json = CellStore::open(&dir.join("cells.json")).unwrap();
+    let sharded = ShardedStore::create(&dir.join("cells.kcs"), 2).unwrap();
+    for store in [&json as &dyn CellBackend, &sharded as &dyn CellBackend] {
+        store.append_raw("BT|empty", &[]).unwrap();
+        store.append_raw("BT|full", &[1.5, 2.5]).unwrap();
+        store.flush().unwrap();
+    }
+
+    // reload from disk: the empty frame survives as Some(vec![])
+    let json = CellStore::open(&dir.join("cells.json")).unwrap();
+    let sharded = ShardedStore::open(&dir.join("cells.kcs")).unwrap();
+    for store in [&json as &dyn CellBackend, &sharded as &dyn CellBackend] {
+        assert_eq!(store.get_raw("BT|empty"), Some(vec![]));
+        assert_eq!(store.get_raw("BT|full"), Some(vec![1.5, 2.5]));
+        assert_eq!(store.get_raw("BT|absent"), None);
+        let stats = store.stats();
+        assert_eq!(stats.loads, 3, "{}: three loads issued", store.format());
+        assert_eq!(
+            stats.load_hits,
+            2,
+            "{}: the empty cell is a hit, only the absent key misses",
+            store.format()
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A stale index sidecar (the segment grew after the sidecar was
+/// written) is rebuilt by scan at open — never trusted — and the
+/// rebuilt index answers every key, including the post-flush appends
+/// the sidecar has never seen.  The next flush refreshes the sidecar,
+/// so the open after that loads it without a scan.
+#[test]
+fn stale_index_sidecar_is_rebuilt_not_believed() {
+    let dir = scratch("stale_idx");
+    let store_dir = dir.join("cells.kcs");
+    {
+        let store = ShardedStore::create(&store_dir, 1).unwrap();
+        for i in 0..5 {
+            store.append_raw(&format!("cell{i}"), &[i as f64]).unwrap();
+        }
+        store.flush().unwrap(); // writes a fresh shard-000.idx
+        for i in 5..8 {
+            // lands in the segment immediately; the sidecar on disk
+            // now records a shorter segment than reality
+            store.append_raw(&format!("cell{i}"), &[i as f64]).unwrap();
+        }
+        // dropped without flush: sidecar stays stale on disk
+    }
+    assert!(
+        std::fs::read_dir(&store_dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .any(|e| e.path().extension().is_some_and(|x| x == "idx")),
+        "the first flush must have left a sidecar behind"
+    );
+
+    let store = ShardedStore::open(&store_dir).unwrap();
+    let reads = store.read_stats();
+    assert_eq!(reads.sidecar_loads, 0, "a stale sidecar must not load");
+    assert!(reads.index_rebuilds >= 1, "the index is rebuilt by scan");
+    for i in 0..8 {
+        assert_eq!(
+            store.get_raw(&format!("cell{i}")),
+            Some(vec![i as f64]),
+            "cell{i} must be answered from the rebuilt index"
+        );
+    }
+    store.flush().unwrap(); // rewrites the sidecar at the true length
+
+    let store = ShardedStore::open(&store_dir).unwrap();
+    let reads = store.read_stats();
+    assert!(reads.sidecar_loads >= 1, "the refreshed sidecar loads");
+    assert_eq!(reads.index_rebuilds, 0, "no scan once the sidecar is fresh");
+    for i in 0..8 {
+        assert_eq!(store.get_raw(&format!("cell{i}")), Some(vec![i as f64]));
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Readers racing repeated compactions on one handle: compaction
+/// rewrites segments and swaps indexes under the shard lock, so a
+/// positioned read must never observe a half-rewritten segment.  The
+/// compacting thread re-appends identical samples between rounds to
+/// keep creating superseded frames without ever changing an answer.
+#[test]
+fn readers_racing_compaction_always_see_consistent_answers() {
+    let dir = scratch("race");
+    let store_dir = dir.join("cells.kcs");
+    let keys = 60usize;
+    {
+        let store = ShardedStore::create(&store_dir, 4).unwrap();
+        for i in 0..keys {
+            store.append_raw(&format!("cell{i}"), &[0.0]).unwrap();
+            store
+                .append_raw(&format!("cell{i}"), &[i as f64, 0.5])
+                .unwrap();
+        }
+        store.flush().unwrap();
+    }
+    // a one-slot hot tier pins nearly every read to the segment path
+    let store = Arc::new(ShardedStore::open_with_hot_slots(&store_dir, 1).unwrap());
+    std::thread::scope(|scope| {
+        for _ in 0..4 {
+            let store = Arc::clone(&store);
+            scope.spawn(move || {
+                for _round in 0..6 {
+                    for i in 0..keys {
+                        assert_eq!(
+                            store.get_raw(&format!("cell{i}")),
+                            Some(vec![i as f64, 0.5]),
+                            "cell{i} must be stable across compactions"
+                        );
+                    }
+                }
+            });
+        }
+        let store = Arc::clone(&store);
+        scope.spawn(move || {
+            for round in 0..8 {
+                // identical re-appends: superseded frames pile up,
+                // answers stay fixed
+                for i in (round % 4..keys).step_by(4) {
+                    store
+                        .append_raw(&format!("cell{i}"), &[i as f64, 0.5])
+                        .unwrap();
+                }
+                let report = store.compact().unwrap();
+                assert!(report.records_after <= report.records_before);
+            }
+        });
+    });
+    assert!(
+        store.read_stats().positioned_reads > 0,
+        "the racing reads must have exercised the positioned-read path"
+    );
+    let reopened = ShardedStore::open(&store_dir).unwrap();
+    for i in 0..keys {
+        assert_eq!(
+            reopened.get_raw(&format!("cell{i}")),
+            Some(vec![i as f64, 0.5])
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Absent keys are answered by the per-segment existence filter with
+/// zero segment I/O: the filtered-absent counter moves, the
+/// positioned-read and fallback-scan counters do not.
+#[test]
+fn absent_keys_answer_without_touching_segments() {
+    let dir = scratch("absent");
+    let store_dir = dir.join("cells.kcs");
+    {
+        let store = ShardedStore::create(&store_dir, 4).unwrap();
+        for i in 0..20 {
+            store.append_raw(&format!("cell{i}"), &[i as f64]).unwrap();
+        }
+        store.flush().unwrap();
+    }
+    let store = ShardedStore::open_with_hot_slots(&store_dir, 1).unwrap();
+    // prime a baseline of real segment reads
+    for i in 0..20 {
+        assert!(store.get_raw(&format!("cell{i}")).is_some());
+    }
+    let before = store.read_stats();
+    assert!(before.positioned_reads > 0);
+
+    for i in 0..30 {
+        assert_eq!(store.get_raw(&format!("nope{i}")), None);
+    }
+    let after = store.read_stats();
+    assert!(
+        after.filtered_absent >= before.filtered_absent + 30,
+        "every absent key is filtered ({} -> {})",
+        before.filtered_absent,
+        after.filtered_absent
+    );
+    assert_eq!(
+        after.positioned_reads, before.positioned_reads,
+        "absent keys must not read segments"
+    );
+    assert_eq!(
+        after.fallback_scans, before.fallback_scans,
+        "absent keys must not trigger fallback scans"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 /// The lossy-tier correctness contract: with a single hot slot every
 /// distinct key evicts the previous one, so almost every read is a
 /// tier miss — and every answer must still be exactly right (served
