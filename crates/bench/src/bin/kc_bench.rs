@@ -2,15 +2,19 @@
 //!
 //! ```text
 //! kc-bench diff <dir-a> <dir-b> [--threshold PCT] [--min-secs S]
+//!               [--trace-dir DIR]
 //! ```
 //!
 //! Compares two `KC_BENCH_TRAJECTORY` directories cell by cell and
 //! lists every cell whose simulation time regressed by more than
 //! `--threshold` percent (default 10) and at least `--min-secs`
 //! absolute seconds (default 0.001 — sub-millisecond cells jitter).
+//! With `--trace-dir` each regressed bench links its rendered
+//! `--trace` timeline SVG (if one is in the directory), so the report
+//! points straight at the span-level view of the slow run.
 //! Exits 1 when any cell regressed, 2 on usage errors, 0 otherwise.
 
-use kc_bench::trajectory::{diff_dirs, DirDiff};
+use kc_bench::trajectory::{diff_dirs, trace_svg_for, DirDiff};
 use std::path::PathBuf;
 
 const DEFAULT_THRESHOLD_PCT: f64 = 10.0;
@@ -18,7 +22,8 @@ const DEFAULT_MIN_SECS: f64 = 0.001;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: kc-bench diff <dir-a> <dir-b> [--threshold PCT] [--min-secs S]\n\
+        "usage: kc-bench diff <dir-a> <dir-b> [--threshold PCT] [--min-secs S] \
+         [--trace-dir DIR]\n\
          \n\
          compares the BENCH_*.json trajectories of two KC_BENCH_TRAJECTORY\n\
          directories (matched by file name) and lists cells whose simulation\n\
@@ -26,7 +31,9 @@ fn usage() -> ! {
          \n\
          --threshold PCT  relative growth a cell must exceed to count \
          (default {DEFAULT_THRESHOLD_PCT})\n\
-         --min-secs S     absolute growth floor, seconds (default {DEFAULT_MIN_SECS})"
+         --min-secs S     absolute growth floor, seconds (default {DEFAULT_MIN_SECS})\n\
+         --trace-dir DIR  link regressed benches to their rendered --trace\n\
+         \x20                timeline SVGs (BENCH_<name>.svg or <name>.svg in DIR)"
     );
     std::process::exit(2);
 }
@@ -41,12 +48,14 @@ struct DiffArgs {
     after: PathBuf,
     threshold_pct: f64,
     min_secs: f64,
+    trace_dir: Option<PathBuf>,
 }
 
 fn parse_diff_args(args: &[String]) -> DiffArgs {
     let mut dirs: Vec<PathBuf> = Vec::new();
     let mut threshold_pct = DEFAULT_THRESHOLD_PCT;
     let mut min_secs = DEFAULT_MIN_SECS;
+    let mut trace_dir = None;
     let mut i = 0;
     while i < args.len() {
         let arg = args[i].as_str();
@@ -62,6 +71,13 @@ fn parse_diff_args(args: &[String]) -> DiffArgs {
             "--help" | "-h" => usage(),
             "--threshold" => threshold_pct = value("--threshold"),
             "--min-secs" => min_secs = value("--min-secs"),
+            "--trace-dir" => {
+                i += 1;
+                let Some(v) = args.get(i) else {
+                    die("--trace-dir needs a value".to_string());
+                };
+                trace_dir = Some(PathBuf::from(v));
+            }
             other if other.starts_with('-') => die(format!("unknown flag '{other}'")),
             dir => dirs.push(PathBuf::from(dir)),
         }
@@ -80,10 +96,11 @@ fn parse_diff_args(args: &[String]) -> DiffArgs {
         after,
         threshold_pct,
         min_secs,
+        trace_dir,
     }
 }
 
-fn print_diff(d: &DirDiff, threshold_pct: f64) {
+fn print_diff(d: &DirDiff, threshold_pct: f64, trace_dir: Option<&std::path::Path>) {
     for name in &d.only_before {
         println!("BENCH {name}: only in the before directory (removed)");
     }
@@ -110,6 +127,14 @@ fn print_diff(d: &DirDiff, threshold_pct: f64) {
                 r.key
             );
         }
+        if diff.has_regressions() {
+            if let Some(dir) = trace_dir {
+                match trace_svg_for(dir, &diff.name) {
+                    Some(svg) => println!("  trace: {}", svg.display()),
+                    None => println!("  trace: none rendered in {}", dir.display()),
+                }
+            }
+        }
     }
 }
 
@@ -120,7 +145,7 @@ fn main() {
             let a = parse_diff_args(&args[1..]);
             let d = diff_dirs(&a.before, &a.after, a.threshold_pct, a.min_secs)
                 .unwrap_or_else(|e| die(format!("cannot read trajectories: {e}")));
-            print_diff(&d, a.threshold_pct);
+            print_diff(&d, a.threshold_pct, a.trace_dir.as_deref());
             if d.has_regressions() {
                 let total: usize = d.diffs.iter().map(|t| t.regressions.len()).sum();
                 eprintln!("{total} cell(s) regressed");

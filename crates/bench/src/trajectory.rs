@@ -118,6 +118,18 @@ pub fn trajectory_dir() -> Option<PathBuf> {
     std::env::var_os("KC_BENCH_TRAJECTORY").map(PathBuf::from)
 }
 
+/// The `--trace` timeline SVG for `bench` in `trace_dir`, if one was
+/// rendered (`kc_trace render ... -o`).  Tries `BENCH_<bench>.svg`
+/// first (the trajectory naming scheme) and then `<bench>.svg`, so a
+/// diff report can link a regressed bench straight to its span
+/// timeline.
+pub fn trace_svg_for(trace_dir: &Path, bench: &str) -> Option<PathBuf> {
+    [format!("BENCH_{bench}.svg"), format!("{bench}.svg")]
+        .into_iter()
+        .map(|name| trace_dir.join(name))
+        .find(|p| p.is_file())
+}
+
 /// One cell whose simulation time regressed between two trajectories.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct CellRegression {
@@ -394,6 +406,27 @@ mod tests {
         let d = diff_trajectories(&before, &after, 10.0, 0.0);
         let keys: Vec<&str> = d.regressions.iter().map(|r| r.key.as_str()).collect();
         assert_eq!(keys, ["m", "a", "x"], "worst first, then key order");
+    }
+
+    #[test]
+    fn trace_svg_lookup_prefers_the_trajectory_naming_scheme() {
+        let dir = std::env::temp_dir().join("kc_bench_trace_svg_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        assert_eq!(trace_svg_for(&dir, "ghost"), None, "nothing rendered yet");
+        std::fs::write(dir.join("plain.svg"), "<svg/>").unwrap();
+        assert_eq!(
+            trace_svg_for(&dir, "plain"),
+            Some(dir.join("plain.svg")),
+            "falls back to <bench>.svg"
+        );
+        std::fs::write(dir.join("BENCH_plain.svg"), "<svg/>").unwrap();
+        assert_eq!(
+            trace_svg_for(&dir, "plain"),
+            Some(dir.join("BENCH_plain.svg")),
+            "BENCH_<name>.svg wins when both exist"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -1,0 +1,119 @@
+//! Shared-cache contention accounting.
+//!
+//! Multicore nodes share their last-level cache between the ranks
+//! co-resident on the node.  The classic capacity model (Afzal /
+//! Hager / Wellein's overlapping memory-bound kernels, and the ECM
+//! model Kerncraft implements) splits the shared level's capacity
+//! evenly across the sharers: a rank on a 4-core node with a 4 MiB
+//! LLC effectively sees a 1 MiB LLC.  This module derives the
+//! *effective* per-rank hierarchy a co-scheduled rank observes, so
+//! the timing-free simulator in [`crate::hierarchy`] can stay
+//! oblivious to how many neighbours a rank has.
+//!
+//! The derated capacity is rounded down to the level's placement
+//! granule (`line * ways`, the smallest capacity [`SetAssocCache`]
+//! accepts with at least one set) and clamped so the hierarchy's
+//! strictly-increasing-capacity invariant survives even absurd sharer
+//! counts.
+//!
+//! [`SetAssocCache`]: crate::setassoc::SetAssocCache
+
+use crate::hierarchy::CacheConfig;
+
+/// Effective per-rank hierarchy when `sharers` ranks share the last
+/// cache level.
+///
+/// Private levels (everything but the last) are untouched.  The last
+/// level's capacity is divided by `sharers`, rounded **down** to the
+/// level's `line * ways` granule, and clamped to the smallest granule
+/// multiple strictly above the previous level's capacity (so the
+/// result is always a valid [`CacheHierarchy`] input).
+///
+/// `sharers <= 1` is the uncontended case and returns the input
+/// unchanged.
+///
+/// [`CacheHierarchy`]: crate::hierarchy::CacheHierarchy
+pub fn derate_shared_llc(caches: &[CacheConfig], sharers: usize) -> Vec<CacheConfig> {
+    let mut out = caches.to_vec();
+    if sharers <= 1 || out.is_empty() {
+        return out;
+    }
+    let last = out.len() - 1;
+    let llc = out[last];
+    let granule = llc.line * llc.ways;
+    let split = llc.capacity / sharers / granule * granule;
+    let floor = match last {
+        0 => granule,
+        i => (out[i - 1].capacity / granule + 1) * granule,
+    };
+    out[last].capacity = split.max(floor);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hierarchy::CacheHierarchy;
+
+    fn sp_like() -> Vec<CacheConfig> {
+        vec![
+            CacheConfig {
+                capacity: 128 * 1024,
+                line: 128,
+                ways: 4,
+            },
+            CacheConfig {
+                capacity: 4 * 1024 * 1024,
+                line: 128,
+                ways: 8,
+            },
+        ]
+    }
+
+    #[test]
+    fn four_sharers_split_a_4mib_llc_into_1mib() {
+        let eff = derate_shared_llc(&sp_like(), 4);
+        assert_eq!(eff[0].capacity, 128 * 1024);
+        assert_eq!(eff[1].capacity, 1024 * 1024);
+    }
+
+    #[test]
+    fn one_sharer_is_the_identity() {
+        assert_eq!(derate_shared_llc(&sp_like(), 1), sp_like());
+        assert_eq!(derate_shared_llc(&sp_like(), 0), sp_like());
+    }
+
+    #[test]
+    fn derated_capacity_stays_strictly_above_the_previous_level() {
+        // 64 sharers would naively give 64 KiB, below the 128 KiB L1;
+        // the clamp keeps the hierarchy valid.
+        let eff = derate_shared_llc(&sp_like(), 64);
+        assert!(eff[1].capacity > eff[0].capacity);
+        assert_eq!(eff[1].capacity % (eff[1].line * eff[1].ways), 0);
+        // And it must actually build.
+        let h = CacheHierarchy::new(eff);
+        assert_eq!(h.depth(), 2);
+    }
+
+    #[test]
+    fn single_level_hierarchies_clamp_to_one_granule() {
+        let caches = vec![CacheConfig {
+            capacity: 8 * 1024,
+            line: 64,
+            ways: 4,
+        }];
+        let eff = derate_shared_llc(&caches, 1000);
+        assert_eq!(eff[0].capacity, 64 * 4);
+        CacheHierarchy::new(eff);
+    }
+
+    #[test]
+    fn derated_result_is_a_granule_multiple_and_buildable_for_any_sharers() {
+        for sharers in 1..=40 {
+            let eff = derate_shared_llc(&sp_like(), sharers);
+            assert_eq!(eff[1].capacity % (eff[1].line * eff[1].ways), 0);
+            assert!(eff[1].capacity <= 4 * 1024 * 1024);
+            CacheHierarchy::new(eff);
+        }
+    }
+}

@@ -41,12 +41,14 @@
 //! assert!(c.hits_at(1) > 0);
 //! ```
 
+pub mod contention;
 pub mod counts;
 pub mod hierarchy;
 pub mod region;
 pub mod reuse_distance;
 pub mod setassoc;
 
+pub use contention::derate_shared_llc;
 pub use counts::AccessCounts;
 pub use hierarchy::{CacheConfig, CacheHierarchy};
 pub use region::{RegionId, RegionMap, Span};

@@ -338,7 +338,10 @@ pub(crate) fn execute_rank<T, F>(
 where
     F: Fn(&mut RankCtx) -> T,
 {
-    let perf = PerfContext::new(config.clone());
+    // A rank of a multicore machine sees its *effective* share of the
+    // node's shared cache (uniprocessor configs return themselves
+    // unchanged).  Cell keys still fingerprint the declared config.
+    let perf = PerfContext::new(config.effective_for_ranks(p));
     let mut comm = CommEndpoint::new(rank, p, config.net, senders, receiver);
     if config.trace_comm {
         comm.enable_trace();

@@ -1,8 +1,8 @@
 //! Machine model configuration and presets.
 
 use kc_cachesim::counts::MAX_LEVELS;
-use kc_cachesim::CacheConfig;
-use serde::{Deserialize, Serialize};
+use kc_cachesim::{derate_shared_llc, CacheConfig};
+use serde::{DeError, Deserialize, Serialize, Value};
 
 /// Processor compute model.
 #[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
@@ -85,8 +85,21 @@ pub struct TimerModel {
     pub seed: u64,
 }
 
+/// Node-level topology: how many ranks share a node (and therefore
+/// its last-level cache).
+///
+/// The uniprocessor-per-rank machines of the paper's era have no node
+/// model; multicore configs set one and the runtime derates the
+/// shared LLC via [`MachineConfig::effective_for_ranks`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NodeModel {
+    /// Cores per node; ranks are packed densely, so up to this many
+    /// ranks contend for the node's last cache level.
+    pub cores_per_node: usize,
+}
+
 /// Full machine description.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct MachineConfig {
     /// Human-readable name (appears in reports).
     pub name: String,
@@ -104,8 +117,50 @@ pub struct MachineConfig {
     /// (sends, receives and their wait times).  Off by default; useful
     /// for debugging pipeline schedules and for the trace-based
     /// examples.
-    #[serde(default)]
     pub trace_comm: bool,
+    /// Node topology for multicore machines (`None` = one rank per
+    /// node, the paper-era default).
+    pub node: Option<NodeModel>,
+}
+
+// Hand-written (de)serialization: the `node` field is emitted only
+// when set.  `fingerprint()` hashes the canonical JSON form, and
+// every cell in every persisted store embeds that fingerprint — so
+// the legacy single-core configs must keep producing byte-identical
+// JSON (a derive would emit `"node":null` and silently invalidate
+// every golden cell store).
+impl Serialize for MachineConfig {
+    fn to_value(&self) -> Value {
+        let mut fields = vec![
+            ("name".to_string(), self.name.to_value()),
+            ("cpu".to_string(), self.cpu.to_value()),
+            ("caches".to_string(), self.caches.to_value()),
+            ("mem".to_string(), self.mem.to_value()),
+            ("net".to_string(), self.net.to_value()),
+            ("timer".to_string(), self.timer.to_value()),
+            ("trace_comm".to_string(), self.trace_comm.to_value()),
+        ];
+        if let Some(node) = &self.node {
+            fields.push(("node".to_string(), node.to_value()));
+        }
+        Value::Object(fields)
+    }
+}
+
+impl Deserialize for MachineConfig {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let obj = serde::__private::expect_object(v, "MachineConfig")?;
+        Ok(MachineConfig {
+            name: serde::__private::field(obj, "name")?,
+            cpu: serde::__private::field(obj, "cpu")?,
+            caches: serde::__private::field(obj, "caches")?,
+            mem: serde::__private::field(obj, "mem")?,
+            net: serde::__private::field(obj, "net")?,
+            timer: serde::__private::field(obj, "timer")?,
+            trace_comm: serde::__private::field_or_default(obj, "trace_comm")?,
+            node: serde::__private::field_or_default(obj, "node")?,
+        })
+    }
 }
 
 impl MachineConfig {
@@ -154,6 +209,7 @@ impl MachineConfig {
                 seed: 0x5eed_c0de,
             },
             trace_comm: false,
+            node: None,
         }
     }
 
@@ -200,6 +256,7 @@ impl MachineConfig {
                 seed: 0x5eed_c0de,
             },
             trace_comm: false,
+            node: None,
         }
     }
 
@@ -234,7 +291,94 @@ impl MachineConfig {
                 seed: 1,
             },
             trace_comm: false,
+            node: None,
         }
+    }
+
+    /// A 4-way multicore SMP node built from the same P2SC-class
+    /// memory subsystem: private 128 KiB L1s, a **shared** 4 MiB LLC,
+    /// and a slightly better interconnect (intra-node traffic rides
+    /// shared memory).  With four ranks packed per node each rank's
+    /// effective LLC share is 1 MiB (see
+    /// [`MachineConfig::effective_for_ranks`]), which moves the
+    /// working-set cache crossings — and therefore the coupling
+    /// regimes — relative to the uniprocessor SP at the same problem
+    /// sizes.
+    pub fn multicore_smp() -> Self {
+        MachineConfig {
+            name: "multicore-smp".to_string(),
+            cpu: CpuModel {
+                flops_per_sec: 120.0e6,
+            },
+            caches: vec![
+                CacheConfig {
+                    capacity: 128 * 1024,
+                    line: 128,
+                    ways: 4,
+                },
+                CacheConfig {
+                    capacity: 4 * 1024 * 1024,
+                    line: 128,
+                    ways: 8,
+                },
+            ],
+            mem: MemTiming {
+                hit_time: [0.0, 100.0e-9, 0.0, 0.0],
+                memory_time: 600.0e-9,
+            },
+            net: NetModel {
+                send_overhead: 8.0e-6,
+                recv_overhead: 8.0e-6,
+                latency: 20.0e-6,
+                bandwidth: 150.0e6,
+                injection_bandwidth: 200.0e6,
+                contention: 0.015,
+            },
+            timer: TimerModel {
+                noise_floor: 0.3e-3,
+                noise_frac: 0.004,
+                seed: 0x5eed_c0de,
+            },
+            trace_comm: false,
+            node: Some(NodeModel { cores_per_node: 4 }),
+        }
+    }
+
+    /// How many ranks of a `p`-rank job contend for one node's shared
+    /// cache: ranks pack densely, so a node holds
+    /// `min(p, cores_per_node)` of them (1 for machines without a node
+    /// model).
+    pub fn co_resident_ranks(&self, p: usize) -> usize {
+        match &self.node {
+            Some(node) => p.clamp(1, node.cores_per_node.max(1)),
+            None => 1,
+        }
+    }
+
+    /// The machine one rank of a `p`-rank job *effectively* runs on:
+    /// identical to `self` except that the last cache level's capacity
+    /// is split across the ranks co-resident on a node
+    /// ([`kc_cachesim::derate_shared_llc`]).  Machines without a node
+    /// model (or jobs with a single rank) are returned unchanged.
+    ///
+    /// Note this derates only the *performance model*; fingerprints
+    /// and cell keys are always computed from the declared config, so
+    /// the same cell never aliases across different `p` (the key
+    /// already includes `p`).
+    pub fn effective_for_ranks(&self, p: usize) -> Self {
+        let sharers = self.co_resident_ranks(p);
+        let mut eff = self.clone();
+        if sharers > 1 {
+            eff.caches = derate_shared_llc(&eff.caches, sharers);
+        }
+        eff
+    }
+
+    /// A copy with a node model (`cores_per_node` ranks share the
+    /// last cache level).
+    pub fn with_node(mut self, cores_per_node: usize) -> Self {
+        self.node = Some(NodeModel { cores_per_node });
+        self
     }
 
     /// A copy of this machine with all timer noise disabled; useful for
@@ -329,5 +473,70 @@ mod tests {
         let mut bigger_l2 = base.clone();
         bigger_l2.caches[1].capacity *= 2;
         assert_ne!(base.fingerprint(), bigger_l2.fingerprint());
+    }
+
+    #[test]
+    fn single_core_configs_serialize_without_a_node_key() {
+        // Fingerprints hash the JSON form; legacy configs must keep
+        // producing the exact bytes they did before `node` existed.
+        for cfg in [
+            MachineConfig::ibm_sp_p2sc(),
+            MachineConfig::ethernet_cluster(),
+            MachineConfig::test_tiny(),
+        ] {
+            let json = serde_json::to_string(&cfg).unwrap();
+            assert!(!json.contains("node"), "unexpected node key in {json}");
+        }
+        let multi = MachineConfig::multicore_smp();
+        let json = serde_json::to_string(&multi).unwrap();
+        assert!(json.contains("\"node\""));
+        assert!(json.contains("\"cores_per_node\""));
+    }
+
+    #[test]
+    fn machine_config_roundtrips_with_and_without_node() {
+        for cfg in [MachineConfig::ibm_sp_p2sc(), MachineConfig::multicore_smp()] {
+            let json = serde_json::to_string(&cfg).unwrap();
+            let back: MachineConfig = serde_json::from_str(&json).unwrap();
+            assert_eq!(back, cfg);
+        }
+    }
+
+    #[test]
+    fn legacy_json_without_node_deserializes() {
+        let json = serde_json::to_string(&MachineConfig::ibm_sp_p2sc()).unwrap();
+        assert!(!json.contains("node"));
+        let back: MachineConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.node, None);
+    }
+
+    #[test]
+    fn node_model_changes_the_fingerprint() {
+        let base = MachineConfig::ibm_sp_p2sc();
+        assert_ne!(base.fingerprint(), base.clone().with_node(4).fingerprint());
+        assert_ne!(
+            base.clone().with_node(2).fingerprint(),
+            base.with_node(4).fingerprint()
+        );
+    }
+
+    #[test]
+    fn effective_for_ranks_derates_only_the_shared_llc() {
+        let smp = MachineConfig::multicore_smp();
+        // one rank: uncontended
+        assert_eq!(smp.effective_for_ranks(1), smp);
+        // two ranks: LLC halves
+        let eff2 = smp.effective_for_ranks(2);
+        assert_eq!(eff2.caches[1].capacity, 2 * 1024 * 1024);
+        // four or more ranks: a node is full at 4 sharers
+        for p in [4, 9, 16, 25] {
+            let eff = smp.effective_for_ranks(p);
+            assert_eq!(eff.caches[0], smp.caches[0], "L1 is private");
+            assert_eq!(eff.caches[1].capacity, 1024 * 1024, "p={p}");
+            assert_eq!(eff.net, smp.net, "network model untouched");
+        }
+        // machines without a node model never derate
+        let sp = MachineConfig::ibm_sp_p2sc();
+        assert_eq!(sp.effective_for_ranks(25), sp);
     }
 }

@@ -55,7 +55,7 @@ pub mod timer;
 
 pub use cluster::{Cluster, RankCtx, RunOutcome};
 pub use comm::{CommEvent, Message};
-pub use config::{CpuModel, MachineConfig, MemTiming, NetModel, TimerModel};
+pub use config::{CpuModel, MachineConfig, MemTiming, NetModel, NodeModel, TimerModel};
 pub use perf::PerfContext;
 pub use pool::{rank_pooling_enabled, set_rank_pooling, RankPool};
 pub use timer::NoisyTimer;

@@ -72,8 +72,23 @@
 //! Re-appends leave superseded frames behind; [`ShardedStore::compact`]
 //! rewrites each segment with one frame per live cell (tmp + fsync +
 //! rename).  With [`ShardedStore::set_compact_ratio`] the store also
-//! compacts a shard automatically, right after an append leaves more
-//! than the given fraction of its frames superseded.
+//! compacts a shard automatically once an append leaves more than the
+//! given fraction of its frames superseded.  Automatic compactions
+//! run on a **background worker thread** (one per store, bounded
+//! queue): the appending thread only checks the ratio under the shard
+//! lock and enqueues the shard id, so the append path never pays the
+//! rewrite.  The worker re-checks the ratio under the shard lock
+//! before compacting (a racing manual compaction or a concurrent
+//! trigger may have emptied the backlog), failed background
+//! compactions poison the store exactly like failed appends, and
+//! [`ShardedStore::flush`] (and drop) drain the worker first — after
+//! a flush returns, every triggered compaction has landed.
+//!
+//! Long append-heavy sessions also refresh each shard's `.idx`
+//! sidecar inline: after [`ShardOpenOptions::sidecar_refresh_bytes`]
+//! appended bytes since the sidecar last matched disk, the next
+//! append rewrites it, so reopening stays cheap even when nothing
+//! ever calls `flush`.
 
 use crate::backend::{CellBackend, StoreFormat};
 use crate::cells::BackendStats;
@@ -86,7 +101,9 @@ use std::fs::{File, OpenOptions};
 use std::io::{self, Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
 use std::sync::Arc;
+use std::thread::JoinHandle;
 
 /// Magic prefix of every segment file (the trailing `1` is the format
 /// version).
@@ -273,8 +290,14 @@ pub struct ShardOpenOptions {
     /// every distinct key evict the previous one.
     pub hot_slots: usize,
     /// Superseded-frame ratio past which a shard compacts itself
-    /// right after an append; `None` keeps compaction manual.
+    /// after an append (on the store's background compaction worker);
+    /// `None` keeps compaction manual.
     pub compact_ratio: Option<f64>,
+    /// Appended bytes per shard after which the next append refreshes
+    /// the `.idx` sidecar inline, so long append-heavy sessions stay
+    /// cheap to reopen without an explicit flush.  `u64::MAX`
+    /// restores the flush/compact-only behaviour.
+    pub sidecar_refresh_bytes: u64,
 }
 
 impl Default for ShardOpenOptions {
@@ -282,6 +305,7 @@ impl Default for ShardOpenOptions {
         Self {
             hot_slots: ShardedStore::DEFAULT_HOT_SLOTS,
             compact_ratio: None,
+            sidecar_refresh_bytes: ShardedStore::DEFAULT_SIDECAR_REFRESH_BYTES,
         }
     }
 }
@@ -306,6 +330,162 @@ struct Shard {
     len: u64,
     /// What the on-disk sidecar currently describes.
     sidecar: SidecarState,
+    /// Bytes appended since the sidecar last matched the segment;
+    /// crossing [`ShardOpenOptions::sidecar_refresh_bytes`] rewrites
+    /// the sidecar inline on the next append.
+    appended_since_sidecar: u64,
+}
+
+/// The store state shared between the front-end handle and its
+/// background compaction worker: everything an automatic compaction
+/// needs to run off the appending thread.
+struct StoreCore {
+    dir: PathBuf,
+    shards: u32,
+    /// Per-shard state; the mutex also serializes appends so frames
+    /// from concurrent writers never interleave.
+    state: Vec<Mutex<Shard>>,
+    /// First deferred append error, surfaced by **every** `flush`
+    /// until [`ShardedStore::clear_write_error`] acknowledges it.
+    write_error: Mutex<Option<(io::ErrorKind, String)>>,
+    /// Ratio-triggered compaction threshold.
+    compact_ratio: Mutex<Option<f64>>,
+    /// Inline sidecar refresh threshold (bytes appended per shard).
+    sidecar_refresh_bytes: u64,
+    read_path: ReadPathCounters,
+}
+
+/// What the appending threads hand the compaction worker.
+enum CompactMsg {
+    /// A shard crossed the superseded ratio; re-check and compact it.
+    Compact(u32),
+    /// Sync point: answer once every earlier message is processed.
+    Drain(SyncSender<()>),
+}
+
+impl StoreCore {
+    /// The segment path of one shard.
+    fn segment_path(&self, shard: u32) -> PathBuf {
+        ShardedStore::segment_path(&self.dir, shard)
+    }
+
+    /// The index-sidecar path of one shard.
+    fn index_path(&self, shard: u32) -> PathBuf {
+        ShardedStore::index_path(&self.dir, shard)
+    }
+
+    /// Record an append failure for `flush` to keep reporting.
+    fn poison(&self, e: &io::Error) {
+        let mut slot = self.write_error.lock();
+        if slot.is_none() {
+            *slot = Some((e.kind(), e.to_string()));
+        }
+    }
+
+    /// Whether ratio-triggered compaction is due for a shard in this
+    /// state.  Called under the shard lock — by the appending thread
+    /// to decide whether to enqueue, and by the worker to re-check
+    /// before doing the work.
+    fn compaction_due(&self, s: &Shard) -> bool {
+        let Some(ratio) = *self.compact_ratio.lock() else {
+            return false;
+        };
+        if s.frames < ShardedStore::AUTO_COMPACT_MIN_FRAMES {
+            return false;
+        }
+        let superseded = s.frames.saturating_sub(s.index.len() as u64);
+        (superseded as f64) > ratio * (s.frames as f64)
+    }
+
+    /// Compact `shard` if ratio-triggered compaction is enabled and
+    /// the shard (still) crosses the threshold.  A failed automatic
+    /// compaction poisons the store (the segment itself is intact —
+    /// replacement is by rename — but the shard handles may not be).
+    fn maybe_compact_locked(&self, shard: u32, s: &mut Shard) {
+        if !self.compaction_due(s) {
+            return;
+        }
+        match self.compact_shard_locked(shard, s) {
+            Ok(_) => ReadPathCounters::bump(&self.read_path.auto_compactions),
+            Err(e) => self.poison(&e),
+        }
+    }
+
+    /// Rewrite one shard's segment with one frame per live cell and
+    /// swap it in by rename, refreshing the handles, the index and
+    /// the sidecar.
+    fn compact_shard_locked(&self, shard: u32, s: &mut Shard) -> io::Result<CompactionReport> {
+        let path = self.segment_path(shard);
+        let bytes = std::fs::read(&path)?;
+        let (scanned, _) = scan_segment(&bytes, shard)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+        let mut report = CompactionReport {
+            records_before: scanned.len() as u64,
+            bytes_before: bytes.len() as u64,
+            ..Default::default()
+        };
+        let mut live = BTreeMap::new();
+        for f in scanned {
+            live.insert(f.key, f.samples);
+        }
+        report.records_after = live.len() as u64;
+
+        let tmp = path.with_extension("seg.tmp");
+        let mut index = HashMap::with_capacity(live.len());
+        {
+            let mut f = File::create(&tmp)?;
+            f.write_all(SEGMENT_MAGIC)?;
+            f.write_all(&shard.to_le_bytes())?;
+            let mut offset = SEGMENT_HEADER_LEN as u64;
+            for (key, samples) in &live {
+                let frame = encode_frame(key, samples);
+                f.write_all(&frame)?;
+                index.insert(
+                    fnv1a(key.as_bytes()),
+                    FrameLoc {
+                        offset,
+                        len: frame.len() as u32,
+                    },
+                );
+                offset += frame.len() as u64;
+            }
+            f.sync_all()?;
+        }
+        std::fs::rename(&tmp, &path)?;
+        report.bytes_after = std::fs::metadata(&path)?.len();
+        s.appender = OpenOptions::new().append(true).open(&path)?;
+        s.reader = File::open(&path)?;
+        s.index = index;
+        s.frames = report.records_after;
+        s.len = report.bytes_after;
+        // the old sidecar describes the pre-compaction segment;
+        // refresh it now (best-effort: a stale sidecar is detected
+        // and rebuilt, never believed)
+        s.sidecar = match write_sidecar(&self.index_path(shard), shard, s.len, s.frames, &s.index) {
+            Ok(()) => SidecarState::Fresh,
+            Err(_) => SidecarState::Stale,
+        };
+        s.appended_since_sidecar = 0;
+        Ok(report)
+    }
+}
+
+/// The background compaction loop: drain shard ids, re-check the
+/// ratio under the shard lock, compact.  Exits when every sender is
+/// gone (store drop).
+fn compaction_worker(core: Arc<StoreCore>, rx: Receiver<CompactMsg>) {
+    for msg in rx {
+        match msg {
+            CompactMsg::Compact(shard) => {
+                let mut s = core.state[shard as usize].lock();
+                core.maybe_compact_locked(shard, &mut s);
+            }
+            CompactMsg::Drain(ack) => {
+                // receiver may have given up (timeout); that's theirs
+                let _ = ack.send(());
+            }
+        }
+    }
 }
 
 /// A sharded, append-only binary cell store with a lossy in-memory
@@ -319,23 +499,19 @@ struct Shard {
 /// best-effort — but a miss only costs an indexed read, never a wrong
 /// answer.
 pub struct ShardedStore {
-    dir: PathBuf,
-    shards: u32,
+    /// State shared with the background compaction worker.
+    core: Arc<StoreCore>,
     hot: HotTier,
-    /// Per-shard state; the mutex also serializes appends so frames
-    /// from concurrent writers never interleave.
-    state: Vec<Mutex<Shard>>,
     stats: Mutex<BackendStats>,
-    /// First deferred append error, surfaced by **every** `flush`
-    /// until [`ShardedStore::clear_write_error`] acknowledges it.
-    write_error: Mutex<Option<(io::ErrorKind, String)>>,
-    /// Ratio-triggered compaction threshold.
-    compact_ratio: Mutex<Option<f64>>,
     /// Sink for store-emitted telemetry (read errors).
     sink: Mutex<Option<Arc<dyn TelemetrySink>>>,
-    read_path: ReadPathCounters,
     /// Bytes of torn tail truncated at open, across all segments.
     repaired_bytes: u64,
+    /// Bounded queue feeding the compaction worker; dropped (closing
+    /// the channel) before the join on drop.
+    compact_tx: Option<SyncSender<CompactMsg>>,
+    /// The compaction worker itself, joined on drop.
+    compact_worker: Mutex<Option<JoinHandle<()>>>,
 }
 
 impl ShardedStore {
@@ -345,6 +521,16 @@ impl ShardedStore {
 
     /// Hot-tier slots per store.
     pub const DEFAULT_HOT_SLOTS: usize = 2048;
+
+    /// Appended bytes per shard after which an append refreshes the
+    /// index sidecar inline (see
+    /// [`ShardOpenOptions::sidecar_refresh_bytes`]).
+    pub const DEFAULT_SIDECAR_REFRESH_BYTES: u64 = 1 << 20;
+
+    /// Queue slots of the background compaction worker.  Triggers
+    /// past a full queue are dropped: the shard still crosses the
+    /// ratio, so any later append re-enqueues it.
+    const COMPACT_QUEUE_SLOTS: usize = 256;
 
     /// Frames a shard must hold before the superseded ratio can
     /// trigger an automatic compaction (rewriting a near-empty
@@ -503,6 +689,7 @@ impl ShardedStore {
                 frames,
                 len,
                 sidecar,
+                appended_since_sidecar: 0,
             }));
         }
         let read_path = ReadPathCounters::default();
@@ -512,28 +699,39 @@ impl ShardedStore {
         read_path
             .index_rebuilds
             .store(index_rebuilds, Ordering::Relaxed);
-        Ok(Self {
+        let core = Arc::new(StoreCore {
             dir: dir.to_path_buf(),
             shards,
-            hot: HotTier::new(options.hot_slots),
             state,
-            stats: Mutex::new(BackendStats::default()),
             write_error: Mutex::new(None),
             compact_ratio: Mutex::new(options.compact_ratio),
-            sink: Mutex::new(None),
+            sidecar_refresh_bytes: options.sidecar_refresh_bytes.max(1),
             read_path,
+        });
+        let (compact_tx, compact_rx) = std::sync::mpsc::sync_channel(Self::COMPACT_QUEUE_SLOTS);
+        let worker_core = Arc::clone(&core);
+        let worker = std::thread::Builder::new()
+            .name("kc-store-compact".to_string())
+            .spawn(move || compaction_worker(worker_core, compact_rx))?;
+        Ok(Self {
+            core,
+            hot: HotTier::new(options.hot_slots),
+            stats: Mutex::new(BackendStats::default()),
+            sink: Mutex::new(None),
             repaired_bytes,
+            compact_tx: Some(compact_tx),
+            compact_worker: Mutex::new(Some(worker)),
         })
     }
 
     /// The store directory.
     pub fn dir(&self) -> &Path {
-        &self.dir
+        &self.core.dir
     }
 
     /// Number of shards.
     pub fn shards(&self) -> u32 {
-        self.shards
+        self.core.shards
     }
 
     /// Bytes of torn tail truncated when this store was opened.
@@ -548,23 +746,36 @@ impl ShardedStore {
 
     /// Read-path traffic counters.
     pub fn read_stats(&self) -> ReadPathStats {
-        self.read_path.snapshot()
+        self.core.read_path.snapshot()
     }
 
     /// The ratio-triggered compaction threshold, if enabled.
     pub fn compact_ratio(&self) -> Option<f64> {
-        *self.compact_ratio.lock()
+        *self.core.compact_ratio.lock()
     }
 
     /// Enable (or disable) ratio-triggered compaction: after an
     /// append leaves a shard of at least
     /// [`ShardedStore::AUTO_COMPACT_MIN_FRAMES`] frames with more
-    /// than `ratio` of them superseded, the shard compacts in place
-    /// under its lock.  Values outside `(0, 1)` effectively disable
-    /// (`>= 1`) or constantly re-trigger (`<= 0`) the check; CLI
-    /// callers validate the range.
+    /// than `ratio` of them superseded, the shard is queued for the
+    /// store's background compaction worker.  Values outside `(0, 1)`
+    /// effectively disable (`>= 1`) or constantly re-trigger (`<= 0`)
+    /// the check; CLI callers validate the range.
     pub fn set_compact_ratio(&self, ratio: Option<f64>) {
-        *self.compact_ratio.lock() = ratio;
+        *self.core.compact_ratio.lock() = ratio;
+    }
+
+    /// Block until the background compaction worker has processed
+    /// every trigger enqueued so far.  [`CellBackend::flush`] calls
+    /// this before syncing, so callers only need it when asserting on
+    /// compaction effects without flushing.
+    pub fn drain_compactions(&self) {
+        if let Some(tx) = &self.compact_tx {
+            let (ack_tx, ack_rx) = std::sync::mpsc::sync_channel(1);
+            if tx.send(CompactMsg::Drain(ack_tx)).is_ok() {
+                let _ = ack_rx.recv();
+            }
+        }
     }
 
     /// Attach a telemetry sink; subsequent read errors are recorded
@@ -577,9 +788,9 @@ impl ShardedStore {
     /// Per-shard frame/byte/sidecar statistics (the `kc_store stat`
     /// view).
     pub fn segment_stats(&self) -> Vec<SegmentStat> {
-        (0..self.shards)
+        (0..self.core.shards)
             .map(|shard| {
-                let s = self.state[shard as usize].lock();
+                let s = self.core.state[shard as usize].lock();
                 SegmentStat {
                     shard,
                     bytes: s.len,
@@ -597,7 +808,8 @@ impl ShardedStore {
     /// lost a write must not quietly report success once the first
     /// flush was seen.
     pub fn clear_write_error(&self) -> Option<io::Error> {
-        self.write_error
+        self.core
+            .write_error
             .lock()
             .take()
             .map(|(kind, msg)| io::Error::new(kind, msg))
@@ -605,15 +817,7 @@ impl ShardedStore {
 
     /// The shard a key lives in.
     fn shard_of(&self, key: &str) -> u32 {
-        (fnv1a(key.as_bytes()) % self.shards as u64) as u32
-    }
-
-    /// Record an append failure for `flush` to keep reporting.
-    fn poison(&self, e: &io::Error) {
-        let mut slot = self.write_error.lock();
-        if slot.is_none() {
-            *slot = Some((e.kind(), e.to_string()));
-        }
+        (fnv1a(key.as_bytes()) % self.core.shards as u64) as u32
     }
 
     /// Count a shard read error and surface it: through the attached
@@ -638,8 +842,8 @@ impl ShardedStore {
     /// real reads go through [`CellBackend::get_raw`].
     pub fn full_scan_lookup(&self, key: &str) -> io::Result<Option<Vec<f64>>> {
         let shard = self.shard_of(key);
-        let _guard = self.state[shard as usize].lock();
-        let bytes = std::fs::read(Self::segment_path(&self.dir, shard))?;
+        let _guard = self.core.state[shard as usize].lock();
+        let bytes = std::fs::read(self.core.segment_path(shard))?;
         let (frames, _) = scan_segment(&bytes, shard)
             .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
         Ok(frames
@@ -657,9 +861,9 @@ impl ShardedStore {
         if let Some(samples) = self.hot.get(digest, key) {
             return Some(samples);
         }
-        let shard = (digest % self.shards as u64) as u32;
+        let shard = (digest % self.core.shards as u64) as u32;
         let found = {
-            let mut s = self.state[shard as usize].lock();
+            let mut s = self.core.state[shard as usize].lock();
             self.read_locked(shard, &mut s, digest, key)
         };
         match found {
@@ -690,19 +894,19 @@ impl ShardedStore {
         key: &str,
     ) -> io::Result<Option<Vec<f64>>> {
         let Some(loc) = s.index.get(&digest).copied() else {
-            ReadPathCounters::bump(&self.read_path.filtered_absent);
+            ReadPathCounters::bump(&self.core.read_path.filtered_absent);
             return Ok(None);
         };
         if let Some((frame_key, samples)) = read_frame_at(&s.reader, loc)? {
             if frame_key == key {
-                ReadPathCounters::bump(&self.read_path.positioned_reads);
+                ReadPathCounters::bump(&self.core.read_path.positioned_reads);
                 return Ok(Some(samples));
             }
             // digest collision: the indexed frame belongs to another
             // key with the same digest; the scan below still finds
             // ours if the shard holds it
         }
-        ReadPathCounters::bump(&self.read_path.fallback_scans);
+        ReadPathCounters::bump(&self.core.read_path.fallback_scans);
         self.rescan_locked(shard, s, key)
     }
 
@@ -711,7 +915,7 @@ impl ShardedStore {
     /// accelerators over it.  Returns the samples stored under `key`,
     /// if any.
     fn rescan_locked(&self, shard: u32, s: &mut Shard, key: &str) -> io::Result<Option<Vec<f64>>> {
-        let path = Self::segment_path(&self.dir, shard);
+        let path = self.core.segment_path(shard);
         let bytes = std::fs::read(&path)?;
         let (scanned, valid_len) = scan_segment(&bytes, shard)
             .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
@@ -728,7 +932,7 @@ impl ShardedStore {
         s.index = index_of(&scanned);
         s.frames = scanned.len() as u64;
         s.len = valid_len as u64;
-        ReadPathCounters::bump(&self.read_path.index_rebuilds);
+        ReadPathCounters::bump(&self.core.read_path.index_rebuilds);
         Ok(scanned
             .into_iter()
             .rev()
@@ -737,14 +941,16 @@ impl ShardedStore {
     }
 
     /// Append one frame for `key`, update the shard index and refresh
-    /// the hot tier; then compact the shard if the superseded ratio
-    /// crossed the configured threshold.
+    /// the hot tier; then hand the shard to the background compaction
+    /// worker if the superseded ratio crossed the configured
+    /// threshold, and rewrite the index sidecar inline if enough
+    /// bytes accumulated since it last matched disk.
     fn write(&self, key: &str, samples: &[f64]) -> io::Result<()> {
         let digest = fnv1a(key.as_bytes());
         let frame = encode_frame(key, samples);
-        let shard = (digest % self.shards as u64) as u32;
-        {
-            let mut s = self.state[shard as usize].lock();
+        let shard = (digest % self.core.shards as u64) as u32;
+        let compaction_due = {
+            let mut s = self.core.state[shard as usize].lock();
             let offset = s.len;
             if let Err(e) = s
                 .appender
@@ -755,7 +961,7 @@ impl ShardedStore {
                 // stays a clean validated prefix, then poison the
                 // store for flush()
                 let _ = s.appender.set_len(offset);
-                self.poison(&e);
+                self.core.poison(&e);
                 return Err(e);
             }
             s.len += frame.len() as u64;
@@ -770,102 +976,47 @@ impl ShardedStore {
             if s.sidecar == SidecarState::Fresh {
                 s.sidecar = SidecarState::Stale;
             }
-            self.maybe_compact_locked(shard, &mut s);
+            s.appended_since_sidecar += frame.len() as u64;
+            if s.appended_since_sidecar >= self.core.sidecar_refresh_bytes {
+                // long append session without a flush: refresh the
+                // sidecar so a reopen skips the segment scan anyway
+                // (best-effort — on failure just try again after the
+                // next threshold's worth of appends)
+                if write_sidecar(
+                    &self.core.index_path(shard),
+                    shard,
+                    s.len,
+                    s.frames,
+                    &s.index,
+                )
+                .is_ok()
+                {
+                    s.sidecar = SidecarState::Fresh;
+                }
+                s.appended_since_sidecar = 0;
+            }
+            self.core.compaction_due(&s)
+        };
+        if compaction_due {
+            // off-thread: enqueue after releasing the shard lock.  A
+            // full queue drops the trigger — the ratio stays crossed,
+            // so a later append (or flush's drain) still gets there.
+            if let Some(tx) = &self.compact_tx {
+                match tx.try_send(CompactMsg::Compact(shard)) {
+                    Ok(()) | Err(TrySendError::Full(_)) | Err(TrySendError::Disconnected(_)) => {}
+                }
+            }
         }
         self.hot.insert(digest, key, samples);
         Ok(())
-    }
-
-    /// Compact `shard` if ratio-triggered compaction is enabled and
-    /// the shard crossed the threshold.  A failed automatic
-    /// compaction poisons the store (the segment itself is intact —
-    /// replacement is by rename — but the shard handles may not be).
-    fn maybe_compact_locked(&self, shard: u32, s: &mut Shard) {
-        let Some(ratio) = *self.compact_ratio.lock() else {
-            return;
-        };
-        if s.frames < Self::AUTO_COMPACT_MIN_FRAMES {
-            return;
-        }
-        let superseded = s.frames.saturating_sub(s.index.len() as u64);
-        if (superseded as f64) <= ratio * (s.frames as f64) {
-            return;
-        }
-        match self.compact_shard_locked(shard, s) {
-            Ok(_) => ReadPathCounters::bump(&self.read_path.auto_compactions),
-            Err(e) => self.poison(&e),
-        }
-    }
-
-    /// Rewrite one shard's segment with one frame per live cell and
-    /// swap it in by rename, refreshing the handles, the index and
-    /// the sidecar.
-    fn compact_shard_locked(&self, shard: u32, s: &mut Shard) -> io::Result<CompactionReport> {
-        let path = Self::segment_path(&self.dir, shard);
-        let bytes = std::fs::read(&path)?;
-        let (scanned, _) = scan_segment(&bytes, shard)
-            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
-        let mut report = CompactionReport {
-            records_before: scanned.len() as u64,
-            bytes_before: bytes.len() as u64,
-            ..Default::default()
-        };
-        let mut live = BTreeMap::new();
-        for f in scanned {
-            live.insert(f.key, f.samples);
-        }
-        report.records_after = live.len() as u64;
-
-        let tmp = path.with_extension("seg.tmp");
-        let mut index = HashMap::with_capacity(live.len());
-        {
-            let mut f = File::create(&tmp)?;
-            f.write_all(SEGMENT_MAGIC)?;
-            f.write_all(&shard.to_le_bytes())?;
-            let mut offset = SEGMENT_HEADER_LEN as u64;
-            for (key, samples) in &live {
-                let frame = encode_frame(key, samples);
-                f.write_all(&frame)?;
-                index.insert(
-                    fnv1a(key.as_bytes()),
-                    FrameLoc {
-                        offset,
-                        len: frame.len() as u32,
-                    },
-                );
-                offset += frame.len() as u64;
-            }
-            f.sync_all()?;
-        }
-        std::fs::rename(&tmp, &path)?;
-        report.bytes_after = std::fs::metadata(&path)?.len();
-        s.appender = OpenOptions::new().append(true).open(&path)?;
-        s.reader = File::open(&path)?;
-        s.index = index;
-        s.frames = report.records_after;
-        s.len = report.bytes_after;
-        // the old sidecar describes the pre-compaction segment;
-        // refresh it now (best-effort: a stale sidecar is detected
-        // and rebuilt, never believed)
-        s.sidecar = match write_sidecar(
-            &Self::index_path(&self.dir, shard),
-            shard,
-            s.len,
-            s.frames,
-            &s.index,
-        ) {
-            Ok(()) => SidecarState::Fresh,
-            Err(_) => SidecarState::Stale,
-        };
-        Ok(report)
     }
 
     /// Scan every shard and return the live cells, sorted by key
     /// (last frame per key wins).
     fn scan_all(&self) -> io::Result<BTreeMap<String, Vec<f64>>> {
         let mut cells = BTreeMap::new();
-        for shard in 0..self.shards {
-            let bytes = std::fs::read(Self::segment_path(&self.dir, shard))?;
+        for shard in 0..self.core.shards {
+            let bytes = std::fs::read(self.core.segment_path(shard))?;
             let (frames, _) = scan_segment(&bytes, shard)
                 .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
             for f in frames {
@@ -881,19 +1032,31 @@ impl ShardedStore {
     /// held out by the shard locks.
     pub fn compact(&self) -> io::Result<CompactionReport> {
         let mut report = CompactionReport::default();
-        for shard in 0..self.shards {
-            let mut s = self.state[shard as usize].lock();
-            report.absorb(self.compact_shard_locked(shard, &mut s)?);
+        for shard in 0..self.core.shards {
+            let mut s = self.core.state[shard as usize].lock();
+            report.absorb(self.core.compact_shard_locked(shard, &mut s)?);
         }
         Ok(report)
+    }
+}
+
+impl Drop for ShardedStore {
+    fn drop(&mut self) {
+        // closing the channel ends the worker's receive loop; joining
+        // guarantees no compaction is mid-rewrite when the shard
+        // handles go away with the store
+        self.compact_tx = None;
+        if let Some(handle) = self.compact_worker.lock().take() {
+            let _ = handle.join();
+        }
     }
 }
 
 impl std::fmt::Debug for ShardedStore {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("ShardedStore")
-            .field("dir", &self.dir)
-            .field("shards", &self.shards)
+            .field("dir", &self.core.dir)
+            .field("shards", &self.core.shards)
             .field("repaired_bytes", &self.repaired_bytes)
             .finish_non_exhaustive()
     }
@@ -924,7 +1087,7 @@ impl CellBackend for ShardedStore {
         match self.scan_all() {
             Ok(cells) => cells.into_iter().collect(),
             Err(e) => {
-                eprintln!("[store] scan of {} failed: {e}", self.dir.display());
+                eprintln!("[store] scan of {} failed: {e}", self.core.dir.display());
                 Vec::new()
             }
         }
@@ -935,17 +1098,21 @@ impl CellBackend for ShardedStore {
     }
 
     fn flush(&self) -> io::Result<()> {
-        if let Some((kind, msg)) = &*self.write_error.lock() {
+        // settle any queued background compactions first, so the
+        // sticky-error check below sees their failures too and the
+        // durability point covers the compacted segments
+        self.drain_compactions();
+        if let Some((kind, msg)) = &*self.core.write_error.lock() {
             // sticky: a store that lost a write keeps failing until
             // clear_write_error acknowledges the loss
             return Err(io::Error::new(*kind, msg.clone()));
         }
-        for (shard, state) in self.state.iter().enumerate() {
+        for (shard, state) in self.core.state.iter().enumerate() {
             let mut s = state.lock();
             s.appender.sync_all()?;
             if s.sidecar != SidecarState::Fresh
                 && write_sidecar(
-                    &Self::index_path(&self.dir, shard as u32),
+                    &self.core.index_path(shard as u32),
                     shard as u32,
                     s.len,
                     s.frames,
@@ -954,6 +1121,7 @@ impl CellBackend for ShardedStore {
                 .is_ok()
             {
                 s.sidecar = SidecarState::Fresh;
+                s.appended_since_sidecar = 0;
             }
         }
         Ok(())
@@ -1484,7 +1652,7 @@ mod tests {
         // sabotage the in-memory index: point the victim's entry at a
         // nonsense location — the read must self-heal, not mis-answer
         {
-            let mut s = store.state[0].lock();
+            let mut s = store.core.state[0].lock();
             let digest = fnv1a(b"victim");
             s.index.insert(
                 digest,
@@ -1525,6 +1693,9 @@ mod tests {
         for round in 0..50 {
             store.append_raw("churner", &[round as f64]).unwrap();
         }
+        // compaction runs on the worker thread; settle it before
+        // asserting on its effects
+        store.drain_compactions();
         let reads = store.read_stats();
         assert!(
             reads.auto_compactions >= 1,
@@ -1546,6 +1717,46 @@ mod tests {
     }
 
     #[test]
+    fn sidecar_refreshes_after_enough_appended_bytes_without_a_flush() {
+        let dir = tmp("sidecar-refresh");
+        drop(ShardedStore::create(&dir, 1).unwrap());
+        let store = ShardedStore::open_with(
+            &dir,
+            ShardOpenOptions {
+                sidecar_refresh_bytes: 64,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        store.append_raw("first", &[1.0]).unwrap();
+        store.append_raw("second", &[2.0]).unwrap();
+        // two ~40-byte frames crossed the 64-byte threshold, so the
+        // sidecar was rewritten inline — no flush() involved
+        assert_eq!(store.segment_stats()[0].sidecar, SidecarState::Fresh);
+        drop(store);
+        let reopened = ShardedStore::open(&dir).unwrap();
+        assert_eq!(
+            reopened.read_stats().sidecar_loads,
+            1,
+            "reopen skips the segment scan"
+        );
+        assert_eq!(reopened.get_raw("first"), Some(vec![1.0]));
+        assert_eq!(reopened.get_raw("second"), Some(vec![2.0]));
+
+        // the default threshold is far above a few tiny frames: the
+        // sidecar goes stale on append and stays stale until flush
+        let lazy_dir = tmp("sidecar-lazy");
+        drop(ShardedStore::create(&lazy_dir, 1).unwrap());
+        let lazy = ShardedStore::open(&lazy_dir).unwrap();
+        lazy.append_raw("first", &[1.0]).unwrap();
+        lazy.flush().unwrap();
+        lazy.append_raw("second", &[2.0]).unwrap();
+        assert_eq!(lazy.segment_stats()[0].sidecar, SidecarState::Stale);
+        let _ = std::fs::remove_dir_all(&dir);
+        let _ = std::fs::remove_dir_all(&lazy_dir);
+    }
+
+    #[test]
     fn flush_stays_poisoned_after_a_failed_write_until_cleared() {
         let dir = tmp("poison");
         let store = ShardedStore::create(&dir, 1).unwrap();
@@ -1556,7 +1767,7 @@ mod tests {
             return;
         };
         {
-            let mut s = store.state[0].lock();
+            let mut s = store.core.state[0].lock();
             s.appender = full;
         }
         assert!(store.append_raw("doomed", &[2.0]).is_err());
@@ -1570,7 +1781,7 @@ mod tests {
         // after explicit repair (and restoring a real handle) the
         // store flushes again
         {
-            let mut s = store.state[0].lock();
+            let mut s = store.core.state[0].lock();
             s.appender = OpenOptions::new()
                 .append(true)
                 .open(ShardedStore::segment_path(&dir, 0))
@@ -1592,7 +1803,7 @@ mod tests {
         // break the read path: replace the segment with a directory
         // so the fallback scan's fs::read errors
         {
-            let mut s = store.state[0].lock();
+            let mut s = store.core.state[0].lock();
             s.index.insert(
                 fnv1a(b"key"),
                 FrameLoc {

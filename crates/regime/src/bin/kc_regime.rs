@@ -1,0 +1,195 @@
+//! Explore coupling regimes from the command line.
+//!
+//! ```text
+//! kc_regime sweep --spec FILE [--store SPEC] [--jobs N] [--reps N]
+//!                 [--json FILE] [--compact-ratio F]
+//! ```
+//!
+//! Runs the sweep a [`SweepSpec`] describes as one measurement
+//! campaign (shared cell cache, deduped, `--jobs`-wide scheduler),
+//! detects regime boundaries on every chain's coupling curve, and
+//! prints the regime map to stdout.  With `--store` the swept cells
+//! load from / persist to a `kc-prophesy` cell store — the same cells
+//! `paper_tables` uses, so a sweep warms the table runs and vice
+//! versa.  With `--json FILE` the map is also written as canonical
+//! JSON (the format `artifacts/golden/regime_map.json` snapshots).
+//!
+//! Stdout is byte-identical across `--jobs` settings and repeat runs;
+//! campaign statistics go to stderr.
+
+use kc_experiments::{Campaign, Runner};
+use kc_prophesy::{CellBackend, StoreOptions, StoreSpec};
+use kc_regime::{build_map, run_sweep, sweep_requests, DetectParams, SweepSpec};
+use std::path::PathBuf;
+use std::sync::Arc;
+
+const USAGE: &str = "usage: kc_regime sweep --spec FILE [--store SPEC] [--jobs N] [--reps N] \
+                     [--json FILE] [--compact-ratio F]
+
+  --spec FILE        sweep spec (JSON: name, benchmark, classes, procs,
+                     chain_len, machines, noise_free)
+  --store SPEC       cell store ([json:|sharded:]PATH), shared with paper_tables
+  --jobs N           scheduler worker pool size (default: available parallelism)
+  --reps N           repetitions per measurement (default 5)
+  --json FILE        also write the regime map as canonical JSON
+  --compact-ratio F  auto-compact sharded store shards past this superseded ratio";
+
+struct Options {
+    spec: PathBuf,
+    store: Option<StoreSpec>,
+    jobs: Option<usize>,
+    reps: Option<u32>,
+    json: Option<PathBuf>,
+    compact_ratio: Option<f64>,
+}
+
+fn usage_error(msg: &str) -> ! {
+    eprintln!("error: {msg}\n{USAGE}");
+    std::process::exit(2);
+}
+
+fn parse_args(args: &[String]) -> Options {
+    if args.first().map(String::as_str) != Some("sweep") {
+        usage_error("expected the 'sweep' subcommand");
+    }
+    let mut opts = Options {
+        spec: PathBuf::new(),
+        store: None,
+        jobs: None,
+        reps: None,
+        json: None,
+        compact_ratio: None,
+    };
+    let mut it = args[1..].iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| -> &String {
+            it.next()
+                .unwrap_or_else(|| usage_error(&format!("{name} needs a value")))
+        };
+        match flag.as_str() {
+            "--spec" => opts.spec = PathBuf::from(value("--spec")),
+            "--store" => {
+                let v = value("--store");
+                let spec = v.parse().unwrap_or_else(|e: String| usage_error(&e));
+                opts.store = Some(spec);
+            }
+            "--jobs" => {
+                opts.jobs = Some(
+                    value("--jobs")
+                        .parse()
+                        .unwrap_or_else(|_| usage_error("--jobs needs an integer")),
+                )
+            }
+            "--reps" => {
+                opts.reps = Some(
+                    value("--reps")
+                        .parse()
+                        .unwrap_or_else(|_| usage_error("--reps needs an integer")),
+                )
+            }
+            "--json" => opts.json = Some(PathBuf::from(value("--json"))),
+            "--compact-ratio" => {
+                opts.compact_ratio = Some(
+                    value("--compact-ratio")
+                        .parse()
+                        .unwrap_or_else(|_| usage_error("--compact-ratio needs a number")),
+                )
+            }
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => usage_error(&format!("unknown flag '{other}'")),
+        }
+    }
+    if opts.spec.as_os_str().is_empty() {
+        usage_error("--spec is required");
+    }
+    opts
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = parse_args(&args);
+
+    let spec = SweepSpec::load(&opts.spec).unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    });
+
+    let mut runner = Runner::default();
+    if spec.noise_free {
+        runner.machine = runner.machine.without_noise();
+    }
+    if let Some(reps) = opts.reps {
+        runner.reps = reps;
+    }
+
+    let store: Option<Arc<dyn CellBackend>> = opts.store.as_ref().map(|s| {
+        let options = StoreOptions {
+            compact_ratio: opts.compact_ratio,
+        };
+        s.open_with(options).unwrap_or_else(|e| {
+            eprintln!("error: cannot open cell store {}: {e}", s.path.display());
+            std::process::exit(1);
+        })
+    });
+
+    let mut builder = Campaign::builder(runner);
+    if let Some(s) = &store {
+        builder = builder.backend(Box::new(Arc::clone(s)));
+    }
+    if let Some(jobs) = opts.jobs {
+        builder = builder.jobs(jobs);
+    }
+    let campaign = builder.build();
+    if let Some(s) = &store {
+        s.attach_sink(campaign.sink());
+    }
+
+    let requests = sweep_requests(&spec).unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    });
+    let stats = campaign.prefetch(&requests).unwrap_or_else(|e| {
+        eprintln!("error: sweep measurement failed: {e}");
+        std::process::exit(1);
+    });
+    let curves = run_sweep(&campaign, &spec).unwrap_or_else(|e| {
+        eprintln!("error: curve assembly failed: {e}");
+        std::process::exit(1);
+    });
+    let map = build_map(
+        &spec.name,
+        &spec.benchmark,
+        spec.chain_len,
+        &curves,
+        &DetectParams::default(),
+    );
+
+    if let Err(e) = campaign.flush_sinks() {
+        eprintln!("error: telemetry flush failed: {e}");
+        std::process::exit(1);
+    }
+    if let Some(s) = &store {
+        if let Err(e) = s.flush() {
+            eprintln!("error: cell store flush failed: {e}");
+            std::process::exit(1);
+        }
+    }
+
+    print!("{}", map.render());
+    if let Some(path) = &opts.json {
+        if let Err(e) = std::fs::write(path, map.to_json_pretty()) {
+            eprintln!("error: cannot write {}: {e}", path.display());
+            std::process::exit(1);
+        }
+    }
+    eprintln!(
+        "[sweep] {} analyses, {} cells executed, {} cache hits, {} backend hits",
+        requests.len(),
+        stats.cells_executed,
+        stats.cache_hits,
+        stats.backend_hits
+    );
+}

@@ -1,0 +1,95 @@
+//! Property tests of regime detection: the segmentation must be a
+//! pure function of the *curve* — deterministic, invariant to the
+//! order the sweep happened to enumerate points in — and it must
+//! behave like a change-point detector: recover a planted step under
+//! bounded noise and never split a constant curve.
+
+use kc_regime::{detect_changepoints, sort_points, CurvePoint, DetectParams};
+use proptest::prelude::*;
+
+/// Deterministic bounded noise in `[-amp, amp]` (no RNG: detection
+/// itself is deterministic, so the inputs we test with are too).
+fn noise(i: usize, amp: f64) -> f64 {
+    amp * (2.0 * (((i as u64).wrapping_mul(2654435761) % 1000) as f64 / 999.0) - 1.0)
+}
+
+fn stepped_curve(n: usize, cp: usize, low: f64, high: f64, amp: f64) -> Vec<f64> {
+    (0..n)
+        .map(|i| if i < cp { low } else { high } + noise(i, amp))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn detection_is_deterministic(
+        values in prop::collection::vec(0.5f64..1.5, 4..40),
+        penalty in 0.5f64..8.0,
+    ) {
+        let params = DetectParams { penalty, ..DetectParams::default() };
+        let a = detect_changepoints(&values, &params);
+        let b = detect_changepoints(&values, &params);
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn curve_assembly_is_permutation_invariant(
+        seed in prop::collection::vec((1u64..1_000_000, 1usize..64, 0.5f64..1.5), 4..24),
+        shuffle in prop::collection::vec(0usize..1usize << 16, 4..24),
+    ) {
+        // build the same logical point set in two enumeration orders
+        let classes = ["A", "B", "S", "W"];
+        let mk = |(i, &(ws, procs, coupling)): (usize, &(u64, usize, f64))| CurvePoint {
+            class: classes[i % classes.len()].to_string(),
+            procs,
+            working_set: ws,
+            coupling,
+            cache_level: (ws % 3) as usize,
+        };
+        let mut canonical: Vec<CurvePoint> = seed.iter().enumerate().map(mk).collect();
+        let mut permuted = canonical.clone();
+        // deterministic Fisher-Yates driven by the generated shuffle keys
+        for i in (1..permuted.len()).rev() {
+            permuted.swap(i, shuffle[i % shuffle.len()] % (i + 1));
+        }
+        sort_points(&mut canonical);
+        sort_points(&mut permuted);
+        prop_assert_eq!(&canonical, &permuted);
+        // and therefore identical boundaries on the assembled curve
+        let values: Vec<f64> = canonical.iter().map(|p| p.coupling).collect();
+        let shuffled: Vec<f64> = permuted.iter().map(|p| p.coupling).collect();
+        prop_assert_eq!(
+            detect_changepoints(&values, &DetectParams::default()),
+            detect_changepoints(&shuffled, &DetectParams::default())
+        );
+    }
+
+    #[test]
+    fn a_planted_changepoint_is_recovered_under_noise(
+        n in 12usize..40,
+        cp_frac in 0.25f64..0.75,
+        jump in 0.3f64..1.0,
+        amp_frac in 0.0f64..0.12,
+    ) {
+        let cp = ((n as f64 * cp_frac) as usize).clamp(3, n - 3);
+        let values = stepped_curve(n, cp, 0.9, 0.9 + jump, jump * amp_frac);
+        let boundaries = detect_changepoints(&values, &DetectParams::default());
+        // the planted step must be found, within a point of slack
+        // (noise at the edge can move the optimal cut by one)
+        prop_assert!(
+            boundaries.iter().any(|&b| b.abs_diff(cp) <= 1),
+            "step at {cp} not among {boundaries:?} for {values:?}"
+        );
+    }
+
+    #[test]
+    fn constant_curves_have_no_boundaries(
+        n in 2usize..64,
+        level in 0.1f64..10.0,
+    ) {
+        let values = vec![level; n];
+        let boundaries = detect_changepoints(&values, &DetectParams::default());
+        prop_assert!(boundaries.is_empty(), "constant curve split at {boundaries:?}");
+    }
+}

@@ -19,7 +19,8 @@ cargo test -q --workspace
 echo "== tests (scheduler + concurrency + history sidecar + serve + stores + load/faults, release) =="
 cargo test -q --release --test scheduler --test cache_concurrency \
     --test history_sidecar --test serve_concurrency --test golden_tables \
-    --test store_backend --test loadgen_slo --test serve_faults
+    --test store_backend --test loadgen_slo --test serve_faults \
+    --test regime_map
 
 echo "== byte-identity: full tables under --jobs 1 vs --jobs 8 =="
 j1=$(mktemp) && j8=$(mktemp) && smoke=$(mktemp -d)
@@ -91,6 +92,35 @@ if ! cmp -s "$bj" "$bn"; then
     exit 1
 fi
 echo "tables byte-identical with sidecars loaded, deleted, and auto-compaction on"
+
+echo "== kc_regime: sweep determinism across --jobs + golden regime map =="
+./target/release/kc_regime sweep --spec scripts/regime_small.json \
+    --store "sharded:$smoke/regime.kcs" --jobs 1 \
+    --json "$smoke/regime_j1.json" > "$smoke/regime_j1.txt" 2>/dev/null
+./target/release/kc_regime sweep --spec scripts/regime_small.json \
+    --store "sharded:$smoke/regime.kcs" --jobs 8 \
+    --json "$smoke/regime_j8.json" > "$smoke/regime_j8.txt" 2> "$smoke/regime_warm.log"
+if ! cmp -s "$smoke/regime_j1.txt" "$smoke/regime_j8.txt"; then
+    echo "verify: regime maps differ between --jobs 1 and --jobs 8"
+    diff "$smoke/regime_j1.txt" "$smoke/regime_j8.txt" | head -20
+    exit 1
+fi
+cmp -s "$smoke/regime_j1.json" "$smoke/regime_j8.json" || {
+    echo "verify: regime map JSON differs between --jobs 1 and --jobs 8"; exit 1; }
+# the second run reads the first run's cells from the sharded store
+grep -q " 0 cells executed" "$smoke/regime_warm.log" || {
+    echo "verify: warm regime sweep re-executed cells"
+    cat "$smoke/regime_warm.log"; exit 1; }
+if ! cmp -s "$smoke/regime_j8.json" artifacts/golden/regime_map.json; then
+    echo "verify: regime map drifted from artifacts/golden/regime_map.json"
+    echo "        (UPDATE_GOLDEN=1 cargo test --release --test regime_map if intentional)"
+    diff "$smoke/regime_j8.json" artifacts/golden/regime_map.json | head -20
+    exit 1
+fi
+jq -e '[.chains[] | select(.machine=="multicore-smp") | .boundaries | length] | max >= 2' \
+    "$smoke/regime_j8.json" > /dev/null || {
+    echo "verify: no multicore-smp chain detected >=2 regime boundaries"; exit 1; }
+echo "regime maps byte-identical across --jobs, match golden, shared-LLC regimes detected"
 
 echo "== deprecated --store-format alias still works and warns =="
 alias_log=$(mktemp)

@@ -18,6 +18,7 @@
 //! | [`grid`] | `kc-grid` | arrays, decompositions, process topologies |
 //! | [`experiments`] | `kc-experiments` | regenerators for every paper table |
 //! | [`prophesy`] | `kc-prophesy` | measurement database, planner, reuse advisor |
+//! | [`regime`] | `kc-regime` | sweep campaigns, change-point detection, regime maps |
 //! | [`serve`] | `kc-serve` | online batched prediction service (wire protocol, server, metrics) |
 //! | [`loadgen`] | `kc-loadgen` | open-loop load generator and fault-injecting SLO harness |
 //!
@@ -77,6 +78,11 @@ pub mod experiments {
 /// Prophesy-style measurement database (re-export of `kc-prophesy`).
 pub mod prophesy {
     pub use kc_prophesy::*;
+}
+
+/// The coupling-regime explorer (re-export of `kc-regime`).
+pub mod regime {
+    pub use kc_regime::*;
 }
 
 /// The online prediction service (re-export of `kc-serve`).

@@ -1,0 +1,137 @@
+//! Golden regime-map regression harness.
+//!
+//! `artifacts/golden/regime_map.json` pins the full regime map of the
+//! committed small sweep (`scripts/regime_small.json`) —
+//! boundaries, segment means, regime labels and cache levels — and
+//! `cells_regime.json` holds the raw cells the sweep measures.  The
+//! test re-assembles the map from the committed cells (asserting
+//! nothing re-simulates) and compares the canonical JSON
+//! byte-for-byte: detection is deterministic, so even the float
+//! formatting must reproduce exactly.
+//!
+//! Regenerate after an intentional model change with:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test --release --test regime_map
+//! ```
+
+use kernel_couplings::experiments::{Campaign, Runner};
+use kernel_couplings::prophesy::CellStore;
+use kernel_couplings::regime::{build_map, run_sweep, sweep_requests, DetectParams, SweepSpec};
+use std::path::PathBuf;
+use std::sync::Arc;
+
+fn golden_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("artifacts/golden")
+}
+
+fn spec_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("scripts/regime_small.json")
+}
+
+fn updating() -> bool {
+    std::env::var_os("UPDATE_GOLDEN").is_some_and(|v| v != "0" && !v.is_empty())
+}
+
+fn sweep_map(campaign: &Campaign, spec: &SweepSpec) -> String {
+    let requests = sweep_requests(spec).unwrap();
+    campaign.prefetch(&requests).unwrap();
+    let curves = run_sweep(campaign, spec).unwrap();
+    build_map(
+        &spec.name,
+        &spec.benchmark,
+        spec.chain_len,
+        &curves,
+        &DetectParams::default(),
+    )
+    .to_json_pretty()
+}
+
+#[test]
+fn golden_regime_map_matches_store_backed_sweep() {
+    let dir = golden_dir();
+    let cells_path = dir.join("cells_regime.json");
+    let map_path = dir.join("regime_map.json");
+    let spec = SweepSpec::load(&spec_path()).unwrap();
+    assert!(spec.noise_free, "the committed sweep must be noise-free");
+
+    if updating() {
+        let store = Arc::new(CellStore::new());
+        let campaign = Campaign::builder(Runner::noise_free())
+            .backend(Box::new(Arc::clone(&store)))
+            .build();
+        std::fs::create_dir_all(&dir).unwrap();
+        let json = sweep_map(&campaign, &spec);
+        std::fs::write(&map_path, json).unwrap();
+        store.save(&cells_path).unwrap();
+        eprintln!(
+            "regenerated regime map + {} cells into {}",
+            store.len(),
+            dir.display()
+        );
+        return;
+    }
+
+    let store = Arc::new(
+        CellStore::load(&cells_path)
+            .unwrap_or_else(|e| panic!("missing golden cell store {}: {e}", cells_path.display())),
+    );
+    let campaign = Campaign::builder(Runner::noise_free())
+        .backend(Box::new(Arc::clone(&store)))
+        .build();
+    let fresh = sweep_map(&campaign, &spec);
+
+    // every swept cell must come from the committed store: an
+    // execution means the key schema or sweep enumeration drifted
+    let cache = campaign.cache_stats();
+    assert_eq!(
+        cache.executed, 0,
+        "cells missing from the golden regime store were re-simulated"
+    );
+    assert!(cache.backend_hits > 0);
+
+    let golden = std::fs::read_to_string(&map_path)
+        .unwrap_or_else(|e| panic!("missing golden regime map {}: {e}", map_path.display()));
+    assert!(
+        golden == fresh,
+        "regime map drifted from {} — run with UPDATE_GOLDEN=1 if intentional",
+        map_path.display()
+    );
+}
+
+/// The map's headline claim: the shared-LLC multicore machine shows
+/// the regime structure the paper argues for — at least one chain with
+/// two or more detected boundaries — and its crossings differ from the
+/// uniprocessor SP's.
+#[test]
+fn golden_regime_map_shows_multicore_regime_shifts() {
+    if updating() {
+        return; // being rewritten by the main test
+    }
+    let map_path = golden_dir().join("regime_map.json");
+    let golden = std::fs::read_to_string(&map_path)
+        .unwrap_or_else(|e| panic!("missing golden regime map {}: {e}", map_path.display()));
+    let map: kernel_couplings::regime::RegimeMap = serde_json::from_str(&golden).unwrap();
+
+    let busiest = map
+        .busiest_chain("multicore-smp")
+        .expect("the committed sweep covers multicore-smp");
+    assert!(
+        busiest.boundaries.len() >= 2,
+        "expected >=2 regime boundaries on a multicore-smp chain, got {}",
+        busiest.boundaries.len()
+    );
+    // the derated LLC must actually move at least one chain's
+    // boundary set relative to the uniprocessor machine
+    let moved = map
+        .chains
+        .iter()
+        .filter(|c| c.machine == "multicore-smp")
+        .any(|smp| {
+            map.chains
+                .iter()
+                .find(|c| c.machine == "ibm-sp-p2sc" && c.chain == smp.chain)
+                .is_some_and(|sp| sp.boundary_ws != smp.boundary_ws)
+        });
+    assert!(moved, "shared-LLC contention moved no regime boundary");
+}
